@@ -1,0 +1,69 @@
+"""Experiment E13 — ablation: guard-grid precision vs. quality and cost.
+
+The structure hypothesis of Section 5 requires guard vertices to lie on a
+finite-precision grid.  This ablation sweeps the grid step for the
+transmission synthesis and reports (a) how far the synthesized g12U guard
+endpoints are from the analytic gear-2 safety boundary and (b) how many
+simulation queries the synthesis needs: the error shrinks with the step
+while the query count grows only logarithmically (binary search), which is
+the scaling argument for hyperbox learning over exhaustive sweeps.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.hybrid import make_transmission_synthesizer, safe_speed_range
+
+GRID_STEPS = (0.5, 0.1, 0.02)
+
+
+def _sweep_grid_precision():
+    expected_low, expected_high = safe_speed_range(2)
+    rows = []
+    for step in GRID_STEPS:
+        setup = make_transmission_synthesizer(
+            dwell_time=0.0, omega_step=step, integration_step=0.02, horizon=60.0
+        )
+        report = setup.synthesizer.synthesize()
+        interval = report.switching_logic["g12U"].interval("omega")
+        error = max(abs(interval.low - expected_low), abs(interval.high - expected_high))
+        rows.append(
+            {
+                "step": step,
+                "low": interval.low,
+                "high": interval.high,
+                "error": error,
+                "queries": report.labeling_queries,
+                "iterations": report.iterations,
+            }
+        )
+    return expected_low, expected_high, rows
+
+
+def test_grid_precision_ablation(benchmark):
+    expected_low, expected_high, rows = run_once(benchmark, _sweep_grid_precision)
+    print_table(
+        "Ablation — grid precision vs. guard quality (guard g12U; analytic "
+        f"boundary [{expected_low:.3f}, {expected_high:.3f}])",
+        ["grid step", "synthesized g12U", "endpoint error", "simulation queries", "iterations"],
+        [
+            [
+                f"{row['step']:.2f}",
+                f"[{row['low']:.2f}, {row['high']:.2f}]",
+                f"{row['error']:.3f}",
+                str(row["queries"]),
+                str(row["iterations"]),
+            ]
+            for row in rows
+        ],
+    )
+    # Finer grids give strictly more accurate endpoints…
+    errors = [row["error"] for row in rows]
+    assert errors[-1] <= errors[0]
+    assert errors[-1] <= rows[-1]["step"] + 1e-6
+    # …while the query count grows far slower than the 1/step grid size.
+    ratio_queries = rows[-1]["queries"] / rows[0]["queries"]
+    ratio_grid = GRID_STEPS[0] / GRID_STEPS[-1]
+    assert ratio_queries < ratio_grid
+    benchmark.extra_info["rows"] = rows

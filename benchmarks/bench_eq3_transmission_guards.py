@@ -1,0 +1,68 @@
+"""Experiment E5 — paper Eq. (3): transmission guards for the safety property.
+
+Synthesizes the switching logic of the 3-gear automatic transmission at
+the paper's two-decimal precision (ω grid step 0.01) and compares every
+guard interval against the values printed in Eq. (3).  The reproduction
+target is agreement of every endpoint to within a couple of grid steps.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.hybrid import PAPER_EQ3_GUARDS, make_transmission_synthesizer
+
+OMEGA_STEP = 0.01
+TOLERANCE = 0.05  # a few grid steps
+
+
+def _synthesize_eq3():
+    setup = make_transmission_synthesizer(
+        dwell_time=0.0,
+        omega_step=OMEGA_STEP,
+        integration_step=0.02,
+        horizon=80.0,
+    )
+    report = setup.synthesizer.synthesize()
+    return setup, report
+
+
+def test_eq3_guards(benchmark):
+    setup, report = run_once(benchmark, _synthesize_eq3)
+    rows = []
+    worst_deviation = 0.0
+    for name in sorted(PAPER_EQ3_GUARDS):
+        expected_low, expected_high = PAPER_EQ3_GUARDS[name]
+        interval = report.switching_logic[name].interval("omega")
+        deviation = max(abs(interval.low - expected_low), abs(interval.high - expected_high))
+        worst_deviation = max(worst_deviation, deviation)
+        rows.append(
+            [
+                name,
+                f"[{interval.low:.2f}, {interval.high:.2f}]",
+                f"[{expected_low:.2f}, {expected_high:.2f}]",
+                f"{deviation:.3f}",
+            ]
+        )
+    g1nd = report.switching_logic["g1ND"]
+    rows.append(["g1ND", g1nd.describe(), "theta = 1700 and omega = 0", "frozen"])
+    print_table(
+        "Eq. (3) — synthesized transmission guards (omega intervals)",
+        ["guard", "synthesized", "paper", "max deviation"],
+        rows,
+    )
+    print(f"  fixpoint iterations: {report.iterations}, "
+          f"simulation (labeling) queries: {report.labeling_queries}")
+
+    for name, (expected_low, expected_high) in PAPER_EQ3_GUARDS.items():
+        interval = report.switching_logic[name].interval("omega")
+        assert abs(interval.low - expected_low) <= TOLERANCE, name
+        assert abs(interval.high - expected_high) <= TOLERANCE, name
+    assert report.iterations <= 4
+    benchmark.extra_info.update(
+        {
+            "iterations": report.iterations,
+            "labeling_queries": report.labeling_queries,
+            "worst_endpoint_deviation": worst_deviation,
+        }
+    )

@@ -1,0 +1,74 @@
+"""Experiment E6 — paper Eq. (4): guards with a 5-second dwell requirement.
+
+Re-runs the transmission synthesis with a minimum dwell time of 5 seconds
+in each of the six gear modes and prints the resulting guards next to the
+intervals of Eq. (4).  The quantitative values of Eq. (4) depend on the
+exact dwell-time algorithm of the companion ICCPS'10 paper (not fully
+specified in the DAC paper), so the reproduction target here is the
+qualitative shape: relative to the Eq. (3) guards, the dwell requirement
+leaves every guard no wider, strictly tightens the majority of them, and
+keeps the closed-loop system safe — deviations per guard are reported in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.hybrid import (
+    PAPER_EQ3_GUARDS,
+    PAPER_EQ4_GUARDS,
+    make_transmission_synthesizer,
+)
+
+OMEGA_STEP = 0.02
+
+
+def _synthesize_both():
+    plain = make_transmission_synthesizer(
+        dwell_time=0.0, omega_step=OMEGA_STEP, integration_step=0.02, horizon=80.0
+    ).synthesizer.synthesize()
+    dwell = make_transmission_synthesizer(
+        dwell_time=5.0, omega_step=OMEGA_STEP, integration_step=0.02, horizon=80.0
+    ).synthesizer.synthesize()
+    return plain, dwell
+
+
+def test_eq4_dwell_time_guards(benchmark):
+    plain, dwell = run_once(benchmark, _synthesize_both)
+    rows = []
+    tightened = 0
+    for name in sorted(PAPER_EQ3_GUARDS):
+        eq3_interval = plain.switching_logic[name].interval("omega")
+        eq4_interval = dwell.switching_logic[name].interval("omega")
+        paper_low, paper_high = PAPER_EQ4_GUARDS[name]
+        if eq4_interval.width < eq3_interval.width - 1e-9:
+            tightened += 1
+        rows.append(
+            [
+                name,
+                f"[{eq3_interval.low:.2f}, {eq3_interval.high:.2f}]",
+                f"[{eq4_interval.low:.2f}, {eq4_interval.high:.2f}]",
+                f"[{paper_low:.2f}, {paper_high:.2f}]",
+            ]
+        )
+    print_table(
+        "Eq. (4) — guards with a 5 s dwell time per gear mode",
+        ["guard", "no dwell (Eq. 3 run)", "with dwell (this run)", "paper Eq. 4"],
+        rows,
+    )
+    print(f"  guards strictly tightened by the dwell requirement: {tightened} / {len(rows)}")
+
+    for name in PAPER_EQ3_GUARDS:
+        eq3_width = plain.switching_logic[name].interval("omega").width
+        eq4_width = dwell.switching_logic[name].interval("omega").width
+        assert eq4_width <= eq3_width + 1e-9, name
+    assert tightened >= 4
+    assert not dwell.empty_guards
+    benchmark.extra_info.update(
+        {
+            "guards_tightened": tightened,
+            "iterations": dwell.iterations,
+            "labeling_queries": dwell.labeling_queries,
+        }
+    )

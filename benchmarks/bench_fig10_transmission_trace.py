@@ -1,0 +1,91 @@
+"""Experiment E7 — paper Figure 10: the closed-loop transmission trace.
+
+Simulates the hybrid automaton obtained from the Eq. (3) switching logic
+through the schedule N → G1U → G2U → G3U → G3D → G2D → G1D → N and checks
+the properties visible in Figure 10:
+
+* the speed climbs through the gears to its peak (≈ 36–37 in the paper)
+  and returns to a standstill,
+* the efficiency η stays at least 0.5 whenever ω ≥ 5,
+* the speed never exceeds 60,
+* a positive distance θ is covered and the vehicle ends at rest.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.hybrid import (
+    FIGURE10_SCHEDULE,
+    HybridAutomaton,
+    Hyperbox,
+    IntegratorConfig,
+    THETA_MAX,
+    efficiency_of_mode,
+    make_transmission_synthesizer,
+)
+
+
+def _figure10_trace():
+    setup = make_transmission_synthesizer(
+        dwell_time=0.0, omega_step=0.01, integration_step=0.02, horizon=80.0
+    )
+    report = setup.synthesizer.synthesize()
+    logic = dict(report.switching_logic)
+    # The synthesized g1ND guard is the designated point θ = θmax ∧ ω = 0;
+    # relax it to "nearly stopped" so the fixed-step simulation can take it.
+    logic["g1ND"] = Hyperbox.from_bounds({"theta": (0.0, THETA_MAX), "omega": (0.0, 0.5)})
+    automaton = HybridAutomaton(setup.system, logic, IntegratorConfig(step=0.02))
+    trace = automaton.simulate_schedule(FIGURE10_SCHEDULE, horizon=200.0)
+    return report, trace
+
+
+def test_fig10_trace(benchmark):
+    report, trace = run_once(benchmark, _figure10_trace)
+
+    omegas = [point.state[1] for point in trace.points]
+    efficiencies = [
+        efficiency_of_mode(point.mode, point.state[1]) for point in trace.points
+    ]
+    switch_rows = []
+    for (mode, enter_time, exit_time) in trace.mode_intervals():
+        switch_rows.append([mode, f"{enter_time:.1f}", f"{exit_time:.1f}",
+                            f"{exit_time - enter_time:.1f}"])
+    print_table(
+        "Figure 10 — mode schedule of the synthesized transmission",
+        ["mode", "enter (s)", "exit (s)", "dwell (s)"],
+        switch_rows,
+    )
+    violations = sum(
+        1
+        for point in trace.points
+        if point.mode != "N"
+        and point.state[1] >= 5.0
+        and efficiency_of_mode(point.mode, point.state[1]) < 0.5
+    )
+    print_table(
+        "Figure 10 — trace summary",
+        ["quantity", "value"],
+        [
+            ["transitions taken", " ".join(trace.transitions_taken)],
+            ["peak speed (omega)", f"{max(omegas):.2f}"],
+            ["final speed", f"{trace.final_state[1]:.2f}"],
+            ["distance covered (theta)", f"{trace.final_state[0]:.1f}"],
+            ["total time (s)", f"{trace.final_time:.1f}"],
+            ["min efficiency while omega >= 5", f"{min((e for e, p in zip(efficiencies, trace.points) if p.state[1] >= 5.0 and p.mode != 'N'), default=1.0):.3f}"],
+            ["phi_S violations", str(violations)],
+        ],
+    )
+
+    assert trace.transitions_taken == list(FIGURE10_SCHEDULE)
+    assert trace.safe and violations == 0
+    assert 30.0 < max(omegas) <= 60.0          # climbs into gear 3, stays under 60
+    assert trace.final_state[1] < 0.5          # back to (near) standstill
+    assert trace.final_state[0] > 100.0        # covered a real distance
+    benchmark.extra_info.update(
+        {
+            "peak_omega": max(omegas),
+            "final_theta": float(trace.final_state[0]),
+            "total_time_s": trace.final_time,
+        }
+    )

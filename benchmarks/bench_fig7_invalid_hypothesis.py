@@ -1,0 +1,62 @@
+"""Experiment E10 — paper Figure 7: behaviour under an invalid hypothesis.
+
+Figure 7 maps out what can happen when the component library (the
+structure hypothesis) is insufficient: either the gathered I/O pairs show
+infeasibility — the synthesizer reports it — or a program consistent with
+the seen examples is produced that is *not* equivalent to the oracle.  The
+benchmark runs the multiply-by-45 oracle against a library missing the
+shift-by-3 component and records which branch of Figure 7 was taken,
+asserting that the sound outcome ("correct program under an invalid
+hypothesis") is impossible.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core import UnrealizableError
+from repro.ogis import (
+    OgisSynthesizer,
+    ProgramIOOracle,
+    insufficient_multiply45_library,
+    multiply45_obfuscated,
+    multiply45_reference,
+)
+
+WIDTH = 8
+
+
+def _invalid_hypothesis_run():
+    oracle = ProgramIOOracle(
+        lambda values: multiply45_obfuscated(values, WIDTH), 1, 1, WIDTH
+    )
+    synthesizer = OgisSynthesizer(
+        insufficient_multiply45_library(), oracle, width=WIDTH, seed=1
+    )
+    try:
+        program = synthesizer.synthesize()
+    except UnrealizableError:
+        return "infeasibility-reported", None, synthesizer
+    equivalent = program.equivalent_to(
+        lambda values: multiply45_reference(values, WIDTH), width=WIDTH
+    )
+    outcome = "correct-program" if equivalent else "incorrect-program"
+    return outcome, program, synthesizer
+
+
+def test_fig7_insufficient_library(benchmark):
+    outcome, program, synthesizer = run_once(benchmark, _invalid_hypothesis_run)
+    rows = [
+        ["library", "{shl2, add, add} (shl3 withheld)"],
+        ["outcome", outcome],
+        ["oracle queries", str(synthesizer.trace.oracle_queries)],
+    ]
+    if program is not None:
+        rows.append(["synthesized (not equivalent)", program.pretty().replace("\n", " ")])
+    print_table("Figure 7 — invalid structure hypothesis", ["quantity", "value"], rows)
+
+    # The two paper-predicted outcomes are the only possible ones: the
+    # library cannot express multiplication by 45, so a "correct program"
+    # is impossible.
+    assert outcome in {"infeasibility-reported", "incorrect-program"}
+    benchmark.extra_info["outcome"] = outcome

@@ -1,0 +1,63 @@
+"""Experiment E9 — the probabilistic-soundness claim of Section 3.3.
+
+The paper states that, under the (w, π) structure hypothesis, GameTime
+answers the ⟨TA⟩ question correctly with probability at least 1 − δ when
+the number of trials grows (polynomially in ln(1/δ) and μ_max).  This
+ablation sweeps the measurement budget on a noisy platform and reports the
+empirical error rate of the YES/NO answer across repeated runs: the error
+rate must be non-increasing (up to small-sample noise) and reach zero at
+generous budgets.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.cfg import conditional_cascade
+from repro.gametime import ExhaustiveEstimator, GameTime
+from repro.platform import PerturbationModel
+
+PERTURBATION_MEAN = 12.0
+TRIAL_BUDGETS = (8, 24, 72)
+REPEATS = 6
+
+
+def _soundness_sweep():
+    task = conditional_cascade(depth=3, word_width=16)
+    truth = ExhaustiveEstimator(task).estimate().estimated_wcet
+    # The <TA> bound sits just below the true WCET, so the correct answer is
+    # NO and answering it requires actually finding the worst-case path.
+    bound = truth - 1
+    error_rates = {}
+    for budget in TRIAL_BUDGETS:
+        wrong = 0
+        for repeat in range(REPEATS):
+            analysis = GameTime(
+                task,
+                perturbation=PerturbationModel(mean=PERTURBATION_MEAN, seed=100 + repeat),
+                trials=budget,
+                mu_max=PERTURBATION_MEAN,
+                seed=repeat,
+            )
+            answer = analysis.answer_timing_query(bound)
+            # Correct answer is "NO" (not within bound).
+            if answer.within_bound:
+                wrong += 1
+        error_rates[budget] = wrong / REPEATS
+    return truth, bound, error_rates
+
+
+def test_ta_probabilistic_soundness(benchmark):
+    truth, bound, error_rates = run_once(benchmark, _soundness_sweep)
+    print_table(
+        "Section 3.3 — empirical error rate of the <TA> answer vs. trials "
+        f"(noise mean {PERTURBATION_MEAN} cycles, bound = WCET - 1 = {bound})",
+        ["measurement budget", "empirical error rate"],
+        [[str(budget), f"{rate:.2f}"] for budget, rate in error_rates.items()],
+    )
+    budgets = sorted(error_rates)
+    # More measurements never hurt (monotone up to one repeat of slack), and
+    # a generous budget answers correctly every time.
+    assert error_rates[budgets[-1]] == 0.0
+    assert error_rates[budgets[-1]] <= error_rates[budgets[0]] + 1.0 / REPEATS
+    benchmark.extra_info["error_rates"] = {str(k): v for k, v in error_rates.items()}

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and is run once per invocation —
+``benchmark.pedantic(..., rounds=1, iterations=1)`` — because the
+experiments themselves are end-to-end reproductions, not micro-benchmarks.
+Each benchmark prints the regenerated rows/series (run pytest with ``-s``
+to see them) and stores headline numbers in ``benchmark.extra_info`` so
+they appear in the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    """Print a small fixed-width table (the textual form of a paper table)."""
+    print()
+    print(title)
+    widths = [
+        max(len(str(header[column])), *(len(str(row[column])) for row in rows))
+        for column in range(len(header))
+    ]
+    line = "  ".join(str(name).ljust(width) for name, width in zip(header, widths))
+    print("  " + line)
+    print("  " + "-" * len(line))
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+The environment has no `wheel` package and no PyPI connectivity, so the
+PEP 517 editable-install path (which builds a wheel) is unavailable; this
+legacy setup.py lets pip fall back to `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Sciduction: Combining Induction, Deduction, and
+Structure for Verification and Synthesis" (Sanjit A. Seshia, DAC 2012).
+
+The package is organised as a small family of libraries:
+
+``repro.core``
+    The sciduction framework itself: structure hypotheses, inductive
+    inference engines, deductive engines, oracle interfaces, and the
+    conditional-soundness bookkeeping described in Section 2 of the paper.
+
+``repro.smt``
+    A self-contained SAT + quantifier-free bit-vector (QF_BV) SMT solver
+    used as the deductive engine by the GameTime and program-synthesis
+    applications (the paper used an off-the-shelf SMT solver; none is
+    available offline, so one is implemented here from scratch).
+
+``repro.cfg``
+    A structured imperative *task language*, control-flow graphs, loop
+    unrolling, path vectors and basis-path extraction (Section 3).
+
+``repro.platform``
+    A deterministic cycle-level embedded-platform simulator (RISC-style
+    ISA, compiler, in-order pipeline, instruction/data caches) standing in
+    for the SimIt-ARM / StrongARM-1100 testbed used by the paper.
+
+``repro.gametime``
+    Application 1 — GameTime-style timing analysis (Section 3).
+
+``repro.ogis``
+    Application 2 — oracle-guided component-based program synthesis /
+    deobfuscation (Section 4).
+
+``repro.hybrid``
+    Application 3 — switching-logic synthesis for multi-modal dynamical
+    systems (Section 5).
+"""
+
+from repro.core import (
+    DeductiveEngine,
+    InductiveEngine,
+    Oracle,
+    SciductionProcedure,
+    SciductionResult,
+    StructureHypothesis,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeductiveEngine",
+    "InductiveEngine",
+    "Oracle",
+    "SciductionProcedure",
+    "SciductionResult",
+    "StructureHypothesis",
+    "__version__",
+]

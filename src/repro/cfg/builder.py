@@ -1,0 +1,207 @@
+"""Construction of unrolled, inlined control-flow graphs.
+
+Mirrors the front-end step of GameTime (paper Figure 5): "Generate
+Control-Flow Graph, Unroll Loops, Inline Functions".  Loops carry static
+bounds (see :class:`repro.cfg.lang.While`) and are unrolled into nested
+conditionals; calls are inlined with parameter renaming, so the resulting
+CFG is a DAG with a single source and a single sink.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.exceptions import CompilationError
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.lang import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Const,
+    Expression,
+    If,
+    Program,
+    Skip,
+    Statement,
+    UnOp,
+    Var,
+    While,
+)
+
+_inline_counter = itertools.count()
+
+
+def negate_condition(condition: Expression) -> Expression:
+    """Return the logical negation of a branch condition."""
+    return UnOp("!", condition)
+
+
+def _rename_expression(expression: Expression, mapping: dict[str, str]) -> Expression:
+    if isinstance(expression, Const):
+        return expression
+    if isinstance(expression, Var):
+        return Var(mapping.get(expression.name, expression.name))
+    if isinstance(expression, UnOp):
+        return UnOp(expression.op, _rename_expression(expression.operand, mapping))
+    if isinstance(expression, BinOp):
+        return BinOp(
+            expression.op,
+            _rename_expression(expression.left, mapping),
+            _rename_expression(expression.right, mapping),
+        )
+    raise CompilationError(f"unknown expression node {type(expression).__name__}")
+
+
+def _rename_statement(statement: Statement, mapping: dict[str, str]) -> Statement:
+    if isinstance(statement, Skip):
+        return statement
+    if isinstance(statement, Assign):
+        return Assign(
+            mapping.get(statement.target, statement.target),
+            _rename_expression(statement.expression, mapping),
+        )
+    if isinstance(statement, Block):
+        return Block(tuple(_rename_statement(child, mapping) for child in statement.statements))
+    if isinstance(statement, If):
+        return If(
+            _rename_expression(statement.condition, mapping),
+            _rename_statement(statement.then_branch, mapping),
+            _rename_statement(statement.else_branch, mapping),
+        )
+    if isinstance(statement, While):
+        return While(
+            _rename_expression(statement.condition, mapping),
+            _rename_statement(statement.body, mapping),
+            statement.bound,
+        )
+    if isinstance(statement, Call):
+        return Call(
+            statement.callee,
+            tuple(_rename_expression(arg, mapping) for arg in statement.arguments),
+            tuple(mapping.get(name, name) for name in statement.results),
+        )
+    raise CompilationError(f"unknown statement node {type(statement).__name__}")
+
+
+def inline_calls(statement: Statement) -> Statement:
+    """Replace every :class:`Call` with the callee's (renamed) body.
+
+    Callee variables are prefixed with a fresh ``__inlineN_`` marker so
+    repeated calls do not clash; arguments become assignments to the
+    renamed parameters and results are copied back afterwards.
+    """
+    if isinstance(statement, (Skip, Assign)):
+        return statement
+    if isinstance(statement, Block):
+        return Block(tuple(inline_calls(child) for child in statement.statements))
+    if isinstance(statement, If):
+        return If(
+            statement.condition,
+            inline_calls(statement.then_branch),
+            inline_calls(statement.else_branch),
+        )
+    if isinstance(statement, While):
+        return While(statement.condition, inline_calls(statement.body), statement.bound)
+    if isinstance(statement, Call):
+        callee = statement.callee
+        prefix = f"__inline{next(_inline_counter)}_{callee.name}_"
+        mapping = {name: prefix + name for name in callee.variables()}
+        pieces: list[Statement] = []
+        if len(statement.arguments) != len(callee.parameters):
+            raise CompilationError(
+                f"call to {callee.name} with {len(statement.arguments)} arguments, "
+                f"expected {len(callee.parameters)}"
+            )
+        for parameter, argument in zip(callee.parameters, statement.arguments):
+            pieces.append(Assign(mapping[parameter], argument))
+        pieces.append(inline_calls(_rename_statement(callee.body, mapping)))
+        outputs = callee.output_variables()
+        if len(statement.results) > len(outputs):
+            raise CompilationError(
+                f"call to {callee.name} binds {len(statement.results)} results, "
+                f"callee produces {len(outputs)}"
+            )
+        for target, source in zip(statement.results, outputs):
+            pieces.append(Assign(target, Var(mapping[source])))
+        return Block(tuple(pieces))
+    raise CompilationError(f"unknown statement node {type(statement).__name__}")
+
+
+def unroll_loops(statement: Statement) -> Statement:
+    """Unroll every :class:`While` into nested conditionals.
+
+    A loop with bound ``b`` becomes ``b + 1`` nested tests of the loop
+    condition; the innermost then-branch is empty and corresponds to the
+    "bound exceeded" case, which is unreachable when the declared bound is
+    correct (the reference interpreter raises in that case, so the bound's
+    correctness is checked dynamically by the tests).
+    """
+    if isinstance(statement, (Skip, Assign)):
+        return statement
+    if isinstance(statement, Block):
+        return Block(tuple(unroll_loops(child) for child in statement.statements))
+    if isinstance(statement, If):
+        return If(
+            statement.condition,
+            unroll_loops(statement.then_branch),
+            unroll_loops(statement.else_branch),
+        )
+    if isinstance(statement, Call):
+        raise CompilationError("calls must be inlined before unrolling")
+    if isinstance(statement, While):
+        body = unroll_loops(statement.body)
+        unrolled: Statement = If(statement.condition, Skip(), Skip())
+        for _ in range(statement.bound):
+            unrolled = If(statement.condition, Block((body, unrolled)), Skip())
+        return unrolled
+    raise CompilationError(f"unknown statement node {type(statement).__name__}")
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the unrolled, inlined CFG of ``program``.
+
+    The result is guaranteed to be a DAG with a single entry and a single
+    exit block (dummy blocks are added where needed), matching the form
+    GameTime's basis-path extraction expects.
+    """
+    statement = unroll_loops(inline_calls(program.body))
+    cfg = ControlFlowGraph(program.name, program.word_width, program.parameters)
+    entry = cfg.new_block(label="entry")
+    cfg.entry = entry
+    exit_block = cfg.new_block(label="exit")
+    cfg.exit = exit_block
+
+    def build(node: Statement, current: int) -> int:
+        """Emit ``node`` starting at block ``current``; return the block in
+        which control resides afterwards."""
+        if isinstance(node, Skip):
+            return current
+        if isinstance(node, Assign):
+            cfg.add_statement(current, node)
+            return current
+        if isinstance(node, Block):
+            for child in node.statements:
+                current = build(child, current)
+            return current
+        if isinstance(node, If):
+            then_entry = cfg.new_block(label="then")
+            else_entry = cfg.new_block(label="else")
+            cfg.add_edge(current, then_entry, node.condition)
+            cfg.add_edge(current, else_entry, negate_condition(node.condition))
+            then_exit = build(node.then_branch, then_entry)
+            else_exit = build(node.else_branch, else_entry)
+            join = cfg.new_block(label="join")
+            cfg.add_edge(then_exit, join)
+            cfg.add_edge(else_exit, join)
+            return join
+        raise CompilationError(
+            f"unexpected statement {type(node).__name__} after unrolling/inlining"
+        )
+
+    last = build(statement, entry)
+    cfg.add_edge(last, exit_block)
+    cfg.check_single_entry_exit()
+    if not cfg.is_dag():
+        raise CompilationError("internal error: built CFG is not acyclic")
+    return cfg

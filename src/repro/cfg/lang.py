@@ -1,0 +1,471 @@
+"""A small structured imperative *task language*.
+
+GameTime (paper Section 3) analyses terminating embedded tasks whose
+control-flow graph can be unrolled into a DAG.  The paper's front end was
+C via CIL; this reproduction defines a compact language with the features
+the analysis needs — fixed-width unsigned integer variables, arithmetic and
+bitwise expressions, conditionals, and loops with static bounds — plus a
+reference interpreter that defines the functional semantics used to
+validate the compiler and the platform simulator.
+
+The same language doubles as the source form of the deobfuscation
+benchmarks in Section 4 (the obfuscated programs of Figure 8 are expressed
+in it), so a single front end serves both applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.core.exceptions import CompilationError
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+#: Binary operators supported by the language (C-like semantics on
+#: fixed-width unsigned integers; comparisons yield 0/1).
+BINARY_OPERATORS = {
+    "+", "-", "*", "&", "|", "^", "<<", ">>",
+    "==", "!=", "<", "<=", ">", ">=",
+}
+
+#: Unary operators.
+UNARY_OPERATORS = {"~", "-", "!"}
+
+
+class Expression:
+    """Base class of expression AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """An integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """A reference to a program variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPERATORS:
+            raise CompilationError(f"unsupported binary operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expression):
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPERATORS:
+            raise CompilationError(f"unsupported unary operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.operand!r})"
+
+
+def const(value: int) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def binop(op: str, left: Expression, right: Expression) -> BinOp:
+    """Shorthand constructor for :class:`BinOp`."""
+    return BinOp(op, left, right)
+
+
+def expression_variables(expression: Expression) -> set[str]:
+    """Return the names of the variables read by ``expression``."""
+    if isinstance(expression, Const):
+        return set()
+    if isinstance(expression, Var):
+        return {expression.name}
+    if isinstance(expression, BinOp):
+        return expression_variables(expression.left) | expression_variables(
+            expression.right
+        )
+    if isinstance(expression, UnOp):
+        return expression_variables(expression.operand)
+    raise CompilationError(f"unknown expression node {type(expression).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class of statement AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """An assignment ``target = expression``."""
+
+    target: str
+    expression: Expression
+
+    def __repr__(self) -> str:
+        return f"{self.target} = {self.expression!r}"
+
+
+@dataclass(frozen=True)
+class Skip(Statement):
+    """The empty statement."""
+
+    def __repr__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Block(Statement):
+    """A sequence of statements."""
+
+    statements: tuple[Statement, ...]
+
+    def __repr__(self) -> str:
+        return "{ " + "; ".join(map(repr, self.statements)) + " }"
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """A conditional ``if (condition) then_branch else else_branch``."""
+
+    condition: Expression
+    then_branch: Statement
+    else_branch: Statement = Skip()
+
+    def __repr__(self) -> str:
+        return f"if ({self.condition!r}) {self.then_branch!r} else {self.else_branch!r}"
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """A loop with a statically-known iteration bound.
+
+    GameTime requires loops to be unrolled to a maximum iteration count
+    (paper Fig. 5, "Unroll Loops"); ``bound`` supplies that count.  The
+    reference interpreter enforces the bound as well, so the language has
+    no unbounded behaviour.
+    """
+
+    condition: Expression
+    body: Statement
+    bound: int
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise CompilationError("loop bound must be non-negative")
+
+    def __repr__(self) -> str:
+        return f"while[{self.bound}] ({self.condition!r}) {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Call(Statement):
+    """A call to another :class:`Program`, inlined during CFG construction.
+
+    Arguments are expressions bound to the callee's parameters; the
+    callee's return variables are copied back into ``results`` afterwards.
+    """
+
+    callee: "Program"
+    arguments: tuple[Expression, ...]
+    results: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.arguments))
+        outs = ", ".join(self.results)
+        return f"[{outs}] = {self.callee.name}({args})"
+
+
+def block(*statements: Statement) -> Block:
+    """Build a :class:`Block` from the given statements."""
+    return Block(tuple(statements))
+
+
+def assign(target: str, expression: Expression) -> Assign:
+    """Shorthand constructor for :class:`Assign`."""
+    return Assign(target, expression)
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    """A task-language program.
+
+    Attributes:
+        name: program name (used in reports and compiled symbol names).
+        parameters: names of the input variables.
+        body: the top-level statement.
+        returns: names of the output variables (defaults to all assigned
+            variables if empty).
+        word_width: bit-width of every variable (unsigned, modular
+            arithmetic), default 32.
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    body: Statement
+    returns: tuple[str, ...] = ()
+    word_width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.word_width <= 0:
+            raise CompilationError("word width must be positive")
+        if len(set(self.parameters)) != len(self.parameters):
+            raise CompilationError("duplicate parameter names")
+
+    # -- introspection -----------------------------------------------------
+
+    def variables(self) -> list[str]:
+        """All variable names referenced by the program, in first-use order."""
+        seen: dict[str, None] = {name: None for name in self.parameters}
+
+        def walk(statement: Statement) -> None:
+            if isinstance(statement, Assign):
+                for name in expression_variables(statement.expression):
+                    seen.setdefault(name, None)
+                seen.setdefault(statement.target, None)
+            elif isinstance(statement, Block):
+                for child in statement.statements:
+                    walk(child)
+            elif isinstance(statement, If):
+                for name in expression_variables(statement.condition):
+                    seen.setdefault(name, None)
+                walk(statement.then_branch)
+                walk(statement.else_branch)
+            elif isinstance(statement, While):
+                for name in expression_variables(statement.condition):
+                    seen.setdefault(name, None)
+                walk(statement.body)
+            elif isinstance(statement, Call):
+                for argument in statement.arguments:
+                    for name in expression_variables(argument):
+                        seen.setdefault(name, None)
+                for name in statement.results:
+                    seen.setdefault(name, None)
+            elif isinstance(statement, Skip):
+                pass
+            else:
+                raise CompilationError(
+                    f"unknown statement node {type(statement).__name__}"
+                )
+
+        walk(self.body)
+        return list(seen)
+
+    def output_variables(self) -> tuple[str, ...]:
+        """Output variables (``returns`` or every non-parameter variable)."""
+        if self.returns:
+            return self.returns
+        return tuple(
+            name for name in self.variables() if name not in self.parameters
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reference interpreter
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of interpreting a program.
+
+    Attributes:
+        final_state: values of all variables at the end of execution.
+        branch_decisions: the sequence of Boolean branch outcomes taken, in
+            execution order (used to identify the executed CFG path).
+        statements_executed: number of assignments evaluated.
+    """
+
+    final_state: dict[str, int]
+    branch_decisions: list[bool] = field(default_factory=list)
+    statements_executed: int = 0
+
+
+def _truth(value: int) -> bool:
+    return value != 0
+
+
+def evaluate_expression(
+    expression: Expression, state: Mapping[str, int], word_width: int
+) -> int:
+    """Evaluate ``expression`` in ``state`` with modular semantics."""
+    mask = (1 << word_width) - 1
+    if isinstance(expression, Const):
+        return expression.value & mask
+    if isinstance(expression, Var):
+        if expression.name not in state:
+            raise CompilationError(f"use of undefined variable {expression.name!r}")
+        return state[expression.name] & mask
+    if isinstance(expression, UnOp):
+        operand = evaluate_expression(expression.operand, state, word_width)
+        if expression.op == "~":
+            return (~operand) & mask
+        if expression.op == "-":
+            return (-operand) & mask
+        return 0 if _truth(operand) else 1  # !
+    if isinstance(expression, BinOp):
+        left = evaluate_expression(expression.left, state, word_width)
+        right = evaluate_expression(expression.right, state, word_width)
+        op = expression.op
+        if op == "+":
+            return (left + right) & mask
+        if op == "-":
+            return (left - right) & mask
+        if op == "*":
+            return (left * right) & mask
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return 0 if right >= word_width else (left << right) & mask
+        if op == ">>":
+            return 0 if right >= word_width else left >> right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        return int(left >= right)  # >=
+    raise CompilationError(f"unknown expression node {type(expression).__name__}")
+
+
+def interpret(
+    program: Program, inputs: Mapping[str, int] | Sequence[int]
+) -> ExecutionTrace:
+    """Interpret ``program`` on ``inputs`` and return the execution trace.
+
+    Args:
+        program: the task program.
+        inputs: either a mapping from parameter name to value or a sequence
+            of values in parameter order.
+
+    Returns:
+        An :class:`ExecutionTrace` with the final state and the branch
+        decisions (the latter identify the executed path in the unrolled
+        CFG, which the GameTime tests rely on).
+    """
+    if not isinstance(inputs, Mapping):
+        values = list(inputs)
+        if len(values) != len(program.parameters):
+            raise CompilationError(
+                f"{program.name} expects {len(program.parameters)} inputs, "
+                f"got {len(values)}"
+            )
+        inputs = dict(zip(program.parameters, values))
+    mask = (1 << program.word_width) - 1
+    state: dict[str, int] = {name: 0 for name in program.variables()}
+    for name in program.parameters:
+        if name not in inputs:
+            raise CompilationError(f"missing input for parameter {name!r}")
+        state[name] = inputs[name] & mask
+    trace = ExecutionTrace(final_state=state)
+
+    def run(statement: Statement) -> None:
+        if isinstance(statement, Skip):
+            return
+        if isinstance(statement, Assign):
+            state[statement.target] = evaluate_expression(
+                statement.expression, state, program.word_width
+            )
+            trace.statements_executed += 1
+            return
+        if isinstance(statement, Block):
+            for child in statement.statements:
+                run(child)
+            return
+        if isinstance(statement, If):
+            taken = _truth(
+                evaluate_expression(statement.condition, state, program.word_width)
+            )
+            trace.branch_decisions.append(taken)
+            run(statement.then_branch if taken else statement.else_branch)
+            return
+        if isinstance(statement, While):
+            iterations = 0
+            while True:
+                taken = _truth(
+                    evaluate_expression(statement.condition, state, program.word_width)
+                )
+                trace.branch_decisions.append(taken)
+                if not taken:
+                    return
+                if iterations >= statement.bound:
+                    raise CompilationError(
+                        f"loop exceeded its declared bound of {statement.bound}"
+                    )
+                run(statement.body)
+                iterations += 1
+        elif isinstance(statement, Call):
+            argument_values = [
+                evaluate_expression(arg, state, program.word_width)
+                for arg in statement.arguments
+            ]
+            callee_trace = interpret(statement.callee, argument_values)
+            trace.branch_decisions.extend(callee_trace.branch_decisions)
+            trace.statements_executed += callee_trace.statements_executed
+            outputs = statement.callee.output_variables()
+            for target, source in zip(statement.results, outputs):
+                state[target] = callee_trace.final_state[source]
+        else:
+            raise CompilationError(
+                f"unknown statement node {type(statement).__name__}"
+            )
+
+    run(program.body)
+    return trace
+
+
+def run_program(program: Program, inputs: Mapping[str, int] | Sequence[int]) -> dict[str, int]:
+    """Interpret ``program`` and return only the final variable state."""
+    return interpret(program, inputs).final_state

@@ -1,0 +1,171 @@
+"""Program paths as edge-indicator vectors.
+
+GameTime's central object is the vector representation of a source-to-sink
+path in the unrolled CFG: a path is a 0/1 vector ``x`` in ``R^m`` (one
+coordinate per edge), and the set of such vectors spans a subspace of
+dimension ``m - n + 2``.  Basis paths (:mod:`repro.cfg.basis`) are a basis
+of that subspace; any path's predicted execution time is obtained from its
+coordinates in that basis (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import CompilationError
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class Path:
+    """A source-to-sink path of a CFG.
+
+    Attributes:
+        edges: the edge indices traversed, in order.
+        nodes: the block indices visited, in order.
+    """
+
+    edges: tuple[int, ...]
+    nodes: tuple[int, ...]
+
+    def vector(self, num_edges: int) -> np.ndarray:
+        """Return the 0/1 indicator vector of the path in ``R^num_edges``."""
+        result = np.zeros(num_edges, dtype=float)
+        for edge in self.edges:
+            result[edge] = 1.0
+        return result
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __contains__(self, edge_index: int) -> bool:
+        return edge_index in self.edges
+
+
+def path_from_edges(cfg: ControlFlowGraph, edges: Sequence[int]) -> Path:
+    """Build a :class:`Path` from an edge-index sequence, validating it."""
+    cfg.check_single_entry_exit()
+    if not edges:
+        raise CompilationError("a path must contain at least one edge")
+    nodes = [cfg.edges[edges[0]].source]
+    for edge_index in edges:
+        edge = cfg.edges[edge_index]
+        if edge.source != nodes[-1]:
+            raise CompilationError(
+                f"edge {edge_index} does not continue the path at block {nodes[-1]}"
+            )
+        nodes.append(edge.target)
+    if nodes[0] != cfg.entry or nodes[-1] != cfg.exit:
+        raise CompilationError("path must run from the entry block to the exit block")
+    return Path(tuple(edges), tuple(nodes))
+
+
+def enumerate_paths(cfg: ControlFlowGraph, limit: int | None = None) -> Iterator[Path]:
+    """Lazily enumerate all source-to-sink paths of a DAG CFG.
+
+    Paths are produced in depth-first order.  ``limit`` optionally caps the
+    number of paths yielded (the total count can be exponential in the CFG
+    size; use :meth:`ControlFlowGraph.count_paths` to check first).
+    """
+    cfg.check_single_entry_exit()
+    if not cfg.is_dag():
+        raise CompilationError("path enumeration requires an acyclic CFG")
+    produced = 0
+    stack_nodes = [cfg.entry]
+    stack_edges: list[int] = []
+
+    def dfs(node: int) -> Iterator[Path]:
+        nonlocal produced
+        if node == cfg.exit:
+            if limit is None or produced < limit:
+                produced += 1
+                yield Path(tuple(stack_edges), tuple(stack_nodes))
+            return
+        for edge in cfg.successor_edges(node):
+            if limit is not None and produced >= limit:
+                return
+            stack_edges.append(edge.index)
+            stack_nodes.append(edge.target)
+            yield from dfs(edge.target)
+            stack_edges.pop()
+            stack_nodes.pop()
+
+    yield from dfs(cfg.entry)
+
+
+def execution_path(cfg: ControlFlowGraph, inputs) -> Path:
+    """Return the path taken by executing ``cfg`` on concrete ``inputs``."""
+    execution = cfg.execute(inputs)
+    return Path(tuple(execution.edge_sequence), tuple(execution.node_sequence))
+
+
+class RationalRankTracker:
+    """Incremental exact rank computation over the rationals.
+
+    Used by the basis-path extractor: path vectors are integral, so exact
+    Gaussian elimination over :class:`fractions.Fraction` avoids the
+    numerical-tolerance pitfalls of floating-point rank tests.
+    """
+
+    def __init__(self, dimension: int):
+        self.dimension = dimension
+        self._rows: list[list[Fraction]] = []
+        self._pivot_columns: list[int] = []
+
+    @property
+    def rank(self) -> int:
+        """Current rank of the tracked set of vectors."""
+        return len(self._rows)
+
+    def _reduce(self, vector: Sequence[float]) -> list[Fraction]:
+        row = [Fraction(value).limit_denominator(10**9) for value in vector]
+        for pivot_row, pivot_column in zip(self._rows, self._pivot_columns):
+            if row[pivot_column] != 0:
+                factor = row[pivot_column] / pivot_row[pivot_column]
+                row = [a - factor * b for a, b in zip(row, pivot_row)]
+        return row
+
+    def would_increase_rank(self, vector: Sequence[float]) -> bool:
+        """Return True iff adding ``vector`` would increase the rank."""
+        return any(value != 0 for value in self._reduce(vector))
+
+    def add(self, vector: Sequence[float]) -> bool:
+        """Add ``vector`` if it is independent of the tracked set.
+
+        Returns:
+            True if the vector was added (rank increased), False otherwise.
+        """
+        row = self._reduce(vector)
+        for column, value in enumerate(row):
+            if value != 0:
+                self._rows.append(row)
+                self._pivot_columns.append(column)
+                return True
+        return False
+
+
+def expansion_coefficients(
+    basis_vectors: Sequence[np.ndarray], target: np.ndarray
+) -> np.ndarray:
+    """Coefficients expressing ``target`` in terms of ``basis_vectors``.
+
+    The basis paths span the path subspace, so every feasible path vector
+    has an exact expansion; coefficients are computed by least squares and
+    the residual is checked to guard against an incomplete basis.
+
+    Raises:
+        CompilationError: if ``target`` lies outside the span (residual not
+            numerically zero), which indicates the basis is incomplete.
+    """
+    matrix = np.stack(basis_vectors, axis=1)
+    coefficients, _, _, _ = np.linalg.lstsq(matrix, target, rcond=None)
+    residual = np.linalg.norm(matrix @ coefficients - target)
+    if residual > 1e-6:
+        raise CompilationError(
+            f"path vector lies outside the basis span (residual {residual:.3g})"
+        )
+    return coefficients

@@ -1,0 +1,206 @@
+"""Ready-made task-language programs used by examples, tests and benchmarks.
+
+The star of the collection is :func:`modular_exponentiation`, the benchmark
+behind Figure 6 of the paper (distribution of execution times of a modexp
+routine with an 8-bit exponent: 256 paths, 9 basis paths).  A handful of
+other control-flow shapes (the paper's Figure 4 toy program, branchy
+filters, saturating arithmetic) are provided to exercise the analysis on
+more than one workload.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.lang import (
+    Assign,
+    BinOp,
+    Block,
+    Const,
+    If,
+    Program,
+    Skip,
+    Var,
+    While,
+    assign,
+    binop,
+    block,
+    const,
+    var,
+)
+
+
+def figure4_toy(word_width: int = 16) -> Program:
+    """The toy program of paper Figure 4.
+
+    ``while (!flag) { flag = 1; (*x)++; } *x += 2;`` — the loop executes at
+    most once, so the unrolled CFG is the small DAG shown in Figure 4(b).
+    The pointer dereference is modelled as a plain variable ``x``.
+    """
+    body = block(
+        While(
+            binop("==", var("flag"), const(0)),
+            block(
+                assign("flag", const(1)),
+                assign("x", binop("+", var("x"), const(1))),
+            ),
+            bound=1,
+        ),
+        assign("x", binop("+", var("x"), const(2))),
+    )
+    return Program(
+        name="figure4_toy",
+        parameters=("flag", "x"),
+        body=body,
+        returns=("x",),
+        word_width=word_width,
+    )
+
+
+def modular_exponentiation(
+    exponent_bits: int = 8, word_width: int = 16
+) -> Program:
+    """Square-and-multiply modular exponentiation (paper Section 3.3).
+
+    Computes ``base ** exponent`` with arithmetic modulo ``2**word_width``
+    (a power-of-two modulus keeps the reduction implicit in the machine
+    arithmetic; the control-flow structure — one data-dependent branch per
+    exponent bit — is identical to the classic modexp routine used in the
+    paper, giving ``2**exponent_bits`` program paths and
+    ``exponent_bits + 1`` basis paths).
+
+    Args:
+        exponent_bits: number of exponent bits processed (8 in the paper).
+        word_width: machine word width for all arithmetic.
+    """
+    body_statements = [assign("result", const(1))]
+    for bit in range(exponent_bits):
+        body_statements.append(
+            If(
+                binop(
+                    "!=",
+                    binop("&", binop(">>", var("exponent"), const(bit)), const(1)),
+                    const(0),
+                ),
+                assign("result", binop("*", var("result"), var("base"))),
+                Skip(),
+            )
+        )
+        body_statements.append(assign("base", binop("*", var("base"), var("base"))))
+    return Program(
+        name=f"modexp{exponent_bits}",
+        parameters=("base", "exponent"),
+        body=Block(tuple(body_statements)),
+        returns=("result",),
+        word_width=word_width,
+    )
+
+
+def conditional_cascade(depth: int = 4, word_width: int = 16) -> Program:
+    """A cascade of data-dependent conditionals (``2**depth`` paths).
+
+    Each level either adds a large constant (slow path: extra multiply) or
+    a small one, producing a wide spread of execution times; used by the
+    ablation benchmarks comparing basis-path testing with random testing.
+    """
+    statements = [assign("acc", const(0))]
+    for level in range(depth):
+        statements.append(
+            If(
+                binop(
+                    "!=",
+                    binop("&", binop(">>", var("x"), const(level)), const(1)),
+                    const(0),
+                ),
+                block(
+                    assign("acc", binop("*", var("acc"), const(3))),
+                    assign("acc", binop("+", var("acc"), const(level + 1))),
+                ),
+                assign("acc", binop("+", var("acc"), const(1))),
+            )
+        )
+    return Program(
+        name=f"cascade{depth}",
+        parameters=("x",),
+        body=Block(tuple(statements)),
+        returns=("acc",),
+        word_width=word_width,
+    )
+
+
+def saturating_add(word_width: int = 16) -> Program:
+    """Saturating addition: ``min(a + b, limit)`` with a guard branch."""
+    limit = (1 << (word_width - 1)) - 1
+    body = block(
+        assign("sum", binop("+", var("a"), var("b"))),
+        If(
+            binop(">", var("sum"), const(limit)),
+            assign("sum", const(limit)),
+            Skip(),
+        ),
+    )
+    return Program(
+        name="saturating_add",
+        parameters=("a", "b"),
+        body=body,
+        returns=("sum",),
+        word_width=word_width,
+    )
+
+
+def absolute_difference(word_width: int = 16) -> Program:
+    """``|a - b|`` via a comparison branch (two paths)."""
+    body = If(
+        binop(">=", var("a"), var("b")),
+        assign("diff", binop("-", var("a"), var("b"))),
+        assign("diff", binop("-", var("b"), var("a"))),
+    )
+    return Program(
+        name="absolute_difference",
+        parameters=("a", "b"),
+        body=body,
+        returns=("diff",),
+        word_width=word_width,
+    )
+
+
+def bounded_linear_search(length: int = 4, word_width: int = 16) -> Program:
+    """Linear search over ``length`` candidate slots encoded in a packed word.
+
+    Scans the ``length`` nibbles of ``haystack`` for ``needle`` and records
+    the first matching position (or ``length`` when absent); exercises a
+    bounded loop whose trip count is data dependent.
+    """
+    body = block(
+        assign("position", const(length)),
+        assign("index", const(0)),
+        While(
+            binop(
+                "&",
+                binop("<", var("index"), const(length)),
+                binop("==", var("position"), const(length)),
+            ),
+            block(
+                If(
+                    binop(
+                        "==",
+                        binop(
+                            "&",
+                            binop(">>", var("haystack"), binop("*", var("index"), const(4))),
+                            const(0xF),
+                        ),
+                        var("needle"),
+                    ),
+                    assign("position", var("index")),
+                    Skip(),
+                ),
+                assign("index", binop("+", var("index"), const(1))),
+            ),
+            bound=length,
+        ),
+    )
+    return Program(
+        name=f"linear_search{length}",
+        parameters=("haystack", "needle"),
+        body=body,
+        returns=("position",),
+        word_width=word_width,
+    )

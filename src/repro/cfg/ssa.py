@@ -1,0 +1,241 @@
+"""SMT encoding of CFG paths (path feasibility and test generation).
+
+The deductive engine of GameTime is "SMT solving for basis path
+generation" (paper Table 1): for each candidate basis path an SMT formula
+is built that is satisfiable iff the path is feasible, and a satisfying
+model yields a test case driving execution down that path (paper
+Section 3.2, Figure 5).
+
+The encoding is a straightforward single-static-assignment (SSA) pass over
+the statements and branch conditions along the path, over fixed-width
+bit-vectors.  Two refinements keep the queries small:
+
+* *condition slicing* — only assignments that (transitively) feed a branch
+  condition along the path are encoded; assignments to dead-for-control
+  variables (e.g. the accumulating product in modular exponentiation) are
+  skipped, which keeps multiplication out of the SAT encoding entirely;
+* constants are folded by the term constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import CompilationError
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.lang import Assign, BinOp, Const, Expression, UnOp, Var, expression_variables
+from repro.cfg.paths import Path
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.smt.terms import (
+    BitVecTerm,
+    BoolTerm,
+    BvVar,
+    bool_and,
+    bool_not,
+    bv_const,
+    bv_ite,
+    bv_lshr,
+    bv_shl,
+    bv_var,
+)
+
+
+@dataclass
+class PathEncoding:
+    """The SMT encoding of one CFG path.
+
+    Attributes:
+        constraints: the list of Boolean constraints (conjunction =
+            path-feasibility formula).
+        input_variables: term-level variables for the program parameters
+            (initial SSA versions), keyed by parameter name.
+    """
+
+    constraints: list[BoolTerm]
+    input_variables: dict[str, BvVar]
+
+    def formula(self) -> BoolTerm:
+        """The conjunction of all path constraints."""
+        return bool_and(*self.constraints)
+
+
+@dataclass
+class FeasiblePath:
+    """A path together with a witness test case proving its feasibility."""
+
+    path: Path
+    test_case: dict[str, int]
+
+
+class PathConstraintBuilder:
+    """Builds SSA path constraints for a CFG and answers feasibility queries."""
+
+    def __init__(self, cfg: ControlFlowGraph, slice_to_conditions: bool = True):
+        self.cfg = cfg
+        self.slice_to_conditions = slice_to_conditions
+        self._solver = SmtSolver()
+        self.queries = 0
+
+    # -- expression translation ------------------------------------------------
+
+    def _translate(
+        self, expression: Expression, versions: dict[str, BitVecTerm]
+    ) -> BitVecTerm:
+        width = self.cfg.word_width
+        if isinstance(expression, Const):
+            return bv_const(expression.value, width)
+        if isinstance(expression, Var):
+            if expression.name not in versions:
+                # Uninitialised non-parameter variables read as zero, matching
+                # the reference interpreter.
+                versions[expression.name] = bv_const(0, width)
+            return versions[expression.name]
+        if isinstance(expression, UnOp):
+            operand = self._translate(expression.operand, versions)
+            if expression.op == "~":
+                return ~operand
+            if expression.op == "-":
+                return -operand
+            # Logical not: 1 if operand == 0 else 0.
+            return bv_ite(
+                operand.eq(bv_const(0, width)), bv_const(1, width), bv_const(0, width)
+            )
+        if isinstance(expression, BinOp):
+            left = self._translate(expression.left, versions)
+            right = self._translate(expression.right, versions)
+            op = expression.op
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "&":
+                return left & right
+            if op == "|":
+                return left | right
+            if op == "^":
+                return left ^ right
+            if op == "<<":
+                return bv_shl(left, right)
+            if op == ">>":
+                return bv_lshr(left, right)
+            # Comparisons produce 0/1 words.
+            comparisons = {
+                "==": left.eq(right),
+                "!=": left.ne(right),
+                "<": left.ult(right),
+                "<=": left.ule(right),
+                ">": left.ugt(right),
+                ">=": left.uge(right),
+            }
+            return bv_ite(comparisons[op], bv_const(1, width), bv_const(0, width))
+        raise CompilationError(f"unknown expression node {type(expression).__name__}")
+
+    def _condition(self, expression: Expression, versions: dict[str, BitVecTerm]) -> BoolTerm:
+        """Translate a branch condition to a Boolean term (truthiness)."""
+        width = self.cfg.word_width
+        # Peel top-level logical negation so `!c` does not round-trip
+        # through a 0/1 word.
+        if isinstance(expression, UnOp) and expression.op == "!":
+            return bool_not(self._condition(expression.operand, versions))
+        if isinstance(expression, BinOp) and expression.op in {
+            "==", "!=", "<", "<=", ">", ">=",
+        }:
+            left = self._translate(expression.left, versions)
+            right = self._translate(expression.right, versions)
+            return {
+                "==": left.eq(right),
+                "!=": left.ne(right),
+                "<": left.ult(right),
+                "<=": left.ule(right),
+                ">": left.ugt(right),
+                ">=": left.uge(right),
+            }[expression.op]
+        term = self._translate(expression, versions)
+        return term.ne(bv_const(0, width))
+
+    # -- slicing -----------------------------------------------------------------
+
+    def _relevant_variables(self, path: Path) -> set[str]:
+        """Variables that (transitively) influence a branch condition on the path."""
+        relevant: set[str] = set()
+        for edge_index in path.edges:
+            condition = self.cfg.edges[edge_index].condition
+            if condition is not None:
+                relevant |= expression_variables(condition)
+        # Walk the path backwards, adding the sources of assignments whose
+        # target is already relevant.
+        statements: list[Assign] = []
+        for node in path.nodes:
+            statements.extend(self.cfg.blocks[node].statements)
+        changed = True
+        while changed:
+            changed = False
+            for statement in reversed(statements):
+                if statement.target in relevant:
+                    sources = expression_variables(statement.expression)
+                    if not sources <= relevant:
+                        relevant |= sources
+                        changed = True
+        return relevant
+
+    # -- encoding ------------------------------------------------------------------
+
+    def encode(self, path: Path) -> PathEncoding:
+        """Build the SSA path constraints for ``path``."""
+        width = self.cfg.word_width
+        relevant = self._relevant_variables(path) if self.slice_to_conditions else None
+        versions: dict[str, BitVecTerm] = {}
+        input_variables: dict[str, BvVar] = {}
+        for parameter in self.cfg.parameters:
+            variable = bv_var(f"{parameter}__0", width)
+            versions[parameter] = variable
+            input_variables[parameter] = variable
+        counters: dict[str, int] = {name: 0 for name in self.cfg.parameters}
+        constraints: list[BoolTerm] = []
+
+        def define(target: str, value: BitVecTerm) -> None:
+            counters[target] = counters.get(target, 0) + 1
+            fresh = bv_var(f"{target}__{counters[target]}", width)
+            versions[target] = fresh
+            constraints.append(fresh.eq(value))
+
+        position = 0
+        for node in path.nodes:
+            for statement in self.cfg.blocks[node].statements:
+                if relevant is not None and statement.target not in relevant:
+                    continue
+                define(statement.target, self._translate(statement.expression, versions))
+            if position < len(path.edges):
+                edge = self.cfg.edges[path.edges[position]]
+                position += 1
+                if edge.condition is not None:
+                    constraints.append(self._condition(edge.condition, versions))
+        return PathEncoding(constraints=constraints, input_variables=input_variables)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def feasibility(self, path: Path) -> FeasiblePath | None:
+        """Check feasibility of ``path``.
+
+        Returns:
+            A :class:`FeasiblePath` with a satisfying test case, or ``None``
+            when the path is infeasible.
+        """
+        self.queries += 1
+        encoding = self.encode(path)
+        solver = SmtSolver()
+        solver.add(*encoding.constraints)
+        if solver.check() is not SmtResult.SAT:
+            return None
+        model = solver.model()
+        test_case = {
+            name: int(model.get(variable.name, 0))
+            for name, variable in encoding.input_variables.items()
+        }
+        return FeasiblePath(path=path, test_case=test_case)
+
+    def is_feasible(self, path: Path) -> bool:
+        """Boolean feasibility check (no test case extraction)."""
+        return self.feasibility(path) is not None

@@ -1,0 +1,106 @@
+"""The sciduction framework core (paper Section 2).
+
+Exports the building blocks of a sciduction instance ⟨H, I, D⟩ — structure
+hypotheses, inductive engines, deductive engines and oracles — plus the
+procedure driver with conditional-soundness bookkeeping and the generic
+counterexample-guided (CEGIS) loop.
+"""
+
+from repro.core.cegis import CegisLoop, CegisOutcome
+from repro.core.deductive import (
+    CallableEngine,
+    DeductiveAnswer,
+    DeductiveEngine,
+    DeductiveQuery,
+    EngineStatistics,
+    QueryKind,
+)
+from repro.core.exceptions import (
+    BudgetExceededError,
+    CompilationError,
+    DeductionError,
+    InductionError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    StructureHypothesisError,
+    UnrealizableError,
+)
+from repro.core.hypothesis import (
+    FiniteHypothesis,
+    GridSpec,
+    HypothesisValidityEvidence,
+    PredicateHypothesis,
+    ProductHypothesis,
+    StructureHypothesis,
+)
+from repro.core.inductive import (
+    BinarySearchIntervalLearner,
+    CallableConsistency,
+    ConsistencyChecker,
+    InductiveEngine,
+    Interval,
+    LearningStatistics,
+    VersionSpaceEngine,
+)
+from repro.core.oracle import (
+    CheckResult,
+    CounterexampleOracle,
+    FunctionCounterexampleOracle,
+    FunctionIOOracle,
+    FunctionLabelingOracle,
+    IOOracle,
+    LabeledExample,
+    LabelingOracle,
+    Oracle,
+)
+from repro.core.procedure import (
+    SciductionProcedure,
+    SciductionResult,
+    SoundnessCertificate,
+)
+
+__all__ = [
+    "BinarySearchIntervalLearner",
+    "BudgetExceededError",
+    "CallableConsistency",
+    "CallableEngine",
+    "CegisLoop",
+    "CegisOutcome",
+    "CheckResult",
+    "CompilationError",
+    "ConsistencyChecker",
+    "CounterexampleOracle",
+    "DeductionError",
+    "DeductiveAnswer",
+    "DeductiveEngine",
+    "DeductiveQuery",
+    "EngineStatistics",
+    "FiniteHypothesis",
+    "FunctionCounterexampleOracle",
+    "FunctionIOOracle",
+    "FunctionLabelingOracle",
+    "GridSpec",
+    "HypothesisValidityEvidence",
+    "IOOracle",
+    "InductionError",
+    "InductiveEngine",
+    "Interval",
+    "LabeledExample",
+    "LabelingOracle",
+    "LearningStatistics",
+    "Oracle",
+    "PredicateHypothesis",
+    "ProductHypothesis",
+    "QueryKind",
+    "ReproError",
+    "SciductionProcedure",
+    "SciductionResult",
+    "SimulationError",
+    "SolverError",
+    "SoundnessCertificate",
+    "StructureHypothesis",
+    "StructureHypothesisError",
+    "UnrealizableError",
+    "VersionSpaceEngine",
+]

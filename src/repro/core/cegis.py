@@ -1,0 +1,118 @@
+"""Generic counterexample-guided loops: CEGIS and CEGAR skeletons.
+
+Section 2.4.1 of the paper observes that counterexample-guided abstraction
+refinement (CEGAR) and counterexample-guided inductive synthesis (CEGIS) are
+both instances of sciduction.  This module provides a generic loop that the
+applications (and users of the library) can instantiate:
+
+* a *candidate generator* plays the role of the inductive engine —
+  "does there exist an artifact consistent with the observed examples?";
+* a *verifier* (a :class:`~repro.core.oracle.CounterexampleOracle`) plays
+  the role of the deductive engine — it either certifies the candidate or
+  returns a counterexample that is added to the example set.
+
+The OGIS synthesizer of Section 4 refines this loop with *distinguishing
+inputs*; it lives in :mod:`repro.ogis.synthesizer` but shares the
+:class:`CegisOutcome` reporting structure defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.core.exceptions import BudgetExceededError, UnrealizableError
+from repro.core.oracle import CounterexampleOracle
+
+ArtifactT = TypeVar("ArtifactT")
+ExampleT = TypeVar("ExampleT")
+
+
+@dataclass
+class CegisOutcome(Generic[ArtifactT, ExampleT]):
+    """Outcome of a counterexample-guided loop.
+
+    Attributes:
+        artifact: the final artifact, when synthesis succeeded.
+        realizable: False when the candidate generator proved that no
+            artifact in the hypothesis class is consistent with the
+            accumulated examples.
+        iterations: number of candidate/verify rounds executed.
+        examples: the examples accumulated over the run (counterexamples
+            returned by the verifier, plus any seeds).
+        candidates: the sequence of candidate artifacts proposed.
+    """
+
+    artifact: ArtifactT | None
+    realizable: bool
+    iterations: int
+    examples: list[ExampleT] = field(default_factory=list)
+    candidates: list[ArtifactT] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True iff a verified artifact was produced."""
+        return self.artifact is not None
+
+
+class CegisLoop(Generic[ArtifactT, ExampleT]):
+    """A generic counterexample-guided inductive synthesis loop.
+
+    Args:
+        generate: given the list of examples gathered so far, return a
+            candidate artifact consistent with all of them, or raise
+            :class:`UnrealizableError` when none exists.
+        verifier: a counterexample oracle certifying candidates.
+        max_iterations: bound on the number of rounds.
+        seed_examples: examples available before the first round.
+    """
+
+    def __init__(
+        self,
+        generate: Callable[[Sequence[ExampleT]], ArtifactT],
+        verifier: CounterexampleOracle[ArtifactT, ExampleT],
+        max_iterations: int = 64,
+        seed_examples: Sequence[ExampleT] = (),
+    ):
+        self._generate = generate
+        self._verifier = verifier
+        self.max_iterations = max_iterations
+        self._seed_examples = list(seed_examples)
+
+    def run(self) -> CegisOutcome[ArtifactT, ExampleT]:
+        """Run the loop to completion.
+
+        Returns:
+            A :class:`CegisOutcome`.  When the candidate generator proves
+            unrealizability the outcome has ``realizable=False``; when the
+            iteration budget is exhausted a :class:`BudgetExceededError` is
+            raised (the caller decides whether that is fatal).
+        """
+        examples: list[ExampleT] = list(self._seed_examples)
+        candidates: list[ArtifactT] = []
+        for iteration in range(1, self.max_iterations + 1):
+            try:
+                candidate = self._generate(examples)
+            except UnrealizableError:
+                return CegisOutcome(
+                    artifact=None,
+                    realizable=False,
+                    iterations=iteration,
+                    examples=examples,
+                    candidates=candidates,
+                )
+            candidates.append(candidate)
+            check = self._verifier.check(candidate)
+            if check.correct:
+                return CegisOutcome(
+                    artifact=candidate,
+                    realizable=True,
+                    iterations=iteration,
+                    examples=examples,
+                    candidates=candidates,
+                )
+            assert check.counterexample is not None
+            examples.append(check.counterexample)
+        raise BudgetExceededError(
+            f"CEGIS did not converge within {self.max_iterations} iterations"
+        )

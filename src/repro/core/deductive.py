@@ -1,0 +1,179 @@
+"""Deductive engines (the *D* of a sciduction instance).
+
+Section 2.2.3 of the paper defines the deductive engine as a *lightweight*
+decision procedure answering queries generated during synthesis or
+verification.  "Lightweight" means the engine solves a problem that is a
+strict special case of — or strictly easier than — the overall problem.
+
+Three query archetypes are called out in the paper and mirrored here:
+
+* generate an example for the learning algorithm
+  ("does there exist an example satisfying the criterion?"),
+* generate a label for an example chosen by the learner
+  ("is L the label of this example?"),
+* synthesize a candidate artifact consistent with observed examples
+  ("does there exist an artifact consistent with the examples?").
+
+Concrete deductive engines in this reproduction are the QF_BV SMT solver
+(:mod:`repro.smt`), the cycle-level platform simulator used as a timing
+oracle (:mod:`repro.platform`), and the numerical ODE simulator used as a
+reachability oracle (:mod:`repro.hybrid.reachability`).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Generic, TypeVar
+
+from repro.core.exceptions import DeductionError
+
+QueryT = TypeVar("QueryT")
+AnswerT = TypeVar("AnswerT")
+
+
+class QueryKind(enum.Enum):
+    """The archetypal decision problems a deductive engine answers."""
+
+    #: "does there exist an example satisfying the criterion of the learner?"
+    GENERATE_EXAMPLE = "generate-example"
+    #: "is L the label of this example?"
+    LABEL_EXAMPLE = "label-example"
+    #: "does there exist an artifact consistent with the observed examples?"
+    SYNTHESIZE_CANDIDATE = "synthesize-candidate"
+    #: a plain decision query (validity / satisfiability / reachability).
+    DECIDE = "decide"
+
+
+@dataclass
+class DeductiveQuery(Generic[QueryT]):
+    """A query posed by an inductive engine to a deductive engine.
+
+    Attributes:
+        kind: the archetype of the query.
+        payload: engine-specific query content (a formula, a state, ...).
+        metadata: free-form annotations used for logging/statistics.
+    """
+
+    kind: QueryKind
+    payload: QueryT
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DeductiveAnswer(Generic[AnswerT]):
+    """The answer to a :class:`DeductiveQuery`.
+
+    Attributes:
+        decided: whether the engine reached a definite verdict.
+        verdict: the YES/NO verdict, when applicable.
+        witness: a witness (model, trace, test case, label) backing the
+            verdict, when one exists.
+        elapsed: wall-clock seconds spent answering the query.
+    """
+
+    decided: bool
+    verdict: bool | None = None
+    witness: AnswerT | None = None
+    elapsed: float = 0.0
+
+
+@dataclass
+class EngineStatistics:
+    """Aggregate statistics of a deductive engine over its lifetime."""
+
+    queries: int = 0
+    decided: int = 0
+    total_time: float = 0.0
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, query: DeductiveQuery, answer: DeductiveAnswer) -> None:
+        """Fold one query/answer pair into the statistics."""
+        self.queries += 1
+        if answer.decided:
+            self.decided += 1
+        self.total_time += answer.elapsed
+        key = query.kind.value
+        self.per_kind[key] = self.per_kind.get(key, 0) + 1
+
+
+class DeductiveEngine(ABC, Generic[QueryT, AnswerT]):
+    """Abstract base class for deductive engines.
+
+    Subclasses implement :meth:`_answer`; the public :meth:`answer` wraps it
+    with timing and statistics, so every engine in the package reports a
+    uniform notion of "number of deductive queries issued" — the cost metric
+    the paper uses when discussing lightweight-ness.
+    """
+
+    #: Short name used in reports.
+    name: str = "deductive-engine"
+
+    def __init__(self) -> None:
+        self.statistics = EngineStatistics()
+
+    @abstractmethod
+    def _answer(self, query: DeductiveQuery[QueryT]) -> DeductiveAnswer[AnswerT]:
+        """Answer ``query``; implemented by concrete engines."""
+
+    def answer(self, query: DeductiveQuery[QueryT]) -> DeductiveAnswer[AnswerT]:
+        """Answer ``query`` and record statistics.
+
+        Raises:
+            DeductionError: if the engine fails internally.
+        """
+        start = time.perf_counter()
+        try:
+            result = self._answer(query)
+        except DeductionError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise DeductionError(f"{self.name} failed on {query.kind.value}: {exc}") from exc
+        result.elapsed = time.perf_counter() - start
+        self.statistics.record(query, result)
+        return result
+
+    def decide(self, payload: QueryT, **metadata: Any) -> DeductiveAnswer[AnswerT]:
+        """Convenience wrapper for a plain :data:`QueryKind.DECIDE` query."""
+        return self.answer(DeductiveQuery(QueryKind.DECIDE, payload, dict(metadata)))
+
+    def lightweightness(self) -> str:
+        """A textual justification of why this engine is "lightweight".
+
+        Concrete engines override this to document which of the paper's
+        lightweight-ness conditions they satisfy (strict special case,
+        asymptotically easier, or decidable fragment of an undecidable
+        problem).
+        """
+        return "unspecified"
+
+
+class CallableEngine(DeductiveEngine[Any, Any]):
+    """Adapter turning a plain callable into a :class:`DeductiveEngine`.
+
+    The callable receives the query payload and must return either a
+    :class:`DeductiveAnswer` or a ``(verdict, witness)`` pair or a bare
+    boolean verdict.  Handy in tests and for wrapping simulators.
+    """
+
+    def __init__(self, func, name: str = "callable-engine", lightweight_because: str = ""):
+        super().__init__()
+        self._func = func
+        self.name = name
+        self._lightweight_because = lightweight_because
+
+    def _answer(self, query: DeductiveQuery[Any]) -> DeductiveAnswer[Any]:
+        raw = self._func(query.payload)
+        if isinstance(raw, DeductiveAnswer):
+            return raw
+        if isinstance(raw, tuple) and len(raw) == 2:
+            verdict, witness = raw
+            return DeductiveAnswer(decided=True, verdict=bool(verdict), witness=witness)
+        if isinstance(raw, bool):
+            return DeductiveAnswer(decided=True, verdict=raw)
+        return DeductiveAnswer(decided=True, verdict=True, witness=raw)
+
+    def lightweightness(self) -> str:
+        return self._lightweight_because or super().lightweightness()

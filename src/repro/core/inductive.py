@@ -1,0 +1,297 @@
+"""Inductive inference engines (the *I* of a sciduction instance).
+
+Section 2.2.2 of the paper characterises the inductive engines used in
+sciduction: they learn an artifact of the hypothesis class from examples,
+usually via *active learning* (the learner chooses its examples), with
+examples/labels produced by oracles, and often by reducing "find a concept
+consistent with the examples" to a decision problem handed to the deductive
+engine.
+
+This module provides the abstract interface plus two generic engines that
+are reused and specialised by the applications:
+
+* :class:`VersionSpaceEngine` — keeps every hypothesis-class member
+  consistent with the examples seen so far (the paper points out that the
+  rudimentary invariant-generation learners in ABC, and the classic lattice
+  walk in CEGAR, are version-space learners);
+* :class:`BinarySearchIntervalLearner` — learns a 1-D interval from a
+  membership (labeling) oracle by binary search on a discrete grid, the
+  building block of Section 5's hyperbox learning (Goldman & Kearns).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Sequence, TypeVar
+
+from repro.core.exceptions import InductionError, UnrealizableError
+from repro.core.hypothesis import GridSpec, StructureHypothesis
+from repro.core.oracle import LabeledExample, LabelingOracle
+
+ArtifactT = TypeVar("ArtifactT")
+ExampleT = TypeVar("ExampleT")
+LabelT = TypeVar("LabelT")
+
+
+@dataclass
+class LearningStatistics:
+    """Bookkeeping shared by all inductive engines."""
+
+    examples_consumed: int = 0
+    candidates_produced: int = 0
+    iterations: int = 0
+
+    def note_examples(self, count: int) -> None:
+        """Record that ``count`` additional examples were consumed."""
+        self.examples_consumed += count
+
+    def note_candidate(self) -> None:
+        """Record that a candidate artifact was produced."""
+        self.candidates_produced += 1
+
+    def note_iteration(self) -> None:
+        """Record one learning iteration."""
+        self.iterations += 1
+
+
+class InductiveEngine(ABC, Generic[ArtifactT, ExampleT, LabelT]):
+    """Abstract base class for inductive inference engines.
+
+    The engine's contract is intentionally small: consume labeled examples
+    (:meth:`observe`) and produce a candidate artifact consistent with all
+    of them (:meth:`infer`).  Active learners additionally expose
+    :meth:`propose_query` to select the next example whose label they want.
+    """
+
+    name: str = "inductive-engine"
+
+    def __init__(self, hypothesis: StructureHypothesis[ArtifactT]):
+        self.hypothesis = hypothesis
+        self.statistics = LearningStatistics()
+        self._examples: list[LabeledExample[ExampleT, LabelT]] = []
+
+    @property
+    def examples(self) -> Sequence[LabeledExample[ExampleT, LabelT]]:
+        """The labeled examples observed so far (read-only view)."""
+        return tuple(self._examples)
+
+    def observe(self, example: ExampleT, label: LabelT) -> None:
+        """Add one labeled example to the engine's experience."""
+        self._examples.append(LabeledExample(example, label))
+        self.statistics.note_examples(1)
+
+    def observe_many(self, pairs: Iterable[tuple[ExampleT, LabelT]]) -> None:
+        """Add several labeled examples at once."""
+        for example, label in pairs:
+            self.observe(example, label)
+
+    @abstractmethod
+    def infer(self) -> ArtifactT:
+        """Return an artifact of the hypothesis class consistent with all
+        observed examples.
+
+        Raises:
+            UnrealizableError: if no member of the hypothesis class is
+                consistent with the observations.
+        """
+
+    def propose_query(self) -> ExampleT | None:
+        """Return the next example whose label the engine wants, or ``None``.
+
+        Passive learners return ``None``.  Active learners (the common case
+        in sciduction) override this.
+        """
+        return None
+
+
+class ConsistencyChecker(ABC, Generic[ArtifactT, ExampleT, LabelT]):
+    """Callback deciding whether an artifact is consistent with an example."""
+
+    @abstractmethod
+    def consistent(
+        self, artifact: ArtifactT, example: ExampleT, label: LabelT
+    ) -> bool:
+        """Return True iff ``artifact`` agrees with ``(example, label)``."""
+
+
+class CallableConsistency(ConsistencyChecker[ArtifactT, ExampleT, LabelT]):
+    """A :class:`ConsistencyChecker` backed by a plain callable."""
+
+    def __init__(self, func):
+        self._func = func
+
+    def consistent(self, artifact, example, label) -> bool:
+        return bool(self._func(artifact, example, label))
+
+
+class VersionSpaceEngine(InductiveEngine[ArtifactT, ExampleT, LabelT]):
+    """Keep every enumerable hypothesis member consistent with all examples.
+
+    This is the "rudimentary" inductive engine the paper attributes to
+    simulation-guided invariant generation (Section 2.4.1): enumerate the
+    candidate artifacts allowed by the structure hypothesis and discard any
+    that disagree with an observed example.  :meth:`infer` returns an
+    arbitrary survivor; :meth:`survivors` returns all of them (useful when
+    the downstream deductive engine will prove each remaining candidate).
+    """
+
+    name = "version-space"
+
+    def __init__(
+        self,
+        hypothesis: StructureHypothesis[ArtifactT],
+        consistency: ConsistencyChecker[ArtifactT, ExampleT, LabelT],
+    ):
+        super().__init__(hypothesis)
+        self._consistency = consistency
+        try:
+            self._survivors: list[ArtifactT] | None = list(hypothesis.enumerate())
+        except NotImplementedError as exc:
+            raise InductionError(
+                "version-space learning requires an enumerable hypothesis"
+            ) from exc
+
+    def observe(self, example: ExampleT, label: LabelT) -> None:
+        super().observe(example, label)
+        assert self._survivors is not None
+        self._survivors = [
+            artifact
+            for artifact in self._survivors
+            if self._consistency.consistent(artifact, example, label)
+        ]
+        self.statistics.note_iteration()
+
+    def survivors(self) -> list[ArtifactT]:
+        """Return all hypothesis members consistent with every example."""
+        assert self._survivors is not None
+        return list(self._survivors)
+
+    def infer(self) -> ArtifactT:
+        survivors = self.survivors()
+        if not survivors:
+            raise UnrealizableError(
+                "no hypothesis member is consistent with the observed examples"
+            )
+        self.statistics.note_candidate()
+        return survivors[0]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on the real line (possibly empty).
+
+    Used by the interval/hyperbox learners; an empty interval is encoded as
+    ``low > high``.
+    """
+
+    low: float
+    high: float
+
+    @property
+    def empty(self) -> bool:
+        """True iff the interval contains no points."""
+        return self.low > self.high
+
+    def contains(self, value: float, tol: float = 1e-12) -> bool:
+        """Return True iff ``value`` lies inside the interval."""
+        return (not self.empty) and (self.low - tol <= value <= self.high + tol)
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (0 for empty intervals)."""
+        return 0.0 if self.empty else self.high - self.low
+
+
+class BinarySearchIntervalLearner:
+    """Learn a maximal interval of positively-labeled grid points.
+
+    This is the one-dimensional core of the hyperbox learning algorithm of
+    Section 5 (following Goldman & Kearns): given a grid, a membership
+    oracle labeling grid points positive/negative, and a known positive
+    *seed* point, find by binary search the largest interval of consecutive
+    grid points around the seed that are all positive, i.e. the interval
+    whose endpoints are positive and whose immediate outer neighbours are
+    negative (or the grid boundary).
+
+    The oracle is only assumed to describe a set that is an interval
+    (convex on the grid) — exactly what the structure hypothesis of
+    Section 5 guarantees for safe switching states under monotone
+    intra-mode dynamics.
+    """
+
+    def __init__(self, grid: GridSpec, oracle: LabelingOracle[float, bool]):
+        self.grid = grid
+        self.oracle = oracle
+
+    def _index(self, value: float) -> int:
+        return int(round((value - self.grid.low) / self.grid.step))
+
+    def _value(self, index: int) -> float:
+        return min(self.grid.low + index * self.grid.step, self.grid.high)
+
+    def learn(self, seed: float) -> Interval:
+        """Return the maximal positive interval around ``seed``.
+
+        Raises:
+            InductionError: if ``seed`` itself is labeled negative (then the
+                target interval, if any, does not contain the seed and the
+                caller must pick another seed).
+        """
+        seed = self.grid.snap(seed)
+        if not self.oracle.label(seed):
+            raise InductionError(f"seed point {seed} is labeled negative")
+        lower = self._search_boundary(self._index(seed), direction=-1)
+        upper = self._search_boundary(self._index(seed), direction=+1)
+        return Interval(self._value(lower), self._value(upper))
+
+    def _search_boundary(self, seed_index: int, direction: int) -> int:
+        """Find the last positive index reachable from the seed in ``direction``.
+
+        A galloping (exponential) search first walks outward from the seed
+        with doubling stride until it finds a negative probe or hits the
+        grid edge; a binary search then pins down the boundary inside the
+        bracketing gap.  Compared with probing the grid edge directly, the
+        gallop keeps the search anchored to the *contiguous* positive
+        region around the seed, which is the region the structure
+        hypothesis asserts is the target interval (and is what the paper's
+        transmission guards correspond to when the raw safe set is not
+        convex along an axis).
+        """
+        last_index = self.grid.num_points - 1
+        edge = 0 if direction < 0 else last_index
+        known_pos = seed_index
+        if known_pos == edge:
+            return edge
+        # Gallop outward: known_pos stays the farthest positive probe seen.
+        stride = 1
+        first_neg: int | None = None
+        while True:
+            probe = known_pos + direction * stride
+            if (direction > 0 and probe >= edge) or (direction < 0 and probe <= edge):
+                probe = edge
+            if self.oracle.label(self._value(probe)):
+                known_pos = probe
+                if probe == edge:
+                    return edge
+                stride *= 2
+            else:
+                first_neg = probe
+                break
+        # Binary search between the last positive and the first negative probe.
+        low, high = (first_neg, known_pos) if direction < 0 else (known_pos, first_neg)
+        # Invariant for direction=+1: low positive, high negative.
+        # Invariant for direction=-1: low negative, high positive.
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.oracle.label(self._value(mid)):
+                if direction > 0:
+                    low = mid
+                else:
+                    high = mid
+            else:
+                if direction > 0:
+                    high = mid
+                else:
+                    low = mid
+        return low if direction > 0 else high

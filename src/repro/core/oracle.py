@@ -1,0 +1,197 @@
+"""Oracle interfaces used by inductive inference engines.
+
+Section 2.2.2 of the paper notes that, in sciduction, examples and labels
+are typically produced by *oracles* — deductive procedures, concrete
+executions of a model, or even a human user.  Section 4 makes the oracle
+view explicit: the obfuscated program itself is treated as an I/O oracle
+mapping inputs to outputs, and the synthesis complexity is measured in
+queries to that oracle.
+
+This module defines the oracle interfaces shared by the applications:
+
+* :class:`Oracle` — the generic query-counting base class,
+* :class:`IOOracle` — maps an input to an output (Section 4),
+* :class:`LabelingOracle` — maps an example to a boolean/score label
+  (Section 5's safe/unsafe labels; Section 3's timing measurements),
+* :class:`CounterexampleOracle` — checks a candidate artifact and returns a
+  counterexample when it is wrong (the verifier inside CEGIS/CEGAR).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.core.exceptions import BudgetExceededError
+
+InputT = TypeVar("InputT")
+OutputT = TypeVar("OutputT")
+ExampleT = TypeVar("ExampleT")
+LabelT = TypeVar("LabelT")
+ArtifactT = TypeVar("ArtifactT")
+
+
+class Oracle(ABC):
+    """Base class for oracles: counts queries and enforces a query budget.
+
+    The query count is the complexity measure used throughout the paper's
+    Section 4 ("synthesize the program using a small number of queries to
+    the I/O oracle"), so every oracle in the package tracks it uniformly.
+    """
+
+    name: str = "oracle"
+
+    def __init__(self, max_queries: int | None = None):
+        self.query_count = 0
+        self.max_queries = max_queries
+
+    def _charge(self) -> None:
+        """Record one query, raising if the budget is exhausted."""
+        if self.max_queries is not None and self.query_count >= self.max_queries:
+            raise BudgetExceededError(
+                f"{self.name}: query budget of {self.max_queries} exhausted"
+            )
+        self.query_count += 1
+
+    def reset_count(self) -> None:
+        """Reset the query counter (budget remains unchanged)."""
+        self.query_count = 0
+
+
+class IOOracle(Oracle, Generic[InputT, OutputT]):
+    """An oracle mapping a concrete input to the desired output.
+
+    In the deobfuscation application the oracle is the obfuscated program
+    itself: running it on an input yields the output any correct
+    re-synthesized program must produce.
+    """
+
+    name = "io-oracle"
+
+    @abstractmethod
+    def _query(self, value: InputT) -> OutputT:
+        """Compute the oracle's answer for ``value``."""
+
+    def query(self, value: InputT) -> OutputT:
+        """Return the oracle output for ``value`` (counts one query)."""
+        self._charge()
+        return self._query(value)
+
+
+class FunctionIOOracle(IOOracle[InputT, OutputT]):
+    """An :class:`IOOracle` backed by a plain Python callable."""
+
+    def __init__(
+        self,
+        func: Callable[[InputT], OutputT],
+        name: str = "function-io-oracle",
+        max_queries: int | None = None,
+    ):
+        super().__init__(max_queries=max_queries)
+        self._func = func
+        self.name = name
+
+    def _query(self, value: InputT) -> OutputT:
+        return self._func(value)
+
+
+class LabelingOracle(Oracle, Generic[ExampleT, LabelT]):
+    """An oracle assigning a label to an example chosen by the learner.
+
+    Section 5 uses a numerical simulator to label switching states as safe
+    (positive) or unsafe (negative); Section 3 uses end-to-end execution on
+    the platform to label a basis path with its measured execution time.
+    """
+
+    name = "labeling-oracle"
+
+    @abstractmethod
+    def _label(self, example: ExampleT) -> LabelT:
+        """Compute the label of ``example``."""
+
+    def label(self, example: ExampleT) -> LabelT:
+        """Return the label of ``example`` (counts one query)."""
+        self._charge()
+        return self._label(example)
+
+
+class FunctionLabelingOracle(LabelingOracle[ExampleT, LabelT]):
+    """A :class:`LabelingOracle` backed by a plain Python callable."""
+
+    def __init__(
+        self,
+        func: Callable[[ExampleT], LabelT],
+        name: str = "function-labeling-oracle",
+        max_queries: int | None = None,
+    ):
+        super().__init__(max_queries=max_queries)
+        self._func = func
+        self.name = name
+
+    def _label(self, example: ExampleT) -> LabelT:
+        return self._func(example)
+
+
+@dataclass
+class CheckResult(Generic[ExampleT]):
+    """Result of checking a candidate artifact against a specification.
+
+    Attributes:
+        correct: whether the candidate satisfies the specification.
+        counterexample: when ``correct`` is False, an example witnessing the
+            violation (fed back to the inductive engine).
+    """
+
+    correct: bool
+    counterexample: ExampleT | None = None
+
+
+class CounterexampleOracle(Oracle, Generic[ArtifactT, ExampleT]):
+    """The verifier inside a counterexample-guided loop (CEGIS / CEGAR).
+
+    Given a candidate artifact it either certifies correctness or returns a
+    counterexample.  In CEGIS the counterexample is an input on which the
+    candidate program misbehaves; in CEGAR it is an abstract error trace to
+    be checked for spuriousness.
+    """
+
+    name = "counterexample-oracle"
+
+    @abstractmethod
+    def _check(self, artifact: ArtifactT) -> CheckResult[ExampleT]:
+        """Check ``artifact`` against the specification."""
+
+    def check(self, artifact: ArtifactT) -> CheckResult[ExampleT]:
+        """Check ``artifact`` (counts one query)."""
+        self._charge()
+        return self._check(artifact)
+
+
+class FunctionCounterexampleOracle(CounterexampleOracle[ArtifactT, ExampleT]):
+    """A :class:`CounterexampleOracle` backed by a callable returning
+    ``None`` for "correct" or a counterexample otherwise."""
+
+    def __init__(
+        self,
+        func: Callable[[ArtifactT], ExampleT | None],
+        name: str = "function-counterexample-oracle",
+        max_queries: int | None = None,
+    ):
+        super().__init__(max_queries=max_queries)
+        self._func = func
+        self.name = name
+
+    def _check(self, artifact: ArtifactT) -> CheckResult[ExampleT]:
+        counterexample = self._func(artifact)
+        if counterexample is None:
+            return CheckResult(correct=True)
+        return CheckResult(correct=False, counterexample=counterexample)
+
+
+@dataclass(frozen=True)
+class LabeledExample(Generic[ExampleT, LabelT]):
+    """An (example, label) pair as consumed by inductive engines."""
+
+    example: ExampleT
+    label: LabelT

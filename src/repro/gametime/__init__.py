@@ -1,0 +1,31 @@
+"""GameTime-style timing analysis (paper Section 3)."""
+
+from repro.gametime.analysis import (
+    DistributionReport,
+    GameTime,
+    PathPrediction,
+    TimingAnalysisAnswer,
+    WcetEstimate,
+)
+from repro.gametime.baselines import (
+    ExhaustiveEstimator,
+    RandomTestingEstimator,
+    WcetBaselineResult,
+)
+from repro.gametime.learner import BasisMeasurements, GameTimeLearner
+from repro.gametime.model import WeightPerturbationHypothesis, WeightPerturbationModel
+
+__all__ = [
+    "BasisMeasurements",
+    "DistributionReport",
+    "ExhaustiveEstimator",
+    "GameTime",
+    "GameTimeLearner",
+    "PathPrediction",
+    "RandomTestingEstimator",
+    "TimingAnalysisAnswer",
+    "WcetBaselineResult",
+    "WcetEstimate",
+    "WeightPerturbationHypothesis",
+    "WeightPerturbationModel",
+]

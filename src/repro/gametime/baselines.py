@@ -1,0 +1,133 @@
+"""Baseline WCET estimators that GameTime is compared against.
+
+The paper motivates GameTime by contrast with measurement-based approaches
+that probe the program with random or exhaustive inputs.  Two baselines
+are provided for the ablation benchmarks:
+
+* :class:`RandomTestingEstimator` — draw inputs uniformly at random, run
+  them end to end, report the maximum observed time.  With the same
+  measurement budget as GameTime it systematically under-estimates the
+  WCET on programs whose worst-case path is rare.
+* :class:`ExhaustiveEstimator` — enumerate every feasible path, generate a
+  test case for each (SMT), and measure them all.  This is the ground
+  truth the other estimators are scored against (only viable when the path
+  count is small, which is exactly why it is not a practical tool).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.exceptions import ReproError
+from repro.cfg.builder import build_cfg
+from repro.cfg.lang import Program
+from repro.cfg.paths import enumerate_paths
+from repro.cfg.ssa import PathConstraintBuilder
+from repro.platform.measurement import MeasurementHarness, PerturbationModel
+from repro.platform.processor import PlatformConfig
+
+
+@dataclass
+class WcetBaselineResult:
+    """Outcome of a baseline WCET estimation.
+
+    Attributes:
+        estimated_wcet: the maximum cycle count observed.
+        test_case: the input achieving it.
+        measurements: number of end-to-end measurements used.
+    """
+
+    estimated_wcet: int
+    test_case: dict[str, int]
+    measurements: int
+
+
+class RandomTestingEstimator:
+    """Estimate the WCET by measuring uniformly random inputs."""
+
+    name = "random-testing"
+
+    def __init__(
+        self,
+        program: Program,
+        platform: PlatformConfig | None = None,
+        start_state: str = "cold",
+        perturbation: PerturbationModel | None = None,
+        seed: int = 0,
+    ):
+        self.program = program
+        self.harness = MeasurementHarness.from_program(
+            program,
+            platform=platform,
+            start_state=start_state,  # type: ignore[arg-type]
+            perturbation=perturbation,
+        )
+        self._rng = random.Random(seed)
+
+    def estimate(self, budget: int) -> WcetBaselineResult:
+        """Measure ``budget`` random inputs and return the maximum."""
+        if budget <= 0:
+            raise ReproError("measurement budget must be positive")
+        mask = (1 << self.program.word_width) - 1
+        best_cycles = -1
+        best_case: dict[str, int] = {}
+        for _ in range(budget):
+            test_case = {
+                name: self._rng.randint(0, mask) for name in self.program.parameters
+            }
+            cycles = self.harness.measure(test_case)
+            if cycles > best_cycles:
+                best_cycles = cycles
+                best_case = test_case
+        return WcetBaselineResult(
+            estimated_wcet=best_cycles, test_case=best_case, measurements=budget
+        )
+
+
+class ExhaustiveEstimator:
+    """Ground-truth WCET: measure one test case per feasible path."""
+
+    name = "exhaustive-paths"
+
+    def __init__(
+        self,
+        program: Program,
+        platform: PlatformConfig | None = None,
+        start_state: str = "cold",
+        perturbation: PerturbationModel | None = None,
+    ):
+        self.program = program
+        self.cfg = build_cfg(program)
+        self.constraint_builder = PathConstraintBuilder(self.cfg)
+        self.harness = MeasurementHarness.from_program(
+            program,
+            platform=platform,
+            start_state=start_state,  # type: ignore[arg-type]
+            perturbation=perturbation,
+        )
+
+    def estimate(self, max_paths: int = 4096) -> WcetBaselineResult:
+        """Measure every feasible path (up to ``max_paths``)."""
+        total = self.cfg.count_paths()
+        if total > max_paths:
+            raise ReproError(
+                f"{total} paths exceed the exhaustive enumeration cap of {max_paths}"
+            )
+        best_cycles = -1
+        best_case: dict[str, int] = {}
+        measurements = 0
+        for path in enumerate_paths(self.cfg):
+            feasible = self.constraint_builder.feasibility(path)
+            if feasible is None:
+                continue
+            cycles = self.harness.measure(feasible.test_case)
+            measurements += 1
+            if cycles > best_cycles:
+                best_cycles = cycles
+                best_case = feasible.test_case
+        if best_cycles < 0:
+            raise ReproError("no feasible paths found")
+        return WcetBaselineResult(
+            estimated_wcet=best_cycles, test_case=best_case, measurements=measurements
+        )

@@ -1,0 +1,127 @@
+"""Baseline guard estimators compared against the sciductive synthesizer.
+
+Used by the ablation benchmarks:
+
+* :class:`MonteCarloGuardEstimator` — sample candidate switching states
+  uniformly at random inside the over-approximate guard, label each by
+  simulation, and return the bounding box of the safe samples.  Unlike the
+  binary-search hyperbox learner this gives no maximality or soundness
+  guarantee (the bounding box of safe samples can easily contain unsafe
+  states when the safe set is not a box, and it under-approximates the box
+  when samples are sparse), and its query count grows with the requested
+  confidence instead of logarithmically with the grid resolution.
+* :class:`GridSweepGuardEstimator` — exhaustively label every grid point
+  along each axis through the seed.  Sound under the same structure
+  hypothesis as the learner but needs ``O(range / step)`` queries per axis
+  instead of ``O(log(range / step))``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.exceptions import ReproError
+from repro.core.hypothesis import GridSpec
+from repro.core.inductive import Interval
+from repro.core.oracle import LabelingOracle
+from repro.hybrid.hyperbox import Hyperbox, bounding_box
+
+
+@dataclass
+class GuardEstimate:
+    """A guard estimate plus the number of labeling queries spent."""
+
+    box: Hyperbox
+    queries: int
+
+
+class MonteCarloGuardEstimator:
+    """Bounding box of randomly sampled safe states (unsound baseline)."""
+
+    name = "monte-carlo-guard"
+
+    def __init__(self, grids: dict[str, GridSpec], samples: int = 200, seed: int = 0):
+        if samples <= 0:
+            raise ReproError("sample count must be positive")
+        self.grids = dict(grids)
+        self.samples = samples
+        self._rng = random.Random(seed)
+
+    def estimate(
+        self,
+        overapproximation: Hyperbox,
+        oracle: LabelingOracle[dict[str, float], bool],
+    ) -> GuardEstimate:
+        """Sample, label, and return the bounding box of safe samples."""
+        queries_before = oracle.query_count
+        safe_points = []
+        for _ in range(self.samples):
+            point = {}
+            for name in overapproximation.dimensions:
+                interval = overapproximation.interval(name)
+                value = self._rng.uniform(interval.low, interval.high)
+                point[name] = self.grids[name].snap(value)
+            if oracle.label(point):
+                safe_points.append(point)
+        box = bounding_box(safe_points, overapproximation.dimensions)
+        return GuardEstimate(box=box, queries=oracle.query_count - queries_before)
+
+
+class GridSweepGuardEstimator:
+    """Exhaustive per-axis sweep through the seed (sound but expensive)."""
+
+    name = "grid-sweep-guard"
+
+    def __init__(self, grids: dict[str, GridSpec]):
+        self.grids = dict(grids)
+
+    def estimate(
+        self,
+        overapproximation: Hyperbox,
+        oracle: LabelingOracle[dict[str, float], bool],
+        seed: dict[str, float],
+    ) -> GuardEstimate:
+        """Sweep every grid point on each axis through the seed point."""
+        queries_before = oracle.query_count
+        snapped_seed = {
+            name: self.grids[name].snap(value) for name, value in seed.items()
+        }
+        if not oracle.label(snapped_seed):
+            empty = Hyperbox(
+                tuple((name, Interval(1.0, 0.0)) for name in overapproximation.dimensions)
+            )
+            return GuardEstimate(
+                box=empty, queries=oracle.query_count - queries_before
+            )
+        intervals = []
+        for name in overapproximation.dimensions:
+            bounds = overapproximation.interval(name)
+            grid = self.grids[name]
+            low = grid.snap(max(bounds.low, grid.low))
+            high = grid.snap(min(bounds.high, grid.high))
+            best_low = snapped_seed[name]
+            best_high = snapped_seed[name]
+            # Walk down from the seed until the first unsafe point.
+            value = snapped_seed[name]
+            while value - grid.step >= low - 1e-12:
+                value = grid.snap(value - grid.step)
+                point = dict(snapped_seed)
+                point[name] = value
+                if not oracle.label(point):
+                    break
+                best_low = value
+            # Walk up from the seed until the first unsafe point.
+            value = snapped_seed[name]
+            while value + grid.step <= high + 1e-12:
+                value = grid.snap(value + grid.step)
+                point = dict(snapped_seed)
+                point[name] = value
+                if not oracle.label(point):
+                    break
+                best_high = value
+            intervals.append((name, Interval(best_low, best_high)))
+        return GuardEstimate(
+            box=Hyperbox(tuple(intervals)),
+            queries=oracle.query_count - queries_before,
+        )

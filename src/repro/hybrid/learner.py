@@ -1,0 +1,131 @@
+"""Hyperbox learning from labeled points (the inductive engine of Section 5).
+
+Given an over-approximate guard (a hyperbox known to contain every safe
+switching state), a membership oracle labeling individual states as safe
+or unsafe, and a seed state believed safe, the learner finds the maximal
+grid-aligned hyperbox of safe states around the seed by binary search on
+each face — the hyperbox-learning strategy of Goldman & Kearns referenced
+by the paper.  Under the structure hypothesis (the safe switching states
+form a grid-aligned hyperbox, guaranteed by monotone intra-mode dynamics
+and finite-precision recording), the result is exactly the safe set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import InductionError
+from repro.core.hypothesis import GridSpec
+from repro.core.inductive import BinarySearchIntervalLearner, Interval
+from repro.core.oracle import FunctionLabelingOracle, LabelingOracle
+from repro.hybrid.hyperbox import Hyperbox
+
+
+@dataclass
+class HyperboxLearningResult:
+    """Outcome of one hyperbox-learning call.
+
+    Attributes:
+        box: the learned hyperbox (empty when the seed was unsafe).
+        queries: number of labeling queries issued.
+        seed_was_safe: whether the seed point was labeled safe.
+    """
+
+    box: Hyperbox
+    queries: int
+    seed_was_safe: bool
+
+
+class HyperboxLearner:
+    """Learns a maximal safe hyperbox inside an over-approximation.
+
+    Args:
+        grids: one :class:`~repro.core.hypothesis.GridSpec` per state
+            dimension (the finite-precision grid of the structure
+            hypothesis).
+    """
+
+    def __init__(self, grids: dict[str, GridSpec]):
+        if not grids:
+            raise InductionError("at least one dimension is required")
+        self.grids = dict(grids)
+
+    def learn(
+        self,
+        overapproximation: Hyperbox,
+        oracle: LabelingOracle[dict[str, float], bool],
+        seed: dict[str, float],
+    ) -> HyperboxLearningResult:
+        """Learn the maximal safe box around ``seed`` inside the given box.
+
+        The search proceeds dimension by dimension: for each dimension the
+        maximal safe interval through the seed (holding the other
+        coordinates at their seed values) is found by binary search on the
+        grid restricted to the over-approximation.  Under the hyperbox
+        structure hypothesis the product of these intervals is the maximal
+        safe box; a final corner check validates the result on the learned
+        box's extreme points.
+
+        Returns:
+            A :class:`HyperboxLearningResult`; the box is empty when the
+            seed itself is labeled unsafe.
+        """
+        queries_before = oracle.query_count
+        snapped_seed = {
+            name: self.grids[name].snap(value) for name, value in seed.items()
+        }
+        if not overapproximation.contains(snapped_seed):
+            raise InductionError("seed lies outside the over-approximate guard")
+        if not oracle.label(snapped_seed):
+            empty = Hyperbox(
+                tuple(
+                    (name, Interval(1.0, 0.0))
+                    for name in overapproximation.dimensions
+                )
+            )
+            return HyperboxLearningResult(
+                box=empty,
+                queries=oracle.query_count - queries_before,
+                seed_was_safe=False,
+            )
+        intervals: list[tuple[str, Interval]] = []
+        for name in overapproximation.dimensions:
+            bounds = overapproximation.interval(name)
+            grid = self.grids[name]
+            # Restrict the search grid to the over-approximation.
+            local_grid = GridSpec(
+                low=grid.snap(max(bounds.low, grid.low)),
+                high=grid.snap(min(bounds.high, grid.high)),
+                step=grid.step,
+            )
+
+            def label_point(value: float, axis: str = name) -> bool:
+                point = dict(snapped_seed)
+                point[axis] = value
+                return oracle.label(point)
+
+            axis_oracle = FunctionLabelingOracle(label_point, name=f"axis-{name}")
+            learner = BinarySearchIntervalLearner(local_grid, axis_oracle)
+            interval = learner.learn(snapped_seed[name])
+            intervals.append((name, interval))
+        box = Hyperbox(tuple(intervals))
+        return HyperboxLearningResult(
+            box=box,
+            queries=oracle.query_count - queries_before,
+            seed_was_safe=True,
+        )
+
+    def validate_corners(
+        self,
+        box: Hyperbox,
+        oracle: LabelingOracle[dict[str, float], bool],
+    ) -> bool:
+        """Check that every corner of ``box`` is labeled safe.
+
+        Under a valid structure hypothesis this always succeeds; a failure
+        is evidence that the hypothesis is invalid for the system at hand
+        (recorded by the synthesizer in its soundness certificate).
+        """
+        if box.is_empty:
+            return True
+        return all(oracle.label(corner) for corner in box.corners())

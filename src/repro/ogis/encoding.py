@@ -1,0 +1,366 @@
+"""SMT encoding of component-based synthesis (the deductive engine of §4).
+
+Implements the location-variable encoding of oracle-guided component-based
+program synthesis (Jha, Gulwani, Seshia & Tiwari, ICSE 2010), which the
+paper uses as its second demonstration of sciduction:
+
+* every library component gets an *output location* variable and one
+  *input location* variable per argument,
+* well-formedness constraints force the locations to describe a valid
+  straight-line program (distinct component outputs, arguments defined
+  before use),
+* for each input/output example, value variables are introduced for every
+  line and *connection constraints* tie equal locations to equal values,
+* the component's bit-vector semantics constrain its output value.
+
+Two queries are built on top of the encoding (paper Section 4.2):
+
+* ``synthesize`` — "does there exist a program consistent with the
+  observed examples?"  A model yields the candidate program.
+* ``distinguishing_input`` — "does there exist another consistent program
+  and an input on which it disagrees with the candidate?"  A model yields
+  the next oracle query; UNSAT certifies the candidate is semantically
+  unique among consistent programs and the loop stops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.exceptions import UnrealizableError
+from repro.ogis.components import Component
+from repro.ogis.program import ComponentInstance, LoopFreeProgram
+from repro.smt.solver import Model, SmtResult, SmtSolver
+from repro.smt.terms import (
+    BitVecTerm,
+    BoolTerm,
+    BvVar,
+    bool_and,
+    bool_implies,
+    bool_or,
+    bv_const,
+    bv_var,
+)
+
+
+@dataclass(frozen=True)
+class IOExample:
+    """One input/output example obtained from the I/O oracle."""
+
+    inputs: tuple[int, ...]
+    outputs: tuple[int, ...]
+
+
+@dataclass
+class _LocationVariables:
+    """Location variables of one program copy."""
+
+    component_outputs: list[BvVar]
+    component_inputs: list[list[BvVar]]
+    program_outputs: list[BvVar]
+
+
+@dataclass
+class SynthesisStatistics:
+    """Query counters for the encoder."""
+
+    synthesis_queries: int = 0
+    distinguishing_queries: int = 0
+    sat_results: int = 0
+    unsat_results: int = 0
+
+
+class SynthesisEncoder:
+    """Builds and solves the location-variable synthesis constraints.
+
+    Args:
+        library: the component library L (each component is used exactly
+            once in the synthesized program, per the structure hypothesis).
+        num_inputs: number of program inputs.
+        num_outputs: number of program outputs.
+        width: bit width of all data values during synthesis.  Synthesis at
+            a modest width (8 bits by default in the benchmarks) is sound
+            for the width-generic component libraries used here and keeps
+            the SAT encoding small; final artifacts can be re-checked at
+            any width with :meth:`semantic_difference` or the program's
+            ``equivalent_to``.
+    """
+
+    def __init__(
+        self,
+        library: Sequence[Component],
+        num_inputs: int,
+        num_outputs: int,
+        width: int = 8,
+        outputs_from_components: bool = True,
+    ):
+        if not library:
+            raise UnrealizableError("the component library is empty")
+        self.library = list(library)
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.width = width
+        self.num_lines = num_inputs + len(self.library)
+        # The encoding compares locations against the constant ``num_lines``
+        # (exclusive upper bound), so the location width must be able to
+        # represent that value itself, not just the largest line index.
+        self.location_width = max(1, math.ceil(math.log2(self.num_lines + 1)))
+        #: When True, program outputs must be component output lines (they
+        #: cannot simply forward an input), matching the shape of the
+        #: programs printed in the paper's Figure 8.
+        self.outputs_from_components = outputs_from_components
+        self.statistics = SynthesisStatistics()
+
+    # -- variable factories ------------------------------------------------
+
+    def _locations(self, tag: str) -> _LocationVariables:
+        component_outputs = [
+            bv_var(f"lout_{tag}_{index}", self.location_width)
+            for index in range(len(self.library))
+        ]
+        component_inputs = [
+            [
+                bv_var(f"lin_{tag}_{index}_{argument}", self.location_width)
+                for argument in range(component.arity)
+            ]
+            for index, component in enumerate(self.library)
+        ]
+        program_outputs = [
+            bv_var(f"lres_{tag}_{index}", self.location_width)
+            for index in range(self.num_outputs)
+        ]
+        return _LocationVariables(component_outputs, component_inputs, program_outputs)
+
+    def _location_const(self, value: int) -> BitVecTerm:
+        return bv_const(value, self.location_width)
+
+    # -- constraint builders ---------------------------------------------------
+
+    def well_formedness(self, locations: _LocationVariables) -> list[BoolTerm]:
+        """The psi_wfp constraints: locations describe a valid SSA program."""
+        constraints: list[BoolTerm] = []
+        lower = self._location_const(self.num_inputs)
+        upper = self._location_const(self.num_lines)
+        for output in locations.component_outputs:
+            constraints.append(output.uge(lower))
+            constraints.append(output.ult(upper))
+        # Component outputs occupy distinct lines.
+        for first in range(len(self.library)):
+            for second in range(first + 1, len(self.library)):
+                constraints.append(
+                    locations.component_outputs[first].ne(
+                        locations.component_outputs[second]
+                    )
+                )
+        # Symmetry breaking: identical library components are interchangeable,
+        # so force their output lines into increasing order.  This prunes the
+        # k! equivalent placements of k copies of the same component.
+        for first in range(len(self.library)):
+            for second in range(first + 1, len(self.library)):
+                if self.library[first].name == self.library[second].name:
+                    constraints.append(
+                        locations.component_outputs[first].ult(
+                            locations.component_outputs[second]
+                        )
+                    )
+                    break  # chaining consecutive copies is sufficient
+        # Arguments refer to strictly earlier lines.
+        for index, inputs in enumerate(locations.component_inputs):
+            for argument in inputs:
+                constraints.append(argument.ult(locations.component_outputs[index]))
+                constraints.append(argument.ult(upper))
+        for output in locations.program_outputs:
+            constraints.append(output.ult(upper))
+            if self.outputs_from_components:
+                constraints.append(output.uge(lower))
+        return constraints
+
+    def _dataflow(
+        self,
+        locations: _LocationVariables,
+        input_terms: Sequence[BitVecTerm],
+        output_terms: Sequence[BitVecTerm],
+        tag: str,
+    ) -> list[BoolTerm]:
+        """Library semantics plus connection constraints for one run.
+
+        ``input_terms`` / ``output_terms`` are the values on the program's
+        input and output lines for this run (constants for concrete
+        examples, variables for symbolic runs).
+        """
+        constraints: list[BoolTerm] = []
+        writers: list[tuple[BitVecTerm, BitVecTerm]] = [
+            (self._location_const(index), term) for index, term in enumerate(input_terms)
+        ]
+        readers: list[tuple[BitVecTerm, BitVecTerm]] = []
+        for index, component in enumerate(self.library):
+            argument_terms = [
+                bv_var(f"x_{tag}_{index}_{argument}", self.width)
+                for argument in range(component.arity)
+            ]
+            output_term = bv_var(f"o_{tag}_{index}", self.width)
+            constraints.append(
+                output_term.eq(component.encode(argument_terms, self.width))
+            )
+            writers.append((locations.component_outputs[index], output_term))
+            for argument, term in enumerate(argument_terms):
+                readers.append((locations.component_inputs[index][argument], term))
+        for index, term in enumerate(output_terms):
+            readers.append((locations.program_outputs[index], term))
+        for reader_location, reader_value in readers:
+            for writer_location, writer_value in writers:
+                constraints.append(
+                    bool_implies(
+                        reader_location.eq(writer_location),
+                        reader_value.eq(writer_value),
+                    )
+                )
+        return constraints
+
+    def example_constraints(
+        self, locations: _LocationVariables, example: IOExample, tag: str
+    ) -> list[BoolTerm]:
+        """Constraints forcing the program to reproduce one I/O example."""
+        input_terms = [bv_const(value, self.width) for value in example.inputs]
+        output_terms = [bv_const(value, self.width) for value in example.outputs]
+        return self._dataflow(locations, input_terms, output_terms, tag)
+
+    # -- program extraction -------------------------------------------------------
+
+    def _program_from_model(
+        self, model: Model, locations: _LocationVariables
+    ) -> LoopFreeProgram:
+        instances = []
+        for index, component in enumerate(self.library):
+            output_line = int(model.get(locations.component_outputs[index].name, 0))
+            input_lines = tuple(
+                int(model.get(variable.name, 0))
+                for variable in locations.component_inputs[index]
+            )
+            instances.append(
+                ComponentInstance(
+                    component=component,
+                    input_lines=input_lines,
+                    output_line=output_line,
+                )
+            )
+        output_lines = tuple(
+            int(model.get(variable.name, 0)) for variable in locations.program_outputs
+        )
+        return LoopFreeProgram(
+            num_inputs=self.num_inputs,
+            instances=instances,
+            output_lines=output_lines,
+            width=self.width,
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    def synthesize(self, examples: Sequence[IOExample]) -> LoopFreeProgram:
+        """Find a program consistent with every example.
+
+        Raises:
+            UnrealizableError: when no composition of the library matches
+                the examples (the "infeasibility reported" branch of the
+                paper's Figure 7).
+        """
+        self.statistics.synthesis_queries += 1
+        solver = SmtSolver()
+        locations = self._locations("s")
+        solver.add(*self.well_formedness(locations))
+        for number, example in enumerate(examples):
+            solver.add(*self.example_constraints(locations, example, tag=f"s{number}"))
+        if solver.check() is not SmtResult.SAT:
+            self.statistics.unsat_results += 1
+            raise UnrealizableError(
+                "no loop-free composition of the library is consistent with the examples"
+            )
+        self.statistics.sat_results += 1
+        return self._program_from_model(solver.model(), locations)
+
+    def _symbolic_execution(
+        self, program: LoopFreeProgram, input_terms: Sequence[BitVecTerm]
+    ) -> list[BitVecTerm]:
+        """Symbolically execute a concrete program on symbolic inputs."""
+        values: list[BitVecTerm] = list(input_terms)
+        for instance in program.instances:
+            arguments = [values[line] for line in instance.input_lines]
+            values.append(instance.component.encode(arguments, self.width))
+        return [values[line] for line in program.output_lines]
+
+    def distinguishing_input(
+        self, examples: Sequence[IOExample], candidate: LoopFreeProgram
+    ) -> tuple[int, ...] | None:
+        """Find an input on which some other consistent program disagrees.
+
+        Returns ``None`` when no such input exists — the candidate is then
+        the unique behaviour consistent with the examples and the OGIS loop
+        terminates (paper Section 4.2).
+        """
+        self.statistics.distinguishing_queries += 1
+        solver = SmtSolver()
+        locations = self._locations("d")
+        solver.add(*self.well_formedness(locations))
+        for number, example in enumerate(examples):
+            solver.add(*self.example_constraints(locations, example, tag=f"d{number}"))
+        symbolic_inputs = [
+            bv_var(f"distinguishing_in_{index}", self.width)
+            for index in range(self.num_inputs)
+        ]
+        alternative_outputs = [
+            bv_var(f"alt_out_{index}", self.width) for index in range(self.num_outputs)
+        ]
+        solver.add(
+            *self._dataflow(locations, symbolic_inputs, alternative_outputs, tag="dx")
+        )
+        candidate_outputs = self._symbolic_execution(candidate, symbolic_inputs)
+        solver.add(
+            bool_or(
+                *(
+                    alternative.ne(candidate_output)
+                    for alternative, candidate_output in zip(
+                        alternative_outputs, candidate_outputs
+                    )
+                )
+            )
+        )
+        if solver.check() is not SmtResult.SAT:
+            self.statistics.unsat_results += 1
+            return None
+        self.statistics.sat_results += 1
+        model = solver.model()
+        return tuple(
+            int(model.get(variable.name, 0)) for variable in symbolic_inputs
+        )
+
+    def semantic_difference(
+        self, first: LoopFreeProgram, second: LoopFreeProgram
+    ) -> tuple[int, ...] | None:
+        """Find an input on which two loop-free programs disagree.
+
+        Used for a-posteriori structure-hypothesis testing (paper Section 6):
+        checking a synthesized program against a known reference program is
+        an equivalence check, decided here by SMT at the encoder's width.
+        Returns a distinguishing input, or ``None`` when the programs are
+        equivalent.
+        """
+        solver = SmtSolver()
+        symbolic_inputs = [
+            bv_var(f"eqcheck_in_{index}", self.width) for index in range(self.num_inputs)
+        ]
+        first_outputs = self._symbolic_execution(first, symbolic_inputs)
+        second_outputs = self._symbolic_execution(second, symbolic_inputs)
+        solver.add(
+            bool_or(
+                *(
+                    left.ne(right)
+                    for left, right in zip(first_outputs, second_outputs)
+                )
+            )
+        )
+        if solver.check() is not SmtResult.SAT:
+            return None
+        model = solver.model()
+        return tuple(int(model.get(variable.name, 0)) for variable in symbolic_inputs)

@@ -1,0 +1,278 @@
+"""Compiler from the task language to the platform instruction set.
+
+The compilation style is deliberately that of an unoptimised embedded
+build (``-O0``): every program variable lives at a fixed data-memory
+address, every statement loads its operands, computes in registers and
+stores the result back.  This produces the load/store traffic that makes
+data-cache behaviour — and therefore path-dependent timing — visible to
+the GameTime analysis, mirroring the paper's experimental setup.
+
+Loops are compiled as genuine machine loops with backward branches; the
+*analysis* unrolls them (in the CFG), the *platform* executes them, so the
+two views of the program are kept honest with respect to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import CompilationError
+from repro.cfg.builder import inline_calls
+from repro.cfg.lang import (
+    Assign,
+    BinOp,
+    Block,
+    Const,
+    Expression,
+    If,
+    Program,
+    Skip,
+    Statement,
+    UnOp,
+    Var,
+    While,
+)
+from repro.platform.isa import Binary, Instruction, Opcode, validate_binary
+
+#: Binary operators mapped directly to ALU opcodes.
+_ALU_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+}
+
+#: Comparison operators mapped to compare opcodes (results are 0/1).
+_COMPARE_OPCODES = {
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+}
+
+
+@dataclass
+class _Emitter:
+    """Accumulates instructions and resolves symbolic labels."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    fixups: list[tuple[int, str]] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    label_counter: int = 0
+    max_register: int = 0
+
+    def emit(self, instruction: Instruction) -> int:
+        self.instructions.append(instruction)
+        for register in (instruction.rd, instruction.ra, instruction.rb):
+            if register is not None:
+                self.max_register = max(self.max_register, register)
+        return len(self.instructions) - 1
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}_{self.label_counter}"
+
+    def place_label(self, label: str) -> None:
+        if label in self.labels:
+            raise CompilationError(f"label {label!r} placed twice")
+        self.labels[label] = len(self.instructions)
+
+    def emit_branch(self, opcode: Opcode, register: int | None, label: str, comment: str = "") -> None:
+        index = self.emit(
+            Instruction(opcode=opcode, rd=register, target=None, comment=comment)
+        )
+        self.fixups.append((index, label))
+
+    def resolve(self) -> None:
+        for index, label in self.fixups:
+            if label not in self.labels:
+                raise CompilationError(f"undefined label {label!r}")
+            original = self.instructions[index]
+            self.instructions[index] = Instruction(
+                opcode=original.opcode,
+                rd=original.rd,
+                ra=original.ra,
+                rb=original.rb,
+                immediate=original.immediate,
+                address=original.address,
+                target=self.labels[label],
+                comment=original.comment,
+            )
+
+
+class Compiler:
+    """Compiles a :class:`~repro.cfg.lang.Program` into a :class:`Binary`.
+
+    Args:
+        variable_spacing: distance in words between consecutive variable
+            addresses (1 packs variables densely into cache lines; larger
+            values spread them over more lines, increasing miss counts).
+        base_address: data address of the first variable.
+    """
+
+    def __init__(self, variable_spacing: int = 1, base_address: int = 0):
+        if variable_spacing <= 0:
+            raise CompilationError("variable spacing must be positive")
+        self.variable_spacing = variable_spacing
+        self.base_address = base_address
+
+    def compile(self, program: Program) -> Binary:
+        """Compile ``program`` and return the binary."""
+        body = inline_calls(program.body)
+        flattened = Program(
+            name=program.name,
+            parameters=program.parameters,
+            body=body,
+            returns=program.returns,
+            word_width=program.word_width,
+        )
+        addresses = {
+            name: self.base_address + index * self.variable_spacing
+            for index, name in enumerate(flattened.variables())
+        }
+        emitter = _Emitter()
+        self._compile_statement(body, addresses, emitter)
+        emitter.emit(Instruction(opcode=Opcode.HALT, comment="end of task"))
+        emitter.resolve()
+        binary = Binary(
+            name=program.name,
+            instructions=emitter.instructions,
+            variable_addresses=addresses,
+            parameters=flattened.parameters,
+            outputs=flattened.output_variables(),
+            word_width=program.word_width,
+            num_registers=emitter.max_register + 1,
+        )
+        validate_binary(binary)
+        return binary
+
+    # -- expressions --------------------------------------------------------
+
+    def _compile_expression(
+        self,
+        expression: Expression,
+        addresses: dict[str, int],
+        emitter: _Emitter,
+        next_register: int,
+    ) -> tuple[int, int]:
+        """Compile ``expression`` into a register.
+
+        Returns:
+            ``(result_register, next_free_register)``.
+        """
+        if isinstance(expression, Const):
+            register = next_register
+            emitter.emit(
+                Instruction(Opcode.LOADI, rd=register, immediate=expression.value)
+            )
+            return register, next_register + 1
+        if isinstance(expression, Var):
+            if expression.name not in addresses:
+                raise CompilationError(f"undefined variable {expression.name!r}")
+            register = next_register
+            emitter.emit(
+                Instruction(
+                    Opcode.LOAD,
+                    rd=register,
+                    address=addresses[expression.name],
+                    comment=expression.name,
+                )
+            )
+            return register, next_register + 1
+        if isinstance(expression, UnOp):
+            operand, free = self._compile_expression(
+                expression.operand, addresses, emitter, next_register
+            )
+            register = free
+            if expression.op == "~":
+                emitter.emit(Instruction(Opcode.NOT, rd=register, ra=operand))
+            elif expression.op == "-":
+                emitter.emit(Instruction(Opcode.NEG, rd=register, ra=operand))
+            else:  # logical not: operand == 0
+                zero = free + 1
+                emitter.emit(Instruction(Opcode.LOADI, rd=zero, immediate=0))
+                emitter.emit(Instruction(Opcode.CMPEQ, rd=register, ra=operand, rb=zero))
+                return register, zero + 1
+            return register, register + 1
+        if isinstance(expression, BinOp):
+            left, free = self._compile_expression(
+                expression.left, addresses, emitter, next_register
+            )
+            right, free = self._compile_expression(
+                expression.right, addresses, emitter, free
+            )
+            register = free
+            if expression.op in _ALU_OPCODES:
+                opcode = _ALU_OPCODES[expression.op]
+            elif expression.op in _COMPARE_OPCODES:
+                opcode = _COMPARE_OPCODES[expression.op]
+            else:
+                raise CompilationError(f"unsupported operator {expression.op!r}")
+            emitter.emit(Instruction(opcode, rd=register, ra=left, rb=right))
+            return register, register + 1
+        raise CompilationError(f"unknown expression node {type(expression).__name__}")
+
+    # -- statements --------------------------------------------------------
+
+    def _compile_statement(
+        self, statement: Statement, addresses: dict[str, int], emitter: _Emitter
+    ) -> None:
+        if isinstance(statement, Skip):
+            return
+        if isinstance(statement, Assign):
+            register, _ = self._compile_expression(
+                statement.expression, addresses, emitter, 0
+            )
+            emitter.emit(
+                Instruction(
+                    Opcode.STORE,
+                    rd=register,
+                    address=addresses[statement.target],
+                    comment=statement.target,
+                )
+            )
+            return
+        if isinstance(statement, Block):
+            for child in statement.statements:
+                self._compile_statement(child, addresses, emitter)
+            return
+        if isinstance(statement, If):
+            register, _ = self._compile_expression(
+                statement.condition, addresses, emitter, 0
+            )
+            else_label = emitter.new_label("else")
+            end_label = emitter.new_label("endif")
+            emitter.emit_branch(Opcode.BEQZ, register, else_label, comment="if")
+            self._compile_statement(statement.then_branch, addresses, emitter)
+            emitter.emit_branch(Opcode.JUMP, None, end_label)
+            emitter.place_label(else_label)
+            self._compile_statement(statement.else_branch, addresses, emitter)
+            emitter.place_label(end_label)
+            return
+        if isinstance(statement, While):
+            loop_label = emitter.new_label("loop")
+            end_label = emitter.new_label("endloop")
+            emitter.place_label(loop_label)
+            register, _ = self._compile_expression(
+                statement.condition, addresses, emitter, 0
+            )
+            emitter.emit_branch(Opcode.BEQZ, register, end_label, comment="while")
+            self._compile_statement(statement.body, addresses, emitter)
+            emitter.emit_branch(Opcode.JUMP, None, loop_label)
+            emitter.place_label(end_label)
+            return
+        raise CompilationError(
+            f"cannot compile statement {type(statement).__name__} "
+            "(calls must be inlined first)"
+        )
+
+
+def compile_program(program: Program, **kwargs) -> Binary:
+    """Convenience wrapper: compile ``program`` with default settings."""
+    return Compiler(**kwargs).compile(program)

@@ -1,0 +1,213 @@
+"""Instruction set of the simulated embedded platform.
+
+The paper's GameTime experiments ran on a StrongARM-1100 model inside the
+SimIt-ARM cycle-accurate simulator.  This reproduction defines a small
+load/store RISC instruction set — just enough to compile the task language
+— together with the binary container handed to the cycle-level simulator
+(:mod:`repro.platform.processor`).
+
+Registers are named ``r0`` .. ``r{N-1}`` (``r0`` is a normal register, not
+hard-wired to zero).  Program variables live in data memory at word
+addresses assigned by the compiler, so load/store traffic — and therefore
+data-cache behaviour — mirrors an unoptimised embedded compilation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.exceptions import CompilationError
+
+
+class Opcode(enum.Enum):
+    """Machine opcodes."""
+
+    LOADI = "loadi"    # rd <- immediate
+    LOAD = "load"      # rd <- memory[address]
+    STORE = "store"    # memory[address] <- rs
+    MOVE = "move"      # rd <- rs
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NOT = "not"        # rd <- ~ra
+    NEG = "neg"        # rd <- -ra
+    CMPEQ = "cmpeq"    # rd <- (ra == rb)
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"    # unsigned
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    BEQZ = "beqz"      # branch to target if rs == 0
+    BNEZ = "bnez"      # branch to target if rs != 0
+    JUMP = "jump"      # unconditional branch
+    HALT = "halt"
+
+
+#: Opcodes writing a destination register from two source registers.
+THREE_REGISTER_OPCODES = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.CMPEQ,
+    Opcode.CMPNE,
+    Opcode.CMPLT,
+    Opcode.CMPLE,
+    Opcode.CMPGT,
+    Opcode.CMPGE,
+}
+
+#: Opcodes writing a destination register from one source register.
+TWO_REGISTER_OPCODES = {Opcode.MOVE, Opcode.NOT, Opcode.NEG}
+
+#: Branch opcodes.
+BRANCH_OPCODES = {Opcode.BEQZ, Opcode.BNEZ, Opcode.JUMP}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    The field meanings depend on the opcode:
+
+    * ``LOADI rd, immediate``
+    * ``LOAD rd, address`` / ``STORE address, rs`` (``rs`` stored in ``rd``)
+    * three-register ALU ops: ``rd, ra, rb``
+    * two-register ops: ``rd, ra``
+    * ``BEQZ rs, target`` / ``BNEZ rs, target`` (``rs`` stored in ``rd``)
+    * ``JUMP target``
+    * ``HALT``
+    """
+
+    opcode: Opcode
+    rd: int | None = None
+    ra: int | None = None
+    rb: int | None = None
+    immediate: int | None = None
+    address: int | None = None
+    target: int | None = None
+    comment: str = ""
+
+    def reads(self) -> tuple[int, ...]:
+        """Registers read by this instruction."""
+        if self.opcode in THREE_REGISTER_OPCODES:
+            return (self.ra, self.rb)  # type: ignore[return-value]
+        if self.opcode in TWO_REGISTER_OPCODES:
+            return (self.ra,)  # type: ignore[return-value]
+        if self.opcode in {Opcode.STORE, Opcode.BEQZ, Opcode.BNEZ}:
+            return (self.rd,)  # type: ignore[return-value]
+        return ()
+
+    def writes(self) -> int | None:
+        """Destination register written by this instruction, if any."""
+        if self.opcode in THREE_REGISTER_OPCODES or self.opcode in TWO_REGISTER_OPCODES:
+            return self.rd
+        if self.opcode in {Opcode.LOADI, Opcode.LOAD}:
+            return self.rd
+        return None
+
+    def is_branch(self) -> bool:
+        """True for control-transfer instructions."""
+        return self.opcode in BRANCH_OPCODES
+
+    def render(self) -> str:
+        """Assembly-style rendering (for dumps and debugging)."""
+        op = self.opcode.value
+        if self.opcode is Opcode.LOADI:
+            body = f"{op} r{self.rd}, #{self.immediate}"
+        elif self.opcode is Opcode.LOAD:
+            body = f"{op} r{self.rd}, [{self.address}]"
+        elif self.opcode is Opcode.STORE:
+            body = f"{op} [{self.address}], r{self.rd}"
+        elif self.opcode in THREE_REGISTER_OPCODES:
+            body = f"{op} r{self.rd}, r{self.ra}, r{self.rb}"
+        elif self.opcode in TWO_REGISTER_OPCODES:
+            body = f"{op} r{self.rd}, r{self.ra}"
+        elif self.opcode in {Opcode.BEQZ, Opcode.BNEZ}:
+            body = f"{op} r{self.rd}, @{self.target}"
+        elif self.opcode is Opcode.JUMP:
+            body = f"{op} @{self.target}"
+        else:
+            body = op
+        if self.comment:
+            body = f"{body:<28}; {self.comment}"
+        return body
+
+
+@dataclass
+class Binary:
+    """A compiled program: instructions plus the data-memory layout.
+
+    Attributes:
+        name: source program name.
+        instructions: the instruction sequence (branch targets resolved).
+        variable_addresses: word address of each program variable.
+        parameters: the input variable names, in order.
+        outputs: the output variable names.
+        word_width: machine word width in bits.
+        num_registers: size of the register file required.
+    """
+
+    name: str
+    instructions: list[Instruction]
+    variable_addresses: dict[str, int]
+    parameters: tuple[str, ...]
+    outputs: tuple[str, ...]
+    word_width: int
+    num_registers: int
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, variable: str) -> int:
+        """Data address of ``variable``.
+
+        Raises:
+            CompilationError: if the variable is unknown.
+        """
+        if variable not in self.variable_addresses:
+            raise CompilationError(f"unknown variable {variable!r}")
+        return self.variable_addresses[variable]
+
+    def listing(self) -> str:
+        """Full assembly listing."""
+        lines = [f"; {self.name} ({self.word_width}-bit, {len(self.instructions)} instructions)"]
+        for index, instruction in enumerate(self.instructions):
+            lines.append(f"{index:4d}: {instruction.render()}")
+        return "\n".join(lines)
+
+
+def validate_binary(binary: Binary) -> None:
+    """Sanity-check a binary: branch targets and register indices in range.
+
+    Raises:
+        CompilationError: on malformed binaries.
+    """
+    count = len(binary.instructions)
+    for index, instruction in enumerate(binary.instructions):
+        if instruction.is_branch() and instruction.opcode is not Opcode.HALT:
+            if instruction.target is None or not (0 <= instruction.target <= count):
+                raise CompilationError(
+                    f"instruction {index} has invalid branch target {instruction.target}"
+                )
+        for register in instruction.reads():
+            if register is None or register < 0 or register >= binary.num_registers:
+                raise CompilationError(
+                    f"instruction {index} reads invalid register {register}"
+                )
+        destination = instruction.writes()
+        if destination is not None and destination >= binary.num_registers:
+            raise CompilationError(
+                f"instruction {index} writes invalid register {destination}"
+            )

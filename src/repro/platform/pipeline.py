@@ -1,0 +1,95 @@
+"""In-order pipeline timing model.
+
+Models the per-instruction timing of a simple five-stage in-order pipeline
+(fetch, decode, execute, memory, write-back) in the style of the
+StrongARM-1100 used in the paper's experiments:
+
+* one cycle base cost per instruction (CPI = 1 when nothing stalls),
+* multi-cycle execute for multiplies,
+* a load-use interlock stall when an instruction consumes the result of
+  the immediately preceding load,
+* a branch penalty for taken branches (static not-taken prediction),
+* cache miss penalties are added by the simulator on top of these costs.
+
+The model is intentionally *not* exposed to the analysis side: GameTime
+only sees end-to-end cycle counts, exactly as in the paper where the
+platform is an opaque adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.isa import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Timing parameters of the in-order pipeline.
+
+    Attributes:
+        base_cost: cycles charged for any instruction.
+        multiply_extra: extra execute cycles for ``MUL``.
+        shift_extra: extra execute cycles for shifts.
+        load_use_stall: stall cycles when the previous instruction was a
+            load whose destination this instruction reads.
+        taken_branch_penalty: flush cycles for a taken branch or jump.
+        halt_cost: cycles charged for ``HALT``.
+    """
+
+    base_cost: int = 1
+    multiply_extra: int = 3
+    shift_extra: int = 0
+    load_use_stall: int = 1
+    taken_branch_penalty: int = 2
+    halt_cost: int = 1
+
+
+@dataclass
+class PipelineState:
+    """Dynamic pipeline state carried between instructions."""
+
+    #: Destination register of the previous instruction when it was a load,
+    #: else None (drives the load-use interlock).
+    pending_load_register: int | None = None
+
+
+class PipelineModel:
+    """Computes the pipeline component of each instruction's cost."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self.state = PipelineState()
+
+    def reset(self) -> None:
+        """Clear dynamic state (between runs)."""
+        self.state = PipelineState()
+
+    def cost(self, instruction: Instruction, branch_taken: bool = False) -> int:
+        """Return the pipeline cost of ``instruction`` and update state.
+
+        Args:
+            instruction: the instruction being retired.
+            branch_taken: whether a conditional branch/jump redirected the
+                program counter (charged the flush penalty).
+        """
+        config = self.config
+        if instruction.opcode is Opcode.HALT:
+            self.state.pending_load_register = None
+            return config.halt_cost
+        cycles = config.base_cost
+        if instruction.opcode is Opcode.MUL:
+            cycles += config.multiply_extra
+        elif instruction.opcode in {Opcode.SHL, Opcode.SHR}:
+            cycles += config.shift_extra
+        if (
+            self.state.pending_load_register is not None
+            and self.state.pending_load_register in instruction.reads()
+        ):
+            cycles += config.load_use_stall
+        if instruction.is_branch() and branch_taken:
+            cycles += config.taken_branch_penalty
+        self.state.pending_load_register = (
+            instruction.rd if instruction.opcode is Opcode.LOAD else None
+        )
+        return cycles

@@ -1,0 +1,245 @@
+"""Cycle-level processor simulator (the platform / environment ``E``).
+
+Stands in for the SimIt-ARM + StrongARM-1100 testbed of the paper: an
+in-order pipelined core with split instruction and data caches, executed
+functionally with a cycle cost accumulated per instruction.  The simulator
+is deterministic given the program, its inputs, and the starting
+environment state (cache contents), which is exactly the setting of the
+timing-analysis problem ⟨TA⟩ ("a fixed starting state of E").
+
+End-to-end measurements — the only interface GameTime uses — are provided
+by :class:`repro.platform.measurement.MeasurementHarness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.exceptions import SimulationError
+from repro.platform.cache import Cache, CacheConfig
+from repro.platform.isa import Binary, Instruction, Opcode
+from repro.platform.pipeline import PipelineConfig, PipelineModel
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Full configuration of the simulated platform.
+
+    Attributes:
+        instruction_cache: geometry/timing of the I-cache.
+        data_cache: geometry/timing of the D-cache.
+        pipeline: pipeline timing parameters.
+        instruction_base_address: address of the first instruction (used
+            for I-cache indexing; one word per instruction).
+        max_instructions: execution step budget (guards against runaway
+            loops in malformed binaries).
+    """
+
+    instruction_cache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        line_size_words=4, num_sets=32, associativity=2, hit_latency=0, miss_penalty=8
+    ))
+    data_cache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        line_size_words=4, num_sets=16, associativity=2, hit_latency=0, miss_penalty=10
+    ))
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    instruction_base_address: int = 4096
+    max_instructions: int = 1_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution on the platform.
+
+    Attributes:
+        cycles: total cycle count (the end-to-end measurement).
+        instructions_executed: dynamic instruction count.
+        final_memory: data memory contents (by variable name).
+        outputs: values of the program's output variables.
+        icache_misses: instruction-cache misses during the run.
+        dcache_misses: data-cache misses during the run.
+    """
+
+    cycles: int
+    instructions_executed: int
+    final_memory: dict[str, int]
+    outputs: dict[str, int]
+    icache_misses: int
+    dcache_misses: int
+
+
+class Processor:
+    """The simulated embedded processor.
+
+    The environment state consists of the instruction- and data-cache
+    contents; :meth:`flush_caches`, :meth:`warm_caches`,
+    :meth:`snapshot_environment` and :meth:`restore_environment` manipulate
+    it so experiments can control the starting state exactly.
+    """
+
+    def __init__(self, config: PlatformConfig | None = None):
+        self.config = config or PlatformConfig()
+        self.instruction_cache = Cache(self.config.instruction_cache)
+        self.data_cache = Cache(self.config.data_cache)
+        self.pipeline = PipelineModel(self.config.pipeline)
+
+    # -- environment state management ---------------------------------------
+
+    def flush_caches(self) -> None:
+        """Put the platform in the cold-cache environment state."""
+        self.instruction_cache.flush()
+        self.data_cache.flush()
+
+    def warm_caches(self, binary: Binary) -> None:
+        """Pre-load instruction and data caches with the program's footprint."""
+        base = self.config.instruction_base_address
+        self.instruction_cache.warm(
+            base + index for index in range(len(binary.instructions))
+        )
+        self.data_cache.warm(binary.variable_addresses.values())
+
+    def snapshot_environment(self) -> dict[str, list[list[int]]]:
+        """Capture the environment (cache) state."""
+        return {
+            "icache": self.instruction_cache.snapshot(),
+            "dcache": self.data_cache.snapshot(),
+        }
+
+    def restore_environment(self, snapshot: Mapping[str, list[list[int]]]) -> None:
+        """Restore an environment captured with :meth:`snapshot_environment`."""
+        self.instruction_cache.restore(snapshot["icache"])
+        self.data_cache.restore(snapshot["dcache"])
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        binary: Binary,
+        inputs: Mapping[str, int] | Sequence[int],
+    ) -> RunResult:
+        """Execute ``binary`` on ``inputs`` from the current environment state.
+
+        Args:
+            binary: the compiled program.
+            inputs: parameter values, by name or in parameter order.
+
+        Returns:
+            A :class:`RunResult` with the cycle count and functional outputs.
+        """
+        if not isinstance(inputs, Mapping):
+            values = list(inputs)
+            if len(values) != len(binary.parameters):
+                raise SimulationError(
+                    f"expected {len(binary.parameters)} inputs, got {len(values)}"
+                )
+            inputs = dict(zip(binary.parameters, values))
+        mask = (1 << binary.word_width) - 1
+        memory: dict[int, int] = {
+            address: 0 for address in binary.variable_addresses.values()
+        }
+        for name in binary.parameters:
+            if name not in inputs:
+                raise SimulationError(f"missing input {name!r}")
+            memory[binary.variable_addresses[name]] = inputs[name] & mask
+        registers = [0] * max(binary.num_registers, 1)
+        self.pipeline.reset()
+        icache_misses_before = self.instruction_cache.statistics.misses
+        dcache_misses_before = self.data_cache.statistics.misses
+
+        cycles = 0
+        executed = 0
+        program_counter = 0
+        instruction_base = self.config.instruction_base_address
+        while True:
+            if executed >= self.config.max_instructions:
+                raise SimulationError("instruction budget exceeded (runaway loop?)")
+            if program_counter < 0 or program_counter >= len(binary.instructions):
+                raise SimulationError(f"program counter out of range: {program_counter}")
+            instruction = binary.instructions[program_counter]
+            # Instruction fetch through the I-cache.
+            cycles += self.instruction_cache.access(instruction_base + program_counter)
+            executed += 1
+            next_pc = program_counter + 1
+            branch_taken = False
+            opcode = instruction.opcode
+
+            if opcode is Opcode.HALT:
+                cycles += self.pipeline.cost(instruction)
+                break
+            if opcode is Opcode.LOADI:
+                registers[instruction.rd] = instruction.immediate & mask
+            elif opcode is Opcode.LOAD:
+                cycles += self.data_cache.access(instruction.address)
+                registers[instruction.rd] = memory.get(instruction.address, 0)
+            elif opcode is Opcode.STORE:
+                cycles += self.data_cache.access(instruction.address)
+                memory[instruction.address] = registers[instruction.rd] & mask
+            elif opcode is Opcode.MOVE:
+                registers[instruction.rd] = registers[instruction.ra]
+            elif opcode is Opcode.NOT:
+                registers[instruction.rd] = (~registers[instruction.ra]) & mask
+            elif opcode is Opcode.NEG:
+                registers[instruction.rd] = (-registers[instruction.ra]) & mask
+            elif opcode in {Opcode.BEQZ, Opcode.BNEZ}:
+                value = registers[instruction.rd]
+                take = (value == 0) if opcode is Opcode.BEQZ else (value != 0)
+                if take:
+                    next_pc = instruction.target
+                    branch_taken = True
+            elif opcode is Opcode.JUMP:
+                next_pc = instruction.target
+                branch_taken = True
+            else:
+                left = registers[instruction.ra]
+                right = registers[instruction.rb]
+                registers[instruction.rd] = self._alu(
+                    opcode, left, right, binary.word_width
+                ) & mask
+            cycles += self.pipeline.cost(instruction, branch_taken=branch_taken)
+            program_counter = next_pc
+
+        final_memory = {
+            name: memory.get(address, 0)
+            for name, address in binary.variable_addresses.items()
+        }
+        outputs = {name: final_memory[name] for name in binary.outputs}
+        return RunResult(
+            cycles=cycles,
+            instructions_executed=executed,
+            final_memory=final_memory,
+            outputs=outputs,
+            icache_misses=self.instruction_cache.statistics.misses - icache_misses_before,
+            dcache_misses=self.data_cache.statistics.misses - dcache_misses_before,
+        )
+
+    @staticmethod
+    def _alu(opcode: Opcode, left: int, right: int, width: int) -> int:
+        if opcode is Opcode.ADD:
+            return left + right
+        if opcode is Opcode.SUB:
+            return left - right
+        if opcode is Opcode.MUL:
+            return left * right
+        if opcode is Opcode.AND:
+            return left & right
+        if opcode is Opcode.OR:
+            return left | right
+        if opcode is Opcode.XOR:
+            return left ^ right
+        if opcode is Opcode.SHL:
+            return 0 if right >= width else left << right
+        if opcode is Opcode.SHR:
+            return 0 if right >= width else left >> right
+        if opcode is Opcode.CMPEQ:
+            return int(left == right)
+        if opcode is Opcode.CMPNE:
+            return int(left != right)
+        if opcode is Opcode.CMPLT:
+            return int(left < right)
+        if opcode is Opcode.CMPLE:
+            return int(left <= right)
+        if opcode is Opcode.CMPGT:
+            return int(left > right)
+        if opcode is Opcode.CMPGE:
+            return int(left >= right)
+        raise SimulationError(f"unhandled opcode {opcode}")

@@ -1,0 +1,434 @@
+"""Bit-blasting of QF_BV terms to CNF via the Tseitin transformation.
+
+Every Boolean term is mapped to one propositional literal and every
+bit-vector term to a list of literals (least-significant bit first).
+Structural caching guarantees that shared sub-terms are encoded once, so
+the encoding size is linear in the DAG size of the formula (quadratic for
+multiplication, which uses a shift-and-add array).
+
+The blaster writes clauses into any *sink* object exposing
+``new_variable()`` and ``add_clause(literals)`` — both
+:class:`repro.smt.cnf.CnfFormula` and :class:`repro.smt.sat.CdclSolver`
+qualify, enabling incremental use by the SMT facade.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.exceptions import SolverError
+from repro.smt.cnf import make_literal, negate
+from repro.smt.terms import (
+    Assignment,
+    BitVecTerm,
+    BoolConst,
+    BoolIte,
+    BoolOp,
+    BoolTerm,
+    BoolVar,
+    BvComparison,
+    BvConcat,
+    BvConst,
+    BvExtract,
+    BvIte,
+    BvOp,
+    BvSignExtend,
+    BvVar,
+    BvZeroExtend,
+    Term,
+)
+
+
+class ClauseSink(Protocol):
+    """Anything that can allocate variables and accept clauses."""
+
+    def new_variable(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def add_clause(self, literals) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class BitBlaster:
+    """Tseitin bit-blaster writing clauses into a :class:`ClauseSink`.
+
+    Typical use (through the SMT facade, but usable standalone)::
+
+        solver = CdclSolver()
+        blaster = BitBlaster(solver)
+        blaster.assert_formula(x.eq(y + bv_const(1, 8)))
+        if solver.solve() is SatResult.SAT:
+            assignment = blaster.extract_assignment(solver.model())
+    """
+
+    def __init__(self, sink: ClauseSink):
+        self._sink = sink
+        # A dedicated variable constrained to be true gives us constant
+        # literals, which keeps every "bit" a plain literal.
+        true_var = sink.new_variable()
+        self._true = make_literal(true_var)
+        self._false = negate(self._true)
+        sink.add_clause([self._true])
+        self._bool_cache: dict[Term, int] = {}
+        self._bv_cache: dict[Term, list[int]] = {}
+        self._bool_vars: dict[str, int] = {}
+        self._bv_vars: dict[str, list[int]] = {}
+        self._gate_cache: dict[tuple, int] = {}
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def true_literal(self) -> int:
+        """The literal constrained to be true."""
+        return self._true
+
+    @property
+    def false_literal(self) -> int:
+        """The literal constrained to be false."""
+        return self._false
+
+    def assert_formula(self, formula: BoolTerm) -> None:
+        """Assert that ``formula`` holds (add its literal as a unit clause)."""
+        self._sink.add_clause([self.blast_bool(formula)])
+
+    def blast_bool(self, term: BoolTerm) -> int:
+        """Return the literal representing the Boolean term."""
+        cached = self._bool_cache.get(term)
+        if cached is not None:
+            return cached
+        literal = self._blast_bool(term)
+        self._bool_cache[term] = literal
+        return literal
+
+    def blast_bv(self, term: BitVecTerm) -> list[int]:
+        """Return the literals (LSB first) representing the bit-vector term."""
+        cached = self._bv_cache.get(term)
+        if cached is not None:
+            return cached
+        bits = self._blast_bv(term)
+        if len(bits) != term.width:
+            raise SolverError(
+                f"internal error: blasted {len(bits)} bits for width {term.width}"
+            )
+        self._bv_cache[term] = bits
+        return bits
+
+    def bool_variable_literal(self, name: str) -> int | None:
+        """Literal assigned to a declared Boolean variable, if any."""
+        return self._bool_vars.get(name)
+
+    def bv_variable_literals(self, name: str) -> list[int] | None:
+        """Literals assigned to a declared bit-vector variable, if any."""
+        return self._bv_vars.get(name)
+
+    def extract_assignment(self, sat_model: Sequence[bool]) -> Assignment:
+        """Reconstruct variable values from a SAT model.
+
+        Args:
+            sat_model: list indexed by SAT variable (index 0 unused).
+        """
+        assignment = Assignment()
+        for name, literal in self._bool_vars.items():
+            assignment.bool_values[name] = self._literal_value(literal, sat_model)
+        for name, bits in self._bv_vars.items():
+            value = 0
+            for position, literal in enumerate(bits):
+                if self._literal_value(literal, sat_model):
+                    value |= 1 << position
+            assignment.bv_values[name] = value
+        return assignment
+
+    @staticmethod
+    def _literal_value(literal: int, sat_model: Sequence[bool]) -> bool:
+        value = sat_model[literal >> 1]
+        return (not value) if (literal & 1) else value
+
+    # -- fresh variables & primitive gates ---------------------------------
+
+    def _fresh(self) -> int:
+        return make_literal(self._sink.new_variable())
+
+    def _constant(self, value: bool) -> int:
+        return self._true if value else self._false
+
+    def _gate_and(self, operands: list[int]) -> int:
+        operands = [lit for lit in operands if lit != self._true]
+        if any(lit == self._false for lit in operands):
+            return self._false
+        if not operands:
+            return self._true
+        if len(operands) == 1:
+            return operands[0]
+        key = ("and", tuple(sorted(operands)))
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        output = self._fresh()
+        for literal in operands:
+            self._sink.add_clause([negate(output), literal])
+        self._sink.add_clause([output] + [negate(literal) for literal in operands])
+        self._gate_cache[key] = output
+        return output
+
+    def _gate_or(self, operands: list[int]) -> int:
+        return negate(self._gate_and([negate(literal) for literal in operands]))
+
+    def _gate_xor(self, left: int, right: int) -> int:
+        if left == self._false:
+            return right
+        if right == self._false:
+            return left
+        if left == self._true:
+            return negate(right)
+        if right == self._true:
+            return negate(left)
+        if left == right:
+            return self._false
+        if left == negate(right):
+            return self._true
+        key = ("xor", tuple(sorted((left, right))))
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        output = self._fresh()
+        self._sink.add_clause([negate(output), left, right])
+        self._sink.add_clause([negate(output), negate(left), negate(right)])
+        self._sink.add_clause([output, negate(left), right])
+        self._sink.add_clause([output, left, negate(right)])
+        self._gate_cache[key] = output
+        return output
+
+    def _gate_ite(self, condition: int, then_literal: int, else_literal: int) -> int:
+        if condition == self._true:
+            return then_literal
+        if condition == self._false:
+            return else_literal
+        if then_literal == else_literal:
+            return then_literal
+        key = ("ite", condition, then_literal, else_literal)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        output = self._fresh()
+        self._sink.add_clause([negate(condition), negate(then_literal), output])
+        self._sink.add_clause([negate(condition), then_literal, negate(output)])
+        self._sink.add_clause([condition, negate(else_literal), output])
+        self._sink.add_clause([condition, else_literal, negate(output)])
+        # Redundant but propagation-friendly clauses.
+        self._sink.add_clause([negate(then_literal), negate(else_literal), output])
+        self._sink.add_clause([then_literal, else_literal, negate(output)])
+        self._gate_cache[key] = output
+        return output
+
+    def _gate_iff(self, left: int, right: int) -> int:
+        return negate(self._gate_xor(left, right))
+
+    def _gate_majority(self, a: int, b: int, c: int) -> int:
+        """Majority-of-three (full-adder carry)."""
+        return self._gate_or(
+            [self._gate_and([a, b]), self._gate_and([a, c]), self._gate_and([b, c])]
+        )
+
+    # -- Boolean terms ------------------------------------------------------
+
+    def _blast_bool(self, term: BoolTerm) -> int:
+        if isinstance(term, BoolConst):
+            return self._constant(term.value)
+        if isinstance(term, BoolVar):
+            if term.name not in self._bool_vars:
+                self._bool_vars[term.name] = self._fresh()
+            return self._bool_vars[term.name]
+        if isinstance(term, BoolOp):
+            operands = [self.blast_bool(arg) for arg in term.args]
+            if term.kind == "and":
+                return self._gate_and(operands)
+            if term.kind == "or":
+                return self._gate_or(operands)
+            if term.kind == "xor":
+                result = operands[0]
+                for literal in operands[1:]:
+                    result = self._gate_xor(result, literal)
+                return result
+            return negate(operands[0])  # not
+        if isinstance(term, BoolIte):
+            return self._gate_ite(
+                self.blast_bool(term.condition),
+                self.blast_bool(term.then_branch),
+                self.blast_bool(term.else_branch),
+            )
+        if isinstance(term, BvComparison):
+            return self._blast_comparison(term)
+        raise SolverError(f"cannot bit-blast Boolean term {type(term).__name__}")
+
+    def _blast_comparison(self, term: BvComparison) -> int:
+        left = self.blast_bv(term.left)
+        right = self.blast_bv(term.right)
+        if term.kind == "eq":
+            return self._gate_and(
+                [self._gate_iff(a, b) for a, b in zip(left, right)]
+            )
+        if term.kind in {"slt", "sle"}:
+            # Signed comparison = unsigned comparison with sign bits flipped.
+            left = left[:-1] + [negate(left[-1])]
+            right = right[:-1] + [negate(right[-1])]
+        strict = term.kind in {"ult", "slt"}
+        return self._unsigned_less(left, right, allow_equal=not strict)
+
+    def _unsigned_less(self, left: list[int], right: list[int], allow_equal: bool) -> int:
+        """Encode ``left < right`` (or ``<=``) for LSB-first literal lists."""
+        result = self._constant(allow_equal)
+        for a, b in zip(left, right):  # LSB to MSB
+            strictly_less = self._gate_and([negate(a), b])
+            equal = self._gate_iff(a, b)
+            result = self._gate_or([strictly_less, self._gate_and([equal, result])])
+        return result
+
+    # -- bit-vector terms ----------------------------------------------------
+
+    def _blast_bv(self, term: BitVecTerm) -> list[int]:
+        if isinstance(term, BvConst):
+            return [
+                self._constant(bool((term.value >> position) & 1))
+                for position in range(term.width)
+            ]
+        if isinstance(term, BvVar):
+            if term.name not in self._bv_vars:
+                self._bv_vars[term.name] = [self._fresh() for _ in range(term.width)]
+            bits = self._bv_vars[term.name]
+            if len(bits) != term.width:
+                raise SolverError(
+                    f"variable {term.name!r} redeclared with width {term.width}"
+                )
+            return list(bits)
+        if isinstance(term, BvOp):
+            return self._blast_bv_op(term)
+        if isinstance(term, BvIte):
+            condition = self.blast_bool(term.condition)
+            then_bits = self.blast_bv(term.then_branch)
+            else_bits = self.blast_bv(term.else_branch)
+            return [
+                self._gate_ite(condition, t, e) for t, e in zip(then_bits, else_bits)
+            ]
+        if isinstance(term, BvExtract):
+            bits = self.blast_bv(term.operand)
+            return bits[term.low : term.high + 1]
+        if isinstance(term, BvConcat):
+            result: list[int] = []
+            for operand in reversed(term.operands):  # LSB-first assembly
+                result.extend(self.blast_bv(operand))
+            return result
+        if isinstance(term, BvZeroExtend):
+            bits = self.blast_bv(term.operand)
+            return bits + [self._false] * (term.width - term.operand.width)
+        if isinstance(term, BvSignExtend):
+            bits = self.blast_bv(term.operand)
+            return bits + [bits[-1]] * (term.width - term.operand.width)
+        raise SolverError(f"cannot bit-blast bit-vector term {type(term).__name__}")
+
+    def _blast_bv_op(self, term: BvOp) -> list[int]:
+        kind = term.kind
+        if kind in {"and", "or", "xor"}:
+            left = self.blast_bv(term.args[0])
+            right = self.blast_bv(term.args[1])
+            if kind == "and":
+                return [self._gate_and([a, b]) for a, b in zip(left, right)]
+            if kind == "or":
+                return [self._gate_or([a, b]) for a, b in zip(left, right)]
+            return [self._gate_xor(a, b) for a, b in zip(left, right)]
+        if kind == "not":
+            return [negate(bit) for bit in self.blast_bv(term.args[0])]
+        if kind == "neg":
+            bits = [negate(bit) for bit in self.blast_bv(term.args[0])]
+            return self._ripple_add(bits, [self._false] * len(bits), carry_in=self._true)
+        if kind == "add":
+            return self._ripple_add(
+                self.blast_bv(term.args[0]), self.blast_bv(term.args[1]), self._false
+            )
+        if kind == "sub":
+            left = self.blast_bv(term.args[0])
+            right = [negate(bit) for bit in self.blast_bv(term.args[1])]
+            return self._ripple_add(left, right, carry_in=self._true)
+        if kind == "mul":
+            return self._multiply(
+                self.blast_bv(term.args[0]), self.blast_bv(term.args[1])
+            )
+        if kind in {"shl", "lshr", "ashr"}:
+            return self._shift(
+                kind, self.blast_bv(term.args[0]), term.args[1]
+            )
+        raise SolverError(f"unhandled bit-vector op {kind!r}")
+
+    def _ripple_add(self, left: list[int], right: list[int], carry_in: int) -> list[int]:
+        carry = carry_in
+        result: list[int] = []
+        for a, b in zip(left, right):
+            partial = self._gate_xor(a, b)
+            result.append(self._gate_xor(partial, carry))
+            carry = self._gate_majority(a, b, carry)
+        return result
+
+    def _multiply(self, left: list[int], right: list[int]) -> list[int]:
+        width = len(left)
+        accumulator = [self._false] * width
+        for position, control in enumerate(right):
+            if control == self._false:
+                continue
+            partial = (
+                [self._false] * position
+                + [self._gate_and([control, bit]) for bit in left[: width - position]]
+            )
+            accumulator = self._ripple_add(accumulator, partial, self._false)
+        return accumulator
+
+    def _shift(self, kind: str, operand: list[int], amount_term: BitVecTerm) -> list[int]:
+        width = len(operand)
+        fill = operand[-1] if kind == "ashr" else self._false
+        # Constant shift amounts are rewired directly.
+        if isinstance(amount_term, BvConst):
+            amount = amount_term.value
+            return self._shift_by_constant(kind, operand, amount, fill)
+        amount_bits = self.blast_bv(amount_term)
+        # Barrel shifter over the log2(width) least significant amount bits.
+        stages = max(1, (width - 1).bit_length())
+        result = list(operand)
+        for stage in range(stages):
+            shift = 1 << stage
+            shifted = self._shift_by_constant(kind, result, shift, fill)
+            control = amount_bits[stage] if stage < len(amount_bits) else self._false
+            result = [
+                self._gate_ite(control, s, r) for s, r in zip(shifted, result)
+            ]
+        # Any higher amount bit set (or amount >= width) forces the
+        # overflow fill value.
+        overflow_controls = list(amount_bits[stages:])
+        if (1 << stages) > width - 1:
+            # Amounts in [width, 2**stages) also overflow; detect them via a
+            # comparison against the constant width.
+            pass
+        overflow = (
+            self._gate_or(overflow_controls) if overflow_controls else self._false
+        )
+        # Additionally handle amounts between width and 2**stages - 1.
+        if (1 << stages) - 1 >= width:
+            width_const = [
+                self._constant(bool((width >> position) & 1))
+                for position in range(len(amount_bits))
+            ]
+            too_large = negate(
+                self._unsigned_less(amount_bits, width_const, allow_equal=False)
+            )
+            overflow = self._gate_or([overflow, too_large])
+        return [self._gate_ite(overflow, fill, bit) for bit in result]
+
+    def _shift_by_constant(
+        self, kind: str, operand: list[int], amount: int, fill: int
+    ) -> list[int]:
+        width = len(operand)
+        if amount == 0:
+            return list(operand)
+        if amount >= width:
+            return [fill] * width
+        if kind == "shl":
+            return [self._false] * amount + operand[: width - amount]
+        # lshr / ashr
+        return operand[amount:] + [fill] * amount

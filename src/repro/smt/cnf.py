@@ -1,0 +1,152 @@
+"""Propositional CNF representation used by the SAT solver.
+
+Variables are positive integers ``1..n``.  A *literal* is encoded as an
+integer ``2*var`` (positive polarity) or ``2*var + 1`` (negative polarity);
+this encoding keeps literal negation a cheap XOR and lets watch lists be
+indexed by literal directly, which matters for the pure-Python CDCL solver.
+
+The human-facing representation (DIMACS-style signed integers) is supported
+through :func:`lit_from_dimacs` / :func:`lit_to_dimacs` and the
+:mod:`repro.smt.dimacs` module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.exceptions import SolverError
+
+
+def make_literal(variable: int, negative: bool = False) -> int:
+    """Return the internal literal for ``variable`` with the given polarity.
+
+    Args:
+        variable: a positive variable index.
+        negative: True for the negated literal.
+    """
+    if variable <= 0:
+        raise SolverError(f"variable indices must be positive, got {variable}")
+    return variable * 2 + (1 if negative else 0)
+
+
+def negate(literal: int) -> int:
+    """Return the negation of an internal literal."""
+    return literal ^ 1
+
+
+def literal_variable(literal: int) -> int:
+    """Return the variable index of an internal literal."""
+    return literal >> 1
+
+
+def literal_is_negative(literal: int) -> bool:
+    """Return True iff the internal literal has negative polarity."""
+    return bool(literal & 1)
+
+
+def lit_from_dimacs(dimacs_literal: int) -> int:
+    """Convert a DIMACS-style signed literal to the internal encoding."""
+    if dimacs_literal == 0:
+        raise SolverError("0 is not a valid DIMACS literal")
+    return make_literal(abs(dimacs_literal), dimacs_literal < 0)
+
+
+def lit_to_dimacs(literal: int) -> int:
+    """Convert an internal literal to DIMACS-style signed representation."""
+    variable = literal_variable(literal)
+    return -variable if literal_is_negative(literal) else variable
+
+
+@dataclass
+class CnfFormula:
+    """A CNF formula: a variable count plus a list of clauses.
+
+    Clauses are stored in the *internal* literal encoding (see module
+    docstring).  The class performs light normalisation on insertion:
+    duplicate literals within a clause are removed and tautological clauses
+    (containing both a literal and its negation) are dropped.
+
+    Attributes:
+        num_variables: highest variable index allocated so far.
+        clauses: list of clauses, each a list of internal literals.
+    """
+
+    num_variables: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+    #: Set to True the first time an empty clause is added, making the
+    #: formula trivially unsatisfiable.
+    contains_empty_clause: bool = False
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_variables += 1
+        return self.num_variables
+
+    def new_variables(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables and return their indices."""
+        return [self.new_variable() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause given as internal literals.
+
+        Tautologies are silently dropped; an empty clause marks the formula
+        unsatisfiable.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            variable = literal_variable(literal)
+            if variable <= 0 or variable > self.num_variables:
+                raise SolverError(
+                    f"literal {literal} refers to unallocated variable {variable}"
+                )
+            if negate(literal) in seen:
+                return  # tautology
+            if literal in seen:
+                continue
+            seen.add(literal)
+            clause.append(literal)
+        if not clause:
+            self.contains_empty_clause = True
+        self.clauses.append(clause)
+
+    def add_dimacs_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause given in DIMACS-style signed literals."""
+        self.add_clause(lit_from_dimacs(lit) for lit in literals)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the formula under a total assignment.
+
+        Args:
+            assignment: ``assignment[v]`` is the value of variable ``v``
+                (index 0 is unused).
+
+        Returns:
+            True iff every clause is satisfied.
+        """
+        if self.contains_empty_clause:
+            return False
+        for clause in self.clauses:
+            if not clause_is_satisfied(clause, assignment):
+                return False
+        return True
+
+
+def clause_is_satisfied(clause: Sequence[int], assignment: Sequence[bool]) -> bool:
+    """Return True iff ``clause`` is satisfied by the total ``assignment``."""
+    for literal in clause:
+        value = assignment[literal_variable(literal)]
+        if literal_is_negative(literal):
+            value = not value
+        if value:
+            return True
+    return False

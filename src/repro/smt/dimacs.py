@@ -1,0 +1,83 @@
+"""DIMACS CNF input/output.
+
+Provided for interoperability (dumping bit-blasted queries for external
+solvers, loading standard benchmark instances into the CDCL solver) and
+exercised by the SAT-solver test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from repro.core.exceptions import SolverError
+from repro.smt.cnf import CnfFormula, lit_from_dimacs, lit_to_dimacs
+
+
+def dump_dimacs(formula: CnfFormula, stream: TextIO, comments: Iterable[str] = ()) -> None:
+    """Write ``formula`` to ``stream`` in DIMACS CNF format."""
+    for comment in comments:
+        stream.write(f"c {comment}\n")
+    stream.write(f"p cnf {formula.num_variables} {len(formula.clauses)}\n")
+    for clause in formula.clauses:
+        literals = " ".join(str(lit_to_dimacs(literal)) for literal in clause)
+        stream.write(f"{literals} 0\n")
+
+
+def dumps_dimacs(formula: CnfFormula, comments: Iterable[str] = ()) -> str:
+    """Return the DIMACS text for ``formula``."""
+    import io
+
+    buffer = io.StringIO()
+    dump_dimacs(formula, buffer, comments)
+    return buffer.getvalue()
+
+
+def load_dimacs(stream: TextIO) -> CnfFormula:
+    """Parse a DIMACS CNF file into a :class:`CnfFormula`.
+
+    Raises:
+        SolverError: on malformed input.
+    """
+    formula = CnfFormula()
+    declared_variables: int | None = None
+    declared_clauses: int | None = None
+    pending: list[int] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed problem line: {line!r}")
+            declared_variables = int(parts[2])
+            declared_clauses = int(parts[3])
+            formula.num_variables = declared_variables
+            continue
+        for token in line.split():
+            value = int(token)
+            if value == 0:
+                formula.add_clause(lit_from_dimacs(lit) for lit in pending)
+                pending = []
+            else:
+                if declared_variables is None:
+                    raise SolverError("clause before problem line")
+                if abs(value) > declared_variables:
+                    raise SolverError(
+                        f"literal {value} exceeds declared variable count"
+                    )
+                pending.append(value)
+    if pending:
+        formula.add_clause(lit_from_dimacs(lit) for lit in pending)
+    if declared_clauses is not None and len(formula.clauses) != declared_clauses:
+        # Not fatal — many generators emit slightly-off counts — but worth
+        # surfacing in strict contexts; we tolerate it silently here.
+        pass
+    return formula
+
+
+def loads_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`."""
+    import io
+
+    return load_dimacs(io.StringIO(text))

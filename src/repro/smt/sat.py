@@ -1,0 +1,604 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+The paper's deductive engines for the timing-analysis and program-synthesis
+applications are SAT/SMT solvers.  No solver is available offline, so this
+module implements the classic CDCL architecture from scratch:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style variable activities with exponential decay,
+* phase saving,
+* Luby-sequence restarts,
+* periodic deletion of low-activity learned clauses,
+* solving under assumptions (used for incremental queries by the SMT layer).
+
+The implementation favours clarity over raw speed but is easily fast enough
+for the bit-blasted queries produced by the reproduction's benchmarks
+(thousands of variables, tens of thousands of clauses).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import SolverError
+from repro.smt.cnf import (
+    CnfFormula,
+    literal_is_negative,
+    literal_variable,
+    make_literal,
+    negate,
+)
+
+#: Truth values used on the solver trail.
+_UNASSIGNED = -1
+_FALSE = 0
+_TRUE = 1
+
+
+class SatResult(enum.Enum):
+    """Verdict of a SAT query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatStatistics:
+    """Counters describing the work done by the solver."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    (Luby, Sinclair & Zuckerman 1993), computed with the standard
+    iterative scheme used by MiniSat.
+    """
+    position = index - 1  # zero-based position within the sequence
+    size, exponent = 1, 0
+    while size < position + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != position:
+        size = (size - 1) >> 1
+        exponent -= 1
+        position %= size
+    return 1 << exponent
+
+
+class _Clause:
+    """A clause in the solver's database."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: list[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CdclSolver:
+    """A CDCL SAT solver over the internal literal encoding of
+    :mod:`repro.smt.cnf`.
+
+    Typical use::
+
+        solver = CdclSolver()
+        x, y = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(x), make_literal(y, negative=True)])
+        result = solver.solve()
+        if result is SatResult.SAT:
+            model = solver.model()      # model[v] -> bool
+
+    The solver may be reused for multiple :meth:`solve` calls, optionally
+    with different assumption literals each time; clauses persist between
+    calls (incremental solving).
+    """
+
+    def __init__(
+        self,
+        variable_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        restart_base: int = 100,
+        max_learned_ratio: float = 0.5,
+        max_conflicts: int | None = None,
+    ):
+        self._num_vars = 0
+        self._clauses: list[_Clause] = []
+        self._watches: list[list[_Clause]] = [[], []]  # indexed by literal
+        self._assignment: list[int] = [_UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._propagation_head = 0
+        self._variable_increment = 1.0
+        self._variable_decay = variable_decay
+        self._clause_increment = 1.0
+        self._clause_decay = clause_decay
+        self._restart_base = restart_base
+        self._max_learned_ratio = max_learned_ratio
+        self._max_conflicts = max_conflicts
+        self._unsat = False
+        self._conflicts_at_last_reduction = 0
+        # Lazy max-heap of (-activity, variable) entries used by the
+        # branching heuristic; stale entries are skipped on pop.
+        self._order_heap: list[tuple[float, int]] = []
+        # Model of the most recent satisfiable solve() (the working
+        # assignment is backtracked to level 0 before returning, so clauses
+        # can be added incrementally afterwards).
+        self._cached_model: list[bool] | None = None
+        self.statistics = SatStatistics()
+
+    # -- problem construction -------------------------------------------
+
+    def new_variable(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        self._assignment.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    def ensure_variables(self, count: int) -> None:
+        """Grow the variable table so that indices ``1..count`` exist."""
+        while self._num_vars < count:
+            self.new_variable()
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables allocated so far."""
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (internal literal encoding) to the database.
+
+        Must be called at decision level 0 (i.e. outside :meth:`solve`).
+        """
+        if self._trail_limits:
+            raise SolverError("clauses may only be added at decision level 0")
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            variable = literal_variable(literal)
+            if variable <= 0 or variable > self._num_vars:
+                raise SolverError(f"unallocated variable in literal {literal}")
+            if negate(literal) in seen:
+                return  # tautology
+            if literal in seen:
+                continue
+            # Drop literals already false at level 0; satisfied clauses are
+            # dropped entirely.
+            value = self._literal_value(literal)
+            if value == _TRUE and self._level[variable] == 0:
+                return
+            if value == _FALSE and self._level[variable] == 0:
+                continue
+            seen.add(literal)
+            clause.append(literal)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        self._attach_clause(_Clause(clause))
+
+    def add_formula(self, formula: CnfFormula) -> None:
+        """Add every clause of a :class:`CnfFormula`."""
+        self.ensure_variables(formula.num_variables)
+        if formula.contains_empty_clause:
+            self._unsat = True
+        for clause in formula.clauses:
+            self.add_clause(clause)
+
+    # -- solving ---------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Decide satisfiability of the clause database under ``assumptions``.
+
+        Args:
+            assumptions: literals (internal encoding) assumed true for this
+                call only.
+
+        Returns:
+            :data:`SatResult.SAT`, :data:`SatResult.UNSAT`, or
+            :data:`SatResult.UNKNOWN` if a conflict budget was configured
+            and exhausted.
+        """
+        if self._unsat:
+            return SatResult.UNSAT
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return SatResult.UNSAT
+
+        conflict_budget = self._max_conflicts
+        restart_count = 0
+        conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+        conflicts_since_restart = 0
+
+        # Enqueue assumptions as pseudo-decisions, one level each.
+        assumption_queue = list(assumptions)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics.conflicts += 1
+                conflicts_since_restart += 1
+                if conflict_budget is not None and self.statistics.conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return SatResult.UNKNOWN
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return SatResult.UNSAT
+                if self._decision_level() <= len(self._active_assumption_levels):
+                    # Conflict depends only on assumptions.
+                    self._backtrack(0)
+                    return SatResult.UNSAT
+                learned, backjump_level = self._analyze_conflict(conflict)
+                self._backtrack(max(backjump_level, len(self._active_assumption_levels)))
+                self._learn_clause(learned)
+                self._decay_activities()
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                restart_count += 1
+                self.statistics.restarts += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+                self._backtrack(len(self._active_assumption_levels))
+                continue
+
+            self._reduce_learned_clauses_if_needed()
+
+            # Re-establish pending assumptions (they may have been undone by
+            # restarts / backjumps).
+            next_assumption = self._next_unhandled_assumption(assumption_queue)
+            if next_assumption is not None:
+                value = self._literal_value(next_assumption)
+                if value == _FALSE:
+                    self._backtrack(0)
+                    return SatResult.UNSAT
+                if value == _TRUE:
+                    # Already implied; record a no-op decision level so the
+                    # bookkeeping of assumption levels stays consistent.
+                    self._trail_limits.append(len(self._trail))
+                    self._active_assumption_levels.append(self._decision_level())
+                    continue
+                self._trail_limits.append(len(self._trail))
+                self._active_assumption_levels.append(self._decision_level())
+                self._enqueue(next_assumption, None)
+                continue
+
+            literal = self._pick_branch_literal()
+            if literal is None:
+                self._cached_model = [value == _TRUE for value in self._assignment]
+                self._backtrack(0)
+                return SatResult.SAT
+            self.statistics.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self.statistics.max_decision_level = max(
+                self.statistics.max_decision_level, self._decision_level()
+            )
+            self._enqueue(literal, None)
+
+    def model(self) -> list[bool]:
+        """Return the satisfying assignment found by the last SAT answer.
+
+        ``model()[v]`` is the value of variable ``v``; index 0 is unused.
+        Unassigned variables (possible when they do not occur in any clause)
+        default to False.
+        """
+        if self._cached_model is not None:
+            return list(self._cached_model)
+        return [value == _TRUE for value in self._assignment]
+
+    def value(self, variable: int) -> bool:
+        """Value of ``variable`` in the model of the last SAT answer."""
+        return self.model()[variable]
+
+    # -- internal: assignment & propagation ------------------------------
+
+    @property
+    def _active_assumption_levels(self) -> list[int]:
+        if not hasattr(self, "_assumption_levels"):
+            self._assumption_levels: list[int] = []
+        return self._assumption_levels
+
+    def _next_unhandled_assumption(self, assumptions: list[int]) -> int | None:
+        handled = len(self._active_assumption_levels)
+        if handled < len(assumptions):
+            return assumptions[handled]
+        return None
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _literal_value(self, literal: int) -> int:
+        value = self._assignment[literal_variable(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        if literal_is_negative(literal):
+            return _TRUE if value == _FALSE else _FALSE
+        return value
+
+    def _enqueue(self, literal: int, reason: _Clause | None) -> bool:
+        value = self._literal_value(literal)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        variable = literal_variable(literal)
+        self._assignment[variable] = _FALSE if literal_is_negative(literal) else _TRUE
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._phase[variable] = not literal_is_negative(literal)
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self.statistics.propagations += 1
+            false_literal = negate(literal)
+            watch_list = self._watches[false_literal]
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                literals = clause.literals
+                # Ensure the false literal is in position 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._literal_value(first) == _TRUE:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for position in range(2, len(literals)):
+                    candidate = literals[position]
+                    if self._literal_value(candidate) != _FALSE:
+                        literals[1], literals[position] = literals[position], literals[1]
+                        watch_list[index] = watch_list[-1]
+                        watch_list.pop()
+                        self._watches[candidate].append(clause)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # Clause is unit or conflicting.
+                if not self._enqueue(first, clause):
+                    self._propagation_head = len(self._trail)
+                    return clause
+                index += 1
+        return None
+
+    def _attach_clause(self, clause: _Clause) -> None:
+        # Watch lists are indexed by the watched literal itself: when a
+        # literal L is falsified (i.e. ~L is asserted) we visit watches[L].
+        self._clauses.append(clause)
+        self._watches[clause.literals[0]].append(clause)
+        self._watches[clause.literals[1]].append(clause)
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self._trail_limits[target_level]
+        for literal in reversed(self._trail[boundary:]):
+            variable = literal_variable(literal)
+            self._assignment[variable] = _UNASSIGNED
+            self._reason[variable] = None
+            heapq.heappush(self._order_heap, (-self._activity[variable], variable))
+        del self._trail[boundary:]
+        del self._trail_limits[target_level:]
+        del self._active_assumption_levels[target_level:]
+        self._propagation_head = min(self._propagation_head, len(self._trail))
+
+    # -- internal: conflict analysis --------------------------------------
+
+    def _analyze_conflict(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (with the asserting literal first) and
+        the backjump level.
+        """
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = -1
+        reason: _Clause | None = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if literal == -1 else 1
+            for clause_literal in reason.literals[start:] if literal != -1 else reason.literals:
+                variable = literal_variable(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_variable(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next trail literal to resolve on.
+            while not seen[literal_variable(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            variable = literal_variable(literal)
+            seen[variable] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = negate(literal)
+                break
+            reason = self._reason[variable]
+
+        # Clause minimisation: drop literals implied by the rest (cheap,
+        # reason-subsumption based check).
+        learned = self._minimise_clause(learned, seen)
+
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            # Move the literal with the highest level (other than the
+            # asserting one) into position 1.
+            best = 1
+            for position in range(2, len(learned)):
+                if (
+                    self._level[literal_variable(learned[position])]
+                    > self._level[literal_variable(learned[best])]
+                ):
+                    best = position
+            learned[1], learned[best] = learned[best], learned[1]
+            backjump_level = self._level[literal_variable(learned[1])]
+        return learned, backjump_level
+
+    def _minimise_clause(self, learned: list[int], seen: list[bool]) -> list[int]:
+        for literal in learned[1:]:
+            seen[literal_variable(literal)] = True
+        result = [learned[0]]
+        for literal in learned[1:]:
+            variable = literal_variable(literal)
+            reason = self._reason[variable]
+            if reason is None:
+                result.append(literal)
+                continue
+            redundant = True
+            for reason_literal in reason.literals:
+                reason_variable = literal_variable(reason_literal)
+                if reason_variable == variable:
+                    continue
+                if not seen[reason_variable] and self._level[reason_variable] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                result.append(literal)
+        for literal in learned[1:]:
+            seen[literal_variable(literal)] = False
+        return result
+
+    def _learn_clause(self, learned: list[int]) -> None:
+        self.statistics.learned_clauses += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        clause = _Clause(learned, learned=True)
+        clause.activity = self._clause_increment
+        self._attach_clause(clause)
+        self._enqueue(learned[0], clause)
+
+    # -- internal: heuristics ---------------------------------------------
+
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._variable_increment
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._variable_increment *= 1e-100
+        if self._assignment[variable] == _UNASSIGNED:
+            heapq.heappush(self._order_heap, (-self._activity[variable], variable))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._clause_increment
+        if clause.activity > 1e20:
+            for other in self._clauses:
+                if other.learned:
+                    other.activity *= 1e-20
+            self._clause_increment *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._variable_increment /= self._variable_decay
+        self._clause_increment /= self._clause_decay
+
+    def _pick_branch_literal(self) -> int | None:
+        # Pop the lazy heap until an unassigned variable surfaces.  Stale
+        # entries (assigned variables, or outdated activities) are simply
+        # discarded; unassigned variables are guaranteed to be present
+        # because they are re-pushed on backtracking and on activity bumps.
+        while self._order_heap:
+            _, variable = heapq.heappop(self._order_heap)
+            if self._assignment[variable] == _UNASSIGNED:
+                return make_literal(variable, negative=not self._phase[variable])
+        # Heap exhausted: fall back to a linear scan (covers variables never
+        # bumped nor backtracked over since their initial entry was popped).
+        for variable in range(1, self._num_vars + 1):
+            if self._assignment[variable] == _UNASSIGNED:
+                return make_literal(variable, negative=not self._phase[variable])
+        return None
+
+    def _reduce_learned_clauses_if_needed(self) -> None:
+        # Scanning the clause database is O(|clauses|); only bother after a
+        # sizeable batch of new conflicts has accumulated.
+        if self.statistics.conflicts - self._conflicts_at_last_reduction < 2000:
+            return
+        self._conflicts_at_last_reduction = self.statistics.conflicts
+        learned = [clause for clause in self._clauses if clause.learned]
+        if len(learned) <= self._max_learned_ratio * max(len(self._clauses), 1) + 1000:
+            return
+        learned.sort(key=lambda clause: clause.activity)
+        to_delete = set()
+        locked = {
+            id(self._reason[literal_variable(lit)])
+            for lit in self._trail
+            if self._reason[literal_variable(lit)] is not None
+        }
+        for clause in learned[: len(learned) // 2]:
+            if len(clause.literals) > 2 and id(clause) not in locked:
+                to_delete.add(id(clause))
+        if not to_delete:
+            return
+        self.statistics.deleted_clauses += len(to_delete)
+        self._clauses = [c for c in self._clauses if id(c) not in to_delete]
+        for literal in range(2, 2 * self._num_vars + 2):
+            self._watches[literal] = [
+                c for c in self._watches[literal] if id(c) not in to_delete
+            ]
+
+
+def solve_formula(
+    formula: CnfFormula, assumptions: Sequence[int] = (), **solver_kwargs
+) -> tuple[SatResult, list[bool] | None]:
+    """One-shot convenience: solve a :class:`CnfFormula`.
+
+    Returns the verdict and, when SAT, the model as a list indexed by
+    variable (index 0 unused).
+    """
+    solver = CdclSolver(**solver_kwargs)
+    solver.add_formula(formula)
+    result = solver.solve(assumptions)
+    if result is SatResult.SAT:
+        return result, solver.model()
+    return result, None

@@ -1,0 +1,251 @@
+"""SMT solver facade for quantifier-free bit-vector formulas.
+
+This is the "deductive engine" interface used throughout the reproduction.
+It wraps the term language, the bit-blaster, and the CDCL SAT solver in a
+small API reminiscent of z3py::
+
+    solver = SmtSolver()
+    x = bv_var("x", 8)
+    solver.add(x * bv_const(3, 8) == ...)        # via .eq()
+    if solver.check() is SmtResult.SAT:
+        model = solver.model()
+        print(model["x"])
+
+Push/pop scopes are provided by re-blasting on demand (simple and robust:
+the assertion stack is the source of truth).  Incremental solving *within*
+one check is handled by the underlying CDCL solver's assumption mechanism;
+across checks the facade re-encodes, which is fast enough for the query
+sizes in this reproduction and keeps the code easy to audit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.deductive import DeductiveAnswer, DeductiveEngine, DeductiveQuery
+from repro.core.exceptions import SolverError
+from repro.smt.bitblast import BitBlaster
+from repro.smt.sat import CdclSolver, SatResult
+from repro.smt.terms import (
+    Assignment,
+    BitVecTerm,
+    BoolTerm,
+    BvVar,
+    BoolVar,
+    bool_and,
+    evaluate,
+    free_variables,
+)
+
+
+class SmtResult(enum.Enum):
+    """Verdict of an SMT query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Model:
+    """A satisfying assignment for the asserted formulas.
+
+    Provides dictionary-style access by variable name; bit-vector values
+    are unsigned integers, Boolean values are ``bool``.
+    """
+
+    assignment: Assignment = field(default_factory=Assignment)
+
+    def __getitem__(self, name: str) -> int | bool:
+        if name in self.assignment.bv_values:
+            return self.assignment.bv_values[name]
+        if name in self.assignment.bool_values:
+            return self.assignment.bool_values[name]
+        raise KeyError(name)
+
+    def get(self, name: str, default: int | bool | None = None) -> int | bool | None:
+        """Dictionary-style ``get``."""
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def value_of(self, variable: BvVar | BoolVar) -> int | bool:
+        """Value of a term-level variable object."""
+        return self[variable.name]
+
+    def evaluate(self, term) -> int | bool:
+        """Evaluate an arbitrary term under this model.
+
+        Variables not constrained by the asserted formulas default to 0 /
+        False (completion of the partial model).
+        """
+        bool_names, bv_widths = free_variables(term)
+        completed = self.assignment.copy()
+        for name in bool_names:
+            completed.bool_values.setdefault(name, False)
+        for name in bv_widths:
+            completed.bv_values.setdefault(name, 0)
+        return evaluate(term, completed)
+
+    def as_dict(self) -> dict[str, int | bool]:
+        """Return all variable values as one dictionary."""
+        merged: dict[str, int | bool] = dict(self.assignment.bv_values)
+        merged.update(self.assignment.bool_values)
+        return merged
+
+
+@dataclass
+class SmtStatistics:
+    """Counters aggregated over the lifetime of an :class:`SmtSolver`."""
+
+    checks: int = 0
+    sat_answers: int = 0
+    unsat_answers: int = 0
+    clauses_generated: int = 0
+    variables_generated: int = 0
+
+
+class SmtSolver:
+    """A QF_BV SMT solver built on bit-blasting + CDCL SAT.
+
+    Args:
+        max_conflicts: optional conflict budget per ``check`` (returns
+            :data:`SmtResult.UNKNOWN` when exhausted).
+    """
+
+    def __init__(self, max_conflicts: int | None = None):
+        self._assertions: list[BoolTerm] = []
+        self._scopes: list[int] = []
+        self._max_conflicts = max_conflicts
+        self._last_model: Model | None = None
+        self.statistics = SmtStatistics()
+
+    # -- assertion stack --------------------------------------------------
+
+    def add(self, *formulas: BoolTerm) -> None:
+        """Assert one or more Boolean formulas."""
+        for formula in formulas:
+            if not isinstance(formula, BoolTerm):
+                raise SolverError(
+                    f"only Boolean terms can be asserted, got {type(formula).__name__}"
+                )
+            self._assertions.append(formula)
+
+    def push(self) -> None:
+        """Push a backtracking scope."""
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Pop the most recent scope, discarding its assertions."""
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        boundary = self._scopes.pop()
+        del self._assertions[boundary:]
+
+    @property
+    def assertions(self) -> Sequence[BoolTerm]:
+        """The currently asserted formulas (read-only view)."""
+        return tuple(self._assertions)
+
+    # -- solving -----------------------------------------------------------
+
+    def check(self, *extra: BoolTerm) -> SmtResult:
+        """Check satisfiability of the asserted formulas (plus ``extra``).
+
+        Returns:
+            :data:`SmtResult.SAT`, :data:`SmtResult.UNSAT`, or
+            :data:`SmtResult.UNKNOWN` when the conflict budget is exhausted.
+        """
+        self.statistics.checks += 1
+        sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
+        blaster = BitBlaster(sat_solver)
+        for formula in list(self._assertions) + list(extra):
+            blaster.assert_formula(formula)
+        self.statistics.variables_generated += sat_solver.num_variables
+        result = sat_solver.solve()
+        if result is SatResult.SAT:
+            self.statistics.sat_answers += 1
+            self._last_model = Model(blaster.extract_assignment(sat_solver.model()))
+            return SmtResult.SAT
+        self._last_model = None
+        if result is SatResult.UNSAT:
+            self.statistics.unsat_answers += 1
+            return SmtResult.UNSAT
+        return SmtResult.UNKNOWN
+
+    def model(self) -> Model:
+        """Return the model found by the last satisfiable ``check``.
+
+        Raises:
+            SolverError: if the last check was not satisfiable.
+        """
+        if self._last_model is None:
+            raise SolverError("no model available (last check was not SAT)")
+        return self._last_model
+
+    # -- convenience entry points ------------------------------------------
+
+    def is_satisfiable(self, formula: BoolTerm) -> bool:
+        """One-shot satisfiability check of ``formula`` alone."""
+        solver = SmtSolver(max_conflicts=self._max_conflicts)
+        solver.add(formula)
+        return solver.check() is SmtResult.SAT
+
+    def is_valid(self, formula: BoolTerm) -> bool:
+        """One-shot validity check (negation unsatisfiable)."""
+        from repro.smt.terms import bool_not
+
+        solver = SmtSolver(max_conflicts=self._max_conflicts)
+        solver.add(bool_not(formula))
+        return solver.check() is SmtResult.UNSAT
+
+
+def solve(formulas: Iterable[BoolTerm], max_conflicts: int | None = None) -> tuple[SmtResult, Model | None]:
+    """Solve the conjunction of ``formulas`` in one shot.
+
+    Returns the verdict and, when satisfiable, a :class:`Model`.
+    """
+    solver = SmtSolver(max_conflicts=max_conflicts)
+    solver.add(*list(formulas))
+    verdict = solver.check()
+    model = solver.model() if verdict is SmtResult.SAT else None
+    return verdict, model
+
+
+class SmtDeductiveEngine(DeductiveEngine[BoolTerm, Model]):
+    """Adapter exposing :class:`SmtSolver` as a sciduction deductive engine.
+
+    The query payload is a Boolean term; the answer verdict is its
+    satisfiability and the witness is the model when satisfiable.  This is
+    the ``D`` used by both the GameTime test generator (basis-path
+    feasibility queries) and the OGIS synthesizer (candidate-program and
+    distinguishing-input queries).
+    """
+
+    name = "smt-qfbv"
+
+    def __init__(self, max_conflicts: int | None = None):
+        super().__init__()
+        self._max_conflicts = max_conflicts
+
+    def _answer(self, query: DeductiveQuery[BoolTerm]) -> DeductiveAnswer[Model]:
+        verdict, model = solve([query.payload], max_conflicts=self._max_conflicts)
+        if verdict is SmtResult.UNKNOWN:
+            return DeductiveAnswer(decided=False)
+        return DeductiveAnswer(
+            decided=True, verdict=verdict is SmtResult.SAT, witness=model
+        )
+
+    def lightweightness(self) -> str:
+        return (
+            "decides QF_BV satisfiability (NP), a strict special case of the "
+            "overall synthesis problems (Sigma_2 for component-based synthesis)"
+        )
+
+
+def conjoin(formulas: Iterable[BoolTerm]) -> BoolTerm:
+    """Conjunction helper used by encoding modules."""
+    return bool_and(*list(formulas))

@@ -1,0 +1,128 @@
+"""Tests for CFG construction, structure queries, and execution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CompilationError
+from repro.cfg import (
+    ControlFlowGraph,
+    absolute_difference,
+    bounded_linear_search,
+    build_cfg,
+    conditional_cascade,
+    figure4_toy,
+    interpret,
+    modular_exponentiation,
+    run_program,
+    saturating_add,
+)
+
+
+ALL_PROGRAMS = [
+    figure4_toy(),
+    modular_exponentiation(4, 16),
+    conditional_cascade(3),
+    saturating_add(),
+    absolute_difference(),
+    bounded_linear_search(3),
+]
+
+
+class TestStructure:
+    def test_figure4_shape(self):
+        cfg = build_cfg(figure4_toy())
+        # The unrolled loop (bound 1) gives 3 structural paths and basis
+        # dimension 3; exactly 2 of the paths are feasible (paper Fig. 4).
+        assert cfg.count_paths() == 3
+        assert cfg.basis_dimension() == 3
+        assert cfg.is_dag()
+
+    def test_modexp_path_counts(self):
+        cfg = build_cfg(modular_exponentiation(8, 16))
+        assert cfg.count_paths() == 256
+        assert cfg.basis_dimension() == 9  # the paper's "9 basis paths"
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+    def test_single_entry_exit_dag(self, program):
+        cfg = build_cfg(program)
+        cfg.check_single_entry_exit()
+        assert cfg.is_dag()
+        order = cfg.topological_order()
+        assert len(order) == cfg.num_blocks
+        positions = {node: index for index, node in enumerate(order)}
+        for edge in cfg.iter_edges():
+            assert positions[edge.source] < positions[edge.target]
+
+    def test_basis_dimension_formula(self):
+        cfg = build_cfg(conditional_cascade(3))
+        assert cfg.basis_dimension() == cfg.num_edges - cfg.num_blocks + 2
+
+
+class TestExecutionAgainstInterpreter:
+    @pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+    def test_cfg_execution_matches_interpreter(self, program):
+        cfg = build_cfg(program)
+        mask = (1 << program.word_width) - 1
+        # A deterministic spread of inputs per program.
+        sample_inputs = [
+            {name: (17 * (i + 1) * (j + 3)) & mask for j, name in enumerate(program.parameters)}
+            for i in range(8)
+        ]
+        for inputs in sample_inputs:
+            expected = interpret(program, inputs).final_state
+            actual = cfg.execute(inputs).final_state
+            for variable in program.output_variables():
+                assert actual[variable] == expected[variable], (program.name, inputs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.integers(min_value=0, max_value=0xFFFF), exponent=st.integers(min_value=0, max_value=255))
+    def test_modexp_cfg_is_modular_exponentiation(self, base, exponent):
+        program = modular_exponentiation(8, 16)
+        cfg = build_cfg(program)
+        result = cfg.execute({"base": base, "exponent": exponent}).final_state["result"]
+        assert result == pow(base, exponent, 1 << 16)
+
+    def test_execution_path_matches_popcount_structure(self):
+        program = modular_exponentiation(4, 16)
+        cfg = build_cfg(program)
+        run_ones = cfg.execute({"base": 3, "exponent": 0b1111})
+        run_zeros = cfg.execute({"base": 3, "exponent": 0})
+        # Paths differ, but both have the same length in edges (diamonds).
+        assert run_ones.edge_sequence != run_zeros.edge_sequence
+        assert len(run_ones.edge_sequence) == len(run_zeros.edge_sequence)
+
+
+class TestWeightedPaths:
+    def test_extremal_paths(self):
+        cfg = build_cfg(absolute_difference())
+        weights = [1.0] * cfg.num_edges
+        longest_value, longest_path = cfg.extremal_path(weights, longest=True)
+        shortest_value, _ = cfg.extremal_path(weights, longest=False)
+        assert longest_value >= shortest_value
+        # Reconstructed path must be connected from entry to exit.
+        assert cfg.edges[longest_path[0]].source == cfg.entry
+        assert cfg.edges[longest_path[-1]].target == cfg.exit
+
+    def test_weight_count_validated(self):
+        cfg = build_cfg(absolute_difference())
+        with pytest.raises(CompilationError):
+            cfg.extremal_path([1.0])
+
+
+class TestManualCfg:
+    def test_cycle_detection(self):
+        cfg = ControlFlowGraph("cyclic", 8, ())
+        a = cfg.new_block()
+        b = cfg.new_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(b, a)
+        assert not cfg.is_dag()
+
+    def test_multiple_sinks_rejected(self):
+        cfg = ControlFlowGraph("bad", 8, ())
+        a = cfg.new_block()
+        cfg.new_block()
+        cfg.new_block()
+        cfg.add_edge(a, 1)
+        with pytest.raises(CompilationError):
+            cfg.check_single_entry_exit()

@@ -1,0 +1,153 @@
+"""Tests for the task language AST and reference interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CompilationError
+from repro.cfg import (
+    Block,
+    Call,
+    If,
+    Program,
+    Skip,
+    While,
+    assign,
+    binop,
+    block,
+    const,
+    expression_variables,
+    interpret,
+    run_program,
+    var,
+)
+from repro.cfg.lang import evaluate_expression
+
+
+class TestExpressions:
+    def test_expression_variables(self):
+        expr = binop("+", binop("*", var("a"), const(2)), var("b"))
+        assert expression_variables(expr) == {"a", "b"}
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(CompilationError):
+            binop("%", var("a"), const(2))
+
+    @given(
+        a=st.integers(min_value=0, max_value=0xFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_modular_semantics(self, a, b):
+        state = {"a": a, "b": b}
+        width = 16
+        mask = (1 << width) - 1
+        assert evaluate_expression(binop("+", var("a"), var("b")), state, width) == (a + b) & mask
+        assert evaluate_expression(binop("-", var("a"), var("b")), state, width) == (a - b) & mask
+        assert evaluate_expression(binop("*", var("a"), var("b")), state, width) == (a * b) & mask
+        assert evaluate_expression(binop("<", var("a"), var("b")), state, width) == int(a < b)
+
+    def test_shift_past_width_is_zero(self):
+        assert evaluate_expression(binop("<<", const(1), const(40)), {}, 16) == 0
+        assert evaluate_expression(binop(">>", const(7), const(40)), {}, 16) == 0
+
+    def test_logical_not(self):
+        from repro.cfg.lang import UnOp
+
+        assert evaluate_expression(UnOp("!", const(0)), {}, 8) == 1
+        assert evaluate_expression(UnOp("!", const(3)), {}, 8) == 0
+
+
+class TestInterpreter:
+    def _abs_diff(self):
+        return Program(
+            name="absdiff",
+            parameters=("a", "b"),
+            body=If(
+                binop(">=", var("a"), var("b")),
+                assign("d", binop("-", var("a"), var("b"))),
+                assign("d", binop("-", var("b"), var("a"))),
+            ),
+            returns=("d",),
+            word_width=16,
+        )
+
+    def test_branches_and_result(self):
+        program = self._abs_diff()
+        assert run_program(program, {"a": 9, "b": 4})["d"] == 5
+        assert run_program(program, {"a": 4, "b": 9})["d"] == 5
+
+    def test_branch_decisions_recorded(self):
+        trace = interpret(self._abs_diff(), {"a": 9, "b": 4})
+        assert trace.branch_decisions == [True]
+
+    def test_positional_inputs(self):
+        assert run_program(self._abs_diff(), [3, 10])["d"] == 7
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(CompilationError):
+            run_program(self._abs_diff(), {"a": 1})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompilationError):
+            run_program(self._abs_diff(), [1])
+
+    def test_loop_with_bound(self):
+        program = Program(
+            name="count_bits",
+            parameters=("x",),
+            body=block(
+                assign("count", const(0)),
+                While(
+                    binop("!=", var("x"), const(0)),
+                    block(
+                        assign("count", binop("+", var("count"), binop("&", var("x"), const(1)))),
+                        assign("x", binop(">>", var("x"), const(1))),
+                    ),
+                    bound=16,
+                ),
+            ),
+            returns=("count",),
+            word_width=16,
+        )
+        assert run_program(program, {"x": 0b1011})["count"] == 3
+        assert run_program(program, {"x": 0})["count"] == 0
+
+    def test_loop_bound_violation_detected(self):
+        program = Program(
+            name="diverges",
+            parameters=("x",),
+            body=While(binop("==", const(1), const(1)), Skip(), bound=3),
+            word_width=8,
+        )
+        with pytest.raises(CompilationError):
+            run_program(program, {"x": 0})
+
+    def test_call_inlining_semantics(self):
+        double = Program(
+            name="double",
+            parameters=("v",),
+            body=assign("out", binop("*", var("v"), const(2))),
+            returns=("out",),
+            word_width=16,
+        )
+        caller = Program(
+            name="caller",
+            parameters=("x",),
+            body=Block(
+                (
+                    Call(double, (binop("+", var("x"), const(1)),), ("y",)),
+                    assign("z", binop("+", var("y"), const(5))),
+                )
+            ),
+            returns=("z",),
+            word_width=16,
+        )
+        assert run_program(caller, {"x": 10})["z"] == 27
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(CompilationError):
+            Program(name="p", parameters=("a", "a"), body=Skip())
+
+    def test_variables_listed_in_first_use_order(self):
+        program = self._abs_diff()
+        assert program.variables() == ["a", "b", "d"]
+        assert program.output_variables() == ("d",)

@@ -1,0 +1,127 @@
+"""Tests for path vectors, enumeration, rank tracking, and basis extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilationError
+from repro.cfg import (
+    RationalRankTracker,
+    build_cfg,
+    conditional_cascade,
+    enumerate_paths,
+    execution_path,
+    expansion_coefficients,
+    extract_basis_paths,
+    figure4_toy,
+    modular_exponentiation,
+    path_from_edges,
+    saturating_add,
+)
+from repro.cfg.ssa import PathConstraintBuilder
+
+
+class TestPathEnumeration:
+    def test_enumeration_counts_match(self):
+        for program in (figure4_toy(), conditional_cascade(3), saturating_add()):
+            cfg = build_cfg(program)
+            assert len(list(enumerate_paths(cfg))) == cfg.count_paths()
+
+    def test_enumeration_limit(self):
+        cfg = build_cfg(modular_exponentiation(6, 16))
+        assert len(list(enumerate_paths(cfg, limit=10))) == 10
+
+    def test_paths_are_entry_to_exit(self):
+        cfg = build_cfg(conditional_cascade(2))
+        for path in enumerate_paths(cfg):
+            assert path.nodes[0] == cfg.entry
+            assert path.nodes[-1] == cfg.exit
+            rebuilt = path_from_edges(cfg, path.edges)
+            assert rebuilt.nodes == path.nodes
+
+    def test_path_from_disconnected_edges_rejected(self):
+        cfg = build_cfg(saturating_add())
+        edges = [cfg.edges[-1].index, cfg.edges[0].index]
+        with pytest.raises(CompilationError):
+            path_from_edges(cfg, edges)
+
+    def test_execution_path_is_valid_path(self):
+        cfg = build_cfg(saturating_add())
+        path = execution_path(cfg, {"a": 30000, "b": 30000})
+        assert path.nodes[0] == cfg.entry and path.nodes[-1] == cfg.exit
+
+    def test_vector_indicator(self):
+        cfg = build_cfg(saturating_add())
+        path = next(enumerate_paths(cfg))
+        vector = path.vector(cfg.num_edges)
+        assert set(np.unique(vector)) <= {0.0, 1.0}
+        assert vector.sum() == len(path.edges)
+
+
+class TestRankTracker:
+    def test_rank_increases_only_for_independent_vectors(self):
+        tracker = RationalRankTracker(3)
+        assert tracker.add([1, 0, 0])
+        assert not tracker.add([2, 0, 0])
+        assert tracker.add([1, 1, 0])
+        assert not tracker.add([3, 1, 0])
+        assert tracker.add([0, 0, 5])
+        assert tracker.rank == 3
+
+    def test_would_increase_rank_is_side_effect_free(self):
+        tracker = RationalRankTracker(2)
+        tracker.add([1, 0])
+        assert tracker.would_increase_rank([0, 1])
+        assert tracker.rank == 1
+
+
+class TestExpansionCoefficients:
+    def test_exact_expansion(self):
+        basis = [np.array([1.0, 0.0, 1.0]), np.array([0.0, 1.0, 1.0])]
+        target = np.array([1.0, 1.0, 2.0])
+        coefficients = expansion_coefficients(basis, target)
+        assert np.allclose(coefficients, [1.0, 1.0])
+
+    def test_outside_span_rejected(self):
+        basis = [np.array([1.0, 0.0, 0.0])]
+        with pytest.raises(CompilationError):
+            expansion_coefficients(basis, np.array([0.0, 1.0, 0.0]))
+
+
+class TestBasisExtraction:
+    def test_modexp_basis_size_and_tests(self):
+        program = modular_exponentiation(5, 16)
+        cfg = build_cfg(program)
+        result = extract_basis_paths(cfg)
+        assert result.complete
+        assert len(result.basis) == cfg.basis_dimension() == 6
+        # Every basis path's test case actually drives execution down it.
+        for feasible in result.basis:
+            execution = cfg.execute(feasible.test_case)
+            assert tuple(execution.edge_sequence) == feasible.path.edges
+
+    def test_every_path_expands_in_the_basis(self):
+        program = modular_exponentiation(4, 16)
+        cfg = build_cfg(program)
+        result = extract_basis_paths(cfg)
+        vectors = result.vectors(cfg.num_edges)
+        for path in enumerate_paths(cfg):
+            coefficients = expansion_coefficients(vectors, path.vector(cfg.num_edges))
+            assert len(coefficients) == len(vectors)
+
+    def test_structural_extraction_without_feasibility(self):
+        cfg = build_cfg(conditional_cascade(4))
+        result = extract_basis_paths(cfg, check_feasibility=False)
+        assert result.complete
+        assert result.infeasible_skipped == 0
+
+    def test_infeasible_paths_are_skipped(self):
+        # figure4_toy has 3 structural paths but only 2 feasible ones; the
+        # third (taking the loop twice) contradicts flag being set to 1.
+        cfg = build_cfg(figure4_toy())
+        builder = PathConstraintBuilder(cfg)
+        feasible = [p for p in enumerate_paths(cfg) if builder.is_feasible(p)]
+        assert len(feasible) == 2
+        result = extract_basis_paths(cfg)
+        assert result.achieved_rank == 2
+        assert not result.complete
+        assert result.infeasible_skipped >= 1

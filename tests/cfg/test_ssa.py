@@ -1,0 +1,64 @@
+"""Tests for SMT path constraints and test-case generation."""
+
+import pytest
+
+from repro.cfg import (
+    build_cfg,
+    conditional_cascade,
+    enumerate_paths,
+    execution_path,
+    modular_exponentiation,
+    saturating_add,
+)
+from repro.cfg.ssa import PathConstraintBuilder
+
+
+class TestFeasibility:
+    def test_test_case_drives_requested_path(self):
+        program = conditional_cascade(3)
+        cfg = build_cfg(program)
+        builder = PathConstraintBuilder(cfg)
+        for path in enumerate_paths(cfg):
+            witness = builder.feasibility(path)
+            assert witness is not None  # every cascade path is feasible
+            replay = execution_path(cfg, witness.test_case)
+            assert replay.edges == path.edges
+
+    def test_contradictory_path_is_infeasible(self):
+        program = saturating_add()
+        cfg = build_cfg(program)
+        builder = PathConstraintBuilder(cfg)
+        feasible_flags = [builder.is_feasible(p) for p in enumerate_paths(cfg)]
+        # Both branches of the saturation check are reachable.
+        assert feasible_flags.count(True) == 2
+
+    def test_slicing_reduces_constraints(self):
+        program = modular_exponentiation(4, 16)
+        cfg = build_cfg(program)
+        path = next(enumerate_paths(cfg))
+        sliced = PathConstraintBuilder(cfg, slice_to_conditions=True).encode(path)
+        unsliced = PathConstraintBuilder(cfg, slice_to_conditions=False).encode(path)
+        assert len(sliced.constraints) < len(unsliced.constraints)
+
+    def test_sliced_and_unsliced_agree_on_feasibility(self):
+        program = modular_exponentiation(3, 16)
+        cfg = build_cfg(program)
+        sliced = PathConstraintBuilder(cfg, slice_to_conditions=True)
+        unsliced = PathConstraintBuilder(cfg, slice_to_conditions=False)
+        for path in enumerate_paths(cfg):
+            assert sliced.is_feasible(path) == unsliced.is_feasible(path)
+
+    def test_query_counter(self):
+        cfg = build_cfg(saturating_add())
+        builder = PathConstraintBuilder(cfg)
+        for path in enumerate_paths(cfg):
+            builder.is_feasible(path)
+        assert builder.queries == cfg.count_paths()
+
+    def test_input_variables_exposed(self):
+        cfg = build_cfg(saturating_add())
+        builder = PathConstraintBuilder(cfg)
+        encoding = builder.encode(next(enumerate_paths(cfg)))
+        assert set(encoding.input_variables) == {"a", "b"}
+        formula = encoding.formula()
+        assert formula is not None

@@ -1,0 +1,87 @@
+"""Tests for the generic counterexample-guided loop (repro.core.cegis)."""
+
+import pytest
+
+from repro.core import (
+    BudgetExceededError,
+    CegisLoop,
+    FunctionCounterexampleOracle,
+    UnrealizableError,
+)
+
+
+def _threshold_generator(candidates):
+    """Candidate generator: smallest threshold consistent with examples.
+
+    Examples are (value, label) pairs meaning 'value >= threshold is label'.
+    """
+
+    def generate(examples):
+        for threshold in candidates:
+            if all((value >= threshold) == label for value, label in examples):
+                return threshold
+        raise UnrealizableError("no consistent threshold")
+
+    return generate
+
+
+class TestCegisLoop:
+    def test_converges_to_target(self):
+        target = 4
+
+        def check(candidate):
+            # Verifier: find a value where candidate and target disagree.
+            for value in range(0, 10):
+                if (value >= candidate) != (value >= target):
+                    return (value, value >= target)
+            return None
+
+        loop = CegisLoop(
+            generate=_threshold_generator(range(0, 10)),
+            verifier=FunctionCounterexampleOracle(check),
+        )
+        outcome = loop.run()
+        assert outcome.success
+        assert outcome.artifact == target
+        assert outcome.realizable
+        assert outcome.iterations >= 1
+
+    def test_unrealizable_reported(self):
+        loop = CegisLoop(
+            generate=_threshold_generator([100]),
+            verifier=FunctionCounterexampleOracle(lambda c: (0, True)),
+            seed_examples=[(0, True), (200, False)],
+        )
+        outcome = loop.run()
+        assert not outcome.success
+        assert not outcome.realizable
+
+    def test_budget_exceeded_raises(self):
+        # Verifier always returns a fresh counterexample consistent with
+        # everything, so the loop cannot converge.
+        counter = iter(range(1000))
+
+        loop = CegisLoop(
+            generate=lambda examples: 0,
+            verifier=FunctionCounterexampleOracle(lambda c: (next(counter), True)),
+            max_iterations=5,
+        )
+        with pytest.raises(BudgetExceededError):
+            loop.run()
+
+    def test_examples_accumulate(self):
+        target = 7
+
+        def check(candidate):
+            for value in range(0, 12):
+                if (value >= candidate) != (value >= target):
+                    return (value, value >= target)
+            return None
+
+        loop = CegisLoop(
+            generate=_threshold_generator(range(0, 12)),
+            verifier=FunctionCounterexampleOracle(check),
+        )
+        outcome = loop.run()
+        assert len(outcome.examples) == outcome.iterations - 1
+        assert len(outcome.candidates) == outcome.iterations

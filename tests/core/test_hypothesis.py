@@ -1,0 +1,131 @@
+"""Tests for structure hypotheses (repro.core.hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    FiniteHypothesis,
+    GridSpec,
+    HypothesisValidityEvidence,
+    PredicateHypothesis,
+    ProductHypothesis,
+    StructureHypothesisError,
+)
+
+
+class TestFiniteHypothesis:
+    def test_membership(self):
+        hyp = FiniteHypothesis([1, 2, 3], name="small-ints")
+        assert hyp.contains(2)
+        assert not hyp.contains(7)
+
+    def test_enumeration_matches_members(self):
+        hyp = FiniteHypothesis(["a", "b"])
+        assert sorted(hyp.enumerate()) == ["a", "b"]
+
+    def test_empty_is_rejected(self):
+        with pytest.raises(StructureHypothesisError):
+            FiniteHypothesis([])
+
+    def test_is_strict_restriction(self):
+        assert FiniteHypothesis([1]).is_strict_restriction() is True
+
+    def test_describe_mentions_size(self):
+        assert "2 artifacts" in FiniteHypothesis([1, 2]).describe()
+
+
+class TestPredicateHypothesis:
+    def test_membership_uses_predicate(self):
+        hyp = PredicateHypothesis(lambda x: x % 2 == 0, name="even")
+        assert hyp.contains(4)
+        assert not hyp.contains(5)
+
+    def test_enumerate_not_supported(self):
+        hyp = PredicateHypothesis(lambda x: True)
+        with pytest.raises(NotImplementedError):
+            list(hyp.enumerate())
+
+    def test_validity_statement_mentions_name(self):
+        hyp = PredicateHypothesis(lambda x: True, name="anything")
+        assert "anything" in hyp.validity_statement()
+
+
+class TestProductHypothesis:
+    def test_membership_componentwise(self):
+        product = ProductHypothesis(
+            [FiniteHypothesis([1, 2]), FiniteHypothesis(["x", "y"])]
+        )
+        assert product.contains((1, "y"))
+        assert not product.contains((3, "y"))
+        assert not product.contains((1,))
+
+    def test_enumeration_is_cartesian_product(self):
+        product = ProductHypothesis(
+            [FiniteHypothesis([1, 2]), FiniteHypothesis(["x"])]
+        )
+        assert sorted(product.enumerate()) == [(1, "x"), (2, "x")]
+
+    def test_requires_factors(self):
+        with pytest.raises(StructureHypothesisError):
+            ProductHypothesis([])
+
+
+class TestGridSpec:
+    def test_num_points(self):
+        grid = GridSpec(0.0, 1.0, 0.25)
+        assert grid.num_points == 5
+
+    def test_snap_clamps_and_rounds(self):
+        grid = GridSpec(0.0, 10.0, 0.5)
+        assert grid.snap(3.26) == pytest.approx(3.5)
+        assert grid.snap(-4.0) == 0.0
+        assert grid.snap(99.0) == 10.0
+
+    def test_points_are_monotone(self):
+        grid = GridSpec(0.0, 2.0, 0.5)
+        points = list(grid.points())
+        assert points == sorted(points)
+        assert points[0] == 0.0
+        assert points[-1] == 2.0
+
+    def test_contains(self):
+        grid = GridSpec(0.0, 1.0, 0.1)
+        assert grid.contains(0.3)
+        assert not grid.contains(0.35)
+        assert not grid.contains(1.2)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(StructureHypothesisError):
+            GridSpec(0.0, 1.0, 0.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(StructureHypothesisError):
+            GridSpec(2.0, 1.0, 0.1)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_snap_always_on_grid(self, value):
+        grid = GridSpec(-10.0, 10.0, 0.25)
+        snapped = grid.snap(value)
+        assert grid.contains(snapped, tol=1e-9)
+        assert -10.0 <= snapped <= 10.0
+
+
+class TestHypothesisValidityEvidence:
+    def test_summary_states(self):
+        evidence = HypothesisValidityEvidence("h")
+        assert "ASSUMED" in evidence.summary()
+        evidence.proved = True
+        assert "PROVED" in evidence.summary()
+        evidence.counterexample = object()
+        assert evidence.refuted
+        assert "REFUTED" in evidence.summary()
+
+    def test_checked_instances_reported(self):
+        evidence = HypothesisValidityEvidence("h", checked_instances=3)
+        assert "3 instance" in evidence.summary()
+
+    def test_notes_accumulate(self):
+        evidence = HypothesisValidityEvidence("h")
+        evidence.add_note("first")
+        evidence.add_note("second")
+        assert evidence.notes == ["first", "second"]

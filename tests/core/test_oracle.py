@@ -1,0 +1,63 @@
+"""Tests for oracle interfaces (repro.core.oracle)."""
+
+import pytest
+
+from repro.core import (
+    BudgetExceededError,
+    CheckResult,
+    FunctionCounterexampleOracle,
+    FunctionIOOracle,
+    FunctionLabelingOracle,
+)
+
+
+class TestIOOracle:
+    def test_query_returns_function_value(self):
+        oracle = FunctionIOOracle(lambda x: x * 2)
+        assert oracle.query(21) == 42
+
+    def test_query_count_increments(self):
+        oracle = FunctionIOOracle(lambda x: x)
+        oracle.query(1)
+        oracle.query(2)
+        assert oracle.query_count == 2
+
+    def test_budget_enforced(self):
+        oracle = FunctionIOOracle(lambda x: x, max_queries=2)
+        oracle.query(1)
+        oracle.query(2)
+        with pytest.raises(BudgetExceededError):
+            oracle.query(3)
+
+    def test_reset_count(self):
+        oracle = FunctionIOOracle(lambda x: x, max_queries=1)
+        oracle.query(1)
+        oracle.reset_count()
+        assert oracle.query_count == 0
+        oracle.query(2)  # budget applies afresh
+
+
+class TestLabelingOracle:
+    def test_label(self):
+        oracle = FunctionLabelingOracle(lambda x: x > 0)
+        assert oracle.label(5) is True
+        assert oracle.label(-5) is False
+        assert oracle.query_count == 2
+
+
+class TestCounterexampleOracle:
+    def test_correct_artifact(self):
+        oracle = FunctionCounterexampleOracle(lambda artifact: None)
+        result = oracle.check("anything")
+        assert result.correct
+        assert result.counterexample is None
+
+    def test_incorrect_artifact_returns_counterexample(self):
+        oracle = FunctionCounterexampleOracle(lambda artifact: ("bad", artifact))
+        result = oracle.check(7)
+        assert not result.correct
+        assert result.counterexample == ("bad", 7)
+
+    def test_check_result_dataclass(self):
+        result = CheckResult(correct=False, counterexample=3)
+        assert result.counterexample == 3

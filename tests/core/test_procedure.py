@@ -1,0 +1,76 @@
+"""Tests for the sciduction procedure driver and deductive engine adapters."""
+
+import pytest
+
+from repro.core import (
+    CallableEngine,
+    DeductiveQuery,
+    PredicateHypothesis,
+    QueryKind,
+    SciductionProcedure,
+    SciductionResult,
+)
+
+
+class _ToyProcedure(SciductionProcedure[int]):
+    """Synthesizes the number 42 (for exercising the base-class plumbing)."""
+
+    name = "toy"
+
+    def __init__(self):
+        super().__init__(
+            hypothesis=PredicateHypothesis(lambda x: x % 2 == 0, name="even-numbers"),
+            inductive=None,
+            deductive=CallableEngine(lambda payload: payload == 42, name="is-42"),
+        )
+
+    def soundness_argument(self) -> str:
+        return "returns a constant that the deductive engine validated"
+
+    def _run(self, **kwargs):
+        answer = self.deductive.decide(42)
+        return SciductionResult(success=bool(answer.verdict), artifact=42, iterations=1)
+
+
+class TestSciductionProcedure:
+    def test_run_attaches_certificate_and_timing(self):
+        result = _ToyProcedure().run()
+        assert result.success
+        assert result.artifact == 42
+        assert result.elapsed >= 0.0
+        assert result.certificate is not None
+        assert "even-numbers" in result.certificate.statement()
+        assert "toy" in result.certificate.statement()
+
+    def test_describe_lists_h_i_d(self):
+        description = _ToyProcedure().describe()
+        assert description["H"] == "even-numbers"
+        assert description["D"] == "is-42"
+
+    def test_deductive_queries_counted(self):
+        result = _ToyProcedure().run()
+        assert result.deductive_queries == 1
+
+    def test_certificate_summary_contains_argument(self):
+        certificate = _ToyProcedure().certificate()
+        assert "constant" in certificate.summary()
+
+
+class TestCallableEngine:
+    def test_boolean_result(self):
+        engine = CallableEngine(lambda payload: payload > 0)
+        answer = engine.decide(5)
+        assert answer.decided and answer.verdict is True
+
+    def test_tuple_result_carries_witness(self):
+        engine = CallableEngine(lambda payload: (True, payload * 2))
+        answer = engine.decide(4)
+        assert answer.witness == 8
+
+    def test_statistics_recorded_per_kind(self):
+        engine = CallableEngine(lambda payload: True)
+        engine.answer(DeductiveQuery(QueryKind.GENERATE_EXAMPLE, None))
+        engine.decide(1)
+        assert engine.statistics.queries == 2
+        assert engine.statistics.per_kind[QueryKind.GENERATE_EXAMPLE.value] == 1
+        assert engine.statistics.per_kind[QueryKind.DECIDE.value] == 1

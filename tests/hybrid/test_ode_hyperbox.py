@@ -1,0 +1,159 @@
+"""Tests for the ODE integrator, hyperboxes, and the hyperbox hypothesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GridSpec, SimulationError, StructureHypothesisError
+from repro.hybrid import (
+    Hyperbox,
+    HyperboxHypothesis,
+    IntegratorConfig,
+    OdeIntegrator,
+    bounding_box,
+    euler_step,
+    rk4_step,
+)
+
+
+class TestIntegrator:
+    def test_exponential_decay_accuracy(self):
+        integrator = OdeIntegrator(IntegratorConfig(step=0.01))
+        trajectory = integrator.integrate(
+            lambda state, time: -state, [1.0], horizon=1.0
+        )
+        assert trajectory.final_state[0] == pytest.approx(math.exp(-1.0), rel=1e-5)
+        assert trajectory.final_time == pytest.approx(1.0)
+
+    def test_rk4_order_beats_euler(self):
+        field = lambda state, time: np.array([state[0]])  # y' = y
+        exact = math.exp(1.0)
+        rk4 = OdeIntegrator(IntegratorConfig(step=0.1, method="rk4")).integrate(
+            field, [1.0], horizon=1.0
+        )
+        euler = OdeIntegrator(IntegratorConfig(step=0.1, method="euler")).integrate(
+            field, [1.0], horizon=1.0
+        )
+        assert abs(rk4.final_state[0] - exact) < abs(euler.final_state[0] - exact) / 100
+
+    def test_halving_step_reduces_rk4_error_by_about_16x(self):
+        field = lambda state, time: np.array([math.sin(time) * state[0]])
+        exact = math.exp(1.0 - math.cos(2.0))
+        errors = []
+        for step in (0.2, 0.1):
+            result = OdeIntegrator(IntegratorConfig(step=step)).integrate(
+                field, [1.0], horizon=2.0
+            )
+            errors.append(abs(result.final_state[0] - exact))
+        assert errors[1] < errors[0] / 8  # ~16x for a 4th-order method
+
+    def test_event_detection_stops_early(self):
+        integrator = OdeIntegrator(IntegratorConfig(step=0.01))
+        trajectory = integrator.integrate(
+            lambda state, time: np.array([1.0]),
+            [0.0],
+            horizon=10.0,
+            stop_when=lambda state, time: state[0] >= 2.0,
+        )
+        assert trajectory.terminated_by_event
+        assert trajectory.final_time == pytest.approx(2.0, abs=0.02)
+
+    def test_record_false_keeps_endpoints_only(self):
+        integrator = OdeIntegrator(IntegratorConfig(step=0.1))
+        trajectory = integrator.integrate(
+            lambda state, time: np.array([1.0]), [0.0], horizon=1.0, record=False
+        )
+        assert len(trajectory) == 2
+        assert trajectory.times[0] == 0.0
+        assert trajectory.final_time == pytest.approx(1.0)
+
+    def test_two_dimensional_system(self):
+        # Harmonic oscillator: energy is conserved by RK4 to high accuracy.
+        field = lambda state, time: np.array([state[1], -state[0]])
+        trajectory = OdeIntegrator(IntegratorConfig(step=0.01)).integrate(
+            field, [1.0, 0.0], horizon=2.0 * math.pi
+        )
+        assert trajectory.final_state[0] == pytest.approx(1.0, abs=1e-4)
+        assert trajectory.final_state[1] == pytest.approx(0.0, abs=1e-4)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError):
+            IntegratorConfig(step=0.0)
+        with pytest.raises(SimulationError):
+            IntegratorConfig(method="leapfrog")
+
+    def test_steppers_agree_to_first_order(self):
+        field = lambda state, time: np.array([2.0])
+        state = np.array([1.0])
+        assert rk4_step(field, state, 0.0, 0.1)[0] == pytest.approx(1.2)
+        assert euler_step(field, state, 0.0, 0.1)[0] == pytest.approx(1.2)
+
+
+class TestHyperbox:
+    def test_membership_and_emptiness(self):
+        box = Hyperbox.from_bounds({"x": (0.0, 1.0), "y": (2.0, 3.0)})
+        assert box.contains({"x": 0.5, "y": 2.5})
+        assert not box.contains({"x": 1.5, "y": 2.5})
+        assert not box.is_empty
+        empty = box.intersect(Hyperbox.from_bounds({"x": (5.0, 6.0), "y": (2.0, 3.0)}))
+        assert empty.is_empty
+        assert not empty.contains({"x": 5.5, "y": 2.5})
+
+    def test_intersection_and_equality(self):
+        first = Hyperbox.from_bounds({"x": (0.0, 2.0)})
+        second = Hyperbox.from_bounds({"x": (1.0, 3.0)})
+        assert first.intersect(second).equals(Hyperbox.from_bounds({"x": (1.0, 2.0)}))
+        with pytest.raises(StructureHypothesisError):
+            first.intersect(Hyperbox.from_bounds({"y": (0.0, 1.0)}))
+
+    def test_point_box_and_describe(self):
+        point = Hyperbox.point({"omega": 0.0, "theta": 1700.0})
+        assert point.contains({"omega": 0.0, "theta": 1700.0})
+        assert "omega = 0.00" in point.describe()
+        ranged = Hyperbox.from_bounds({"omega": (0.0, 16.7)})
+        assert "0.00 <= omega <= 16.70" in ranged.describe()
+
+    def test_corners_and_center(self):
+        box = Hyperbox.from_bounds({"x": (0.0, 1.0), "y": (2.0, 4.0)})
+        corners = list(box.corners())
+        assert len(corners) == 4
+        assert {"x": 1.0, "y": 4.0} in corners
+        assert box.center() == {"x": 0.5, "y": 3.0}
+        assert box.volume() == pytest.approx(2.0)
+
+    def test_contains_vector_and_snap(self):
+        box = Hyperbox.from_bounds({"x": (0.0, 1.03), "y": (0.0, 2.0)})
+        grids = {"x": GridSpec(0.0, 2.0, 0.5), "y": GridSpec(0.0, 2.0, 0.5)}
+        snapped = box.snapped(grids)
+        assert snapped.interval("x").high == pytest.approx(1.0)
+        assert box.contains_vector([0.5, 1.0], order=("x", "y"))
+
+    def test_bounding_box(self):
+        points = [{"x": 0.0, "y": 1.0}, {"x": 2.0, "y": -1.0}]
+        box = bounding_box(points, ("x", "y"))
+        assert box.interval("x").low == 0.0 and box.interval("x").high == 2.0
+        assert box.interval("y").low == -1.0
+        assert bounding_box([], ("x",)).is_empty
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        low=st.floats(min_value=0, max_value=5, allow_nan=False),
+        width=st.floats(min_value=0, max_value=5, allow_nan=False),
+        probe=st.floats(min_value=-1, max_value=11, allow_nan=False),
+    )
+    def test_membership_matches_interval_arithmetic(self, low, width, probe):
+        box = Hyperbox.from_bounds({"x": (low, low + width)})
+        assert box.contains({"x": probe}) == (low - 1e-9 <= probe <= low + width + 1e-9)
+
+
+class TestHyperboxHypothesis:
+    def test_grid_membership(self):
+        grids = {"omega": GridSpec(0.0, 60.0, 0.01)}
+        hypothesis = HyperboxHypothesis(grids)
+        assert hypothesis.contains(Hyperbox.from_bounds({"omega": (0.0, 16.70)}))
+        assert not hypothesis.contains(Hyperbox.from_bounds({"omega": (0.0, 16.705)}))
+        assert not hypothesis.contains(Hyperbox.from_bounds({"other": (0.0, 1.0)}))
+        assert hypothesis.is_strict_restriction() is True
+        assert "0.01" in hypothesis.describe()

@@ -1,0 +1,160 @@
+"""Tests for components, the loop-free program IR, and the obfuscated benchmarks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ReproError
+from repro.ogis import (
+    ComponentInstance,
+    LoopFreeProgram,
+    component_add,
+    component_and,
+    component_constant,
+    component_is_zero,
+    component_neg,
+    component_not,
+    component_or,
+    component_select,
+    component_shift_left,
+    component_shift_right,
+    component_sub,
+    component_xor,
+    interchange_library,
+    interchange_obfuscated,
+    interchange_reference,
+    multiply45_library,
+    multiply45_obfuscated,
+    multiply45_reference,
+    standard_library,
+    turn_off_rightmost_one_obfuscated,
+    turn_off_rightmost_one_reference,
+    average_floor_obfuscated,
+)
+from repro.smt import Assignment, bv_var, evaluate
+
+
+class TestComponents:
+    @pytest.mark.parametrize(
+        "component,args,expected",
+        [
+            (component_add(), (200, 100), (300) % 256),
+            (component_sub(), (5, 9), (5 - 9) % 256),
+            (component_xor(), (0b1100, 0b1010), 0b0110),
+            (component_and(), (0b1100, 0b1010), 0b1000),
+            (component_or(), (0b1100, 0b1010), 0b1110),
+            (component_not(), (0,), 0xFF),
+            (component_neg(), (1,), 0xFF),
+            (component_shift_left(2), (3,), 12),
+            (component_shift_right(2), (12,), 3),
+            (component_constant(7), (), 7),
+            (component_is_zero(), (0,), 1),
+            (component_is_zero(), (9,), 0),
+            (component_select(), (1, 5, 6), 5),
+            (component_select(), (0, 5, 6), 6),
+        ],
+    )
+    def test_concrete_semantics(self, component, args, expected):
+        assert component.apply(args, width=8) == expected
+
+    def test_concrete_and_symbolic_semantics_agree(self):
+        width = 8
+        for component in standard_library() + [
+            component_shift_left(3), component_shift_right(1), component_is_zero(),
+        ]:
+            names = [f"v{i}" for i in range(component.arity)]
+            terms = [bv_var(name, width) for name in names]
+            symbolic = component.encode(terms, width)
+            for seedling in range(0, 256, 37):
+                values = [(seedling * (i + 3) + 11) % 256 for i in range(component.arity)]
+                env = Assignment(bv_values=dict(zip(names, values)))
+                assert evaluate(symbolic, env) == component.apply(values, width)
+
+    def test_arity_checked(self):
+        with pytest.raises(ReproError):
+            component_add().apply((1,), 8)
+
+    def test_render(self):
+        assert component_xor().render(["a", "b"]) == "a ^ b"
+        assert component_shift_left(2).render(["y"]) == "y << 2"
+
+
+class TestLoopFreeProgram:
+    def _xor_swap(self):
+        xor = component_xor()
+        return LoopFreeProgram(
+            num_inputs=2,
+            instances=[
+                ComponentInstance(xor, (0, 1), 2),
+                ComponentInstance(xor, (0, 2), 3),
+                ComponentInstance(xor, (2, 3), 4),
+            ],
+            output_lines=(3, 4),
+            width=8,
+        )
+
+    def test_run_swaps(self):
+        program = self._xor_swap()
+        assert program.run((3, 5)) == (5, 3)
+        assert program.run((0xAB, 0xCD), width=16) == (0xCD, 0xAB)
+
+    def test_pretty_printed_form(self):
+        text = self._xor_swap().pretty("interchange")
+        assert "interchange(in0, in1)" in text
+        assert text.count("^") == 3
+        assert "return" in text
+
+    def test_equivalence_check(self):
+        program = self._xor_swap()
+        assert program.equivalent_to(lambda v: (v[1], v[0]), width=8)
+        assert not program.equivalent_to(lambda v: (v[0], v[1]), width=8)
+
+    def test_ssa_violation_rejected(self):
+        xor = component_xor()
+        with pytest.raises(ReproError):
+            LoopFreeProgram(
+                num_inputs=1,
+                instances=[ComponentInstance(xor, (0, 2), 1), ComponentInstance(xor, (0, 0), 2)],
+                output_lines=(2,),
+            )
+
+    def test_non_contiguous_output_lines_rejected(self):
+        xor = component_xor()
+        with pytest.raises(ReproError):
+            LoopFreeProgram(
+                num_inputs=1,
+                instances=[ComponentInstance(xor, (0, 0), 3)],
+                output_lines=(3,),
+            )
+
+    def test_wrong_input_arity_rejected(self):
+        with pytest.raises(ReproError):
+            self._xor_swap().run((1,))
+
+
+class TestObfuscatedBenchmarks:
+    @settings(max_examples=60, deadline=None)
+    @given(src=st.integers(min_value=0, max_value=0xFFFF), dest=st.integers(min_value=0, max_value=0xFFFF))
+    def test_interchange_is_a_swap(self, src, dest):
+        assert interchange_obfuscated((src, dest), 16) == (dest, src)
+        assert interchange_reference((src, dest), 16) == (dest, src)
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_multiply45_is_multiplication_by_45(self, value):
+        assert multiply45_obfuscated((value,), 32) == ((45 * value) & 0xFFFFFFFF,)
+        assert multiply45_reference((value,), 32) == ((45 * value) & 0xFFFFFFFF,)
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=255))
+    def test_additional_benchmarks(self, value):
+        assert turn_off_rightmost_one_obfuscated((value,), 8) == (
+            turn_off_rightmost_one_reference((value,), 8)
+        )
+        assert turn_off_rightmost_one_reference((value,), 8) == (value & ((value - 1) % 256),)
+        other = (value * 7 + 13) % 256
+        assert average_floor_obfuscated((value, other), 8) == ((value + other) // 2 % 256,)
+
+    def test_library_builders(self):
+        assert [c.name for c in interchange_library()] == ["xor", "xor", "xor"]
+        assert [c.name for c in multiply45_library()] == ["shl2", "add", "shl3", "add"]
+        assert len(standard_library()) >= 8

@@ -1,0 +1,121 @@
+"""Tests for the cache and pipeline timing models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SimulationError
+from repro.platform import Cache, CacheConfig, PipelineConfig, PipelineModel
+from repro.platform.isa import Instruction, Opcode
+
+
+class TestCacheConfig:
+    def test_capacity(self):
+        config = CacheConfig(line_size_words=4, num_sets=8, associativity=2)
+        assert config.capacity_words == 64
+
+    def test_geometry_validation(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(line_size_words=3)
+        with pytest.raises(SimulationError):
+            CacheConfig(num_sets=0)
+        with pytest.raises(SimulationError):
+            CacheConfig(miss_penalty=-1)
+
+
+class TestCacheBehaviour:
+    def _small_cache(self):
+        return Cache(CacheConfig(line_size_words=2, num_sets=2, associativity=1,
+                                 hit_latency=1, miss_penalty=10))
+
+    def test_cold_miss_then_hit(self):
+        cache = self._small_cache()
+        assert cache.access(0) == 11   # miss
+        assert cache.access(1) == 1    # same line: hit
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hits == 1
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = self._small_cache()
+        cache.access(0)      # set 0
+        cache.access(4)      # also set 0 (line 2 -> set 0): evicts line 0
+        assert cache.access(0) == 11  # miss again
+
+    def test_lru_within_set(self):
+        cache = Cache(CacheConfig(line_size_words=1, num_sets=1, associativity=2,
+                                  hit_latency=0, miss_penalty=5))
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # refresh line 0
+        cache.access(2)      # evicts line 1 (LRU)
+        assert cache.access(0) == 0
+        assert cache.access(1) == 5
+
+    def test_flush_and_warm(self):
+        cache = self._small_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.probe(0)
+        cache.warm([0, 2])
+        assert cache.probe(0) and cache.probe(2)
+
+    def test_snapshot_restore(self):
+        cache = self._small_cache()
+        cache.access(0)
+        snapshot = cache.snapshot()
+        cache.access(4)   # evicts line 0
+        cache.restore(snapshot)
+        assert cache.probe(0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            self._small_cache().access(-1)
+
+    def test_hit_rate(self):
+        cache = self._small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.statistics.hit_rate == pytest.approx(0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60))
+    def test_determinism(self, addresses):
+        first = Cache(CacheConfig(line_size_words=2, num_sets=4, associativity=2))
+        second = Cache(CacheConfig(line_size_words=2, num_sets=4, associativity=2))
+        costs_first = [first.access(a) for a in addresses]
+        costs_second = [second.access(a) for a in addresses]
+        assert costs_first == costs_second
+        assert first.snapshot() == second.snapshot()
+
+
+class TestPipelineModel:
+    def test_base_and_multiply_cost(self):
+        model = PipelineModel(PipelineConfig(base_cost=1, multiply_extra=3))
+        add = Instruction(Opcode.ADD, rd=0, ra=1, rb=2)
+        mul = Instruction(Opcode.MUL, rd=0, ra=1, rb=2)
+        assert model.cost(add) == 1
+        assert model.cost(mul) == 4
+
+    def test_load_use_stall(self):
+        model = PipelineModel(PipelineConfig(load_use_stall=2))
+        load = Instruction(Opcode.LOAD, rd=3, address=0)
+        dependent = Instruction(Opcode.ADD, rd=4, ra=3, rb=3)
+        independent = Instruction(Opcode.ADD, rd=4, ra=1, rb=2)
+        model.cost(load)
+        assert model.cost(dependent) == 1 + 2
+        model.cost(load)
+        assert model.cost(independent) == 1
+
+    def test_branch_penalty_only_when_taken(self):
+        model = PipelineModel(PipelineConfig(taken_branch_penalty=2))
+        branch = Instruction(Opcode.BEQZ, rd=1, target=0)
+        assert model.cost(branch, branch_taken=False) == 1
+        assert model.cost(branch, branch_taken=True) == 3
+
+    def test_halt_cost_and_reset(self):
+        model = PipelineModel()
+        load = Instruction(Opcode.LOAD, rd=3, address=0)
+        model.cost(load)
+        model.reset()
+        dependent = Instruction(Opcode.ADD, rd=4, ra=3, rb=3)
+        assert model.cost(dependent) == 1  # stall forgotten after reset
+        assert model.cost(Instruction(Opcode.HALT)) == 1

@@ -1,0 +1,88 @@
+"""Tests for the CNF representation (repro.smt.cnf)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SolverError
+from repro.smt import (
+    CnfFormula,
+    lit_from_dimacs,
+    lit_to_dimacs,
+    literal_is_negative,
+    literal_variable,
+    make_literal,
+    negate,
+)
+
+
+class TestLiteralEncoding:
+    def test_make_and_inspect(self):
+        literal = make_literal(5)
+        assert literal_variable(literal) == 5
+        assert not literal_is_negative(literal)
+        negated = make_literal(5, negative=True)
+        assert literal_is_negative(negated)
+
+    def test_negate_is_involutive(self):
+        literal = make_literal(3, negative=True)
+        assert negate(negate(literal)) == literal
+        assert negate(literal) != literal
+
+    def test_dimacs_round_trip(self):
+        for dimacs in (1, -1, 17, -42):
+            assert lit_to_dimacs(lit_from_dimacs(dimacs)) == dimacs
+
+    def test_zero_dimacs_rejected(self):
+        with pytest.raises(SolverError):
+            lit_from_dimacs(0)
+
+    def test_nonpositive_variable_rejected(self):
+        with pytest.raises(SolverError):
+            make_literal(0)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.booleans())
+    def test_encoding_round_trip(self, variable, negative):
+        literal = make_literal(variable, negative)
+        assert literal_variable(literal) == variable
+        assert literal_is_negative(literal) == negative
+
+
+class TestCnfFormula:
+    def test_add_clause_and_evaluate(self):
+        formula = CnfFormula()
+        x, y = formula.new_variable(), formula.new_variable()
+        formula.add_clause([make_literal(x)])
+        formula.add_clause([make_literal(x, True), make_literal(y)])
+        assert formula.evaluate([False, True, True])
+        assert not formula.evaluate([False, True, False])
+        assert not formula.evaluate([False, False, False])
+
+    def test_tautology_dropped(self):
+        formula = CnfFormula()
+        x = formula.new_variable()
+        formula.add_clause([make_literal(x), make_literal(x, True)])
+        assert len(formula) == 0
+
+    def test_duplicate_literals_removed(self):
+        formula = CnfFormula()
+        x = formula.new_variable()
+        formula.add_clause([make_literal(x), make_literal(x)])
+        assert formula.clauses[0] == [make_literal(x)]
+
+    def test_empty_clause_marks_unsat(self):
+        formula = CnfFormula()
+        formula.add_clause([])
+        assert formula.contains_empty_clause
+        assert not formula.evaluate([False])
+
+    def test_unallocated_variable_rejected(self):
+        formula = CnfFormula()
+        with pytest.raises(SolverError):
+            formula.add_clause([make_literal(3)])
+
+    def test_dimacs_clause_helper(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        formula.add_dimacs_clause([1, -2])
+        assert formula.evaluate([False, True, False])
+        assert not formula.evaluate([False, False, True])

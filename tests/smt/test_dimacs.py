@@ -1,0 +1,66 @@
+"""Tests for DIMACS CNF input/output."""
+
+import pytest
+
+from repro.core import SolverError
+from repro.smt import (
+    CnfFormula,
+    SatResult,
+    dumps_dimacs,
+    loads_dimacs,
+    make_literal,
+    solve_formula,
+)
+
+
+class TestDimacsRoundTrip:
+    def test_dump_format(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        formula.add_dimacs_clause([1, -2])
+        text = dumps_dimacs(formula, comments=["example"])
+        assert "c example" in text
+        assert "p cnf 2 1" in text
+        assert "1 -2 0" in text
+
+    def test_load_and_solve(self):
+        text = """
+c a small satisfiable instance
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+"""
+        formula = loads_dimacs(text)
+        assert formula.num_variables == 3
+        assert len(formula.clauses) == 3
+        result, model = solve_formula(formula)
+        assert result is SatResult.SAT
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_round_trip_preserves_satisfiability(self):
+        formula = CnfFormula()
+        x, y = formula.new_variables(2)
+        formula.add_clause([make_literal(x)])
+        formula.add_clause([make_literal(x, True), make_literal(y, True)])
+        reloaded = loads_dimacs(dumps_dimacs(formula))
+        original_result, _ = solve_formula(formula)
+        reloaded_result, _ = solve_formula(reloaded)
+        assert original_result == reloaded_result
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(SolverError):
+            loads_dimacs("p cnf x\n1 0\n")
+
+    def test_clause_before_header(self):
+        with pytest.raises(SolverError):
+            loads_dimacs("1 -2 0\n")
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(SolverError):
+            loads_dimacs("p cnf 2 1\n3 0\n")
+
+    def test_trailing_clause_without_zero(self):
+        formula = loads_dimacs("p cnf 2 1\n1 -2\n")
+        assert len(formula.clauses) == 1

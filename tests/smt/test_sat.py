@@ -1,0 +1,175 @@
+"""Tests for the CDCL SAT solver, including a brute-force differential check."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SolverError
+from repro.smt import CdclSolver, CnfFormula, SatResult, luby, make_literal, solve_formula
+
+
+def _brute_force_sat(num_vars, clauses):
+    """Reference satisfiability decision by exhaustive enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = [False] + list(bits)
+        if all(
+            any(
+                (not assignment[lit >> 1]) if (lit & 1) else assignment[lit >> 1]
+                for lit in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def _model_satisfies(model, clauses):
+    return all(
+        any((not model[lit >> 1]) if (lit & 1) else model[lit >> 1] for lit in clause)
+        for clause in clauses
+    )
+
+
+def _random_clauses(rng, num_vars, num_clauses, max_len=3):
+    return [
+        [
+            rng.randint(1, num_vars) * 2 + rng.randint(0, 1)
+            for _ in range(rng.randint(1, max_len))
+        ]
+        for _ in range(num_clauses)
+    ]
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestBasicSolving:
+    def test_simple_sat(self):
+        solver = CdclSolver()
+        x, y = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(x)])
+        solver.add_clause([make_literal(x, True), make_literal(y)])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(x) is True
+        assert solver.value(y) is True
+
+    def test_simple_unsat(self):
+        solver = CdclSolver()
+        x = solver.new_variable()
+        solver.add_clause([make_literal(x)])
+        solver.add_clause([make_literal(x, True)])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_empty_clause_unsat(self):
+        solver = CdclSolver()
+        solver.new_variable()
+        solver.add_clause([])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_no_clauses_is_sat(self):
+        solver = CdclSolver()
+        solver.new_variable()
+        assert solver.solve() is SatResult.SAT
+
+    def test_clause_with_unknown_variable_rejected(self):
+        solver = CdclSolver()
+        with pytest.raises(SolverError):
+            solver.add_clause([make_literal(7)])
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Three pigeons, two holes: classic small UNSAT instance exercising
+        # conflict analysis beyond unit propagation.
+        solver = CdclSolver()
+        var = {}
+        for pigeon in range(3):
+            for hole in range(2):
+                var[(pigeon, hole)] = solver.new_variable()
+        for pigeon in range(3):
+            solver.add_clause([make_literal(var[(pigeon, hole)]) for hole in range(2)])
+        for hole in range(2):
+            for first in range(3):
+                for second in range(first + 1, 3):
+                    solver.add_clause(
+                        [
+                            make_literal(var[(first, hole)], True),
+                            make_literal(var[(second, hole)], True),
+                        ]
+                    )
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_incremental_reuse(self):
+        solver = CdclSolver()
+        x, y = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(x), make_literal(y)])
+        assert solver.solve() is SatResult.SAT
+        solver.add_clause([make_literal(x, True)])
+        solver.add_clause([make_literal(y, True)])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_assumptions(self):
+        solver = CdclSolver()
+        x, y = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(x), make_literal(y)])
+        assert solver.solve([make_literal(x, True), make_literal(y, True)]) is SatResult.UNSAT
+        # Without assumptions the instance is still satisfiable.
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve([make_literal(x, True)]) is SatResult.SAT
+        assert solver.value(y) is True
+
+    def test_conflict_budget_returns_unknown(self):
+        rng = random.Random(7)
+        solver = CdclSolver(max_conflicts=1)
+        num_vars = 20
+        solver.ensure_variables(num_vars)
+        for clause in _random_clauses(rng, num_vars, 120):
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result in {SatResult.SAT, SatResult.UNSAT, SatResult.UNKNOWN}
+
+
+class TestDifferential:
+    def test_random_instances_match_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(150):
+            num_vars = rng.randint(1, 8)
+            clauses = _random_clauses(rng, num_vars, rng.randint(1, 30))
+            expected = _brute_force_sat(num_vars, clauses)
+            solver = CdclSolver()
+            solver.ensure_variables(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            assert (result is SatResult.SAT) == expected
+            if expected:
+                assert _model_satisfies(solver.model(), clauses)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_random_formulas(self, data):
+        num_vars = data.draw(st.integers(min_value=1, max_value=6))
+        clause_strategy = st.lists(
+            st.lists(
+                st.integers(min_value=2, max_value=num_vars * 2 + 1),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=15,
+        )
+        clauses = data.draw(clause_strategy)
+        expected = _brute_force_sat(num_vars, clauses)
+        formula = CnfFormula()
+        formula.new_variables(num_vars)
+        for clause in clauses:
+            formula.add_clause(clause)
+        result, model = solve_formula(formula)
+        assert (result is SatResult.SAT) == expected
+        if expected:
+            assert model is not None
+            assert _model_satisfies(model, clauses)

@@ -1,0 +1,110 @@
+"""Tests for the SMT facade (repro.smt.solver)."""
+
+import pytest
+
+from repro.core import SolverError
+from repro.smt import (
+    SmtDeductiveEngine,
+    SmtResult,
+    SmtSolver,
+    bool_not,
+    bool_or,
+    bv_const,
+    bv_var,
+    solve,
+)
+
+
+class TestSmtSolver:
+    def test_sat_with_model(self):
+        solver = SmtSolver()
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        solver.add((x + y).eq(bv_const(45, 8)), x.ult(y), x.ne(bv_const(0, 8)))
+        assert solver.check() is SmtResult.SAT
+        model = solver.model()
+        assert (model["x"] + model["y"]) % 256 == 45
+        assert model["x"] < model["y"]
+        assert model["x"] != 0
+
+    def test_unsat(self):
+        solver = SmtSolver()
+        x = bv_var("x", 8)
+        solver.add(x.ult(bv_const(3, 8)), x.ugt(bv_const(5, 8)))
+        assert solver.check() is SmtResult.UNSAT
+        with pytest.raises(SolverError):
+            solver.model()
+
+    def test_push_pop(self):
+        solver = SmtSolver()
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        solver.push()
+        solver.add(x.uge(bv_const(8, 4)))
+        assert solver.check() is SmtResult.UNSAT
+        solver.pop()
+        assert solver.check() is SmtResult.SAT
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(SolverError):
+            SmtSolver().pop()
+
+    def test_only_bool_terms_assertable(self):
+        with pytest.raises(SolverError):
+            SmtSolver().add(bv_var("x", 4))
+
+    def test_extra_assertions_in_check(self):
+        solver = SmtSolver()
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        assert solver.check(x.eq(bv_const(9, 4))) is SmtResult.UNSAT
+        assert solver.check(x.eq(bv_const(5, 4))) is SmtResult.SAT
+
+    def test_model_evaluate_completes_missing_variables(self):
+        solver = SmtSolver()
+        x = bv_var("x", 4)
+        solver.add(x.eq(bv_const(3, 4)))
+        solver.check()
+        model = solver.model()
+        unrelated = bv_var("unrelated", 4)
+        assert model.evaluate(unrelated.eq(bv_const(0, 4))) is True
+
+    def test_is_valid_and_is_satisfiable(self):
+        solver = SmtSolver()
+        x = bv_var("x", 4)
+        assert solver.is_valid(bool_or(x.ult(bv_const(8, 4)), x.uge(bv_const(8, 4))))
+        assert not solver.is_valid(x.ult(bv_const(8, 4)))
+        assert solver.is_satisfiable(x.eq(bv_const(7, 4)))
+
+    def test_statistics_track_checks(self):
+        solver = SmtSolver()
+        x = bv_var("x", 4)
+        solver.add(x.eq(bv_const(1, 4)))
+        solver.check()
+        solver.check(x.eq(bv_const(2, 4)))
+        assert solver.statistics.checks == 2
+        assert solver.statistics.sat_answers == 1
+        assert solver.statistics.unsat_answers == 1
+
+    def test_one_shot_solve_helper(self):
+        x = bv_var("x", 6)
+        verdict, model = solve([x.ugt(bv_const(60, 6))])
+        assert verdict is SmtResult.SAT
+        assert model["x"] > 60
+
+
+class TestSmtDeductiveEngine:
+    def test_decide_sat(self):
+        engine = SmtDeductiveEngine()
+        x = bv_var("x", 8)
+        answer = engine.decide((x * bv_const(2, 8)).eq(bv_const(10, 8)))
+        assert answer.decided and answer.verdict is True
+        assert (answer.witness["x"] * 2) % 256 == 10
+
+    def test_decide_unsat(self):
+        engine = SmtDeductiveEngine()
+        x = bv_var("x", 8)
+        answer = engine.decide(bool_not(x.eq(x)))
+        assert answer.decided and answer.verdict is False
+
+    def test_lightweightness_documented(self):
+        assert "QF_BV" in SmtDeductiveEngine().lightweightness()

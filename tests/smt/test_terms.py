@@ -1,0 +1,154 @@
+"""Tests for the QF_BV term language and its reference evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SolverError
+from repro.smt import (
+    Assignment,
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_const,
+    bool_iff,
+    bool_implies,
+    bool_ite,
+    bool_not,
+    bool_or,
+    bool_var,
+    bool_xor,
+    bv_ashr,
+    bv_concat,
+    bv_const,
+    bv_extract,
+    bv_ite,
+    bv_lshr,
+    bv_shl,
+    bv_sign_extend,
+    bv_var,
+    bv_zero_extend,
+    evaluate,
+    free_variables,
+)
+
+
+def _assign(**values):
+    return Assignment(bv_values=values)
+
+
+class TestConstruction:
+    def test_constant_masking(self):
+        assert bv_const(0x1FF, 8).value == 0xFF
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            bv_var("a", 8).eq(bv_var("b", 16))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SolverError):
+            bv_const(0, 0)
+
+    def test_int_coercion_in_operators(self):
+        x = bv_var("x", 8)
+        term = x + 3
+        assert evaluate(term, _assign(x=4)) == 7
+
+    def test_bool_constant_folding(self):
+        assert bool_not(TRUE) is FALSE or evaluate(bool_not(TRUE), Assignment()) is False
+        assert evaluate(bool_and(), Assignment()) is True
+        assert evaluate(bool_or(), Assignment()) is False
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(SolverError):
+            bv_extract(bv_var("x", 8), 9, 0)
+
+
+class TestEvaluation:
+    def test_arithmetic_wraps(self):
+        x = bv_var("x", 8)
+        assert evaluate(x + 200, _assign(x=100)) == (300 % 256)
+        assert evaluate(x - 200, _assign(x=100)) == (100 - 200) % 256
+        assert evaluate(x * 3, _assign(x=100)) == (300 % 256)
+
+    def test_bitwise_ops(self):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        env = _assign(x=0b1100, y=0b1010)
+        assert evaluate(x & y, env) == 0b1000
+        assert evaluate(x | y, env) == 0b1110
+        assert evaluate(x ^ y, env) == 0b0110
+        assert evaluate(~x, env) == 0b11110011
+
+    def test_shifts_saturate_at_width(self):
+        x = bv_var("x", 8)
+        assert evaluate(bv_shl(x, 9), _assign(x=0xFF)) == 0
+        assert evaluate(bv_lshr(x, 9), _assign(x=0xFF)) == 0
+        assert evaluate(bv_ashr(x, 9), _assign(x=0x80)) == 0xFF
+        assert evaluate(bv_ashr(x, 2), _assign(x=0x84)) == 0xE1
+
+    def test_comparisons(self):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        env = _assign(x=0xF0, y=0x10)
+        assert evaluate(x.ult(y), env) is False
+        assert evaluate(x.slt(y), env) is True  # 0xF0 is negative signed
+        assert evaluate(x.uge(y), env) is True
+        assert evaluate(x.sle(y), env) is True
+        assert evaluate(x.eq(y), env) is False
+        assert evaluate(x.ne(y), env) is True
+
+    def test_ite(self):
+        x = bv_var("x", 8)
+        term = bv_ite(x.ult(bv_const(5, 8)), bv_const(1, 8), bv_const(2, 8))
+        assert evaluate(term, _assign(x=3)) == 1
+        assert evaluate(term, _assign(x=9)) == 2
+        formula = bool_ite(x.eq(bv_const(0, 8)), bool_const(True), bool_const(False))
+        assert evaluate(formula, _assign(x=0)) is True
+
+    def test_extract_concat_extend(self):
+        x = bv_var("x", 8)
+        env = _assign(x=0xAB)
+        assert evaluate(bv_extract(x, 7, 4), env) == 0xA
+        assert evaluate(bv_concat(x, bv_const(0xC, 4)), env) == 0xABC
+        assert evaluate(bv_zero_extend(x, 16), env) == 0xAB
+        assert evaluate(bv_sign_extend(x, 16), env) == 0xFFAB
+
+    def test_boolean_connectives(self):
+        a, b = bool_var("a"), bool_var("b")
+        env = Assignment(bool_values={"a": True, "b": False})
+        assert evaluate(bool_and(a, b), env) is False
+        assert evaluate(bool_or(a, b), env) is True
+        assert evaluate(bool_xor(a, b), env) is True
+        assert evaluate(bool_implies(a, b), env) is False
+        assert evaluate(bool_iff(a, a), env) is True
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(SolverError):
+            evaluate(bv_var("missing", 8), Assignment())
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_add_commutes(self, a, b):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        env = _assign(x=a, y=b)
+        assert evaluate(x + y, env) == evaluate(y + x, env) == (a + b) % 256
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_neg_is_sub_from_zero(self, a):
+        x = bv_var("x", 8)
+        env = _assign(x=a)
+        assert evaluate(-x, env) == evaluate(bv_const(0, 8) - x, env)
+
+
+class TestFreeVariables:
+    def test_collects_names_and_widths(self):
+        x, y = bv_var("x", 8), bv_var("y", 4)
+        flag = bool_var("flag")
+        term = bool_and(x.eq(bv_zero_extend(y, 8)), flag)
+        bools, bvs = free_variables(term)
+        assert set(bools) == {"flag"}
+        assert bvs == {"x": 8, "y": 4}
+
+    def test_width_conflict_detected(self):
+        term = bool_and(
+            bv_var("x", 8).eq(bv_const(0, 8)), bv_var("x", 4).eq(bv_const(0, 4))
+        )
+        with pytest.raises(SolverError):
+            free_variables(term)

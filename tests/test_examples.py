@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end to end and prints its results.
+
+The examples are the user-facing entry points of the library; running them
+in-process (with reduced problem sizes where they accept flags) guards
+against bit-rot in the documented API usage.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, *arguments: str) -> str:
+    """Run an example as a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=540,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 4
+
+    def test_timing_analysis_example_small(self):
+        output = _run_example("timing_analysis.py", "--bits", "4")
+        assert "feasible basis paths     : 5" in output
+        assert "Worst-case execution time" in output
+        assert "-> NO" in output  # the default bound is WCET - 1
+
+    def test_transmission_example_coarse(self):
+        output = _run_example("transmission_controller.py", "--step", "0.25")
+        assert "paper Eq. 3" in output
+        assert "closed-loop safety: SAFE" in output
+        assert "g12U" in output
+
+    def test_custom_platform_example(self):
+        output = _run_example("custom_platform_wcet.py")
+        assert "harsh-memory" in output and "friendly-memory" in output
+        assert "noisy platform" in output
+
+    @pytest.mark.slow
+    def test_quickstart(self):
+        output = _run_example("quickstart.py")
+        assert "structure hypothesis" in output
+        assert "Done: three sciduction instances" in output
+
+    @pytest.mark.slow
+    def test_deobfuscation_example(self):
+        output = _run_example("deobfuscation.py", "--width", "8")
+        assert "equivalent to the obfuscated oracle: True" in output
+        assert "Figure 7" in output

@@ -1,0 +1,95 @@
+"""Cross-module integration tests: the three applications end to end.
+
+These are scaled-down versions of the benchmark experiments (smaller
+exponents, coarser grids, narrower bit widths) so they complete in seconds
+while still running every stage of each sciductive pipeline.
+"""
+
+import pytest
+
+from repro import SciductionResult
+from repro.cfg import modular_exponentiation
+from repro.gametime import ExhaustiveEstimator, GameTime
+from repro.hybrid import make_transmission_synthesizer
+from repro.ogis import (
+    OgisSynthesizer,
+    ProgramIOOracle,
+    component_add,
+    component_shift_left,
+    component_xor,
+)
+
+
+class TestGameTimePipeline:
+    def test_fig6_shape_small(self):
+        """GameTime on a 4-bit modexp: basis measurements predict all paths."""
+        analysis = GameTime(modular_exponentiation(4, 16), trials=15, seed=1)
+        report = analysis.predict_distribution(measure=True)
+        assert len(report.predictions) == 16
+        assert analysis.num_basis_paths == 5
+        assert report.max_absolute_error < 1.0
+        wcet = analysis.estimate_wcet()
+        truth = ExhaustiveEstimator(modular_exponentiation(4, 16)).estimate()
+        assert wcet.measured_cycles == truth.estimated_wcet
+        assert wcet.test_case["exponent"] == 15
+
+    def test_result_is_sciduction_result(self):
+        result = GameTime(modular_exponentiation(3, 16), trials=10).run()
+        assert isinstance(result, SciductionResult)
+        assert result.success and result.artifact is not None
+
+
+class TestOgisPipeline:
+    def test_fig8_shape_small(self):
+        """Recover a swap and a shift-add multiply at 4-bit width."""
+        swap_oracle = ProgramIOOracle(lambda v: (v[1], v[0]), 2, 2, width=4)
+        swap = OgisSynthesizer(
+            [component_xor(), component_xor(), component_xor()],
+            swap_oracle,
+            width=4,
+            seed=0,
+        ).synthesize()
+        assert swap.equivalent_to(lambda v: (v[1], v[0]), width=4)
+
+        mul5_oracle = ProgramIOOracle(lambda v: ((5 * v[0]) % 16,), 1, 1, width=4)
+        mul5 = OgisSynthesizer(
+            [component_shift_left(2), component_add()], mul5_oracle, width=4, seed=0
+        ).synthesize()
+        assert mul5.equivalent_to(lambda v: ((5 * v[0]) % 16,), width=4)
+
+    def test_oracle_query_count_is_small(self):
+        oracle = ProgramIOOracle(lambda v: (v[1], v[0]), 2, 2, width=4)
+        synthesizer = OgisSynthesizer(
+            [component_xor(), component_xor(), component_xor()], oracle, width=4, seed=0
+        )
+        synthesizer.synthesize()
+        # Small teaching dimension: a handful of oracle queries suffices.
+        assert synthesizer.trace.oracle_queries <= 6
+
+
+class TestSwitchingLogicPipeline:
+    def test_eq3_shape_coarse(self):
+        setup = make_transmission_synthesizer(
+            dwell_time=0.0, omega_step=0.25, integration_step=0.05, horizon=50.0
+        )
+        report = setup.synthesizer.synthesize()
+        guard = report.switching_logic["g12U"].interval("omega")
+        assert guard.low == pytest.approx(13.29, abs=0.3)
+        assert guard.high == pytest.approx(26.70, abs=0.3)
+        assert report.iterations <= 4
+
+
+class TestTable1:
+    def test_three_applications_report_h_i_d(self):
+        rows = [
+            GameTime(modular_exponentiation(3, 16), trials=8).describe(),
+            OgisSynthesizer(
+                [component_xor()],
+                ProgramIOOracle(lambda v: (v[0] ^ v[1],), 2, 1, width=4),
+                width=4,
+            ).describe(),
+            make_transmission_synthesizer(omega_step=0.5).synthesizer.describe(),
+        ]
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row) >= {"procedure", "H", "I", "D"}
