@@ -68,13 +68,39 @@ class FeasiblePath:
 
 
 class PathConstraintBuilder:
-    """Builds SSA path constraints for a CFG and answers feasibility queries."""
+    """Builds SSA path constraints for a CFG and answers feasibility queries.
 
-    def __init__(self, cfg: ControlFlowGraph, slice_to_conditions: bool = True):
+    All feasibility queries for one CFG share a single incremental
+    :class:`~repro.smt.solver.SmtSolver`: each path's constraints are
+    asserted inside a push/pop scope (realised with activation literals by
+    the solver), so the bit-blasted encodings of shared path prefixes and
+    the SAT solver's learned clauses are reused across the whole
+    feasibility sweep instead of being rebuilt per path.
+
+    Args:
+        cfg: the control-flow graph to encode.
+        slice_to_conditions: when True, only assignments feeding branch
+            conditions are encoded (see module docstring).
+        reencode_each_check: forwarded to :class:`SmtSolver`; when True the
+            solver re-bit-blasts every query (the pre-incremental
+            behaviour, kept benchmarkable).
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        slice_to_conditions: bool = True,
+        reencode_each_check: bool = False,
+    ):
         self.cfg = cfg
         self.slice_to_conditions = slice_to_conditions
-        self._solver = SmtSolver()
+        self._solver = SmtSolver(reencode_each_check=reencode_each_check)
         self.queries = 0
+
+    @property
+    def smt_statistics(self):
+        """SMT work counters of the shared per-CFG solver."""
+        return self._solver.statistics
 
     # -- expression translation ------------------------------------------------
 
@@ -225,15 +251,21 @@ class PathConstraintBuilder:
         """
         self.queries += 1
         encoding = self.encode(path)
-        solver = SmtSolver()
-        solver.add(*encoding.constraints)
-        if solver.check() is not SmtResult.SAT:
-            return None
-        model = solver.model()
-        test_case = {
-            name: int(model.get(variable.name, 0))
-            for name, variable in encoding.input_variables.items()
-        }
+        solver = self._solver
+        solver.push()
+        try:
+            solver.add(*encoding.constraints)
+            if solver.check() is not SmtResult.SAT:
+                return None
+            # Resolve just the input variables: the shared blaster knows
+            # the SSA variables of every path encoded so far, so full
+            # model extraction would grow with the sweep length.
+            test_case = {
+                name: int(value) if (value := solver.model_value(variable.name)) is not None else 0
+                for name, variable in encoding.input_variables.items()
+            }
+        finally:
+            solver.pop()
         return FeasiblePath(path=path, test_case=test_case)
 
     def is_feasible(self, path: Path) -> bool:

@@ -145,6 +145,10 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         mu_max: assumed bound on the mean perturbation.
         rho: assumed worst-case-path margin.
         seed: RNG seed for the measurement schedule.
+        reencode_each_check: forwarded to the path-constraint builder's
+            SMT solver; when True every feasibility query re-bit-blasts
+            its encoding instead of riding the shared incremental solver
+            (kept as a benchmark baseline).
     """
 
     name = "gametime"
@@ -159,10 +163,13 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         mu_max: float = 0.0,
         rho: float = 0.0,
         seed: int = 0,
+        reencode_each_check: bool = False,
     ):
         self.program = program
         self.cfg: ControlFlowGraph = build_cfg(program)
-        self.constraint_builder = PathConstraintBuilder(self.cfg)
+        self.constraint_builder = PathConstraintBuilder(
+            self.cfg, reencode_each_check=reencode_each_check
+        )
         self.binary = compile_program(program)
         self.harness = MeasurementHarness(
             self.binary,
@@ -376,5 +383,11 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
                 "wcet_test_case": estimate.test_case,
                 "num_basis_paths": len(self.basis_result.basis),
                 "num_paths": self.cfg.count_paths(),
+                "smt_variables_generated": (
+                    self.constraint_builder.smt_statistics.variables_generated
+                ),
+                "smt_clauses_generated": (
+                    self.constraint_builder.smt_statistics.clauses_generated
+                ),
             },
         )

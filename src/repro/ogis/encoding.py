@@ -32,7 +32,7 @@ from typing import Sequence
 from repro.core.exceptions import UnrealizableError
 from repro.ogis.components import Component
 from repro.ogis.program import ComponentInstance, LoopFreeProgram
-from repro.smt.solver import Model, SmtResult, SmtSolver
+from repro.smt.solver import Model, SmtResult, SmtSolver, SmtStatistics
 from repro.smt.terms import (
     BitVecTerm,
     BoolTerm,
@@ -86,6 +86,25 @@ class SynthesisEncoder:
             the SAT encoding small; final artifacts can be re-checked at
             any width with :meth:`semantic_difference` or the program's
             ``equivalent_to``.
+        reencode_each_check: forwarded to the underlying
+            :class:`~repro.smt.solver.SmtSolver`; when True each query
+            re-bit-blasts its whole encoding (the pre-incremental
+            behaviour, kept as a benchmark baseline).
+
+    The encoder keeps one *persistent* solver across the whole OGIS loop,
+    shared by ``synthesize`` and ``distinguishing_input``.  Its base-level
+    assertions are the well-formedness constraints, a *symbolic run* of
+    the candidate location variables (dataflow over fresh symbolic inputs
+    and outputs), and one constraint block per example.  The symbolic-run
+    constraints are satisfiability-preserving for the synthesis query —
+    the symbolic inputs are unconstrained, and every well-formed program
+    produces *some* output on them — so sharing is sound.  The example set
+    only ever grows during a run, so each call encodes just the new
+    examples on top of the already-blasted skeleton, and the
+    per-candidate disagreement constraint of ``distinguishing_input`` is
+    passed as a ``check``-time assumption so it never pollutes later
+    iterations.  Learned clauses, variable activities, and the
+    bit-blaster's structural caches thus survive the whole loop.
     """
 
     def __init__(
@@ -95,6 +114,7 @@ class SynthesisEncoder:
         num_outputs: int,
         width: int = 8,
         outputs_from_components: bool = True,
+        reencode_each_check: bool = False,
     ):
         if not library:
             raise UnrealizableError("the component library is empty")
@@ -102,6 +122,7 @@ class SynthesisEncoder:
         self.num_inputs = num_inputs
         self.num_outputs = num_outputs
         self.width = width
+        self.reencode_each_check = reencode_each_check
         self.num_lines = num_inputs + len(self.library)
         # The encoding compares locations against the constant ``num_lines``
         # (exclusive upper bound), so the location width must be able to
@@ -112,6 +133,15 @@ class SynthesisEncoder:
         #: programs printed in the paper's Figure 8.
         self.outputs_from_components = outputs_from_components
         self.statistics = SynthesisStatistics()
+        # Persistent solver state shared by both query kinds (built lazily).
+        self._solver: SmtSolver | None = None
+        self._solver_locations: _LocationVariables | None = None
+        self._encoded_examples: list[IOExample] = []
+        self._symbolic_inputs: list[BvVar] = []
+        self._symbolic_outputs: list[BvVar] = []
+        # SMT counters of solvers discarded by _reset_solver, so
+        # smt_statistics() covers the whole encoder lifetime.
+        self._retired_statistics = SmtStatistics()
 
     # -- variable factories ------------------------------------------------
 
@@ -229,14 +259,22 @@ class SynthesisEncoder:
 
     # -- program extraction -------------------------------------------------------
 
+    @staticmethod
+    def _model_int(solver: SmtSolver, variable: BvVar) -> int:
+        value = solver.model_value(variable.name)
+        return int(value) if value is not None else 0
+
     def _program_from_model(
-        self, model: Model, locations: _LocationVariables
+        self, solver: SmtSolver, locations: _LocationVariables
     ) -> LoopFreeProgram:
+        # Resolve only the location variables: the persistent solver's
+        # blaster also knows every example's value variables, so full
+        # model extraction would grow with the example set.
         instances = []
         for index, component in enumerate(self.library):
-            output_line = int(model.get(locations.component_outputs[index].name, 0))
+            output_line = self._model_int(solver, locations.component_outputs[index])
             input_lines = tuple(
-                int(model.get(variable.name, 0))
+                self._model_int(solver, variable)
                 for variable in locations.component_inputs[index]
             )
             instances.append(
@@ -247,7 +285,7 @@ class SynthesisEncoder:
                 )
             )
         output_lines = tuple(
-            int(model.get(variable.name, 0)) for variable in locations.program_outputs
+            self._model_int(solver, variable) for variable in locations.program_outputs
         )
         return LoopFreeProgram(
             num_inputs=self.num_inputs,
@@ -256,10 +294,76 @@ class SynthesisEncoder:
             width=self.width,
         )
 
+    # -- persistent solver management -------------------------------------------
+
+    def _reset_solver(self) -> None:
+        """(Re)build the shared persistent solver with its base skeleton."""
+        if self._solver is not None:
+            self._retired_statistics = self._retired_statistics.merged_with(
+                self._solver.statistics
+            )
+        self._solver = SmtSolver(reencode_each_check=self.reencode_each_check)
+        self._solver_locations = self._locations("s")
+        self._encoded_examples = []
+        self._solver.add(*self.well_formedness(self._solver_locations))
+        # A symbolic run of the candidate program: unconstrained inputs, so
+        # these constraints never affect the synthesis query's verdict, but
+        # they let distinguishing-input queries ride the same solver.
+        self._symbolic_inputs = [
+            bv_var(f"distinguishing_in_{index}", self.width)
+            for index in range(self.num_inputs)
+        ]
+        self._symbolic_outputs = [
+            bv_var(f"alt_out_{index}", self.width) for index in range(self.num_outputs)
+        ]
+        self._solver.add(
+            *self._dataflow(
+                self._solver_locations,
+                self._symbolic_inputs,
+                self._symbolic_outputs,
+                tag="sym",
+            )
+        )
+
+    def _synced_solver(
+        self, examples: Sequence[IOExample]
+    ) -> tuple[SmtSolver, _LocationVariables]:
+        """The shared solver with exactly ``examples`` encoded.
+
+        Example tags are derived from the example's position, which is
+        stable because callers only ever *extend* the example set (the OGIS
+        loop appends one example per iteration); a non-extending call
+        rebuilds the solver from scratch.
+        """
+        encoded = self._encoded_examples
+        extends = len(examples) >= len(encoded) and list(
+            examples[: len(encoded)]
+        ) == encoded
+        if self._solver is None or not extends:
+            self._reset_solver()
+            encoded = self._encoded_examples
+        solver, locations = self._solver, self._solver_locations
+        assert solver is not None and locations is not None
+        for number in range(len(encoded), len(examples)):
+            solver.add(
+                *self.example_constraints(locations, examples[number], tag=f"e{number}")
+            )
+            encoded.append(examples[number])
+        return solver, locations
+
+    def smt_statistics(self) -> SmtStatistics:
+        """SMT work counters over the encoder's lifetime (across resets)."""
+        if self._solver is None:
+            return self._retired_statistics
+        return self._retired_statistics.merged_with(self._solver.statistics)
+
     # -- queries --------------------------------------------------------------------
 
     def synthesize(self, examples: Sequence[IOExample]) -> LoopFreeProgram:
         """Find a program consistent with every example.
+
+        Consecutive calls with a growing example set reuse the persistent
+        solver, encoding only the new examples.
 
         Raises:
             UnrealizableError: when no composition of the library matches
@@ -267,18 +371,14 @@ class SynthesisEncoder:
                 paper's Figure 7).
         """
         self.statistics.synthesis_queries += 1
-        solver = SmtSolver()
-        locations = self._locations("s")
-        solver.add(*self.well_formedness(locations))
-        for number, example in enumerate(examples):
-            solver.add(*self.example_constraints(locations, example, tag=f"s{number}"))
+        solver, locations = self._synced_solver(examples)
         if solver.check() is not SmtResult.SAT:
             self.statistics.unsat_results += 1
             raise UnrealizableError(
                 "no loop-free composition of the library is consistent with the examples"
             )
         self.statistics.sat_results += 1
-        return self._program_from_model(solver.model(), locations)
+        return self._program_from_model(solver, locations)
 
     def _symbolic_execution(
         self, program: LoopFreeProgram, input_terms: Sequence[BitVecTerm]
@@ -300,39 +400,26 @@ class SynthesisEncoder:
         terminates (paper Section 4.2).
         """
         self.statistics.distinguishing_queries += 1
-        solver = SmtSolver()
-        locations = self._locations("d")
-        solver.add(*self.well_formedness(locations))
-        for number, example in enumerate(examples):
-            solver.add(*self.example_constraints(locations, example, tag=f"d{number}"))
-        symbolic_inputs = [
-            bv_var(f"distinguishing_in_{index}", self.width)
-            for index in range(self.num_inputs)
-        ]
-        alternative_outputs = [
-            bv_var(f"alt_out_{index}", self.width) for index in range(self.num_outputs)
-        ]
-        solver.add(
-            *self._dataflow(locations, symbolic_inputs, alternative_outputs, tag="dx")
-        )
-        candidate_outputs = self._symbolic_execution(candidate, symbolic_inputs)
-        solver.add(
-            bool_or(
-                *(
-                    alternative.ne(candidate_output)
-                    for alternative, candidate_output in zip(
-                        alternative_outputs, candidate_outputs
-                    )
+        solver, _ = self._synced_solver(examples)
+        candidate_outputs = self._symbolic_execution(candidate, self._symbolic_inputs)
+        # The disagreement constraint is specific to this candidate, so it
+        # is passed as a check-time assumption rather than asserted: the
+        # next iteration's candidate gets a clean slate while the examples
+        # and the dataflow skeleton stay encoded.
+        disagreement = bool_or(
+            *(
+                alternative.ne(candidate_output)
+                for alternative, candidate_output in zip(
+                    self._symbolic_outputs, candidate_outputs
                 )
             )
         )
-        if solver.check() is not SmtResult.SAT:
+        if solver.check(disagreement) is not SmtResult.SAT:
             self.statistics.unsat_results += 1
             return None
         self.statistics.sat_results += 1
-        model = solver.model()
         return tuple(
-            int(model.get(variable.name, 0)) for variable in symbolic_inputs
+            self._model_int(solver, variable) for variable in self._symbolic_inputs
         )
 
     def semantic_difference(

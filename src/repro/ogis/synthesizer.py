@@ -80,6 +80,10 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         max_iterations: bound on candidate/distinguishing-input rounds.
         initial_examples: number of random seed inputs queried up front.
         seed: RNG seed for the random seed inputs.
+        reencode_each_check: forwarded to the encoder's SMT solvers; when
+            True each deductive query re-bit-blasts its whole encoding
+            instead of reusing the persistent incremental solvers (kept as
+            a benchmark baseline).
     """
 
     name = "oracle-guided-component-synthesis"
@@ -92,6 +96,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         max_iterations: int = 32,
         initial_examples: int = 1,
         seed: int = 0,
+        reencode_each_check: bool = False,
     ):
         self.library = list(library)
         self.oracle = oracle
@@ -101,6 +106,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
             num_inputs=oracle.num_inputs,
             num_outputs=oracle.num_outputs,
             width=self.width,
+            reencode_each_check=reencode_each_check,
         )
         self.max_iterations = max_iterations
         self.initial_examples = max(1, initial_examples)
@@ -208,6 +214,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
                 oracle_queries=self.trace.oracle_queries,
                 details={"outcome": "infeasibility-reported"},
             )
+        smt_statistics = self.encoder.smt_statistics()
         return SciductionResult(
             success=True,
             artifact=program,
@@ -217,5 +224,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
                 "program": program.pretty(),
                 "synthesis_queries": self.encoder.statistics.synthesis_queries,
                 "distinguishing_queries": self.encoder.statistics.distinguishing_queries,
+                "smt_variables_generated": smt_statistics.variables_generated,
+                "smt_clauses_generated": smt_statistics.clauses_generated,
             },
         )

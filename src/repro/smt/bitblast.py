@@ -10,6 +10,12 @@ The blaster writes clauses into any *sink* object exposing
 ``new_variable()`` and ``add_clause(literals)`` — both
 :class:`repro.smt.cnf.CnfFormula` and :class:`repro.smt.sat.CdclSolver`
 qualify, enabling incremental use by the SMT facade.
+
+A blaster instance may be kept alive across many solver queries: the
+structural caches (``_bool_cache`` / ``_bv_cache`` / ``_gate_cache``) are
+append-only, so a term blasted for one check is encoded exactly once for
+the lifetime of the blaster.  The incremental :class:`repro.smt.solver.SmtSolver`
+relies on this to avoid re-bit-blasting shared sub-terms between checks.
 """
 
 from __future__ import annotations
@@ -68,7 +74,7 @@ class BitBlaster:
         true_var = sink.new_variable()
         self._true = make_literal(true_var)
         self._false = negate(self._true)
-        sink.add_clause([self._true])
+        self._sink.add_clause([self._true])
         self._bool_cache: dict[Term, int] = {}
         self._bv_cache: dict[Term, list[int]] = {}
         self._bool_vars: dict[str, int] = {}
@@ -124,19 +130,51 @@ class BitBlaster:
     def extract_assignment(self, sat_model: Sequence[bool]) -> Assignment:
         """Reconstruct variable values from a SAT model.
 
+        Variables declared *after* the model was produced (possible when
+        the blaster outlives the solve call that found it) are skipped:
+        their literals index beyond the model.
+
         Args:
             sat_model: list indexed by SAT variable (index 0 unused).
         """
         assignment = Assignment()
+        known = len(sat_model)
         for name, literal in self._bool_vars.items():
-            assignment.bool_values[name] = self._literal_value(literal, sat_model)
+            if (literal >> 1) < known:
+                assignment.bool_values[name] = self._literal_value(literal, sat_model)
         for name, bits in self._bv_vars.items():
+            if any((literal >> 1) >= known for literal in bits):
+                continue
             value = 0
             for position, literal in enumerate(bits):
                 if self._literal_value(literal, sat_model):
                     value |= 1 << position
             assignment.bv_values[name] = value
         return assignment
+
+    def extract_value(
+        self, name: str, sat_model: Sequence[bool]
+    ) -> int | bool | None:
+        """Value of one declared variable under a SAT model.
+
+        Cheaper than :meth:`extract_assignment` when only a few variables
+        are needed.  Returns None for names never declared or declared
+        after the model was produced.
+        """
+        known = len(sat_model)
+        literal = self._bool_vars.get(name)
+        if literal is not None:
+            if (literal >> 1) >= known:
+                return None
+            return self._literal_value(literal, sat_model)
+        bits = self._bv_vars.get(name)
+        if bits is None or any((literal >> 1) >= known for literal in bits):
+            return None
+        value = 0
+        for position, literal in enumerate(bits):
+            if self._literal_value(literal, sat_model):
+                value |= 1 << position
+        return value
 
     @staticmethod
     def _literal_value(literal: int, sat_model: Sequence[bool]) -> bool:

@@ -59,6 +59,10 @@ class SatStatistics:
     learned_clauses: int = 0
     deleted_clauses: int = 0
     max_decision_level: int = 0
+    #: Problem clauses accepted into the database via :meth:`CdclSolver.add_clause`
+    #: (tautologies and clauses already satisfied at level 0 are not counted;
+    #: learned clauses are tracked separately by ``learned_clauses``).
+    clauses_added: int = 0
 
 
 def luby(index: int) -> int:
@@ -137,6 +141,9 @@ class CdclSolver:
         self._max_conflicts = max_conflicts
         self._unsat = False
         self._conflicts_at_last_reduction = 0
+        # Decision levels occupied by assumption pseudo-decisions during the
+        # current solve() call (one entry per assumption already enqueued).
+        self._active_assumption_levels: list[int] = []
         # Lazy max-heap of (-activity, variable) entries used by the
         # branching heuristic; stale entries are skipped on pop.
         self._order_heap: list[tuple[float, int]] = []
@@ -200,6 +207,7 @@ class CdclSolver:
         if not clause:
             self._unsat = True
             return
+        self.statistics.clauses_added += 1
         if len(clause) == 1:
             if not self._enqueue(clause[0], None):
                 self._unsat = True
@@ -229,7 +237,12 @@ class CdclSolver:
             :data:`SatResult.SAT`, :data:`SatResult.UNSAT`, or
             :data:`SatResult.UNKNOWN` if a conflict budget was configured
             and exhausted.
+
+        The model cached by a previous satisfiable call is invalidated on
+        entry: after a non-SAT answer, :meth:`model` raises
+        :class:`SolverError` instead of returning stale values.
         """
+        self._cached_model = None
         if self._unsat:
             return SatResult.UNSAT
         self._backtrack(0)
@@ -237,7 +250,10 @@ class CdclSolver:
             self._unsat = True
             return SatResult.UNSAT
 
+        # The conflict budget applies per solve() call, so an incremental
+        # sequence of checks does not starve later calls of their budget.
         conflict_budget = self._max_conflicts
+        conflicts_at_start = self.statistics.conflicts
         restart_count = 0
         conflicts_until_restart = self._restart_base * luby(restart_count + 1)
         conflicts_since_restart = 0
@@ -250,7 +266,10 @@ class CdclSolver:
             if conflict is not None:
                 self.statistics.conflicts += 1
                 conflicts_since_restart += 1
-                if conflict_budget is not None and self.statistics.conflicts >= conflict_budget:
+                if (
+                    conflict_budget is not None
+                    and self.statistics.conflicts - conflicts_at_start >= conflict_budget
+                ):
                     self._backtrack(0)
                     return SatResult.UNKNOWN
                 if self._decision_level() == 0:
@@ -313,22 +332,41 @@ class CdclSolver:
         ``model()[v]`` is the value of variable ``v``; index 0 is unused.
         Unassigned variables (possible when they do not occur in any clause)
         default to False.
+
+        Raises:
+            SolverError: if the most recent :meth:`solve` call did not
+                answer SAT (or :meth:`solve` has not been called yet).
         """
-        if self._cached_model is not None:
-            return list(self._cached_model)
-        return [value == _TRUE for value in self._assignment]
+        if self._cached_model is None:
+            raise SolverError("no model available (last solve() was not SAT)")
+        return list(self._cached_model)
 
     def value(self, variable: int) -> bool:
-        """Value of ``variable`` in the model of the last SAT answer."""
-        return self.model()[variable]
+        """Value of ``variable`` in the model of the last SAT answer.
+
+        Raises:
+            SolverError: if no model is available (see :meth:`model`), or
+                if ``variable`` was allocated after the model was found.
+        """
+        if self._cached_model is None:
+            raise SolverError("no model available (last solve() was not SAT)")
+        if not 0 < variable < len(self._cached_model):
+            raise SolverError(
+                f"variable {variable} has no value in the current model "
+                "(allocated after the last SAT answer?)"
+            )
+        return self._cached_model[variable]
+
+    def cached_model(self) -> list[bool] | None:
+        """The last SAT model *without copying*, or None when unavailable.
+
+        The returned list is replaced (never mutated) by later
+        :meth:`solve` calls, so holding a reference across solves is safe;
+        callers must not mutate it.
+        """
+        return self._cached_model
 
     # -- internal: assignment & propagation ------------------------------
-
-    @property
-    def _active_assumption_levels(self) -> list[int]:
-        if not hasattr(self, "_assumption_levels"):
-            self._assumption_levels: list[int] = []
-        return self._assumption_levels
 
     def _next_unhandled_assumption(self, assumptions: list[int]) -> int | None:
         handled = len(self._active_assumption_levels)

@@ -11,15 +11,28 @@ small API reminiscent of z3py::
         model = solver.model()
         print(model["x"])
 
-Push/pop scopes are provided by re-blasting on demand (simple and robust:
-the assertion stack is the source of truth).  Incremental solving *within*
-one check is handled by the underlying CDCL solver's assumption mechanism;
-across checks the facade re-encodes, which is fast enough for the query
-sizes in this reproduction and keeps the code easy to audit.
+The facade is **incremental across checks**: one persistent
+:class:`~repro.smt.sat.CdclSolver` and one persistent
+:class:`~repro.smt.bitblast.BitBlaster` live for the lifetime of the
+``SmtSolver``, so term caches, learned clauses and VSIDS activities all
+survive between ``check()`` calls.  Push/pop scopes are implemented with
+MiniSat-style *activation literals*: each scope owns a fresh literal
+``a``, assertions inside the scope are encoded as ``(¬a ∨ formula)`` and
+``a`` is passed as a solver assumption while the scope is open; popping
+the scope permanently asserts ``~a``, which satisfies (and thereby
+retires) every clause of the scope without touching the rest of the
+database.  ``check(*extra)`` formulas are likewise passed as assumptions,
+so they constrain only the one query.
+
+The previous re-blast-on-demand design is still available as an escape
+hatch (``SmtSolver(reencode_each_check=True)``): it rebuilds a fresh SAT
+solver and blaster for every check, which is useful for benchmarking the
+incremental speedup and as a maximally-simple reference semantics.
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -27,6 +40,7 @@ from typing import Iterable, Sequence
 from repro.core.deductive import DeductiveAnswer, DeductiveEngine, DeductiveQuery
 from repro.core.exceptions import SolverError
 from repro.smt.bitblast import BitBlaster
+from repro.smt.cnf import make_literal, negate
 from repro.smt.sat import CdclSolver, SatResult
 from repro.smt.terms import (
     Assignment,
@@ -107,6 +121,16 @@ class SmtStatistics:
     clauses_generated: int = 0
     variables_generated: int = 0
 
+    def merged_with(self, other: "SmtStatistics") -> "SmtStatistics":
+        """Field-wise sum of two statistics records."""
+        return SmtStatistics(
+            checks=self.checks + other.checks,
+            sat_answers=self.sat_answers + other.sat_answers,
+            unsat_answers=self.unsat_answers + other.unsat_answers,
+            clauses_generated=self.clauses_generated + other.clauses_generated,
+            variables_generated=self.variables_generated + other.variables_generated,
+        )
+
 
 class SmtSolver:
     """A QF_BV SMT solver built on bit-blasting + CDCL SAT.
@@ -114,14 +138,38 @@ class SmtSolver:
     Args:
         max_conflicts: optional conflict budget per ``check`` (returns
             :data:`SmtResult.UNKNOWN` when exhausted).
+        reencode_each_check: when True, every ``check`` rebuilds a fresh
+            SAT solver and re-blasts the whole assertion stack (the
+            pre-incremental behaviour, kept as an escape hatch and as a
+            benchmark baseline).  When False (the default), one persistent
+            SAT solver and bit-blaster serve all checks; scopes are
+            realised with activation literals and ``extra`` formulas with
+            solver assumptions, so learned clauses and branching
+            activities carry over between checks.
     """
 
-    def __init__(self, max_conflicts: int | None = None):
+    def __init__(
+        self,
+        max_conflicts: int | None = None,
+        reencode_each_check: bool = False,
+    ):
         self._assertions: list[BoolTerm] = []
         self._scopes: list[int] = []
         self._max_conflicts = max_conflicts
+        self._reencode_each_check = reencode_each_check
         self._last_model: Model | None = None
+        # (blaster, sat model bits) of the last SAT answer; the Model is
+        # built lazily from it on the first model() call, so checks whose
+        # model is never read pay nothing for extraction.
+        self._model_source: tuple[BitBlaster, list[bool]] | None = None
         self.statistics = SmtStatistics()
+        # Persistent incremental core (created lazily on first use).
+        self._sat_solver: CdclSolver | None = None
+        self._blaster: BitBlaster | None = None
+        # One activation literal per open scope, parallel to ``_scopes``.
+        self._activations: list[int] = []
+        # Prefix of ``_assertions`` already encoded into the SAT solver.
+        self._encoded_count = 0
 
     # -- assertion stack --------------------------------------------------
 
@@ -137,6 +185,10 @@ class SmtSolver:
     def push(self) -> None:
         """Push a backtracking scope."""
         self._scopes.append(len(self._assertions))
+        if not self._reencode_each_check:
+            sat_solver, _ = self._core()
+            self._activations.append(make_literal(sat_solver.new_variable()))
+            self.statistics.variables_generated += 1
 
     def pop(self) -> None:
         """Pop the most recent scope, discarding its assertions."""
@@ -144,33 +196,117 @@ class SmtSolver:
             raise SolverError("pop without matching push")
         boundary = self._scopes.pop()
         del self._assertions[boundary:]
+        if not self._reencode_each_check:
+            activation = self._activations.pop()
+            if self._encoded_count > boundary:
+                # Clauses of this scope are already in the SAT solver;
+                # permanently falsifying the activation literal satisfies
+                # (and thereby retires) all of them.
+                sat_solver, _ = self._core()
+                clauses_before = sat_solver.statistics.clauses_added
+                sat_solver.add_clause([negate(activation)])
+                self.statistics.clauses_generated += (
+                    sat_solver.statistics.clauses_added - clauses_before
+                )
+                self._encoded_count = boundary
 
     @property
     def assertions(self) -> Sequence[BoolTerm]:
         """The currently asserted formulas (read-only view)."""
         return tuple(self._assertions)
 
+    # -- incremental core ---------------------------------------------------
+
+    def _core(self) -> tuple[CdclSolver, BitBlaster]:
+        """The persistent SAT solver + blaster pair (created on first use)."""
+        if self._sat_solver is None:
+            self._sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
+            self._blaster = BitBlaster(self._sat_solver)
+            # Count the blaster's true-constant variable and unit clause so
+            # both solver modes measure the same encoding work.
+            self.statistics.variables_generated += self._sat_solver.num_variables
+            self.statistics.clauses_generated += (
+                self._sat_solver.statistics.clauses_added
+            )
+        assert self._blaster is not None
+        return self._sat_solver, self._blaster
+
+    def _encode_pending(self) -> None:
+        """Blast assertions added since the previous ``check``.
+
+        Base-level assertions become unit clauses; assertions inside an
+        open scope are guarded by that scope's activation literal.
+        """
+        sat_solver, blaster = self._core()
+        for index in range(self._encoded_count, len(self._assertions)):
+            literal = blaster.blast_bool(self._assertions[index])
+            scope = bisect.bisect_right(self._scopes, index)
+            if scope == 0:
+                sat_solver.add_clause([literal])
+            else:
+                sat_solver.add_clause(
+                    [negate(self._activations[scope - 1]), literal]
+                )
+        self._encoded_count = len(self._assertions)
+
     # -- solving -----------------------------------------------------------
 
     def check(self, *extra: BoolTerm) -> SmtResult:
         """Check satisfiability of the asserted formulas (plus ``extra``).
+
+        ``extra`` formulas constrain this check only: in incremental mode
+        they are encoded once (their definitional clauses stay cached) but
+        asserted via solver assumptions, so they leave no trace on later
+        checks.
 
         Returns:
             :data:`SmtResult.SAT`, :data:`SmtResult.UNSAT`, or
             :data:`SmtResult.UNKNOWN` when the conflict budget is exhausted.
         """
         self.statistics.checks += 1
+        for formula in extra:
+            if not isinstance(formula, BoolTerm):
+                raise SolverError(
+                    f"only Boolean terms can be checked, got {type(formula).__name__}"
+                )
+        if self._reencode_each_check:
+            return self._check_reencoding(extra)
+        sat_solver, blaster = self._core()
+        variables_before = sat_solver.num_variables
+        clauses_before = sat_solver.statistics.clauses_added
+        self._encode_pending()
+        assumptions = list(self._activations)
+        assumptions.extend(blaster.blast_bool(formula) for formula in extra)
+        result = sat_solver.solve(assumptions)
+        self.statistics.variables_generated += (
+            sat_solver.num_variables - variables_before
+        )
+        self.statistics.clauses_generated += (
+            sat_solver.statistics.clauses_added - clauses_before
+        )
+        return self._record_result(result, sat_solver, blaster)
+
+    def _check_reencoding(self, extra: Sequence[BoolTerm]) -> SmtResult:
+        """One-shot check: fresh SAT solver, full re-blast (escape hatch)."""
         sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
         blaster = BitBlaster(sat_solver)
         for formula in list(self._assertions) + list(extra):
             blaster.assert_formula(formula)
         self.statistics.variables_generated += sat_solver.num_variables
-        result = sat_solver.solve()
+        self.statistics.clauses_generated += sat_solver.statistics.clauses_added
+        return self._record_result(sat_solver.solve(), sat_solver, blaster)
+
+    def _record_result(
+        self, result: SatResult, sat_solver: CdclSolver, blaster: BitBlaster
+    ) -> SmtResult:
+        self._last_model = None
         if result is SatResult.SAT:
             self.statistics.sat_answers += 1
-            self._last_model = Model(blaster.extract_assignment(sat_solver.model()))
+            model_bits = sat_solver.cached_model()
+            assert model_bits is not None
+            self._model_source = (blaster, model_bits)
             return SmtResult.SAT
-        self._last_model = None
+        self._model_source = None
         if result is SatResult.UNSAT:
             self.statistics.unsat_answers += 1
             return SmtResult.UNSAT
@@ -182,9 +318,30 @@ class SmtSolver:
         Raises:
             SolverError: if the last check was not satisfiable.
         """
+        if self._last_model is None and self._model_source is not None:
+            blaster, model_bits = self._model_source
+            self._last_model = Model(blaster.extract_assignment(model_bits))
         if self._last_model is None:
             raise SolverError("no model available (last check was not SAT)")
         return self._last_model
+
+    def model_value(self, name: str) -> int | bool | None:
+        """Value of one named variable in the last satisfiable check's model.
+
+        Cheaper than :meth:`model` when only a few variables are needed —
+        the persistent blaster may know thousands of names from earlier
+        checks, and full extraction visits all of them.  Returns None for
+        variables the solver has never blasted (or blasted only after the
+        model was found); they are unconstrained, so any value completes
+        the model.
+
+        Raises:
+            SolverError: if the last check was not satisfiable.
+        """
+        if self._model_source is None:
+            raise SolverError("no model available (last check was not SAT)")
+        blaster, model_bits = self._model_source
+        return blaster.extract_value(name, model_bits)
 
     # -- convenience entry points ------------------------------------------
 

@@ -141,6 +141,86 @@ class TestOgisSynthesizer:
         assert program.equivalent_to(lambda v: ((3 * v[0]) % 16,), width=4)
 
 
+class TestIncrementalEncoder:
+    def test_growing_example_set_reuses_solver(self):
+        encoder = SynthesisEncoder(
+            [component_add(), component_xor()], num_inputs=2, num_outputs=1, width=4
+        )
+        examples = [IOExample((0, 0), (0,))]
+        encoder.synthesize(examples)
+        variables_first = encoder.smt_statistics().variables_generated
+        examples.append(IOExample((1, 2), (3,)))
+        encoder.synthesize(examples)
+        variables_second = encoder.smt_statistics().variables_generated
+        # The second call encodes only the new example, which is much
+        # smaller than the initial well-formedness + example encoding.
+        assert variables_second - variables_first < variables_first
+
+    def test_non_extending_example_set_resets_solver(self):
+        encoder = SynthesisEncoder([component_xor()], num_inputs=2, num_outputs=1, width=4)
+        program = encoder.synthesize([IOExample((3, 5), (6,)), IOExample((1, 1), (0,))])
+        assert program.run((3, 5), width=4) == (6,)
+        # A disjoint example list (not an extension) still yields correct
+        # results: the persistent solver is rebuilt.
+        program = encoder.synthesize([IOExample((2, 7), (5,))])
+        assert program.run((2, 7), width=4) == (5,)
+
+    def test_reencode_mode_matches_incremental(self):
+        oracle = _oracle(lambda v: ((5 * v[0]) % 16,), 1, 1)
+        incremental = OgisSynthesizer(
+            [component_shift_left(2), component_add()], oracle, width=4, seed=2
+        )
+        program_incremental = incremental.synthesize()
+        oracle = _oracle(lambda v: ((5 * v[0]) % 16,), 1, 1)
+        reencode = OgisSynthesizer(
+            [component_shift_left(2), component_add()],
+            oracle,
+            width=4,
+            seed=2,
+            reencode_each_check=True,
+        )
+        program_reencode = reencode.synthesize()
+        assert program_incremental.equivalent_to(lambda v: ((5 * v[0]) % 16,), width=4)
+        assert program_reencode.equivalent_to(lambda v: ((5 * v[0]) % 16,), width=4)
+        incremental_stats = incremental.encoder.smt_statistics()
+        reencode_stats = reencode.encoder.smt_statistics()
+        assert (
+            incremental_stats.variables_generated
+            < reencode_stats.variables_generated
+        )
+
+    def test_distinguishing_assumption_does_not_leak(self):
+        # Two consecutive distinguishing queries against *different*
+        # candidates on the same encoder must be independent.  With the
+        # single-XOR library the only consistent behaviours on (0,0)->(0,)
+        # are `0` (xor(in0, in0)) and `in0 ^ in1`; if the first candidate's
+        # disagreement constraint leaked into the solver (asserted instead
+        # of assumed), the second query would demand a behaviour differing
+        # from *both* and wrongly report convergence (None).
+        from repro.ogis.program import ComponentInstance, LoopFreeProgram
+
+        xor = component_xor()
+        encoder = SynthesisEncoder([xor], num_inputs=2, num_outputs=1, width=4)
+        examples = [IOExample((0, 0), (0,))]
+
+        def xor_program(input_lines):
+            return LoopFreeProgram(
+                num_inputs=2,
+                instances=[
+                    ComponentInstance(
+                        component=xor, input_lines=input_lines, output_line=2
+                    )
+                ],
+                output_lines=(2,),
+                width=4,
+            )
+
+        candidate_zero = xor_program((0, 0))  # computes 0
+        candidate_xor = xor_program((0, 1))  # computes in0 ^ in1
+        assert encoder.distinguishing_input(examples, candidate_zero) is not None
+        assert encoder.distinguishing_input(examples, candidate_xor) is not None
+
+
 class TestBaselines:
     def test_enumerate_programs_counts(self):
         programs = list(

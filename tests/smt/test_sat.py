@@ -133,6 +133,174 @@ class TestBasicSolving:
         assert result in {SatResult.SAT, SatResult.UNSAT, SatResult.UNKNOWN}
 
 
+def _pigeonhole_clauses(solver, pigeons, holes, guard=None):
+    """Add PHP(pigeons, holes) clauses, optionally guarded by ``~guard``."""
+    prefix = [make_literal(guard, True)] if guard is not None else []
+    var = {}
+    for pigeon in range(pigeons):
+        for hole in range(holes):
+            var[(pigeon, hole)] = solver.new_variable()
+    for pigeon in range(pigeons):
+        solver.add_clause(
+            prefix + [make_literal(var[(pigeon, hole)]) for hole in range(holes)]
+        )
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                solver.add_clause(
+                    prefix
+                    + [
+                        make_literal(var[(first, hole)], True),
+                        make_literal(var[(second, hole)], True),
+                    ]
+                )
+    return var
+
+
+class TestModelLifetime:
+    def test_model_before_any_solve_raises(self):
+        solver = CdclSolver()
+        solver.new_variable()
+        with pytest.raises(SolverError):
+            solver.model()
+
+    def test_model_after_unsat_raises(self):
+        # Regression: model()/value() used to return the stale model of a
+        # *previous* SAT answer after a later UNSAT solve().
+        solver = CdclSolver()
+        x = solver.new_variable()
+        solver.add_clause([make_literal(x)])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(x) is True
+        solver.add_clause([make_literal(x, True)])
+        assert solver.solve() is SatResult.UNSAT
+        with pytest.raises(SolverError):
+            solver.model()
+        with pytest.raises(SolverError):
+            solver.value(x)
+
+    def test_model_after_assumption_unsat_raises(self):
+        solver = CdclSolver()
+        x = solver.new_variable()
+        solver.add_clause([make_literal(x)])
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve([make_literal(x, True)]) is SatResult.UNSAT
+        with pytest.raises(SolverError):
+            solver.model()
+        # A new SAT answer makes the model available again.
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(x) is True
+
+    def test_model_after_unknown_raises(self):
+        # (a|b), (~a|b), (a|~b): satisfiable, but the first decision (~a,
+        # saved phase False) forces a conflict, exhausting a zero budget.
+        solver = CdclSolver(max_conflicts=0)
+        a, b = solver.new_variable(), solver.new_variable()
+        assert solver.solve() is SatResult.SAT  # caches a model
+        solver.add_clause([make_literal(a), make_literal(b)])
+        solver.add_clause([make_literal(a, True), make_literal(b)])
+        solver.add_clause([make_literal(a), make_literal(b, True)])
+        assert solver.solve() is SatResult.UNKNOWN
+        with pytest.raises(SolverError):
+            solver.model()
+
+
+class TestIncrementalSolving:
+    def test_assumption_levels_initialised_in_init(self):
+        solver = CdclSolver()
+        assert "_active_assumption_levels" in vars(solver)
+        assert solver._active_assumption_levels == []
+
+    def test_alternating_assumption_sets(self):
+        solver = CdclSolver()
+        guard = solver.new_variable()
+        _pigeonhole_clauses(solver, 3, 2, guard=guard)
+        # The pigeonhole clauses are active only under the guard.
+        assert solver.solve([make_literal(guard)]) is SatResult.UNSAT
+        assert solver.solve([make_literal(guard, True)]) is SatResult.SAT
+        assert solver.model()[guard] is False
+        assert solver.solve([make_literal(guard)]) is SatResult.UNSAT
+        assert solver.solve() is SatResult.SAT
+
+    def test_restarts_with_active_assumptions(self):
+        # restart_base=1 restarts after (nearly) every conflict, so the
+        # assumption bookkeeping must survive repeated backtracking below
+        # and re-establishment above the assumption levels.
+        rng = random.Random(23)
+        for _ in range(25):
+            num_vars = rng.randint(4, 8)
+            clauses = _random_clauses(rng, num_vars, rng.randint(10, 30))
+            assumption_var = num_vars + 1
+            solver = CdclSolver(restart_base=1)
+            solver.ensure_variables(assumption_var)
+            for clause in clauses:
+                solver.add_clause(clause)
+            assumptions = [make_literal(assumption_var, rng.randint(0, 1) == 1)]
+            result = solver.solve(assumptions)
+            expected = _brute_force_sat(num_vars, clauses)
+            assert (result is SatResult.SAT) == expected
+            if expected:
+                model = solver.model()
+                assert _model_satisfies(model, clauses)
+                # The assumption itself must hold in the model.
+                literal = assumptions[0]
+                value = model[literal >> 1]
+                assert value is not bool(literal & 1)
+            if solver.statistics.conflicts > 0:
+                assert solver.statistics.restarts > 0
+
+    def test_backjumps_while_assumptions_active(self):
+        # PHP(4,3) guarded: deciding it under the guard assumption forces
+        # many conflicts/backjumps above the assumption level before the
+        # final UNSAT-under-assumptions verdict.
+        solver = CdclSolver()
+        guard = solver.new_variable()
+        _pigeonhole_clauses(solver, 4, 3, guard=guard)
+        assert solver.solve([make_literal(guard)]) is SatResult.UNSAT
+        assert solver.statistics.conflicts > 0
+        # The guard is not unit-implied: dropping the assumption leaves SAT.
+        assert solver.solve() is SatResult.SAT
+
+    def test_clause_addition_between_solves(self):
+        solver = CdclSolver()
+        x, y, z = (solver.new_variable() for _ in range(3))
+        solver.add_clause([make_literal(x), make_literal(y)])
+        assert solver.solve() is SatResult.SAT
+        solver.add_clause([make_literal(z)])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(z) is True
+        solver.add_clause([make_literal(x, True)])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(y) is True
+        solver.add_clause([make_literal(y, True)])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_conflict_budget_is_per_call(self):
+        # With a lifetime budget the second call would return UNKNOWN
+        # immediately; with a per-call budget, learned clauses accumulate
+        # across calls until the guarded pigeonhole is refuted.
+        solver = CdclSolver(max_conflicts=3)
+        guard = solver.new_variable()
+        _pigeonhole_clauses(solver, 3, 2, guard=guard)
+        result = solver.solve([make_literal(guard)])
+        for _ in range(200):
+            if result is not SatResult.UNKNOWN:
+                break
+            result = solver.solve([make_literal(guard)])
+        assert result is SatResult.UNSAT
+        # The relaxed problem is still satisfiable afterwards.
+        assert solver.solve([make_literal(guard, True)]) is SatResult.SAT
+
+    def test_clauses_added_counter(self):
+        solver = CdclSolver()
+        x, y = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(x), make_literal(y)])
+        solver.add_clause([make_literal(x), make_literal(x, True)])  # tautology
+        assert solver.statistics.clauses_added == 1
+        solver.add_clause([make_literal(y, True)])
+        assert solver.statistics.clauses_added == 2
+
+
 class TestDifferential:
     def test_random_instances_match_brute_force(self):
         rng = random.Random(11)

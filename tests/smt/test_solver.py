@@ -85,11 +85,151 @@ class TestSmtSolver:
         assert solver.statistics.sat_answers == 1
         assert solver.statistics.unsat_answers == 1
 
+    def test_statistics_count_clauses_and_variables(self):
+        # Regression: clauses_generated was declared but never incremented.
+        solver = SmtSolver()
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        solver.add((x + y).eq(bv_const(45, 8)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.clauses_generated > 0
+        assert solver.statistics.variables_generated > 0
+
+    def test_repeated_check_reuses_encoding(self):
+        # In incremental mode an unchanged assertion stack must not be
+        # re-bit-blasted: no new SAT variables or clauses appear.
+        solver = SmtSolver()
+        x = bv_var("x", 8)
+        solver.add((x * bv_const(3, 8)).eq(bv_const(33, 8)))
+        assert solver.check() is SmtResult.SAT
+        variables_first = solver.statistics.variables_generated
+        clauses_first = solver.statistics.clauses_generated
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.variables_generated == variables_first
+        assert solver.statistics.clauses_generated == clauses_first
+
+    def test_reencode_mode_pays_per_check(self):
+        solver = SmtSolver(reencode_each_check=True)
+        x = bv_var("x", 8)
+        solver.add((x * bv_const(3, 8)).eq(bv_const(33, 8)))
+        assert solver.check() is SmtResult.SAT
+        variables_first = solver.statistics.variables_generated
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.variables_generated == 2 * variables_first
+
+    def test_model_value_resolves_single_names(self):
+        solver = SmtSolver()
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        solver.add(x.eq(bv_const(3, 8)), y.eq(bv_const(9, 8)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.model_value("x") == 3
+        assert solver.model_value("y") == 9
+        assert solver.model_value("never_declared") is None
+        assert solver.check(x.eq(bv_const(4, 8))) is SmtResult.UNSAT
+        with pytest.raises(SolverError):
+            solver.model_value("x")
+
     def test_one_shot_solve_helper(self):
         x = bv_var("x", 6)
         verdict, model = solve([x.ugt(bv_const(60, 6))])
         assert verdict is SmtResult.SAT
         assert model["x"] > 60
+
+
+@pytest.mark.parametrize("reencode", [False, True], ids=["incremental", "reencode"])
+class TestScopesAndAssumptions:
+    """Push/pop and check-time extras, in both solver modes."""
+
+    def test_popped_scope_does_not_constrain_later_checks(self, reencode):
+        solver = SmtSolver(reencode_each_check=reencode)
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        solver.push()
+        solver.add(x.eq(bv_const(3, 4)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.model()["x"] == 3
+        solver.pop()
+        solver.push()
+        solver.add(x.eq(bv_const(5, 4)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.model()["x"] == 5
+        solver.pop()
+
+    def test_popped_unsat_scope_recovers(self, reencode):
+        solver = SmtSolver(reencode_each_check=reencode)
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        solver.push()
+        solver.add(x.uge(bv_const(8, 4)))
+        assert solver.check() is SmtResult.UNSAT
+        solver.pop()
+        assert solver.check() is SmtResult.SAT
+        assert solver.model()["x"] < 8
+
+    def test_nested_scopes(self, reencode):
+        solver = SmtSolver(reencode_each_check=reencode)
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        solver.push()
+        solver.add(x.uge(bv_const(2, 4)))
+        solver.push()
+        solver.add(x.eq(bv_const(1, 4)))
+        assert solver.check() is SmtResult.UNSAT
+        solver.pop()
+        assert solver.check() is SmtResult.SAT
+        assert 2 <= solver.model()["x"] < 8
+        solver.pop()
+        assert solver.check(x.eq(bv_const(1, 4))) is SmtResult.SAT
+
+    def test_extra_formulas_do_not_persist(self, reencode):
+        solver = SmtSolver(reencode_each_check=reencode)
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        assert solver.check(x.eq(bv_const(9, 4))) is SmtResult.UNSAT
+        assert solver.check() is SmtResult.SAT
+        assert solver.check(x.eq(bv_const(5, 4))) is SmtResult.SAT
+        assert solver.model()["x"] == 5
+        # Several different extras in sequence each constrain only their
+        # own check.
+        for value in (0, 3, 7):
+            assert solver.check(x.eq(bv_const(value, 4))) is SmtResult.SAT
+            assert solver.model()["x"] == value
+
+    def test_incremental_and_reencode_agree(self, reencode):
+        del reencode  # this test runs the comparison itself
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        script = [
+            ("add", (x + y).eq(bv_const(10, 8))),
+            ("check", None),
+            ("push", None),
+            ("add", x.ugt(y)),
+            ("check", None),
+            ("add", x.eq(y)),
+            ("check", None),
+            ("pop", None),
+            ("check", x.eq(y)),
+            ("check", None),
+        ]
+        verdicts = []
+        for mode in (False, True):
+            solver = SmtSolver(reencode_each_check=mode)
+            run = []
+            for action, payload in script:
+                if action == "add":
+                    solver.add(payload)
+                elif action == "push":
+                    solver.push()
+                elif action == "pop":
+                    solver.pop()
+                else:
+                    extras = (payload,) if payload is not None else ()
+                    run.append(solver.check(*extras))
+            verdicts.append(run)
+        assert verdicts[0] == verdicts[1]
+
+    def test_only_bool_terms_checkable(self, reencode):
+        solver = SmtSolver(reencode_each_check=reencode)
+        with pytest.raises(SolverError):
+            solver.check(bv_var("x", 4))
 
 
 class TestSmtDeductiveEngine:

@@ -5,6 +5,7 @@ in-process (with reduced problem sizes where they accept flags) guards
 against bit-rot in the documented API usage.
 """
 
+import os
 import runpy
 import subprocess
 import sys
@@ -13,16 +14,24 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def _run_example(name: str, *arguments: str) -> str:
     """Run an example as a subprocess and return its stdout."""
+    # The subprocess does not inherit pytest's `pythonpath` ini setting,
+    # so put src/ on PYTHONPATH explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *arguments],
         capture_output=True,
         text=True,
         timeout=540,
         check=True,
+        env=env,
     )
     return result.stdout
 
