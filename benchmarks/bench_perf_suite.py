@@ -1,0 +1,367 @@
+"""Benchmark — the query-shrinking perf suite across the whole SMT stack.
+
+Successor of ``bench_incremental_smt.py`` (which pinned the PR-1
+incremental-vs-one-shot comparison): this harness tracks the *multi-layer*
+performance pass — word-level simplification, hash-consed terms,
+polarity-aware (Plaisted–Greenbaum) CNF, and the upgraded CDCL hot path —
+from this PR onward.  It runs three workloads
+
+* **deobfuscation** — the Figure 8 OGIS loops (candidate-program and
+  distinguishing-input queries on one persistent solver),
+* **gametime**    — per-path feasibility sweeps over CFGs (Figure 6 /
+  Section 3), with a full model audit of every feasible path,
+* **hybrid**      — a bounded-reachability unrolling of a discretized
+  two-mode hybrid automaton (Section 5 flavour: mode switching plus a
+  per-step disturbance input), checked depth by depth in push/pop scopes,
+
+under a grid of ablation configs that disable each layer independently
+(``simplify_terms`` / ``polarity_aware`` / ``gc_dead_clauses``), and
+writes a machine-readable ``BENCH_perf.json`` — wall time, SAT variables
+and clauses, propagations/sec, GC counters, and the exact flag set of
+every run — so the perf trajectory is comparable across PRs.
+
+Hard checks (both under pytest and as a standalone CLI, where any failure
+exits non-zero):
+
+* every workload's verdicts are identical across all configs;
+* every SAT model still satisfies the original (un-simplified) formulas;
+* the fully-enabled config generates at least 25% fewer SAT clauses than
+  the all-off baseline (the PR-1 behaviour) on the deobfuscation workload.
+
+Run standalone::
+
+    python benchmarks/bench_perf_suite.py --quick --output BENCH_perf.json
+
+or under pytest (uses the quick workloads)::
+
+    python -m pytest benchmarks/bench_perf_suite.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:  # standalone execution support
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.cfg import build_cfg, enumerate_paths, modular_exponentiation
+from repro.cfg.programs import bounded_linear_search
+from repro.cfg.ssa import PathConstraintBuilder
+from repro.ogis import (
+    OgisSynthesizer,
+    ProgramIOOracle,
+    interchange_library,
+    interchange_obfuscated,
+    interchange_reference,
+    multiply45_library,
+    multiply45_obfuscated,
+    multiply45_reference,
+)
+from repro.smt import SmtResult, SmtSolver
+from repro.smt.terms import FALSE, TRUE, bool_ite, bool_var, bv_const, bv_ite, bv_var
+
+#: Ablation grid: every layer can be switched off independently;
+#: ``baseline`` is the PR-1 behaviour (no word-level simplification,
+#: classic full Tseitin, no scope garbage collection).
+CONFIGS = {
+    "full": dict(simplify_terms=True, polarity_aware=True, gc_dead_clauses=2000),
+    "no_simplify": dict(simplify_terms=False, polarity_aware=True, gc_dead_clauses=2000),
+    "no_polarity": dict(simplify_terms=True, polarity_aware=False, gc_dead_clauses=2000),
+    "no_gc": dict(simplify_terms=True, polarity_aware=True, gc_dead_clauses=None),
+    "baseline": dict(simplify_terms=False, polarity_aware=False, gc_dead_clauses=None),
+}
+
+#: (task name, library factory, obfuscated fn, reference fn, n_in, n_out, width, seed)
+DEOBFUSCATION_TASKS = (
+    ("interchange w8", interchange_library, interchange_obfuscated, interchange_reference, 2, 2, 8, 1),
+    ("multiply45 w8", multiply45_library, multiply45_obfuscated, multiply45_reference, 1, 1, 8, 1),
+    ("multiply45 w5", multiply45_library, multiply45_obfuscated, multiply45_reference, 1, 1, 5, 0),
+    ("multiply45 w4", multiply45_library, multiply45_obfuscated, multiply45_reference, 1, 1, 4, 0),
+    ("multiply45 w4b", multiply45_library, multiply45_obfuscated, multiply45_reference, 1, 1, 4, 1),
+)
+DEOBFUSCATION_QUICK = DEOBFUSCATION_TASKS[2:]
+
+
+def _run_deobfuscation(options: dict, quick: bool) -> dict:
+    tasks = DEOBFUSCATION_QUICK if quick else DEOBFUSCATION_TASKS
+    verdicts = []
+    start = time.perf_counter()
+    variables = clauses = propagations = 0
+    for name, library, obfuscated, reference, n_in, n_out, width, seed in tasks:
+        oracle = ProgramIOOracle(
+            lambda values, fn=obfuscated, w=width: fn(values, w), n_in, n_out, width
+        )
+        synthesizer = OgisSynthesizer(
+            library(), oracle, width=width, seed=seed, solver_options=options
+        )
+        program = synthesizer.synthesize()
+        # The synthesized program is the model audit: it was decoded from
+        # SAT model values and must implement the reference semantics.
+        verdicts.append(
+            bool(
+                program.equivalent_to(
+                    lambda values, fn=reference, w=width: fn(values, w), width=width
+                )
+            )
+        )
+        statistics = synthesizer.encoder.smt_statistics()
+        variables += statistics.variables_generated
+        clauses += statistics.clauses_generated
+        propagations += synthesizer.encoder.sat_statistics().propagations
+    seconds = time.perf_counter() - start
+    return {
+        "tasks": [task[0] for task in tasks],
+        "verdicts": verdicts,
+        "models_ok": all(verdicts),
+        "seconds": seconds,
+        "sat_variables": variables,
+        "sat_clauses": clauses,
+        "propagations": propagations,
+        "propagations_per_sec": propagations / seconds if seconds else 0.0,
+    }
+
+
+def _run_gametime(options: dict, quick: bool) -> dict:
+    programs = [("linear_search(4)", bounded_linear_search(4, 16))]
+    if not quick:
+        programs.append(("modexp(8)", modular_exponentiation(8, 16)))
+    verdicts = []
+    models_ok = True
+    variables = clauses = propagations = gc_removed = gc_runs = 0
+    start = time.perf_counter()
+    for _, program in programs:
+        cfg = build_cfg(program)
+        builder = PathConstraintBuilder(cfg, solver_options=options)
+        solver = builder.solver
+        for path in enumerate_paths(cfg):
+            encoding = builder.encode(path)
+            solver.push()
+            try:
+                solver.add(*encoding.constraints)
+                verdict = solver.check()
+                verdicts.append(verdict is SmtResult.SAT)
+                if verdict is SmtResult.SAT:
+                    # Model audit: the satisfying assignment must satisfy
+                    # the *original* (pre-simplification) path formula.
+                    models_ok &= solver.model().evaluate(encoding.formula()) is True
+            finally:
+                solver.pop()
+        statistics = solver.statistics
+        variables += statistics.variables_generated
+        clauses += statistics.clauses_generated
+        sat_statistics = solver.sat_statistics()
+        propagations += sat_statistics.propagations
+        gc_removed += sat_statistics.gc_removed_clauses
+        gc_runs += sat_statistics.gc_runs
+    seconds = time.perf_counter() - start
+    return {
+        "programs": [name for name, _ in programs],
+        "verdicts": verdicts,
+        "feasible": sum(verdicts),
+        "models_ok": models_ok,
+        "seconds": seconds,
+        "sat_variables": variables,
+        "sat_clauses": clauses,
+        "propagations": propagations,
+        "propagations_per_sec": propagations / seconds if seconds else 0.0,
+        "gc_removed_clauses": gc_removed,
+        "gc_runs": gc_runs,
+    }
+
+
+def _hybrid_step(width, temp, mode, disturbance):
+    """One discretized step of a two-mode thermal automaton.
+
+    Heating (mode = true) adds 3 plus a bounded disturbance, cooling
+    subtracts 2; the mode switches outside the [30, 80] comfort band.
+    """
+    heated = temp + bv_const(3, width) + disturbance
+    cooled = temp - bv_const(2, width)
+    next_temp = bv_ite(mode, heated, cooled)
+    next_mode = bool_ite(
+        next_temp.uge(bv_const(80, width)),
+        FALSE,  # too hot: switch to cooling
+        bool_ite(next_temp.ule(bv_const(30, width)), TRUE, mode),
+    )
+    return next_temp, next_mode
+
+
+def _run_hybrid(options: dict, quick: bool) -> dict:
+    """Bounded reachability on the unrolled automaton, one scope per depth."""
+    width = 8
+    depth = 10 if quick else 24
+    solver = SmtSolver(**options)
+    asserted = []
+
+    def assert_(formula):
+        asserted.append(formula)
+        solver.add(formula)
+
+    temp = bv_var("t_0", width)
+    mode = bool_var("m_0")
+    assert_(temp.eq(bv_const(50, width)))
+    assert_(mode.iff(TRUE))  # start heating
+    verdicts = []
+    models_ok = True
+    start = time.perf_counter()
+    for step in range(1, depth + 1):
+        disturbance = bv_var(f"d_{step}", width)
+        assert_(disturbance.ule(bv_const(3, width)))
+        next_temp, next_mode = _hybrid_step(width, temp, mode, disturbance)
+        fresh_temp = bv_var(f"t_{step}", width)
+        fresh_mode = bool_var(f"m_{step}")
+        assert_(fresh_temp.eq(next_temp))
+        assert_(fresh_mode.iff(next_mode))
+        temp, mode = fresh_temp, fresh_mode
+        # Per-depth target query in its own scope: "can the system be
+        # exactly at 77 while cooling?".
+        target = temp.eq(bv_const(77, width)) & ~mode
+        solver.push()
+        try:
+            solver.add(target)
+            verdict = solver.check()
+            verdicts.append(verdict is SmtResult.SAT)
+            if verdict is SmtResult.SAT:
+                model = solver.model()
+                for formula in asserted + [target]:
+                    models_ok &= model.evaluate(formula) is True
+        finally:
+            solver.pop()
+        # Degenerate boundary-guard queries, the kind a hyperbox guard
+        # search emits when it reaches the edge of the domain: trivially
+        # true at the word level, a full comparator chain at the bit level.
+        verdicts.append(solver.check(temp.uge(bv_const(0, width))) is SmtResult.SAT)
+        verdicts.append(
+            solver.check(temp.ule(bv_const((1 << width) - 1, width))) is SmtResult.SAT
+        )
+    seconds = time.perf_counter() - start
+    statistics = solver.statistics
+    sat_statistics = solver.sat_statistics()
+    return {
+        "depth": depth,
+        "verdicts": verdicts,
+        "reachable_depths": [i + 1 for i, v in enumerate(verdicts) if v],
+        "models_ok": models_ok,
+        "seconds": seconds,
+        "sat_variables": statistics.variables_generated,
+        "sat_clauses": statistics.clauses_generated,
+        "propagations": sat_statistics.propagations,
+        "propagations_per_sec": (
+            sat_statistics.propagations / seconds if seconds else 0.0
+        ),
+        "gc_removed_clauses": sat_statistics.gc_removed_clauses,
+        "gc_runs": sat_statistics.gc_runs,
+    }
+
+
+WORKLOADS = {
+    "deobfuscation": _run_deobfuscation,
+    "gametime": _run_gametime,
+    "hybrid": _run_hybrid,
+}
+
+
+def run_suite(quick: bool = False, configs: dict | None = None) -> dict:
+    """Run every workload under every ablation config and cross-check."""
+    configs = configs or CONFIGS
+    results: dict = {"suite": "smt-perf", "quick": quick, "configs": {}}
+    for config_name, flags in configs.items():
+        workloads = {
+            workload_name: runner(dict(flags), quick)
+            for workload_name, runner in WORKLOADS.items()
+        }
+        results["configs"][config_name] = {"flags": flags, "workloads": workloads}
+
+    reference = results["configs"]["full"]["workloads"]
+    verdicts_identical = all(
+        record["workloads"][name]["verdicts"] == reference[name]["verdicts"]
+        for record in results["configs"].values()
+        for name in WORKLOADS
+    )
+    models_ok = all(
+        record["workloads"][name]["models_ok"]
+        for record in results["configs"].values()
+        for name in WORKLOADS
+    )
+    full_clauses = reference["deobfuscation"]["sat_clauses"]
+    baseline_clauses = results["configs"]["baseline"]["workloads"]["deobfuscation"][
+        "sat_clauses"
+    ]
+    reduction = 1.0 - full_clauses / baseline_clauses if baseline_clauses else 0.0
+    results["comparisons"] = {
+        "deobfuscation_clauses_full": full_clauses,
+        "deobfuscation_clauses_baseline": baseline_clauses,
+        "deobfuscation_clause_reduction_vs_baseline": reduction,
+    }
+    results["checks"] = {
+        "verdicts_identical_across_configs": verdicts_identical,
+        "models_satisfy_original_formulas": models_ok,
+        "clause_reduction_target_met": reduction >= 0.25,
+    }
+    return results
+
+
+def write_report(results: dict, output: Path) -> None:
+    output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+
+
+def _print_summary(results: dict) -> None:
+    print(f"\nSMT perf suite ({'quick' if results['quick'] else 'full'} workloads)")
+    header = f"  {'config':<12}{'workload':<16}{'clauses':>9}{'vars':>8}{'props/s':>12}{'secs':>8}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for config_name, record in results["configs"].items():
+        for workload_name, data in record["workloads"].items():
+            print(
+                f"  {config_name:<12}{workload_name:<16}"
+                f"{data['sat_clauses']:>9}{data['sat_variables']:>8}"
+                f"{data['propagations_per_sec']:>12.0f}{data['seconds']:>8.2f}"
+            )
+    comparisons = results["comparisons"]
+    print(
+        "  deobfuscation clause reduction vs baseline: "
+        f"{comparisons['deobfuscation_clause_reduction_vs_baseline']:.1%}"
+    )
+    for check, passed in results["checks"].items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {check}")
+
+
+def test_perf_suite(benchmark, tmp_path):
+    """Pytest entry point (quick workloads; committed BENCH_perf.json is
+    produced by the CLI run, so the report lands in a scratch dir here)."""
+    from conftest import run_once
+
+    results = run_once(benchmark, run_suite, quick=True)
+    _print_summary(results)
+    write_report(results, tmp_path / "BENCH_perf.json")
+    assert results["checks"]["verdicts_identical_across_configs"]
+    assert results["checks"]["models_satisfy_original_formulas"]
+    assert results["checks"]["clause_reduction_target_met"], results["comparisons"]
+    benchmark.extra_info.update(results["comparisons"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small task subset (CI smoke job)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_ROOT / "BENCH_perf.json",
+        help="where to write the machine-readable report",
+    )
+    arguments = parser.parse_args(argv)
+    results = run_suite(quick=arguments.quick)
+    write_report(results, arguments.output)
+    _print_summary(results)
+    return 0 if all(results["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,6 +84,9 @@ class PathConstraintBuilder:
         reencode_each_check: forwarded to :class:`SmtSolver`; when True the
             solver re-bit-blasts every query (the pre-incremental
             behaviour, kept benchmarkable).
+        solver_options: extra keyword arguments forwarded to the shared
+            :class:`SmtSolver` (the perf-suite ablation knobs:
+            ``simplify_terms``, ``polarity_aware``, ``gc_dead_clauses``).
     """
 
     def __init__(
@@ -91,11 +94,19 @@ class PathConstraintBuilder:
         cfg: ControlFlowGraph,
         slice_to_conditions: bool = True,
         reencode_each_check: bool = False,
+        solver_options: dict | None = None,
     ):
         self.cfg = cfg
         self.slice_to_conditions = slice_to_conditions
-        self._solver = SmtSolver(reencode_each_check=reencode_each_check)
+        self._solver = SmtSolver(
+            reencode_each_check=reencode_each_check, **(solver_options or {})
+        )
         self.queries = 0
+
+    @property
+    def solver(self) -> SmtSolver:
+        """The shared per-CFG incremental solver (telemetry / benchmarks)."""
+        return self._solver
 
     @property
     def smt_statistics(self):

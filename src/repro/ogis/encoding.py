@@ -90,6 +90,10 @@ class SynthesisEncoder:
             :class:`~repro.smt.solver.SmtSolver`; when True each query
             re-bit-blasts its whole encoding (the pre-incremental
             behaviour, kept as a benchmark baseline).
+        solver_options: extra keyword arguments forwarded verbatim to
+            every :class:`~repro.smt.solver.SmtSolver` the encoder builds
+            (the perf-suite ablation knobs: ``simplify_terms``,
+            ``polarity_aware``, ``gc_dead_clauses``).
 
     The encoder keeps one *persistent* solver across the whole OGIS loop,
     shared by ``synthesize`` and ``distinguishing_input``.  Its base-level
@@ -115,6 +119,7 @@ class SynthesisEncoder:
         width: int = 8,
         outputs_from_components: bool = True,
         reencode_each_check: bool = False,
+        solver_options: dict | None = None,
     ):
         if not library:
             raise UnrealizableError("the component library is empty")
@@ -123,6 +128,7 @@ class SynthesisEncoder:
         self.num_outputs = num_outputs
         self.width = width
         self.reencode_each_check = reencode_each_check
+        self.solver_options = dict(solver_options or {})
         self.num_lines = num_inputs + len(self.library)
         # The encoding compares locations against the constant ``num_lines``
         # (exclusive upper bound), so the location width must be able to
@@ -302,7 +308,9 @@ class SynthesisEncoder:
             self._retired_statistics = self._retired_statistics.merged_with(
                 self._solver.statistics
             )
-        self._solver = SmtSolver(reencode_each_check=self.reencode_each_check)
+        self._solver = SmtSolver(
+            reencode_each_check=self.reencode_each_check, **self.solver_options
+        )
         self._solver_locations = self._locations("s")
         self._encoded_examples = []
         self._solver.add(*self.well_formedness(self._solver_locations))
@@ -356,6 +364,18 @@ class SynthesisEncoder:
         if self._solver is None:
             return self._retired_statistics
         return self._retired_statistics.merged_with(self._solver.statistics)
+
+    def sat_statistics(self):
+        """CDCL counters of the current shared solver (perf telemetry).
+
+        Resets discard earlier counters; a normal OGIS run (examples only
+        ever extended) never resets, so this covers the whole loop.
+        """
+        from repro.smt.sat import SatStatistics
+
+        if self._solver is None:
+            return SatStatistics()
+        return self._solver.sat_statistics()
 
     # -- queries --------------------------------------------------------------------
 
@@ -433,7 +453,7 @@ class SynthesisEncoder:
         Returns a distinguishing input, or ``None`` when the programs are
         equivalent.
         """
-        solver = SmtSolver()
+        solver = SmtSolver(**self.solver_options)
         symbolic_inputs = [
             bv_var(f"eqcheck_in_{index}", self.width) for index in range(self.num_inputs)
         ]

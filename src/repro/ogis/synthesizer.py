@@ -84,6 +84,9 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
             True each deductive query re-bit-blasts its whole encoding
             instead of reusing the persistent incremental solvers (kept as
             a benchmark baseline).
+        solver_options: forwarded to the encoder's SMT solvers (the
+            perf-suite ablation knobs, see
+            :class:`~repro.ogis.encoding.SynthesisEncoder`).
     """
 
     name = "oracle-guided-component-synthesis"
@@ -97,6 +100,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         initial_examples: int = 1,
         seed: int = 0,
         reencode_each_check: bool = False,
+        solver_options: dict | None = None,
     ):
         self.library = list(library)
         self.oracle = oracle
@@ -107,6 +111,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
             num_outputs=oracle.num_outputs,
             width=self.width,
             reencode_each_check=reencode_each_check,
+            solver_options=solver_options,
         )
         self.max_iterations = max_iterations
         self.initial_examples = max(1, initial_examples)

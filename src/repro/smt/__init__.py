@@ -2,9 +2,51 @@
 
 The paper's deductive engines for timing analysis (Section 3) and program
 synthesis (Section 4) are SMT solvers; this subpackage provides one built
-from scratch: a term language (:mod:`repro.smt.terms`), a Tseitin
-bit-blaster (:mod:`repro.smt.bitblast`), a CDCL SAT solver
-(:mod:`repro.smt.sat`) and an SMT facade (:mod:`repro.smt.solver`).
+from scratch: a term language (:mod:`repro.smt.terms`), a word-level
+simplifier (:mod:`repro.smt.simplify`), a Tseitin bit-blaster
+(:mod:`repro.smt.bitblast`), a CDCL SAT solver (:mod:`repro.smt.sat`) and
+an SMT facade (:mod:`repro.smt.solver`).
+
+How a query flows through the stack
+===================================
+
+1. **Term construction** (:mod:`repro.smt.terms`).  Application code —
+   the OGIS synthesis encoder, the GameTime path-constraint builder, the
+   hybrid benchmarks — builds immutable term DAGs through the constructor
+   helpers.  The helpers *hash-cons*: structurally equal terms built
+   anywhere in the process are the same object, so every cache downstream
+   keys on cheap object identity and shared sub-terms are paid for once.
+
+2. **Word-level simplification** (:mod:`repro.smt.simplify`).  When a
+   formula is asserted (``SmtSolver.add``) or checked
+   (``SmtSolver.check``), it is first rewritten: constants fold, neutral
+   and absorbing elements vanish, ITEs collapse, trivial comparisons
+   become Boolean constants.  Whatever the rewriter discharges, the SAT
+   core never sees.
+
+3. **Bit-blasting** (:mod:`repro.smt.bitblast`).  The surviving formula
+   is translated to CNF through a structurally cached, *polarity-aware*
+   Tseitin transformation (Plaisted–Greenbaum): asserted formulas only
+   need the positive direction of each gate definition, and the missing
+   direction is emitted lazily if some later query uses the gate under
+   the other polarity.  The blaster lives as long as its ``SmtSolver``,
+   so terms blasted for one check are free in every later check.
+
+4. **CDCL search** (:mod:`repro.smt.sat`).  Clauses land in a persistent
+   incremental solver: scopes are activation literals, ``check`` extras
+   are assumptions, learned clauses carry LBD and are reduced
+   glucose-style, watch lists carry blocking literals, and scopes retired
+   by ``pop`` are garbage-collected at level 0 once enough dead volume
+   accumulates.
+
+5. **Model extraction** (:mod:`repro.smt.solver`).  A SAT answer yields a
+   :class:`~repro.smt.solver.Model` lazily; declared variables keep their
+   full bit encodings, so model values are exact regardless of the
+   polarity-aware gate definitions around them.
+
+``benchmarks/bench_perf_suite.py`` measures each layer's contribution
+(ablation flags ``simplify_terms`` / ``polarity_aware`` /
+``gc_dead_clauses``) and records the trajectory in ``BENCH_perf.json``.
 """
 
 from repro.smt.cnf import (
@@ -18,6 +60,7 @@ from repro.smt.cnf import (
 )
 from repro.smt.dimacs import dump_dimacs, dumps_dimacs, load_dimacs, loads_dimacs
 from repro.smt.bitblast import BitBlaster
+from repro.smt.simplify import simplify, simplify_bool
 from repro.smt.sat import CdclSolver, SatResult, SatStatistics, luby, solve_formula
 from repro.smt.solver import (
     Model,
@@ -50,6 +93,7 @@ from repro.smt.terms import (
     bv_add,
     bv_and,
     bv_ashr,
+    bv_comparison,
     bv_concat,
     bv_const,
     bv_equal_any,
@@ -102,6 +146,7 @@ __all__ = [
     "bv_add",
     "bv_and",
     "bv_ashr",
+    "bv_comparison",
     "bv_concat",
     "bv_const",
     "bv_equal_any",
@@ -132,6 +177,8 @@ __all__ = [
     "luby",
     "make_literal",
     "negate",
+    "simplify",
+    "simplify_bool",
     "solve",
     "solve_formula",
 ]

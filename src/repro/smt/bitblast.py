@@ -16,6 +16,27 @@ structural caches (``_bool_cache`` / ``_bv_cache`` / ``_gate_cache``) are
 append-only, so a term blasted for one check is encoded exactly once for
 the lifetime of the blaster.  The incremental :class:`repro.smt.solver.SmtSolver`
 relies on this to avoid re-bit-blasting shared sub-terms between checks.
+
+**Polarity-aware encoding (Plaisted–Greenbaum).**  ``blast_bool`` accepts
+the polarity under which the term is being used: :data:`POSITIVE` for
+formulas asserted (or assumed) true, :data:`NEGATIVE` for formulas under
+an odd number of negations, :data:`BOTH` (the default, and the classic
+Tseitin behaviour) when either may matter.  A gate used under a single
+polarity emits only the implication clauses of that direction — an
+``n``-ary AND asserted positively costs ``n`` binary clauses but skips
+the long ``(out ∨ ¬a₁ ∨ … ∨ ¬aₙ)`` clause; asserted negatively it costs
+*only* the long clause.  The blaster records the directions each gate has
+already emitted and lazily *upgrades* a gate to the full biconditional
+the first time the other polarity is requested, so sharing cached gates
+across incremental checks with different polarities stays sound.  Inputs
+of XOR/IFF gates and ITE conditions are inherently mixed-polarity and are
+always blasted with :data:`BOTH`, as is the entire bit-vector layer
+(adders, shifters, …), whose bits feed comparison circuits in both
+phases; consequently the model values of declared variables remain
+extractable exactly as before.  Under P–G the SAT model restricted to the
+declared variables still satisfies every formula asserted positively —
+the half-encoded gates only ever drop the clause direction that is never
+needed to justify those assertions.
 """
 
 from __future__ import annotations
@@ -55,6 +76,17 @@ class ClauseSink(Protocol):
         ...
 
 
+#: Polarity masks for :meth:`BitBlaster.blast_bool` (bitwise-combinable).
+POSITIVE = 1
+NEGATIVE = 2
+BOTH = POSITIVE | NEGATIVE
+
+
+def _swap_polarity(polarity: int) -> int:
+    """Polarity seen through a negation (swaps the two direction bits)."""
+    return ((polarity & POSITIVE) << 1) | ((polarity & NEGATIVE) >> 1)
+
+
 class BitBlaster:
     """Tseitin bit-blaster writing clauses into a :class:`ClauseSink`.
 
@@ -80,6 +112,9 @@ class BitBlaster:
         self._bool_vars: dict[str, int] = {}
         self._bv_vars: dict[str, list[int]] = {}
         self._gate_cache: dict[tuple, int] = {}
+        # Polarity directions already emitted, per Boolean term / per gate.
+        self._bool_polarity: dict[Term, int] = {}
+        self._gate_emitted: dict[tuple, int] = {}
 
     # -- public API -------------------------------------------------------
 
@@ -93,16 +128,30 @@ class BitBlaster:
         """The literal constrained to be false."""
         return self._false
 
-    def assert_formula(self, formula: BoolTerm) -> None:
-        """Assert that ``formula`` holds (add its literal as a unit clause)."""
-        self._sink.add_clause([self.blast_bool(formula)])
+    def assert_formula(self, formula: BoolTerm, polarity: int = BOTH) -> None:
+        """Assert that ``formula`` holds (add its literal as a unit clause).
 
-    def blast_bool(self, term: BoolTerm) -> int:
-        """Return the literal representing the Boolean term."""
+        Pass ``polarity=POSITIVE`` to use the Plaisted–Greenbaum encoding
+        (sound because the formula is only ever used as a true assertion).
+        """
+        self._sink.add_clause([self.blast_bool(formula, polarity)])
+
+    def blast_bool(self, term: BoolTerm, polarity: int = BOTH) -> int:
+        """Return the literal representing the Boolean term.
+
+        ``polarity`` declares the directions in which the caller relies on
+        the Tseitin definitions (:data:`POSITIVE` / :data:`NEGATIVE` /
+        :data:`BOTH`).  A cached term is re-walked only when it is missing
+        a direction the caller now needs.
+        """
         cached = self._bool_cache.get(term)
-        if cached is not None:
+        missing = polarity & ~self._bool_polarity.get(term, 0)
+        if cached is not None and not missing:
             return cached
-        literal = self._blast_bool(term)
+        self._bool_polarity[term] = self._bool_polarity.get(term, 0) | polarity
+        literal = self._blast_bool(term, polarity if cached is None else missing)
+        if cached is not None:
+            return cached  # upgrade walk: literal is identical by caching
         self._bool_cache[term] = literal
         return literal
 
@@ -189,7 +238,24 @@ class BitBlaster:
     def _constant(self, value: bool) -> int:
         return self._true if value else self._false
 
-    def _gate_and(self, operands: list[int]) -> int:
+    def _gate_need(self, key: tuple, polarity: int) -> tuple[int, int]:
+        """Cached output literal and the not-yet-emitted directions.
+
+        Allocates the output variable on first sight.  The caller is
+        responsible for emitting the clauses of the returned ``need`` mask
+        (the mask is recorded as emitted here, before the clauses land, so
+        recursive upgrades cannot duplicate them).
+        """
+        output = self._gate_cache.get(key)
+        if output is None:
+            output = self._fresh()
+            self._gate_cache[key] = output
+            self._gate_emitted[key] = 0
+        need = polarity & ~self._gate_emitted[key]
+        self._gate_emitted[key] |= need
+        return output, need
+
+    def _gate_and(self, operands: list[int], polarity: int = BOTH) -> int:
         operands = [lit for lit in operands if lit != self._true]
         if any(lit == self._false for lit in operands):
             return self._false
@@ -198,20 +264,24 @@ class BitBlaster:
         if len(operands) == 1:
             return operands[0]
         key = ("and", tuple(sorted(operands)))
-        cached = self._gate_cache.get(key)
-        if cached is not None:
-            return cached
-        output = self._fresh()
-        for literal in operands:
-            self._sink.add_clause([negate(output), literal])
-        self._sink.add_clause([output] + [negate(literal) for literal in operands])
-        self._gate_cache[key] = output
+        output, need = self._gate_need(key, polarity)
+        if need & POSITIVE:  # output → every operand
+            for literal in key[1]:
+                self._sink.add_clause([negate(output), literal])
+        if need & NEGATIVE:  # all operands → output
+            self._sink.add_clause([output] + [negate(literal) for literal in key[1]])
         return output
 
-    def _gate_or(self, operands: list[int]) -> int:
-        return negate(self._gate_and([negate(literal) for literal in operands]))
+    def _gate_or(self, operands: list[int], polarity: int = BOTH) -> int:
+        # De Morgan: the inner AND gate is used *negated*, so the
+        # directions it must support are the caller's, swapped.
+        return negate(
+            self._gate_and(
+                [negate(literal) for literal in operands], _swap_polarity(polarity)
+            )
+        )
 
-    def _gate_xor(self, left: int, right: int) -> int:
+    def _gate_xor(self, left: int, right: int, polarity: int = BOTH) -> int:
         if left == self._false:
             return right
         if right == self._false:
@@ -225,18 +295,18 @@ class BitBlaster:
         if left == negate(right):
             return self._true
         key = ("xor", tuple(sorted((left, right))))
-        cached = self._gate_cache.get(key)
-        if cached is not None:
-            return cached
-        output = self._fresh()
-        self._sink.add_clause([negate(output), left, right])
-        self._sink.add_clause([negate(output), negate(left), negate(right)])
-        self._sink.add_clause([output, negate(left), right])
-        self._sink.add_clause([output, left, negate(right)])
-        self._gate_cache[key] = output
+        output, need = self._gate_need(key, polarity)
+        if need & POSITIVE:  # output → left ⊕ right
+            self._sink.add_clause([negate(output), left, right])
+            self._sink.add_clause([negate(output), negate(left), negate(right)])
+        if need & NEGATIVE:  # left ⊕ right → output
+            self._sink.add_clause([output, negate(left), right])
+            self._sink.add_clause([output, left, negate(right)])
         return output
 
-    def _gate_ite(self, condition: int, then_literal: int, else_literal: int) -> int:
+    def _gate_ite(
+        self, condition: int, then_literal: int, else_literal: int, polarity: int = BOTH
+    ) -> int:
         if condition == self._true:
             return then_literal
         if condition == self._false:
@@ -244,32 +314,30 @@ class BitBlaster:
         if then_literal == else_literal:
             return then_literal
         key = ("ite", condition, then_literal, else_literal)
-        cached = self._gate_cache.get(key)
-        if cached is not None:
-            return cached
-        output = self._fresh()
-        self._sink.add_clause([negate(condition), negate(then_literal), output])
-        self._sink.add_clause([negate(condition), then_literal, negate(output)])
-        self._sink.add_clause([condition, negate(else_literal), output])
-        self._sink.add_clause([condition, else_literal, negate(output)])
-        # Redundant but propagation-friendly clauses.
-        self._sink.add_clause([negate(then_literal), negate(else_literal), output])
-        self._sink.add_clause([then_literal, else_literal, negate(output)])
-        self._gate_cache[key] = output
+        output, need = self._gate_need(key, polarity)
+        if need & POSITIVE:  # output → (condition ? then : else)
+            self._sink.add_clause([negate(condition), then_literal, negate(output)])
+            self._sink.add_clause([condition, else_literal, negate(output)])
+            # Redundant but propagation-friendly clause.
+            self._sink.add_clause([then_literal, else_literal, negate(output)])
+        if need & NEGATIVE:  # (condition ? then : else) → output
+            self._sink.add_clause([negate(condition), negate(then_literal), output])
+            self._sink.add_clause([condition, negate(else_literal), output])
+            self._sink.add_clause([negate(then_literal), negate(else_literal), output])
         return output
 
-    def _gate_iff(self, left: int, right: int) -> int:
-        return negate(self._gate_xor(left, right))
+    def _gate_iff(self, left: int, right: int, polarity: int = BOTH) -> int:
+        return negate(self._gate_xor(left, right, _swap_polarity(polarity)))
 
     def _gate_majority(self, a: int, b: int, c: int) -> int:
-        """Majority-of-three (full-adder carry)."""
+        """Majority-of-three (full-adder carry); bit-vector layer, full encoding."""
         return self._gate_or(
             [self._gate_and([a, b]), self._gate_and([a, c]), self._gate_and([b, c])]
         )
 
     # -- Boolean terms ------------------------------------------------------
 
-    def _blast_bool(self, term: BoolTerm) -> int:
+    def _blast_bool(self, term: BoolTerm, polarity: int) -> int:
         if isinstance(term, BoolConst):
             return self._constant(term.value)
         if isinstance(term, BoolVar):
@@ -277,48 +345,70 @@ class BitBlaster:
                 self._bool_vars[term.name] = self._fresh()
             return self._bool_vars[term.name]
         if isinstance(term, BoolOp):
-            operands = [self.blast_bool(arg) for arg in term.args]
-            if term.kind == "and":
-                return self._gate_and(operands)
-            if term.kind == "or":
-                return self._gate_or(operands)
+            if term.kind == "not":
+                # Negation flips the polarity of the operand's occurrences.
+                return negate(self.blast_bool(term.args[0], _swap_polarity(polarity)))
             if term.kind == "xor":
+                # XOR inputs occur in both phases of the gate clauses, so
+                # sub-terms (and intermediate chain gates) need BOTH; only
+                # the final output gate is polarity-split.
+                operands = [self.blast_bool(arg, BOTH) for arg in term.args]
+                if len(operands) == 1:
+                    return operands[0]
                 result = operands[0]
-                for literal in operands[1:]:
-                    result = self._gate_xor(result, literal)
-                return result
-            return negate(operands[0])  # not
+                for literal in operands[1:-1]:
+                    result = self._gate_xor(result, literal, BOTH)
+                return self._gate_xor(result, operands[-1], polarity)
+            # and / or preserve the polarity of their operands.
+            operands = [self.blast_bool(arg, polarity) for arg in term.args]
+            if term.kind == "and":
+                return self._gate_and(operands, polarity)
+            return self._gate_or(operands, polarity)
         if isinstance(term, BoolIte):
             return self._gate_ite(
-                self.blast_bool(term.condition),
-                self.blast_bool(term.then_branch),
-                self.blast_bool(term.else_branch),
+                # The condition guards both directions: it is mixed-polarity.
+                self.blast_bool(term.condition, BOTH),
+                self.blast_bool(term.then_branch, polarity),
+                self.blast_bool(term.else_branch, polarity),
+                polarity,
             )
         if isinstance(term, BvComparison):
-            return self._blast_comparison(term)
+            return self._blast_comparison(term, polarity)
         raise SolverError(f"cannot bit-blast Boolean term {type(term).__name__}")
 
-    def _blast_comparison(self, term: BvComparison) -> int:
+    def _blast_comparison(self, term: BvComparison, polarity: int = BOTH) -> int:
+        # The bit-vector layer below is always fully (biconditionally)
+        # encoded; the polarity split applies to the comparison skeleton
+        # gates built on top of the operand bits.
         left = self.blast_bv(term.left)
         right = self.blast_bv(term.right)
         if term.kind == "eq":
             return self._gate_and(
-                [self._gate_iff(a, b) for a, b in zip(left, right)]
+                [self._gate_iff(a, b, polarity) for a, b in zip(left, right)],
+                polarity,
             )
         if term.kind in {"slt", "sle"}:
             # Signed comparison = unsigned comparison with sign bits flipped.
             left = left[:-1] + [negate(left[-1])]
             right = right[:-1] + [negate(right[-1])]
         strict = term.kind in {"ult", "slt"}
-        return self._unsigned_less(left, right, allow_equal=not strict)
+        return self._unsigned_less(left, right, not strict, polarity)
 
-    def _unsigned_less(self, left: list[int], right: list[int], allow_equal: bool) -> int:
+    def _unsigned_less(
+        self,
+        left: list[int],
+        right: list[int],
+        allow_equal: bool,
+        polarity: int = BOTH,
+    ) -> int:
         """Encode ``left < right`` (or ``<=``) for LSB-first literal lists."""
         result = self._constant(allow_equal)
         for a, b in zip(left, right):  # LSB to MSB
-            strictly_less = self._gate_and([negate(a), b])
-            equal = self._gate_iff(a, b)
-            result = self._gate_or([strictly_less, self._gate_and([equal, result])])
+            strictly_less = self._gate_and([negate(a), b], polarity)
+            equal = self._gate_iff(a, b, polarity)
+            result = self._gate_or(
+                [strictly_less, self._gate_and([equal, result], polarity)], polarity
+            )
         return result
 
     # -- bit-vector terms ----------------------------------------------------

@@ -91,22 +91,34 @@ class CnfFormula:
         """Add a clause given as internal literals.
 
         Tautologies are silently dropped; an empty clause marks the formula
-        unsatisfiable.
+        unsatisfiable.  Unit and binary clauses — the bulk of what the
+        polarity-aware bit-blaster emits — skip the duplicate-scan
+        bookkeeping entirely.
         """
-        seen: set[int] = set()
-        clause: list[int] = []
-        for literal in literals:
+        clause = list(literals)
+        for literal in clause:
             variable = literal_variable(literal)
             if variable <= 0 or variable > self.num_variables:
                 raise SolverError(
                     f"literal {literal} refers to unallocated variable {variable}"
                 )
-            if negate(literal) in seen:
+        if len(clause) == 2:
+            first, second = clause
+            if first == negate(second):
                 return  # tautology
-            if literal in seen:
-                continue
-            seen.add(literal)
-            clause.append(literal)
+            if first == second:
+                clause = [first]
+        elif len(clause) > 2:
+            seen: set[int] = set()
+            deduplicated: list[int] = []
+            for literal in clause:
+                if negate(literal) in seen:
+                    return  # tautology
+                if literal in seen:
+                    continue
+                seen.add(literal)
+                deduplicated.append(literal)
+            clause = deduplicated
         if not clause:
             self.contains_empty_clause = True
         self.clauses.append(clause)

@@ -4,13 +4,22 @@ The paper's deductive engines for the timing-analysis and program-synthesis
 applications are SAT/SMT solvers.  No solver is available offline, so this
 module implements the classic CDCL architecture from scratch:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with *blocking literals* (each
+  watch entry caches one other literal of its clause; when the cached
+  literal is already true the clause is skipped without touching it,
+  which avoids most pointer-chasing in the hot loop),
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
 * VSIDS-style variable activities with exponential decay,
 * phase saving,
 * Luby-sequence restarts,
-* periodic deletion of low-activity learned clauses,
+* glucose-style learned-clause management: every learned clause carries
+  its LBD ("literals block distance" — the number of distinct decision
+  levels among its literals); reduction deletes high-LBD clauses first
+  and *glue* clauses (LBD ≤ 2) are kept unconditionally,
+* level-0 database simplification (:meth:`CdclSolver.simplify_database`),
+  used by the SMT layer to garbage-collect clause scopes that were
+  permanently deactivated by popping,
 * solving under assumptions (used for incremental queries by the SMT layer).
 
 The implementation favours clarity over raw speed but is easily fast enough
@@ -63,6 +72,11 @@ class SatStatistics:
     #: (tautologies and clauses already satisfied at level 0 are not counted;
     #: learned clauses are tracked separately by ``learned_clauses``).
     clauses_added: int = 0
+    #: Clauses removed by :meth:`CdclSolver.simplify_database` (level-0
+    #: garbage collection of satisfied clauses, e.g. retired SMT scopes).
+    gc_removed_clauses: int = 0
+    #: Number of :meth:`CdclSolver.simplify_database` runs.
+    gc_runs: int = 0
 
 
 def luby(index: int) -> int:
@@ -85,14 +99,20 @@ def luby(index: int) -> int:
 
 
 class _Clause:
-    """A clause in the solver's database."""
+    """A clause in the solver's database.
 
-    __slots__ = ("literals", "learned", "activity")
+    ``lbd`` is the literals-block-distance of learned clauses (number of
+    distinct decision levels at learning time, kept as a running minimum);
+    problem clauses carry the sentinel 0 and are never reduced.
+    """
 
-    def __init__(self, literals: list[int], learned: bool = False):
+    __slots__ = ("literals", "learned", "activity", "lbd")
+
+    def __init__(self, literals: list[int], learned: bool = False, lbd: int = 0):
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
+        self.lbd = lbd
 
 
 class CdclSolver:
@@ -123,7 +143,10 @@ class CdclSolver:
     ):
         self._num_vars = 0
         self._clauses: list[_Clause] = []
-        self._watches: list[list[_Clause]] = [[], []]  # indexed by literal
+        # Watch lists indexed by literal; each entry is a (blocker, clause)
+        # pair, where the blocker is some other literal of the clause that
+        # lets the hot loop skip the clause when it is already satisfied.
+        self._watches: list[list[tuple[int, _Clause]]] = [[], []]
         self._assignment: list[int] = [_UNASSIGNED]
         self._level: list[int] = [0]
         self._reason: list[_Clause | None] = [None]
@@ -147,6 +170,13 @@ class CdclSolver:
         # Lazy max-heap of (-activity, variable) entries used by the
         # branching heuristic; stale entries are skipped on pop.
         self._order_heap: list[tuple[float, int]] = []
+        # Low-water mark for the heap-exhausted fallback of
+        # _pick_branch_literal: every unassigned variable below this index
+        # is guaranteed to have a heap entry (any variable skipped by the
+        # fallback scan was assigned at the time, and unassignment happens
+        # only in _backtrack, which re-pushes the variable), so the linear
+        # scan never revisits a prefix it has already paid for.
+        self._fallback_head = 1
         # Model of the most recent satisfiable solve() (the working
         # assignment is backtracked to level 0 before returning, so clauses
         # can be added incrementally afterwards).
@@ -279,9 +309,9 @@ class CdclSolver:
                     # Conflict depends only on assumptions.
                     self._backtrack(0)
                     return SatResult.UNSAT
-                learned, backjump_level = self._analyze_conflict(conflict)
+                learned, backjump_level, lbd = self._analyze_conflict(conflict)
                 self._backtrack(max(backjump_level, len(self._active_assumption_levels)))
-                self._learn_clause(learned)
+                self._learn_clause(learned, lbd)
                 self._decay_activities()
                 continue
 
@@ -409,13 +439,21 @@ class CdclSolver:
             watch_list = self._watches[false_literal]
             index = 0
             while index < len(watch_list):
-                clause = watch_list[index]
+                blocker, clause = watch_list[index]
+                # Blocking literal: if the cached literal is already true
+                # the clause is satisfied — skip it without touching its
+                # literal list (the common case on long watch lists).
+                if self._literal_value(blocker) == _TRUE:
+                    index += 1
+                    continue
                 literals = clause.literals
                 # Ensure the false literal is in position 1.
                 if literals[0] == false_literal:
                     literals[0], literals[1] = literals[1], literals[0]
                 first = literals[0]
-                if self._literal_value(first) == _TRUE:
+                if first != blocker and self._literal_value(first) == _TRUE:
+                    # Refresh the blocker so the next visit can skip early.
+                    watch_list[index] = (first, clause)
                     index += 1
                     continue
                 # Look for a replacement watch.
@@ -426,7 +464,7 @@ class CdclSolver:
                         literals[1], literals[position] = literals[position], literals[1]
                         watch_list[index] = watch_list[-1]
                         watch_list.pop()
-                        self._watches[candidate].append(clause)
+                        self._watches[candidate].append((first, clause))
                         replaced = True
                         break
                 if replaced:
@@ -441,9 +479,11 @@ class CdclSolver:
     def _attach_clause(self, clause: _Clause) -> None:
         # Watch lists are indexed by the watched literal itself: when a
         # literal L is falsified (i.e. ~L is asserted) we visit watches[L].
+        # Each watcher carries the clause's *other* watched literal as its
+        # initial blocking literal.
         self._clauses.append(clause)
-        self._watches[clause.literals[0]].append(clause)
-        self._watches[clause.literals[1]].append(clause)
+        self._watches[clause.literals[0]].append((clause.literals[1], clause))
+        self._watches[clause.literals[1]].append((clause.literals[0], clause))
 
     def _backtrack(self, target_level: int) -> None:
         if self._decision_level() <= target_level:
@@ -461,11 +501,11 @@ class CdclSolver:
 
     # -- internal: conflict analysis --------------------------------------
 
-    def _analyze_conflict(self, conflict: _Clause) -> tuple[list[int], int]:
+    def _analyze_conflict(self, conflict: _Clause) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis.
 
-        Returns the learned clause (with the asserting literal first) and
-        the backjump level.
+        Returns the learned clause (with the asserting literal first), the
+        backjump level, and the clause's LBD (distinct decision levels).
         """
         learned: list[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._num_vars + 1)
@@ -478,8 +518,12 @@ class CdclSolver:
         while True:
             assert reason is not None
             self._bump_clause(reason)
+            # On the first iteration ``reason`` is the conflict clause and
+            # every literal participates; on later iterations it is the
+            # reason of the literal being resolved away, which sits at
+            # position 0 and is skipped.
             start = 0 if literal == -1 else 1
-            for clause_literal in reason.literals[start:] if literal != -1 else reason.literals:
+            for clause_literal in reason.literals[start:]:
                 variable = literal_variable(clause_literal)
                 if seen[variable] or self._level[variable] == 0:
                     continue
@@ -506,6 +550,10 @@ class CdclSolver:
         # reason-subsumption based check).
         learned = self._minimise_clause(learned, seen)
 
+        # LBD ("glue"): number of distinct decision levels in the learned
+        # clause, measured before backtracking invalidates the levels.
+        lbd = len({self._level[literal_variable(lit)] for lit in learned})
+
         if len(learned) == 1:
             backjump_level = 0
         else:
@@ -520,7 +568,7 @@ class CdclSolver:
                     best = position
             learned[1], learned[best] = learned[best], learned[1]
             backjump_level = self._level[literal_variable(learned[1])]
-        return learned, backjump_level
+        return learned, backjump_level, lbd
 
     def _minimise_clause(self, learned: list[int], seen: list[bool]) -> list[int]:
         for literal in learned[1:]:
@@ -546,12 +594,12 @@ class CdclSolver:
             seen[literal_variable(literal)] = False
         return result
 
-    def _learn_clause(self, learned: list[int]) -> None:
+    def _learn_clause(self, learned: list[int], lbd: int) -> None:
         self.statistics.learned_clauses += 1
         if len(learned) == 1:
             self._enqueue(learned[0], None)
             return
-        clause = _Clause(learned, learned=True)
+        clause = _Clause(learned, learned=True, lbd=lbd)
         clause.activity = self._clause_increment
         self._attach_clause(clause)
         self._enqueue(learned[0], clause)
@@ -576,6 +624,12 @@ class CdclSolver:
                 if other.learned:
                     other.activity *= 1e-20
             self._clause_increment *= 1e-20
+        # Glucose-style dynamic LBD: a clause participating in a conflict
+        # has all its literals assigned, so its current LBD is well defined;
+        # keep the minimum ever observed (clauses can only become "gluier").
+        lbd = len({self._level[literal_variable(lit)] for lit in clause.literals})
+        if lbd < clause.lbd:
+            clause.lbd = lbd
 
     def _decay_activities(self) -> None:
         self._variable_increment /= self._variable_decay
@@ -590,11 +644,20 @@ class CdclSolver:
             _, variable = heapq.heappop(self._order_heap)
             if self._assignment[variable] == _UNASSIGNED:
                 return make_literal(variable, negative=not self._phase[variable])
-        # Heap exhausted: fall back to a linear scan (covers variables never
-        # bumped nor backtracked over since their initial entry was popped).
-        for variable in range(1, self._num_vars + 1):
+        # Heap exhausted: scan forward from the low-water mark (covers
+        # variables never bumped nor backtracked over since their initial
+        # entry was popped).  Skipped variables are assigned *now*; should
+        # they ever become unassigned again, _backtrack re-pushes them into
+        # the heap, so the mark only ever moves forward and the scan cost
+        # over the variable range is paid once per solve, not per decision.
+        variable = self._fallback_head
+        num_vars = self._num_vars
+        while variable <= num_vars:
             if self._assignment[variable] == _UNASSIGNED:
+                self._fallback_head = variable + 1
                 return make_literal(variable, negative=not self._phase[variable])
+            variable += 1
+        self._fallback_head = variable
         return None
 
     def _reduce_learned_clauses_if_needed(self) -> None:
@@ -606,24 +669,100 @@ class CdclSolver:
         learned = [clause for clause in self._clauses if clause.learned]
         if len(learned) <= self._max_learned_ratio * max(len(self._clauses), 1) + 1000:
             return
-        learned.sort(key=lambda clause: clause.activity)
-        to_delete = set()
         locked = {
             id(self._reason[literal_variable(lit)])
             for lit in self._trail
             if self._reason[literal_variable(lit)] is not None
         }
-        for clause in learned[: len(learned) // 2]:
-            if len(clause.literals) > 2 and id(clause) not in locked:
-                to_delete.add(id(clause))
+        # Glucose-style reduction: glue clauses (LBD <= 2), binary clauses
+        # and reason-locked clauses are untouchable; the rest are deleted
+        # worst-first by (high LBD, low activity) until half the learned
+        # clauses are gone.
+        candidates = [
+            clause
+            for clause in learned
+            if len(clause.literals) > 2 and clause.lbd > 2 and id(clause) not in locked
+        ]
+        candidates.sort(key=lambda clause: (-clause.lbd, clause.activity))
+        to_delete = {id(clause) for clause in candidates[: len(learned) // 2]}
         if not to_delete:
             return
         self.statistics.deleted_clauses += len(to_delete)
         self._clauses = [c for c in self._clauses if id(c) not in to_delete]
         for literal in range(2, 2 * self._num_vars + 2):
             self._watches[literal] = [
-                c for c in self._watches[literal] if id(c) not in to_delete
+                entry for entry in self._watches[literal] if id(entry[1]) not in to_delete
             ]
+
+    # -- internal: level-0 database simplification -------------------------
+
+    def simplify_database(self) -> int:
+        """Garbage-collect the clause database at decision level 0.
+
+        Removes every clause satisfied by the level-0 (fixed) assignment
+        and strips fixed-false literals from the remaining clauses.  The
+        SMT layer calls this from :meth:`repro.smt.solver.SmtSolver.pop`
+        once enough scopes have been permanently deactivated: their
+        activation literal is fixed false, so every clause of the scope is
+        fixed-satisfied and can be dropped wholesale.
+
+        Returns:
+            The number of clauses removed.
+
+        Raises:
+            SolverError: if called above decision level 0 (i.e. from
+                within a :meth:`solve` callback).
+        """
+        if self._trail_limits:
+            raise SolverError("simplify_database requires decision level 0")
+        if self._unsat:
+            return 0
+        if self._propagate() is not None:
+            self._unsat = True
+            return 0
+        kept: list[_Clause] = []
+        units: list[int] = []
+        removed = 0
+        for clause in self._clauses:
+            literals = clause.literals
+            if any(self._literal_value(lit) == _TRUE for lit in literals):
+                removed += 1  # fixed-satisfied: drop wholesale
+                continue
+            # Strip fixed-false literals (every assignment is level 0 here).
+            remaining = [
+                lit for lit in literals if self._literal_value(lit) != _FALSE
+            ]
+            if len(remaining) < len(literals):
+                if not remaining:
+                    # All literals fixed false without a prior conflict
+                    # cannot happen after a clean propagation fixpoint.
+                    self._unsat = True
+                    return removed
+                if len(remaining) == 1:
+                    units.append(remaining[0])
+                    removed += 1
+                    continue
+                clause.literals = remaining
+            kept.append(clause)
+        if removed:
+            self._clauses = kept
+            for watch_list in self._watches:
+                watch_list.clear()
+            for clause in kept:
+                self._watches[clause.literals[0]].append((clause.literals[1], clause))
+                self._watches[clause.literals[1]].append((clause.literals[0], clause))
+            # Level-0 reasons may reference dropped clauses; they are never
+            # dereferenced (conflict analysis skips level-0 variables), but
+            # clearing them lets the clauses be freed.
+            for literal in self._trail:
+                self._reason[literal_variable(literal)] = None
+            for literal in units:
+                if not self._enqueue(literal, None) or self._propagate() is not None:
+                    self._unsat = True
+                    break
+            self.statistics.gc_removed_clauses += removed
+        self.statistics.gc_runs += 1
+        return removed
 
 
 def solve_formula(

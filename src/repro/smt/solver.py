@@ -28,6 +28,21 @@ The previous re-blast-on-demand design is still available as an escape
 hatch (``SmtSolver(reencode_each_check=True)``): it rebuilds a fresh SAT
 solver and blaster for every check, which is useful for benchmarking the
 incremental speedup and as a maximally-simple reference semantics.
+
+Every query is shrunk before it reaches the SAT core, in three layers
+that can each be disabled independently (the ablation knobs used by
+``benchmarks/bench_perf_suite.py``):
+
+* ``simplify_terms`` — word-level rewriting (:mod:`repro.smt.simplify`)
+  of every asserted / checked formula: constant folding, neutral and
+  absorbing elements, ITE collapsing, trivial comparisons;
+* ``polarity_aware`` — Plaisted–Greenbaum CNF: asserted formulas are
+  blasted under positive polarity only, so single-polarity gates emit
+  half their Tseitin clauses (see :mod:`repro.smt.bitblast`);
+* ``gc_dead_clauses`` — scope garbage collection: popping a scope
+  permanently falsifies its activation literal, and once the volume of
+  such permanently deactivated clauses crosses a threshold the SAT
+  solver's level-0 database simplification sweeps them out.
 """
 
 from __future__ import annotations
@@ -39,9 +54,10 @@ from typing import Iterable, Sequence
 
 from repro.core.deductive import DeductiveAnswer, DeductiveEngine, DeductiveQuery
 from repro.core.exceptions import SolverError
-from repro.smt.bitblast import BitBlaster
+from repro.smt.bitblast import BOTH, POSITIVE, BitBlaster
 from repro.smt.cnf import make_literal, negate
-from repro.smt.sat import CdclSolver, SatResult
+from repro.smt.sat import CdclSolver, SatResult, SatStatistics
+from repro.smt.simplify import simplify_bool
 from repro.smt.terms import (
     Assignment,
     BitVecTerm,
@@ -120,6 +136,10 @@ class SmtStatistics:
     unsat_answers: int = 0
     clauses_generated: int = 0
     variables_generated: int = 0
+    #: Assertions whose word-level simplification changed the term.
+    terms_simplified: int = 0
+    #: Clauses reclaimed by scope garbage collection (see ``gc_dead_clauses``).
+    clauses_collected: int = 0
 
     def merged_with(self, other: "SmtStatistics") -> "SmtStatistics":
         """Field-wise sum of two statistics records."""
@@ -129,7 +149,21 @@ class SmtStatistics:
             unsat_answers=self.unsat_answers + other.unsat_answers,
             clauses_generated=self.clauses_generated + other.clauses_generated,
             variables_generated=self.variables_generated + other.variables_generated,
+            terms_simplified=self.terms_simplified + other.terms_simplified,
+            clauses_collected=self.clauses_collected + other.clauses_collected,
         )
+
+
+def _merge_sat_statistics(left: SatStatistics, right: SatStatistics) -> SatStatistics:
+    """Field-wise sum of two CDCL statistics records (max for level depth)."""
+    merged = SatStatistics()
+    for name in vars(merged):
+        if name == "max_decision_level":
+            value = max(getattr(left, name), getattr(right, name))
+        else:
+            value = getattr(left, name) + getattr(right, name)
+        setattr(merged, name, value)
+    return merged
 
 
 class SmtSolver:
@@ -146,17 +180,31 @@ class SmtSolver:
             realised with activation literals and ``extra`` formulas with
             solver assumptions, so learned clauses and branching
             activities carry over between checks.
+        simplify_terms: run the word-level simplifier over every formula
+            before bit-blasting (default True; ablation knob).
+        polarity_aware: blast asserted formulas under positive polarity
+            only (Plaisted–Greenbaum; default True; ablation knob).
+        gc_dead_clauses: threshold of permanently deactivated clauses
+            accumulated by ``pop`` that triggers a level-0 garbage
+            collection of the SAT clause database; ``None`` disables the
+            collection (ablation knob).
     """
 
     def __init__(
         self,
         max_conflicts: int | None = None,
         reencode_each_check: bool = False,
+        simplify_terms: bool = True,
+        polarity_aware: bool = True,
+        gc_dead_clauses: int | None = 2000,
     ):
         self._assertions: list[BoolTerm] = []
         self._scopes: list[int] = []
         self._max_conflicts = max_conflicts
         self._reencode_each_check = reencode_each_check
+        self._simplify_terms = simplify_terms
+        self._assert_polarity = POSITIVE if polarity_aware else BOTH
+        self._gc_dead_clauses = gc_dead_clauses
         self._last_model: Model | None = None
         # (blaster, sat model bits) of the last SAT answer; the Model is
         # built lazily from it on the first model() call, so checks whose
@@ -168,8 +216,15 @@ class SmtSolver:
         self._blaster: BitBlaster | None = None
         # One activation literal per open scope, parallel to ``_scopes``.
         self._activations: list[int] = []
+        # clauses_added watermark at each push, parallel to ``_activations``
+        # (used to estimate how many clauses a popped scope leaves behind).
+        self._scope_clause_marks: list[int] = []
+        # Clauses belonging to permanently deactivated scopes, pending GC.
+        self._dead_clauses = 0
         # Prefix of ``_assertions`` already encoded into the SAT solver.
         self._encoded_count = 0
+        # SAT statistics of solvers retired by reencode_each_check mode.
+        self._retired_sat_statistics = SatStatistics()
 
     # -- assertion stack --------------------------------------------------
 
@@ -188,16 +243,25 @@ class SmtSolver:
         if not self._reencode_each_check:
             sat_solver, _ = self._core()
             self._activations.append(make_literal(sat_solver.new_variable()))
+            self._scope_clause_marks.append(sat_solver.statistics.clauses_added)
             self.statistics.variables_generated += 1
 
     def pop(self) -> None:
-        """Pop the most recent scope, discarding its assertions."""
+        """Pop the most recent scope, discarding its assertions.
+
+        In incremental mode the scope's clauses stay in the SAT solver,
+        permanently satisfied by the falsified activation literal.  Their
+        volume is tracked, and once it crosses the ``gc_dead_clauses``
+        threshold the solver's level-0 database simplification reclaims
+        them (together with anything else fixed-satisfied by then).
+        """
         if not self._scopes:
             raise SolverError("pop without matching push")
         boundary = self._scopes.pop()
         del self._assertions[boundary:]
         if not self._reencode_each_check:
             activation = self._activations.pop()
+            mark = self._scope_clause_marks.pop()
             if self._encoded_count > boundary:
                 # Clauses of this scope are already in the SAT solver;
                 # permanently falsifying the activation literal satisfies
@@ -209,6 +273,24 @@ class SmtSolver:
                     sat_solver.statistics.clauses_added - clauses_before
                 )
                 self._encoded_count = boundary
+                total = sat_solver.statistics.clauses_added
+                dead_span = max(0, total - mark)
+                self._dead_clauses += dead_span
+                # Advance each enclosing scope's watermark by exactly the
+                # span counted here, so this scope's clauses are not
+                # counted again when the enclosing scopes pop — while the
+                # enclosing scopes' own clauses stay in their accounting.
+                self._scope_clause_marks = [
+                    outer_mark + dead_span for outer_mark in self._scope_clause_marks
+                ]
+                if (
+                    self._gc_dead_clauses is not None
+                    and self._dead_clauses >= self._gc_dead_clauses
+                ):
+                    self.statistics.clauses_collected += (
+                        sat_solver.simplify_database()
+                    )
+                    self._dead_clauses = 0
 
     @property
     def assertions(self) -> Sequence[BoolTerm]:
@@ -231,15 +313,27 @@ class SmtSolver:
         assert self._blaster is not None
         return self._sat_solver, self._blaster
 
+    def _prepare(self, formula: BoolTerm) -> BoolTerm:
+        """Word-level simplification applied before any encoding."""
+        if not self._simplify_terms:
+            return formula
+        simplified = simplify_bool(formula)
+        if simplified is not formula:
+            self.statistics.terms_simplified += 1
+        return simplified
+
     def _encode_pending(self) -> None:
         """Blast assertions added since the previous ``check``.
 
         Base-level assertions become unit clauses; assertions inside an
-        open scope are guarded by that scope's activation literal.
+        open scope are guarded by that scope's activation literal.  Either
+        way the formula is only ever used as a true assertion, so it is
+        blasted under positive polarity when ``polarity_aware`` is on.
         """
         sat_solver, blaster = self._core()
         for index in range(self._encoded_count, len(self._assertions)):
-            literal = blaster.blast_bool(self._assertions[index])
+            formula = self._prepare(self._assertions[index])
+            literal = blaster.blast_bool(formula, self._assert_polarity)
             scope = bisect.bisect_right(self._scopes, index)
             if scope == 0:
                 sat_solver.add_clause([literal])
@@ -276,7 +370,12 @@ class SmtSolver:
         clauses_before = sat_solver.statistics.clauses_added
         self._encode_pending()
         assumptions = list(self._activations)
-        assumptions.extend(blaster.blast_bool(formula) for formula in extra)
+        # ``extra`` formulas are assumed true for this check only, which is
+        # a positive occurrence — the same polarity rule as assertions.
+        assumptions.extend(
+            blaster.blast_bool(self._prepare(formula), self._assert_polarity)
+            for formula in extra
+        )
         result = sat_solver.solve(assumptions)
         self.statistics.variables_generated += (
             sat_solver.num_variables - variables_before
@@ -291,10 +390,27 @@ class SmtSolver:
         sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
         blaster = BitBlaster(sat_solver)
         for formula in list(self._assertions) + list(extra):
-            blaster.assert_formula(formula)
+            blaster.assert_formula(self._prepare(formula), self._assert_polarity)
         self.statistics.variables_generated += sat_solver.num_variables
         self.statistics.clauses_generated += sat_solver.statistics.clauses_added
-        return self._record_result(sat_solver.solve(), sat_solver, blaster)
+        result = sat_solver.solve()
+        self._retired_sat_statistics = _merge_sat_statistics(
+            self._retired_sat_statistics, sat_solver.statistics
+        )
+        return self._record_result(result, sat_solver, blaster)
+
+    def sat_statistics(self) -> SatStatistics:
+        """Aggregated CDCL counters over the solver's lifetime.
+
+        In incremental mode this is the persistent SAT solver's record; in
+        re-encode mode the counters of every discarded per-check solver
+        are summed.
+        """
+        if self._sat_solver is None:
+            return self._retired_sat_statistics
+        return _merge_sat_statistics(
+            self._retired_sat_statistics, self._sat_solver.statistics
+        )
 
     def _record_result(
         self, result: SatResult, sat_solver: CdclSolver, blaster: BitBlaster

@@ -15,6 +15,17 @@ operator overloading on :class:`BitVecTerm` / :class:`BoolTerm`, e.g.::
 
 Semantics follow SMT-LIB: bit-vectors are unsigned fixed-width integers
 with modular arithmetic; signed comparisons interpret the MSB as sign bit.
+
+Terms are **hash-consed**: the constructor helpers intern structurally
+equal terms, so building ``x + y`` twice — even from different call sites —
+yields the *same* object.  Identity-based ``__hash__``/``__eq__`` therefore
+double as structural hashing for interned terms, which keeps the
+bit-blaster's and evaluator's caches O(1) while letting shared sub-terms
+built independently hit the same cache entries (and thus be bit-blasted
+once).  Interning is keyed on the immortal per-term ``_id`` counter of the
+children, never on ``id()``, so keys cannot collide after garbage
+collection.  Direct class instantiation bypasses the intern table; it stays
+legal but forfeits sharing.
 """
 
 from __future__ import annotations
@@ -26,6 +37,35 @@ from typing import Iterable, Sequence, Union
 from repro.core.exceptions import SolverError
 
 _term_counter = itertools.count()
+
+#: Intern table for hash-consing.  Keys are structural descriptions
+#: (operator kind plus the ``_id``s of the children); values are the unique
+#: representative terms.  Entries keep their children alive through the
+#: interned term itself, so ``_id``-based keys never dangle.
+_intern_table: dict[tuple, "Term"] = {}
+
+
+def _interned(key: tuple, build) -> "Term":
+    term = _intern_table.get(key)
+    if term is None:
+        term = build()
+        _intern_table[key] = term
+    return term
+
+
+def intern_table_size() -> int:
+    """Number of distinct terms currently interned (diagnostic)."""
+    return len(_intern_table)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned terms.
+
+    Only useful for long-running processes that build unbounded numbers of
+    distinct terms; terms constructed before and after the call no longer
+    share structure.
+    """
+    _intern_table.clear()
 
 
 def _mask(width: int) -> int:
@@ -217,7 +257,7 @@ class BitVecTerm(Term):
 
     def eq(self, other: "BitVecTerm") -> BoolTerm:
         """Bit-vector equality."""
-        return BvComparison("eq", self, _coerce(other, self.width))
+        return bv_comparison("eq", self, _coerce(other, self.width))
 
     def ne(self, other: "BitVecTerm") -> BoolTerm:
         """Bit-vector disequality."""
@@ -225,27 +265,27 @@ class BitVecTerm(Term):
 
     def ult(self, other: "BitVecTerm") -> BoolTerm:
         """Unsigned less-than."""
-        return BvComparison("ult", self, _coerce(other, self.width))
+        return bv_comparison("ult", self, _coerce(other, self.width))
 
     def ule(self, other: "BitVecTerm") -> BoolTerm:
         """Unsigned less-or-equal."""
-        return BvComparison("ule", self, _coerce(other, self.width))
+        return bv_comparison("ule", self, _coerce(other, self.width))
 
     def ugt(self, other: "BitVecTerm") -> BoolTerm:
         """Unsigned greater-than."""
-        return BvComparison("ult", _coerce(other, self.width), self)
+        return bv_comparison("ult", _coerce(other, self.width), self)
 
     def uge(self, other: "BitVecTerm") -> BoolTerm:
         """Unsigned greater-or-equal."""
-        return BvComparison("ule", _coerce(other, self.width), self)
+        return bv_comparison("ule", _coerce(other, self.width), self)
 
     def slt(self, other: "BitVecTerm") -> BoolTerm:
         """Signed (two's complement) less-than."""
-        return BvComparison("slt", self, _coerce(other, self.width))
+        return bv_comparison("slt", self, _coerce(other, self.width))
 
     def sle(self, other: "BitVecTerm") -> BoolTerm:
         """Signed (two's complement) less-or-equal."""
-        return BvComparison("sle", self, _coerce(other, self.width))
+        return bv_comparison("sle", self, _coerce(other, self.width))
 
 
 class BvConst(BitVecTerm):
@@ -398,7 +438,14 @@ def bool_const(value: bool) -> BoolConst:
 
 def bool_var(name: str) -> BoolVar:
     """Create a free Boolean variable."""
-    return BoolVar(name)
+    return _interned(("boolvar", name), lambda: BoolVar(name))
+
+
+def bv_comparison(kind: str, left: "BitVecTerm", right: "BitVecTerm") -> BoolTerm:
+    """Interned relational atom (``eq``/``ult``/``ule``/``slt``/``sle``)."""
+    return _interned(
+        ("cmp", kind, left._id, right._id), lambda: BvComparison(kind, left, right)
+    )
 
 
 def _flatten(kind: str, args: Iterable[BoolTerm]) -> list[BoolTerm]:
@@ -411,6 +458,11 @@ def _flatten(kind: str, args: Iterable[BoolTerm]) -> list[BoolTerm]:
     return flat
 
 
+def _bool_op(kind: str, args: list[BoolTerm]) -> BoolTerm:
+    key = (kind, tuple(arg._id for arg in args))
+    return _interned(key, lambda: BoolOp(kind, args))
+
+
 def bool_and(*args: BoolTerm) -> BoolTerm:
     """N-ary conjunction (empty conjunction is ``true``)."""
     flat = _flatten("and", args)
@@ -418,7 +470,7 @@ def bool_and(*args: BoolTerm) -> BoolTerm:
         return TRUE
     if len(flat) == 1:
         return flat[0]
-    return BoolOp("and", flat)
+    return _bool_op("and", flat)
 
 
 def bool_or(*args: BoolTerm) -> BoolTerm:
@@ -428,7 +480,7 @@ def bool_or(*args: BoolTerm) -> BoolTerm:
         return FALSE
     if len(flat) == 1:
         return flat[0]
-    return BoolOp("or", flat)
+    return _bool_op("or", flat)
 
 
 def bool_xor(*args: BoolTerm) -> BoolTerm:
@@ -438,7 +490,7 @@ def bool_xor(*args: BoolTerm) -> BoolTerm:
         return FALSE
     if len(args_list) == 1:
         return args_list[0]
-    return BoolOp("xor", args_list)
+    return _bool_op("xor", args_list)
 
 
 def bool_not(arg: BoolTerm) -> BoolTerm:
@@ -447,7 +499,7 @@ def bool_not(arg: BoolTerm) -> BoolTerm:
         return arg.args[0]
     if isinstance(arg, BoolConst):
         return bool_const(not arg.value)
-    return BoolOp("not", [arg])
+    return _bool_op("not", [arg])
 
 
 def bool_implies(antecedent: BoolTerm, consequent: BoolTerm) -> BoolTerm:
@@ -462,107 +514,128 @@ def bool_iff(left: BoolTerm, right: BoolTerm) -> BoolTerm:
 
 def bool_ite(condition: BoolTerm, then_branch: BoolTerm, else_branch: BoolTerm) -> BoolTerm:
     """Boolean if-then-else."""
-    return BoolIte(condition, then_branch, else_branch)
+    return _interned(
+        ("bite", condition._id, then_branch._id, else_branch._id),
+        lambda: BoolIte(condition, then_branch, else_branch),
+    )
 
 
 def bv_const(value: int, width: int) -> BvConst:
     """Create a bit-vector constant."""
-    return BvConst(value, width)
+    return _interned(
+        ("bvconst", value & _mask(width), width), lambda: BvConst(value, width)
+    )
 
 
 def bv_var(name: str, width: int) -> BvVar:
     """Create a free bit-vector variable."""
-    return BvVar(name, width)
+    return _interned(("bvvar", name, width), lambda: BvVar(name, width))
 
 
 def _coerce(value: Union[BitVecTerm, int], width: int) -> BitVecTerm:
     if isinstance(value, int):
-        return BvConst(value, width)
+        return bv_const(value, width)
     return value
+
+
+def _bv_op(kind: str, args: list[BitVecTerm]) -> BitVecTerm:
+    key = ("bv" + kind, tuple(arg._id for arg in args))
+    return _interned(key, lambda: BvOp(kind, args))
 
 
 def bv_add(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Modular addition."""
-    return BvOp("add", [left, _coerce(right, left.width)])
+    return _bv_op("add", [left, _coerce(right, left.width)])
 
 
 def bv_sub(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Modular subtraction."""
-    return BvOp("sub", [left, _coerce(right, left.width)])
+    return _bv_op("sub", [left, _coerce(right, left.width)])
 
 
 def bv_mul(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Modular multiplication."""
-    return BvOp("mul", [left, _coerce(right, left.width)])
+    return _bv_op("mul", [left, _coerce(right, left.width)])
 
 
 def bv_and(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Bitwise and."""
-    return BvOp("and", [left, _coerce(right, left.width)])
+    return _bv_op("and", [left, _coerce(right, left.width)])
 
 
 def bv_or(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Bitwise or."""
-    return BvOp("or", [left, _coerce(right, left.width)])
+    return _bv_op("or", [left, _coerce(right, left.width)])
 
 
 def bv_xor(left: BitVecTerm, right: Union[BitVecTerm, int]) -> BitVecTerm:
     """Bitwise exclusive or."""
-    return BvOp("xor", [left, _coerce(right, left.width)])
+    return _bv_op("xor", [left, _coerce(right, left.width)])
 
 
 def bv_not(operand: BitVecTerm) -> BitVecTerm:
     """Bitwise complement."""
-    return BvOp("not", [operand])
+    return _bv_op("not", [operand])
 
 
 def bv_neg(operand: BitVecTerm) -> BitVecTerm:
     """Two's complement negation."""
-    return BvOp("neg", [operand])
+    return _bv_op("neg", [operand])
 
 
 def bv_shl(operand: BitVecTerm, amount: Union[BitVecTerm, int]) -> BitVecTerm:
     """Logical shift left; shifts >= width yield zero."""
-    return BvOp("shl", [operand, _coerce(amount, operand.width)])
+    return _bv_op("shl", [operand, _coerce(amount, operand.width)])
 
 
 def bv_lshr(operand: BitVecTerm, amount: Union[BitVecTerm, int]) -> BitVecTerm:
     """Logical shift right; shifts >= width yield zero."""
-    return BvOp("lshr", [operand, _coerce(amount, operand.width)])
+    return _bv_op("lshr", [operand, _coerce(amount, operand.width)])
 
 
 def bv_ashr(operand: BitVecTerm, amount: Union[BitVecTerm, int]) -> BitVecTerm:
     """Arithmetic shift right (sign-preserving)."""
-    return BvOp("ashr", [operand, _coerce(amount, operand.width)])
+    return _bv_op("ashr", [operand, _coerce(amount, operand.width)])
 
 
 def bv_ite(condition: BoolTerm, then_branch: BitVecTerm, else_branch: BitVecTerm) -> BitVecTerm:
     """Bit-vector if-then-else."""
-    return BvIte(condition, then_branch, else_branch)
+    return _interned(
+        ("bvite", condition._id, then_branch._id, else_branch._id),
+        lambda: BvIte(condition, then_branch, else_branch),
+    )
 
 
 def bv_extract(operand: BitVecTerm, high: int, low: int) -> BitVecTerm:
     """Extract bits ``high..low`` (inclusive)."""
-    return BvExtract(operand, high, low)
+    return _interned(
+        ("extract", operand._id, high, low), lambda: BvExtract(operand, high, low)
+    )
 
 
 def bv_concat(*operands: BitVecTerm) -> BitVecTerm:
     """Concatenate bit-vectors (first operand is most significant)."""
-    return BvConcat(operands)
+    return _interned(
+        ("concat", tuple(op._id for op in operands)), lambda: BvConcat(operands)
+    )
 
 
 def bv_zero_extend(operand: BitVecTerm, width: int) -> BitVecTerm:
     """Zero-extend ``operand`` to ``width`` bits."""
     if width == operand.width:
         return operand
-    return BvZeroExtend(operand, width)
+    return _interned(
+        ("zext", operand._id, width), lambda: BvZeroExtend(operand, width)
+    )
 
 
 def bv_sign_extend(operand: BitVecTerm, width: int) -> BitVecTerm:
     """Sign-extend ``operand`` to ``width`` bits."""
     if width == operand.width:
         return operand
-    return BvSignExtend(operand, width)
+    return _interned(
+        ("sext", operand._id, width), lambda: BvSignExtend(operand, width)
+    )
 
 
 def bv_equal_any(term: BitVecTerm, values: Iterable[int]) -> BoolTerm:

@@ -1,6 +1,7 @@
 """Differential tests: bit-blasted SAT solving vs. the reference evaluator."""
 
 import itertools
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -11,6 +12,10 @@ from repro.smt import (
     CdclSolver,
     SatResult,
     bool_and,
+    bool_ite,
+    bool_not,
+    bool_or,
+    bool_xor,
     bv_ashr,
     bv_concat,
     bv_const,
@@ -23,6 +28,8 @@ from repro.smt import (
     bv_zero_extend,
     evaluate,
 )
+from repro.smt.bitblast import BOTH, NEGATIVE, POSITIVE
+from repro.smt.terms import bv_comparison
 
 WIDTH = 5
 DOMAIN = 1 << WIDTH
@@ -126,6 +133,125 @@ class TestOperatorEncodings:
         got, assignment = _solve(formula)
         assert got
         assert (assignment.bv_values["a"] * 3) % 256 == 30
+
+
+def _random_formula(rng, depth, names):
+    if depth == 0 or rng.random() < 0.3:
+        kind = rng.choice(["eq", "ult", "ule", "slt", "sle"])
+
+        def leaf():
+            if rng.random() < 0.3:
+                return bv_const(rng.randrange(DOMAIN), WIDTH)
+            left = bv_var(rng.choice(names), WIDTH)
+            if rng.random() < 0.5:
+                return left
+            right = bv_var(rng.choice(names), WIDTH)
+            return rng.choice(
+                [left + right, left - right, left & right, left | right, left ^ right]
+            )
+
+        return bv_comparison(kind, leaf(), leaf())
+    choice = rng.randrange(5)
+    if choice == 0:
+        return bool_not(_random_formula(rng, depth - 1, names))
+    if choice == 1:
+        return bool_ite(
+            _random_formula(rng, depth - 1, names),
+            _random_formula(rng, depth - 1, names),
+            _random_formula(rng, depth - 1, names),
+        )
+    operator = (bool_and, bool_or, bool_xor)[choice - 2]
+    return operator(
+        _random_formula(rng, depth - 1, names), _random_formula(rng, depth - 1, names)
+    )
+
+
+class TestPolarityAwareEncoding:
+    """Plaisted–Greenbaum vs. full Tseitin: equisatisfiable, fewer clauses."""
+
+    def test_verdicts_and_models_match_full_encoding(self):
+        rng = random.Random(77)
+        names = ["a", "b"]
+        positive_clauses = full_clauses = 0
+        for trial in range(120):
+            formula = _random_formula(rng, 3, names)
+            expected = _brute_force_satisfiable(formula, names)
+            for polarity in (BOTH, POSITIVE):
+                solver = CdclSolver()
+                blaster = BitBlaster(solver)
+                blaster.assert_formula(formula, polarity)
+                got = solver.solve() is SatResult.SAT
+                assert got == expected, (trial, polarity, formula)
+                if got:
+                    assignment = blaster.extract_assignment(solver.model())
+                    for name in names:
+                        assignment.bv_values.setdefault(name, 0)
+                    assert evaluate(formula, assignment) is True, (trial, polarity)
+                if polarity is BOTH:
+                    full_clauses += solver.statistics.clauses_added
+                else:
+                    positive_clauses += solver.statistics.clauses_added
+        assert positive_clauses < full_clauses
+
+    def test_negative_polarity_assertion(self):
+        # Asserting ~f with f blasted under NEGATIVE polarity is the dual
+        # use; verdicts must match the full encoding of the negation.
+        rng = random.Random(78)
+        names = ["a", "b"]
+        from repro.smt.cnf import negate
+
+        for trial in range(60):
+            formula = _random_formula(rng, 3, names)
+            negated = bool_not(formula)
+            expected = _brute_force_satisfiable(negated, names)
+            solver = CdclSolver()
+            blaster = BitBlaster(solver)
+            solver.add_clause([negate(blaster.blast_bool(formula, NEGATIVE))])
+            assert (solver.solve() is SatResult.SAT) == expected, (trial, formula)
+
+    def test_polarity_upgrade_on_shared_gates(self):
+        # A formula first used positively and later negatively must have
+        # its gates upgraded to the full biconditional: both assertions
+        # together are unsatisfiable.
+        a, b = bv_var("ua", WIDTH), bv_var("ub", WIDTH)
+        formula = bool_and(a.ult(b), a.eq(bv_const(3, WIDTH)))
+        solver = CdclSolver()
+        blaster = BitBlaster(solver)
+        blaster.assert_formula(formula, POSITIVE)
+        assert solver.solve() is SatResult.SAT
+        blaster.assert_formula(bool_not(formula), POSITIVE)
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_single_operand_xor_boolop(self):
+        # Regression: a directly instantiated BoolOp("xor", [x]) (legal,
+        # just not interned) must blast to x, not constant-fold to false.
+        from repro.smt import BoolVar
+        from repro.smt.terms import BoolOp
+
+        x = BoolVar("lonely_xor_input")
+        solver = CdclSolver()
+        blaster = BitBlaster(solver)
+        blaster.assert_formula(BoolOp("xor", [x]), POSITIVE)
+        blaster.assert_formula(x, POSITIVE)
+        assert solver.solve() is SatResult.SAT
+
+    def test_upgrade_returns_same_literal(self):
+        a, b = bv_var("va", WIDTH), bv_var("vb", WIDTH)
+        formula = bool_or(a.ule(b), a.eq(bv_const(1, WIDTH)))
+        solver = CdclSolver()
+        blaster = BitBlaster(solver)
+        first = blaster.blast_bool(formula, POSITIVE)
+        clauses_after_first = solver.statistics.clauses_added
+        second = blaster.blast_bool(formula, BOTH)
+        assert first == second
+        # The upgrade emitted the missing direction without re-encoding
+        # the whole term (some clauses, but no new variables).
+        assert solver.statistics.clauses_added > clauses_after_first
+        clauses_after_upgrade = solver.statistics.clauses_added
+        third = blaster.blast_bool(formula, BOTH)
+        assert third == first
+        # Fully-upgraded terms are pure cache hits.
+        assert solver.statistics.clauses_added == clauses_after_upgrade
 
 
 class TestPropertyDifferential:

@@ -301,6 +301,173 @@ class TestIncrementalSolving:
         assert solver.statistics.clauses_added == 2
 
 
+def _dpll(clauses, num_vars):
+    """Reference DPLL with unit propagation (no learning, no heuristics).
+
+    Deliberately a different algorithm from the CDCL solver under test, so
+    a shared bug is unlikely; used by the differential fuzz below to guard
+    the blocking-literal / LBD / garbage-collection changes to the hot
+    path.
+    """
+
+    def propagate(assignment, clauses):
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                unassigned = []
+                satisfied = False
+                for literal in clause:
+                    value = assignment[literal >> 1]
+                    if value is None:
+                        unassigned.append(literal)
+                    elif value != bool(literal & 1):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return False  # conflict
+                if len(unassigned) == 1:
+                    literal = unassigned[0]
+                    assignment[literal >> 1] = not (literal & 1)
+                    changed = True
+        return True
+
+    def search(assignment):
+        assignment = list(assignment)
+        if not propagate(assignment, clauses):
+            return False
+        try:
+            variable = assignment.index(None, 1)
+        except ValueError:
+            return True
+        for value in (True, False):
+            candidate = list(assignment)
+            candidate[variable] = value
+            if search(candidate):
+                return True
+        return False
+
+    return search([None] * (num_vars + 1))
+
+
+class TestCdclVersusDpll:
+    def test_random_cnfs_agree_with_reference_dpll(self):
+        # Differential fuzz on small random CNFs: the tuned CDCL solver
+        # (blocking literals, glucose reduction, GC) must agree with the
+        # naive reference DPLL on every instance, and SAT models must
+        # satisfy the clauses.
+        rng = random.Random(1234)
+        for trial in range(200):
+            num_vars = rng.randint(2, 10)
+            clauses = _random_clauses(rng, num_vars, rng.randint(2, 40))
+            expected = _dpll(clauses, num_vars)
+            solver = CdclSolver(restart_base=rng.choice([1, 4, 100]))
+            solver.ensure_variables(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            assert (result is SatResult.SAT) == expected, (trial, clauses)
+            if expected:
+                assert _model_satisfies(solver.model(), clauses)
+
+    def test_incremental_with_gc_agrees_with_dpll(self):
+        # Interleave solving, clause addition and level-0 GC: the verdict
+        # stream must match a reference decision on the accumulated CNF.
+        rng = random.Random(4321)
+        for _ in range(30):
+            num_vars = rng.randint(3, 8)
+            solver = CdclSolver()
+            solver.ensure_variables(num_vars)
+            accumulated = []
+            alive = True
+            for _ in range(6):
+                batch = _random_clauses(rng, num_vars, rng.randint(1, 6))
+                accumulated.extend(batch)
+                if alive:
+                    for clause in batch:
+                        solver.add_clause(clause)
+                result = solver.solve()
+                expected = _dpll(accumulated, num_vars)
+                assert (result is SatResult.SAT) == expected
+                alive = result is SatResult.SAT
+                if not alive:
+                    break
+                solver.simplify_database()
+
+
+class TestSimplifyDatabase:
+    def test_removes_satisfied_clauses(self):
+        solver = CdclSolver()
+        x, y, z = (solver.new_variable() for _ in range(3))
+        solver.add_clause([make_literal(x), make_literal(y)])
+        solver.add_clause([make_literal(x, True), make_literal(z)])
+        # Fix x true: the first clause becomes fixed-satisfied, the second
+        # loses its ~x literal and becomes the unit z.
+        solver.add_clause([make_literal(x)])
+        removed = solver.simplify_database()
+        assert removed == 2
+        assert solver.statistics.gc_removed_clauses == 2
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(x) is True
+        assert solver.value(z) is True
+
+    def test_gc_preserves_verdicts_under_activation_scopes(self):
+        # MiniSat-style scope retirement: clauses guarded by an activation
+        # literal are garbage once the guard is fixed false.
+        solver = CdclSolver()
+        guard = solver.new_variable()
+        _pigeonhole_clauses(solver, 3, 2, guard=guard)
+        assert solver.solve([make_literal(guard)]) is SatResult.UNSAT
+        solver.add_clause([make_literal(guard, True)])  # retire the scope
+        removed = solver.simplify_database()
+        assert removed > 0
+        assert solver.solve() is SatResult.SAT
+
+    def test_gc_above_level_zero_rejected(self):
+        solver = CdclSolver()
+        solver.new_variable()
+        solver._trail_limits.append(0)  # simulate an open decision level
+        with pytest.raises(SolverError):
+            solver.simplify_database()
+        solver._trail_limits.pop()
+
+    def test_gc_on_unsat_database_is_noop(self):
+        solver = CdclSolver()
+        x = solver.new_variable()
+        solver.add_clause([make_literal(x)])
+        solver.add_clause([make_literal(x, True)])
+        assert solver.simplify_database() == 0
+        assert solver.solve() is SatResult.UNSAT
+
+
+class TestLearnedClauseQuality:
+    def test_learned_clauses_carry_lbd(self):
+        solver = CdclSolver()
+        guard = solver.new_variable()
+        _pigeonhole_clauses(solver, 4, 3, guard=guard)
+        assert solver.solve([make_literal(guard)]) is SatResult.UNSAT
+        learned = [clause for clause in solver._clauses if clause.learned]
+        assert learned, "pigeonhole refutation must learn clauses"
+        assert all(clause.lbd >= 1 for clause in learned)
+
+    def test_fallback_branch_scan_covers_all_variables(self):
+        # Drain the order heap manually: solving must still find every
+        # unassigned variable through the forward-scan fallback.
+        solver = CdclSolver()
+        variables = [solver.new_variable() for _ in range(12)]
+        for first, second in zip(variables, variables[1:]):
+            solver.add_clause([make_literal(first), make_literal(second)])
+        solver._order_heap.clear()
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        for first, second in zip(variables, variables[1:]):
+            assert model[first] or model[second]
+        # The low-water mark advanced past the scanned prefix.
+        assert solver._fallback_head > 1
+
+
 class TestDifferential:
     def test_random_instances_match_brute_force(self):
         rng = random.Random(11)

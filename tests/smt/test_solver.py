@@ -232,6 +232,127 @@ class TestScopesAndAssumptions:
             solver.check(bv_var("x", 4))
 
 
+class TestQueryShrinkingLayers:
+    """The word-level / encoding-level / SAT-level ablation knobs."""
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            dict(simplify_terms=False),
+            dict(polarity_aware=False),
+            dict(simplify_terms=False, polarity_aware=False),
+            dict(gc_dead_clauses=None),
+            dict(gc_dead_clauses=1),
+        ],
+        ids=["no-simplify", "no-polarity", "neither", "no-gc", "eager-gc"],
+    )
+    def test_ablations_agree_on_scripted_run(self, options):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        reference = SmtSolver()
+        ablated = SmtSolver(**options)
+        script = [
+            ("add", (x + y).eq(bv_const(10, 8))),
+            ("check", None),
+            ("push", None),
+            ("add", x.ugt(y)),
+            ("check", None),
+            ("pop", None),
+            ("push", None),
+            ("add", x.eq(y)),
+            ("check", None),
+            ("pop", None),
+            ("check", x.ult(bv_const(3, 8))),
+            ("check", None),
+        ]
+        for action, payload in script:
+            outcomes = []
+            for solver in (reference, ablated):
+                if action == "add":
+                    solver.add(payload)
+                elif action == "push":
+                    solver.push()
+                elif action == "pop":
+                    solver.pop()
+                else:
+                    extras = (payload,) if payload is not None else ()
+                    outcomes.append(solver.check(*extras))
+            if outcomes:
+                assert outcomes[0] == outcomes[1]
+                if outcomes[0] is SmtResult.SAT:
+                    for solver in (reference, ablated):
+                        model = solver.model()
+                        for formula in solver.assertions:
+                            assert model.evaluate(formula) is True
+
+    def test_simplified_tautology_never_reaches_sat_core(self):
+        solver = SmtSolver()
+        x = bv_var("x", 8)
+        solver.add(x.uge(bv_const(0, 8)))  # trivially true
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.terms_simplified == 1
+        # Only the blaster's constant-true clause was ever generated (the
+        # assertion itself folded to that same literal and was absorbed).
+        assert solver.statistics.clauses_generated == 1
+        assert solver.statistics.variables_generated == 1
+
+    def test_polarity_aware_generates_fewer_clauses(self):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        formula = bool_or(x.eq(y), x.ult(bv_const(3, 8)))
+        counts = {}
+        for polarity_aware in (True, False):
+            solver = SmtSolver(polarity_aware=polarity_aware)
+            solver.add(formula)
+            assert solver.check() is SmtResult.SAT
+            counts[polarity_aware] = solver.statistics.clauses_generated
+        assert counts[True] < counts[False]
+
+    def test_scope_gc_reclaims_dead_clauses(self):
+        solver = SmtSolver(gc_dead_clauses=1)  # collect on every pop
+        x = bv_var("x", 8)
+        solver.add(x.ult(bv_const(100, 8)))
+        for value in range(6):
+            solver.push()
+            solver.add((x * bv_const(value + 2, 8)).eq(bv_const(value, 8)))
+            solver.check()
+            solver.pop()
+        assert solver.statistics.clauses_collected > 0
+        # Retired scopes must not constrain later checks.
+        assert solver.check() is SmtResult.SAT
+        assert solver.model()["x"] < 100
+
+    def test_nested_pop_keeps_outer_scope_in_gc_accounting(self):
+        # Regression: popping a small inner scope must not erase the
+        # enclosing scope's clauses from the dead-clause accounting.
+        solver = SmtSolver(gc_dead_clauses=100)
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        solver.push()
+        for value in range(8):
+            solver.add((x * bv_const(value + 3, 8)).eq(y + bv_const(value, 8)))
+        solver.check()
+        solver.push()
+        solver.add(x.ult(bv_const(5, 8)))
+        solver.check()
+        solver.pop()  # tiny inner scope
+        solver.pop()  # big outer scope: its clauses must count as dead
+        assert solver.statistics.clauses_collected > 0
+        assert solver.check() is SmtResult.SAT
+
+    def test_scope_gc_interleaved_with_nested_scopes(self):
+        solver = SmtSolver(gc_dead_clauses=1)
+        x = bv_var("x", 4)
+        solver.add(x.ult(bv_const(8, 4)))
+        solver.push()
+        solver.add(x.uge(bv_const(2, 4)))
+        solver.push()
+        solver.add(x.eq(bv_const(1, 4)))
+        assert solver.check() is SmtResult.UNSAT
+        solver.pop()
+        assert solver.check() is SmtResult.SAT
+        assert 2 <= solver.model()["x"] < 8
+        solver.pop()
+        assert solver.check(x.eq(bv_const(1, 4))) is SmtResult.SAT
+
+
 class TestSmtDeductiveEngine:
     def test_decide_sat(self):
         engine = SmtDeductiveEngine()

@@ -137,6 +137,39 @@ class TestEvaluation:
         assert evaluate(-x, env) == evaluate(bv_const(0, 8) - x, env)
 
 
+class TestHashConsing:
+    def test_structurally_equal_terms_are_identical(self):
+        # Same construction from *different call sites* must yield the
+        # same object, so downstream identity caches (evaluator,
+        # bit-blaster) hit.
+        def build():
+            x, y = bv_var("x", 8), bv_var("y", 8)
+            return (x + y).eq(bv_const(45, 8)) & x.ult(y)
+
+        assert build() is build()
+
+    def test_interning_distinguishes_widths_and_names(self):
+        assert bv_var("x", 8) is not bv_var("x", 4)
+        assert bv_var("x", 8) is not bv_var("y", 8)
+        assert bv_const(3, 8) is not bv_const(3, 4)
+
+    def test_constants_intern_modulo_width(self):
+        assert bv_const(0x1FF, 8) is bv_const(0xFF, 8)
+
+    def test_operand_order_distinguishes(self):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        assert (x - y) is not (y - x)
+        assert (x - y) is (x - y)
+
+    def test_ite_extract_extend_interned(self):
+        x, y = bv_var("x", 8), bv_var("y", 8)
+        p = bool_var("p")
+        assert bv_ite(p, x, y) is bv_ite(p, x, y)
+        assert bv_extract(x, 5, 2) is bv_extract(x, 5, 2)
+        assert bv_zero_extend(x, 16) is bv_zero_extend(x, 16)
+        assert bool_ite(p, p, bool_var("q")) is bool_ite(p, p, bool_var("q"))
+
+
 class TestFreeVariables:
     def test_collects_names_and_widths(self):
         x, y = bv_var("x", 8), bv_var("y", 4)
