@@ -15,7 +15,10 @@ from this PR onward.  It runs three workloads
   per-step disturbance input), checked depth by depth in push/pop scopes,
 
 under a grid of ablation configs that disable each layer independently
-(``simplify_terms`` / ``polarity_aware`` / ``gc_dead_clauses``), and
+(``simplify_terms`` / ``polarity_aware`` / ``gc_dead_clauses``), plus a
+**batch-throughput** workload that pushes a service-like job stream
+through :class:`repro.api.SciductionEngine` twice — once with pooled
+persistent solver sessions, once with a fresh solver per job — and
 writes a machine-readable ``BENCH_perf.json`` — wall time, SAT variables
 and clauses, propagations/sec, GC counters, and the exact flag set of
 every run — so the perf trajectory is comparable across PRs.
@@ -26,7 +29,9 @@ exits non-zero):
 * every workload's verdicts are identical across all configs;
 * every SAT model still satisfies the original (un-simplified) formulas;
 * the fully-enabled config generates at least 25% fewer SAT clauses than
-  the all-off baseline (the PR-1 behaviour) on the deobfuscation workload.
+  the all-off baseline (the PR-1 behaviour) on the deobfuscation workload;
+* the batch's verdicts are identical pooled vs fresh, and pooled
+  sessions generate strictly fewer SAT variables *and* clauses.
 
 Run standalone::
 
@@ -266,6 +271,98 @@ WORKLOADS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Batch throughput: pooled solver sessions vs per-job fresh solvers
+# ---------------------------------------------------------------------------
+
+#: A service-like job stream with repeated problem shapes (the situation
+#: the engine's SolverPool exists for).  Each entry is a problem-spec
+#: wire dictionary, so this doubles as a test of the declarative API.
+BATCH_JOBS = (
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 1},
+    {"kind": "timing-analysis", "program": "bounded_linear_search",
+     "program_args": {"length": 4, "word_width": 16}, "bound": 250},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 1},
+    {"kind": "timing-analysis", "program": "bounded_linear_search",
+     "program_args": {"length": 4, "word_width": 16}, "bound": 250},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
+)
+BATCH_JOBS_QUICK = BATCH_JOBS[:2] + BATCH_JOBS[3:6]
+
+
+def _run_engine_batch(reuse_sessions: bool, quick: bool) -> dict:
+    """Run the job stream through one SciductionEngine and sum its SMT work."""
+    from repro.api import EngineConfig, SciductionEngine
+
+    jobs = BATCH_JOBS_QUICK if quick else BATCH_JOBS
+    engine = SciductionEngine(EngineConfig(reuse_sessions=reuse_sessions))
+    start = time.perf_counter()
+    results = engine.run_batch([dict(job) for job in jobs])
+    seconds = time.perf_counter() - start
+    variables = clauses = conflicts = propagations = 0
+    verdicts = []
+    for result in results:
+        verdicts.append((result.success, result.verdict))
+        smt = result.details["engine"].get("smt_job_statistics")
+        sat = result.details["engine"].get("sat_job_statistics")
+        if smt is not None:
+            variables += smt["variables_generated"]
+            clauses += smt["clauses_generated"]
+        if sat is not None:
+            conflicts += sat["conflicts"]
+            propagations += sat["propagations"]
+    return {
+        "jobs": len(jobs),
+        "verdicts": verdicts,
+        "all_verdicts_true": all(
+            success and verdict for success, verdict in verdicts
+        ),
+        "seconds": seconds,
+        "sat_variables": variables,
+        "sat_clauses": clauses,
+        "conflicts": conflicts,
+        "propagations": propagations,
+        "sessions_created": engine.pool.statistics.solvers_created,
+        "sessions_reused": engine.pool.statistics.reused_sessions,
+    }
+
+
+def run_batch_throughput(quick: bool = False) -> dict:
+    """Pooled vs per-job-fresh engine runs over the same job stream.
+
+    The pooled engine leases persistent incremental solver sessions, so
+    repeated problem shapes hit warm bit-blast caches and inherit learned
+    clauses; the fresh engine rebuilds a solver per job (the pre-pool
+    behaviour).  Verdicts must be identical; the SAT work (variables,
+    clauses) must be strictly lower pooled.
+    """
+    pooled = _run_engine_batch(reuse_sessions=True, quick=quick)
+    fresh = _run_engine_batch(reuse_sessions=False, quick=quick)
+    variables_saved = (
+        1.0 - pooled["sat_variables"] / fresh["sat_variables"]
+        if fresh["sat_variables"]
+        else 0.0
+    )
+    clauses_saved = (
+        1.0 - pooled["sat_clauses"] / fresh["sat_clauses"]
+        if fresh["sat_clauses"]
+        else 0.0
+    )
+    return {
+        "pooled": pooled,
+        "fresh": fresh,
+        "variables_reduction_vs_fresh": variables_saved,
+        "clauses_reduction_vs_fresh": clauses_saved,
+        "conflicts_pooled_vs_fresh": (
+            pooled["conflicts"],
+            fresh["conflicts"],
+        ),
+    }
+
+
 def run_suite(quick: bool = False, configs: dict | None = None) -> dict:
     """Run every workload under every ablation config and cross-check."""
     configs = configs or CONFIGS
@@ -298,10 +395,19 @@ def run_suite(quick: bool = False, configs: dict | None = None) -> dict:
         "deobfuscation_clauses_baseline": baseline_clauses,
         "deobfuscation_clause_reduction_vs_baseline": reduction,
     }
+    batch = run_batch_throughput(quick=quick)
+    results["batch"] = batch
     results["checks"] = {
         "verdicts_identical_across_configs": verdicts_identical,
         "models_satisfy_original_formulas": models_ok,
         "clause_reduction_target_met": reduction >= 0.25,
+        "batch_verdicts_identical_pooled_vs_fresh": (
+            batch["pooled"]["verdicts"] == batch["fresh"]["verdicts"]
+        ),
+        "batch_pooling_beats_fresh_on_sat_work": (
+            batch["pooled"]["sat_variables"] < batch["fresh"]["sat_variables"]
+            and batch["pooled"]["sat_clauses"] < batch["fresh"]["sat_clauses"]
+        ),
     }
     return results
 
@@ -327,6 +433,16 @@ def _print_summary(results: dict) -> None:
         "  deobfuscation clause reduction vs baseline: "
         f"{comparisons['deobfuscation_clause_reduction_vs_baseline']:.1%}"
     )
+    batch = results["batch"]
+    print(
+        f"  batch throughput ({batch['pooled']['jobs']} jobs): pooled "
+        f"{batch['pooled']['sat_clauses']} clauses / "
+        f"{batch['pooled']['sat_variables']} vars vs fresh "
+        f"{batch['fresh']['sat_clauses']} clauses / "
+        f"{batch['fresh']['sat_variables']} vars "
+        f"({batch['clauses_reduction_vs_fresh']:.1%} fewer clauses, "
+        f"{batch['variables_reduction_vs_fresh']:.1%} fewer vars)"
+    )
     for check, passed in results["checks"].items():
         print(f"  [{'ok' if passed else 'FAIL'}] {check}")
 
@@ -342,6 +458,8 @@ def test_perf_suite(benchmark, tmp_path):
     assert results["checks"]["verdicts_identical_across_configs"]
     assert results["checks"]["models_satisfy_original_formulas"]
     assert results["checks"]["clause_reduction_target_met"], results["comparisons"]
+    assert results["checks"]["batch_verdicts_identical_pooled_vs_fresh"]
+    assert results["checks"]["batch_pooling_beats_fresh_on_sat_work"], results["batch"]
     benchmark.extra_info.update(results["comparisons"])
 
 

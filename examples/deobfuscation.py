@@ -3,7 +3,9 @@
 
 Treats each obfuscated program as a black-box I/O oracle and re-synthesizes
 a clean, loop-free program over a small component library, exactly as in
-Section 4 of the paper:
+Section 4 of the paper — submitted as declarative problem specs to one
+:class:`repro.api.SciductionEngine` batch, so both benchmarks share the
+engine's pooled incremental SMT session:
 
 * **P1 — interchange**: the obfuscated XOR-maze that swaps two IP
   addresses; the library is three XOR components and the synthesizer
@@ -12,11 +14,12 @@ Section 4 of the paper:
   library is {<<2, +, <<3, +} and the synthesizer recovers the
   shift-and-add sequence.
 
-The script also demonstrates the Figure 7 failure mode: with an
-*insufficient* component library the synthesizer either reports
-infeasibility or returns a program that matches the seen examples but is
-not equivalent to the oracle — which is why the structure hypothesis
-(library sufficiency) matters.
+The script also demonstrates the Figure 7 failure mode through the same
+front door: with an *insufficient* component library (the registered
+``multiply45_insufficient`` task) the engine reports either infeasibility
+or a program that matches the seen examples but fails the a-posteriori
+equivalence verdict — which is why the structure hypothesis (library
+sufficiency) matters.
 
 Run with::
 
@@ -27,66 +30,35 @@ Run with::
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.core import UnrealizableError
-from repro.ogis import (
-    OgisSynthesizer,
-    ProgramIOOracle,
-    insufficient_multiply45_library,
-    interchange_library,
-    interchange_obfuscated,
-    interchange_reference,
-    multiply45_library,
-    multiply45_obfuscated,
-    multiply45_reference,
-)
+from repro.api import DeobfuscationProblem, EngineConfig, SciductionEngine
 
 
-def deobfuscate(name, library, obfuscated, reference, num_inputs, num_outputs, width):
-    """Run the OGIS loop against ``obfuscated`` and report the result."""
-    print(f"--- {name} ({width}-bit data path) ---")
-    oracle = ProgramIOOracle(
-        lambda values: obfuscated(values, width), num_inputs, num_outputs, width
-    )
-    synthesizer = OgisSynthesizer(library, oracle, width=width, seed=1)
-    start = time.perf_counter()
-    program = synthesizer.synthesize()
-    elapsed = time.perf_counter() - start
-    print(f"  synthesis time       : {elapsed:.2f} s")
-    print(f"  oracle (I/O) queries : {synthesizer.trace.oracle_queries}")
-    print(f"  candidate iterations : {synthesizer.trace.iterations}")
+def report(name: str, result) -> None:
+    """Print one deobfuscation job's outcome."""
+    print(f"--- {name} ---")
+    print(f"  synthesis time       : {result.elapsed:.2f} s")
+    print(f"  oracle (I/O) queries : {result.oracle_queries}")
+    print(f"  candidate iterations : {result.iterations}")
+    smt = result.details["engine"]["smt_job_statistics"]
+    print(f"  SMT work (this job)  : {smt['variables_generated']} vars, "
+          f"{smt['clauses_generated']} clauses")
     print("  deobfuscated program :")
-    for line in program.pretty(name).splitlines():
+    for line in result.artifact.pretty(name).splitlines():
         print(f"    {line}")
-    equivalent = program.equivalent_to(
-        lambda values: reference(values, width), width=width
-    )
-    print(f"  equivalent to the obfuscated oracle: {equivalent}")
+    print(f"  equivalent to the obfuscated oracle: {result.verdict}")
     print()
-    return program
 
 
-def demonstrate_invalid_hypothesis(width: int) -> None:
+def report_invalid_hypothesis(result) -> None:
     """Figure 7: what happens when the component library is insufficient."""
     print("--- multiply45 with an insufficient library (Figure 7) ---")
-    oracle = ProgramIOOracle(
-        lambda values: multiply45_obfuscated(values, width), 1, 1, width
-    )
-    synthesizer = OgisSynthesizer(
-        insufficient_multiply45_library(), oracle, width=width, seed=1
-    )
-    try:
-        program = synthesizer.synthesize()
-    except UnrealizableError:
+    if not result.success:
         print("  outcome: INFEASIBILITY REPORTED "
               "(no composition of the library matches the examples)")
         return
-    equivalent = program.equivalent_to(
-        lambda values: multiply45_reference(values, width), width=width
-    )
     print("  outcome: a program consistent with the examples was produced")
-    print(f"  but it is equivalent to the oracle: {equivalent} "
+    print(f"  but it is equivalent to the oracle: {result.verdict} "
           "(an invalid structure hypothesis can yield an incorrect program)")
 
 
@@ -96,15 +68,17 @@ def main() -> None:
                         help="data-path width in bits used during synthesis")
     args = parser.parse_args()
 
-    deobfuscate(
-        "interchange", interchange_library(), interchange_obfuscated,
-        interchange_reference, num_inputs=2, num_outputs=2, width=args.width,
-    )
-    deobfuscate(
-        "multiply45", multiply45_library(), multiply45_obfuscated,
-        multiply45_reference, num_inputs=1, num_outputs=1, width=args.width,
-    )
-    demonstrate_invalid_hypothesis(args.width)
+    engine = SciductionEngine(EngineConfig())
+    interchange, multiply45, insufficient = engine.run_batch([
+        DeobfuscationProblem(task="interchange", width=args.width, seed=1),
+        DeobfuscationProblem(task="multiply45", width=args.width, seed=1),
+        DeobfuscationProblem(task="multiply45_insufficient",
+                             width=args.width, seed=1),
+    ])
+
+    report(f"interchange ({args.width}-bit data path)", interchange)
+    report(f"multiply45 ({args.width}-bit data path)", multiply45)
+    report_invalid_hypothesis(insufficient)
 
 
 if __name__ == "__main__":

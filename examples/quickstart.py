@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: the sciduction framework in five minutes.
+"""Quickstart: the sciduction engine in five minutes.
 
-Runs one tiny instance of each of the paper's three applications through
-the public API and prints, for each, the ⟨H, I, D⟩ decomposition (the
-paper's Table 1) together with the headline result:
+One :class:`repro.api.SciductionEngine` is the front door to all three of
+the paper's applications.  Problems are *declarative specs* — plain,
+JSON-serializable descriptions of what to solve — submitted to a single
+batch that runs over the engine's pooled incremental SMT sessions:
 
 1. GameTime timing analysis of a small modular-exponentiation task,
-2. oracle-guided synthesis of a two-component bit-vector program,
+2. oracle-guided deobfuscation of the multiply-by-45 state machine,
 3. switching-logic synthesis for the automatic transmission (coarse grid).
+
+For each job the engine reports the ⟨H, I, D⟩ decomposition (the paper's
+Table 1), the headline result, and the conditional-soundness certificate.
 
 Run with::
 
@@ -16,14 +20,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro.cfg import modular_exponentiation
-from repro.gametime import GameTime
-from repro.hybrid import make_transmission_synthesizer
-from repro.ogis import (
-    OgisSynthesizer,
-    ProgramIOOracle,
-    component_add,
-    component_shift_left,
+import json
+
+from repro.api import (
+    DeobfuscationProblem,
+    EngineConfig,
+    SciductionEngine,
+    SwitchingLogicProblem,
+    TimingAnalysisProblem,
+    result_to_dict,
 )
 
 
@@ -34,66 +39,73 @@ def banner(title: str) -> None:
     print("=" * 72)
 
 
-def describe(procedure) -> None:
-    row = procedure.describe()
+def describe(result) -> None:
+    row = result.details["hid"]
     print(f"  structure hypothesis (H): {row['H']}")
     print(f"  inductive engine    (I): {row['I']}")
     print(f"  deductive engine    (D): {row['D']}")
 
 
-def demo_gametime() -> None:
+def main() -> None:
+    engine = SciductionEngine(EngineConfig())
+
+    problems = [
+        TimingAnalysisProblem(
+            program="modular_exponentiation",
+            program_args={"exponent_bits": 4, "word_width": 16},
+            trials=15,
+            seed=0,
+        ),
+        DeobfuscationProblem(task="multiply45", width=8, seed=1),
+        SwitchingLogicProblem(
+            system="transmission",
+            omega_step=0.1,
+            integration_step=0.02,
+            horizon=60.0,
+        ),
+    ]
+
+    print("Problem specs are declarative and JSON-serializable, e.g.:")
+    print(f"  {json.dumps(problems[1].to_dict())}")
+
+    timing, deobfuscation, switching = engine.run_batch(problems)
+
     banner("1. GameTime: timing analysis of software (paper Section 3)")
-    task = modular_exponentiation(exponent_bits=4, word_width=16)
-    analysis = GameTime(task, trials=15, seed=0)
-    describe(analysis)
-    estimate = analysis.estimate_wcet()
-    print(f"  basis paths measured     : {analysis.num_basis_paths}")
-    print(f"  total program paths      : {analysis.cfg.count_paths()}")
-    print(f"  predicted WCET (cycles)  : {estimate.predicted_cycles:.1f}")
-    print(f"  measured  WCET (cycles)  : {estimate.measured_cycles}")
-    print(f"  worst-case test case     : {estimate.test_case}")
-    answer = analysis.answer_timing_query(bound=estimate.measured_cycles + 50)
-    print(f"  'always under {answer.bound} cycles?'  -> {'YES' if answer.within_bound else 'NO'}")
+    describe(timing)
+    details = timing.details
+    print(f"  basis paths measured     : {details['num_basis_paths']}")
+    print(f"  total program paths      : {details['num_paths']}")
+    print(f"  predicted WCET (cycles)  : {details['wcet_predicted']:.1f}")
+    print(f"  measured  WCET (cycles)  : {details['wcet_measured']}")
+    print(f"  worst-case test case     : {details['wcet_test_case']}")
 
-
-def demo_ogis() -> None:
-    banner("2. Oracle-guided program synthesis (paper Section 4)")
-    # The 'obfuscated program' is the I/O oracle: here, multiply by five.
-    oracle = ProgramIOOracle(lambda v: ((5 * v[0]) % 256,), num_inputs=1,
-                             num_outputs=1, width=8)
-    synthesizer = OgisSynthesizer(
-        [component_shift_left(2), component_add()], oracle, width=8, seed=0
-    )
-    describe(synthesizer)
-    program = synthesizer.synthesize()
-    print(f"  oracle queries           : {synthesizer.trace.oracle_queries}")
-    print(f"  synthesis iterations     : {synthesizer.trace.iterations}")
+    banner("2. Oracle-guided deobfuscation (paper Section 4)")
+    describe(deobfuscation)
+    print(f"  oracle queries           : {deobfuscation.oracle_queries}")
+    print(f"  synthesis iterations     : {deobfuscation.iterations}")
     print("  synthesized program:")
-    for line in program.pretty("multiply5").splitlines():
+    for line in deobfuscation.artifact.pretty("multiply45").splitlines():
         print(f"    {line}")
-    equivalent = program.equivalent_to(lambda v: ((5 * v[0]) % 256,), width=8)
-    print(f"  equivalent to the oracle : {equivalent}")
+    print(f"  equivalent to the oracle : {deobfuscation.verdict}")
 
-
-def demo_switching_logic() -> None:
     banner("3. Switching-logic synthesis for hybrid systems (paper Section 5)")
-    setup = make_transmission_synthesizer(
-        dwell_time=0.0, omega_step=0.1, integration_step=0.02, horizon=60.0
-    )
-    describe(setup.synthesizer)
-    report = setup.synthesizer.synthesize()
-    print(f"  fixpoint iterations      : {report.iterations}")
-    print(f"  simulation queries       : {report.labeling_queries}")
+    describe(switching)
+    print(f"  fixpoint iterations      : {switching.iterations}")
+    print(f"  simulation queries       : {switching.oracle_queries}")
     print("  synthesized guards (omega intervals):")
-    for name in sorted(report.switching_logic):
-        interval = report.switching_logic[name].interval("omega")
+    for name in sorted(switching.artifact):
+        interval = switching.artifact[name].interval("omega")
         print(f"    {name:5s}: {interval.low:6.2f} <= omega <= {interval.high:6.2f}")
 
+    banner("Soundness certificates and the engine view")
+    for result in (timing, deobfuscation, switching):
+        print(f"  {result.certificate.statement()}")
+    engine_view = deobfuscation.details["engine"]
+    print(f"  per-job SMT work (deobfuscation): "
+          f"{engine_view['smt_job_statistics']}")
+    print("  every result serializes to JSON: "
+          f"{len(json.dumps(result_to_dict(deobfuscation)))} bytes for job 2")
 
-def main() -> None:
-    demo_gametime()
-    demo_ogis()
-    demo_switching_logic()
     print()
     print("Done: three sciduction instances (H, I, D) ran end to end.")
 

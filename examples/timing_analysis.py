@@ -23,9 +23,10 @@ Run with::
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 
-from repro.cfg import modular_exponentiation
-from repro.gametime import ExhaustiveEstimator, GameTime, RandomTestingEstimator
+from repro.api import SciductionEngine, TimingAnalysisProblem
+from repro.gametime import ExhaustiveEstimator, RandomTestingEstimator
 
 
 def render_histogram(rows, bar_width: int = 40) -> None:
@@ -50,9 +51,19 @@ def main() -> None:
                         help="cycle bound for the <TA> query (default: WCET-1)")
     args = parser.parse_args()
 
-    task = modular_exponentiation(exponent_bits=args.bits, word_width=16)
-    analysis = GameTime(task, trials=args.trials, seed=0)
+    # The declarative spec is the single source of truth for the problem;
+    # `build()` hands back the rich GameTime object for in-process
+    # exploration (distribution plots, baselines), while the same spec can
+    # be submitted to a SciductionEngine for the <TA> decision problem.
+    problem = TimingAnalysisProblem(
+        program="modular_exponentiation",
+        program_args={"exponent_bits": args.bits, "word_width": 16},
+        trials=args.trials,
+        seed=0,
+    )
+    analysis = problem.build()
     analysis.prepare()
+    task = analysis.program
 
     print(f"task                     : {task.name} ({args.bits}-bit exponent)")
     print(f"program paths            : {analysis.cfg.count_paths()}")
@@ -82,13 +93,17 @@ def main() -> None:
           f"{random_baseline.estimated_wcet} cycles")
     print()
 
+    # The <TA> decision problem goes through the unified engine: the same
+    # spec with a bound yields a verdict plus a soundness certificate.
     bound = args.bound if args.bound is not None else estimate.measured_cycles - 1
-    answer = analysis.answer_timing_query(bound)
-    verdict = "YES (always within bound)" if answer.within_bound else "NO"
+    engine = SciductionEngine()
+    ta_result = engine.run(replace(problem, bound=bound))
+    verdict = "YES (always within bound)" if ta_result.verdict else "NO"
     print(f"<TA> query: is execution time always <= {bound} cycles?  -> {verdict}")
-    if not answer.within_bound:
-        print(f"  witness test case: {answer.witness.test_case} "
-              f"({answer.witness.measured_cycles} cycles)")
+    if not ta_result.verdict:
+        print(f"  witness test case: {ta_result.details['wcet_test_case']} "
+              f"({ta_result.details['wcet_measured']} cycles)")
+    print(f"  certificate: {ta_result.certificate.statement()}")
 
 
 if __name__ == "__main__":

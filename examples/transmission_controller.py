@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import SciductionEngine, SwitchingLogicProblem
 from repro.hybrid import (
     FIGURE10_SCHEDULE,
     HybridAutomaton,
@@ -33,16 +34,17 @@ from repro.hybrid import (
     PAPER_EQ3_GUARDS,
     PAPER_EQ4_GUARDS,
     THETA_MAX,
+    build_transmission_system,
     efficiency_of_mode,
-    make_transmission_synthesizer,
 )
 
 
-def print_guard_table(report, paper_reference, title):
+def print_guard_table(result, paper_reference, title):
+    switching_logic = result.artifact
     print(f"\n{title}")
     print(f"  {'guard':6s} {'synthesized omega interval':30s} {'paper':>18s}")
-    for name in sorted(report.switching_logic):
-        interval = report.switching_logic[name].interval("omega")
+    for name in sorted(switching_logic):
+        interval = switching_logic[name].interval("omega")
         synthesized = f"[{interval.low:6.2f}, {interval.high:6.2f}]"
         if name in paper_reference:
             low, high = paper_reference[name]
@@ -50,8 +52,8 @@ def print_guard_table(report, paper_reference, title):
         else:
             paper = "(point guard)"
         print(f"  {name:6s} {synthesized:30s} {paper:>18s}")
-    print(f"  fixpoint iterations: {report.iterations}, "
-          f"simulation queries: {report.labeling_queries}")
+    print(f"  fixpoint iterations: {result.iterations}, "
+          f"simulation queries: {result.oracle_queries}")
 
 
 def ascii_figure10(trace, samples: int = 48) -> None:
@@ -78,27 +80,32 @@ def main() -> None:
                         help="also run the 5-second dwell-time variant (Eq. 4)")
     args = parser.parse_args()
 
-    setup = make_transmission_synthesizer(
-        dwell_time=0.0, omega_step=args.step, integration_step=0.02, horizon=80.0
+    # Both synthesis variants go through the unified engine as declarative
+    # problem specs; the Eq. 4 dwell-time variant differs in one field.
+    engine = SciductionEngine()
+    eq3_problem = SwitchingLogicProblem(
+        system="transmission", dwell_time=0.0, omega_step=args.step,
+        integration_step=0.02, horizon=80.0,
     )
-    report = setup.synthesizer.synthesize()
-    print_guard_table(report, PAPER_EQ3_GUARDS,
+    result = engine.run(eq3_problem)
+    print_guard_table(result, PAPER_EQ3_GUARDS,
                       "Synthesized guards for the safety property (paper Eq. 3)")
 
     if args.dwell:
-        dwell_setup = make_transmission_synthesizer(
-            dwell_time=5.0, omega_step=args.step, integration_step=0.02, horizon=80.0
-        )
-        dwell_report = dwell_setup.synthesizer.synthesize()
-        print_guard_table(dwell_report, PAPER_EQ4_GUARDS,
+        dwell_result = engine.run(SwitchingLogicProblem(
+            system="transmission", dwell_time=5.0, omega_step=args.step,
+            integration_step=0.02, horizon=80.0,
+        ))
+        print_guard_table(dwell_result, PAPER_EQ4_GUARDS,
                           "Guards with a 5-second dwell time per gear (paper Eq. 4)")
 
     # Closed-loop Figure 10 trace.  The synthesized g1ND guard is the
     # designated point (theta = theta_max, omega = 0); for simulation we
     # relax it to "nearly stopped" so the fixed-step integrator can hit it.
-    logic = dict(report.switching_logic)
+    system = build_transmission_system(dwell_time=0.0)
+    logic = dict(result.artifact)
     logic["g1ND"] = Hyperbox.from_bounds({"theta": (0.0, THETA_MAX), "omega": (0.0, 0.5)})
-    automaton = HybridAutomaton(setup.system, logic, IntegratorConfig(step=0.02))
+    automaton = HybridAutomaton(system, logic, IntegratorConfig(step=0.02))
     trace = automaton.simulate_schedule(FIGURE10_SCHEDULE, horizon=200.0)
     ascii_figure10(trace)
 

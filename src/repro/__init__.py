@@ -1,7 +1,34 @@
 """repro — a reproduction of "Sciduction: Combining Induction, Deduction, and
 Structure for Verification and Synthesis" (Sanjit A. Seshia, DAC 2012).
 
-The package is organised as a small family of libraries:
+**Start at** :mod:`repro.api`: the unified front door.  One
+:class:`~repro.api.engine.SciductionEngine` runs all three of the
+paper's applications from declarative, JSON-serializable problem specs,
+over a pool of persistent incremental SMT solver sessions::
+
+    from repro.api import (
+        DeobfuscationProblem, EngineConfig, SciductionEngine,
+        SwitchingLogicProblem, TimingAnalysisProblem,
+    )
+
+    engine = SciductionEngine(EngineConfig())
+    results = engine.run_batch([
+        TimingAnalysisProblem(program="modular_exponentiation",
+                              program_args={"exponent_bits": 4,
+                                            "word_width": 16},
+                              bound=500),
+        DeobfuscationProblem(task="multiply45", width=8),
+        SwitchingLogicProblem(system="transmission", omega_step=0.1),
+    ])
+
+The package is organised as a small family of libraries underneath:
+
+``repro.api``
+    The engine facade: :class:`~repro.api.config.EngineConfig` (one
+    config surface), the problem-type registry, the
+    :class:`~repro.api.pool.SolverPool`, and the job lifecycle
+    (``submit`` / ``run_batch`` with budgets, timeouts, cancellation and
+    JSON-serializable results).
 
 ``repro.core``
     The sciduction framework itself: structure hypotheses, inductive
@@ -33,6 +60,18 @@ The package is organised as a small family of libraries:
 ``repro.hybrid``
     Application 3 — switching-logic synthesis for multi-modal dynamical
     systems (Section 5).
+
+**Migration note.**  The per-application entry points — constructing
+:class:`~repro.ogis.synthesizer.OgisSynthesizer`,
+:class:`~repro.gametime.analysis.GameTime` or
+:class:`~repro.hybrid.synthesis.SwitchingLogicSynthesizer` directly, and
+threading ``reencode_each_check`` / ``solver_options`` kwargs through
+them — still work but are deprecated as *front doors*: they bypass the
+engine's solver pooling, budgets and structured results.  Move the
+scattered solver kwargs into one :class:`~repro.api.config.EngineConfig`
+and submit a problem spec instead; the rich per-application objects
+remain available for in-process exploration via
+``ProblemSpec.build()``.
 """
 
 from repro.core import (
@@ -44,7 +83,7 @@ from repro.core import (
     StructureHypothesis,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "DeductiveEngine",

@@ -1,0 +1,109 @@
+"""One configuration surface for the whole sciduction engine.
+
+Before :mod:`repro.api`, the solver knobs introduced by the incremental
+and query-shrinking passes (``reencode_each_check``, ``simplify_terms``,
+``polarity_aware``, ``gc_dead_clauses``) were hand-threaded as loose
+kwargs through :class:`~repro.ogis.encoding.SynthesisEncoder`,
+:class:`~repro.ogis.synthesizer.OgisSynthesizer` and
+:class:`~repro.cfg.ssa.PathConstraintBuilder`, each copy drifting
+independently.  :class:`EngineConfig` replaces all of them: one frozen,
+JSON-serializable dataclass that every layer consumes via
+:meth:`EngineConfig.solver_options`.
+
+The module deliberately imports nothing from the application layers so it
+can be imported from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All engine-level tuning knobs in one place.
+
+    Attributes:
+        simplify_terms: run the word-level simplifier over every formula
+            before bit-blasting (ablation knob).
+        polarity_aware: Plaisted–Greenbaum CNF for asserted formulas
+            (ablation knob).
+        gc_dead_clauses: dead-scope clause threshold triggering SAT
+            database garbage collection; ``None`` disables it.
+        reencode_each_check: rebuild a fresh SAT solver for every check
+            (the pre-incremental escape hatch / benchmark baseline).
+        adaptive_restarts: use glucose-style LBD-moving-average restarts
+            instead of the default Luby sequence.
+        max_conflicts: default per-check CDCL conflict budget (``None``
+            = unlimited); per-*job* budgets are set at submit time and
+            override nothing here — both limits apply independently.
+        pool_size: number of persistent solver sessions kept by the
+            engine's :class:`~repro.api.pool.SolverPool`.
+        reuse_sessions: when False the pool hands out a fresh solver for
+            every lease (the per-job-fresh baseline measured by the
+            batch-throughput benchmark).
+        intern_table_limit: once the global hash-consing table exceeds
+            this many entries, the pool evicts each finished job's
+            interned terms at lease release and recycles the session
+            that cached them (``None`` = never).  Below the limit,
+            cross-job term sharing — and therefore bit-blast-cache
+            amortization — is fully preserved; past it, memory is
+            genuinely bounded at the cost of cold sessions.
+    """
+
+    simplify_terms: bool = True
+    polarity_aware: bool = True
+    gc_dead_clauses: int | None = 2000
+    reencode_each_check: bool = False
+    adaptive_restarts: bool = False
+    max_conflicts: int | None = None
+    pool_size: int = 1
+    reuse_sessions: bool = True
+    intern_table_limit: int | None = 1_000_000
+
+    def solver_options(self) -> dict:
+        """Keyword arguments for :class:`~repro.smt.solver.SmtSolver`."""
+        return {
+            "max_conflicts": self.max_conflicts,
+            "reencode_each_check": self.reencode_each_check,
+            "simplify_terms": self.simplify_terms,
+            "polarity_aware": self.polarity_aware,
+            "gc_dead_clauses": self.gc_dead_clauses,
+            "restart_strategy": "glucose" if self.adaptive_restarts else "luby",
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so that config typos fail loudly.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_legacy(
+        cls,
+        reencode_each_check: bool = False,
+        solver_options: dict | None = None,
+    ) -> "EngineConfig":
+        """Adapt the deprecated per-constructor kwargs to a config.
+
+        ``solver_options`` may carry any of the ablation knobs
+        (``simplify_terms`` / ``polarity_aware`` / ``gc_dead_clauses``)
+        plus ``max_conflicts`` and ``restart_strategy``.
+        """
+        options = dict(solver_options or {})
+        strategy = options.pop("restart_strategy", "luby")
+        return cls(
+            reencode_each_check=reencode_each_check,
+            adaptive_restarts=strategy == "glucose",
+            **options,
+        )

@@ -1,0 +1,302 @@
+"""The sciduction engine: one front door for every problem type.
+
+:class:`SciductionEngine` turns the three per-application entry points
+(`OgisSynthesizer`, `GameTime`, `SwitchingLogicSynthesizer`) into one
+job-oriented service surface:
+
+    engine = SciductionEngine(EngineConfig(pool_size=2))
+    job = engine.submit(DeobfuscationProblem(task="multiply45", width=8))
+    engine.submit(TimingAnalysisProblem(program="bounded_linear_search"))
+    results = engine.run_batch()          # runs every pending job
+    print(result_to_json(results[0]))
+
+Jobs are executed sequentially (the solvers are single-threaded Python),
+but *sessions* persist: SMT-backed jobs lease a pooled incremental
+solver from the engine's :class:`~repro.api.pool.SolverPool`, so learned
+clauses and bit-blast caches amortize across the batch.  Scoped leases
+guarantee the verdicts are independent of which session a job lands on —
+a batch gives the same answers as running each job on a fresh solver.
+
+Per-job controls:
+
+* ``max_conflicts`` — a job-wide CDCL conflict budget spanning all of the
+  job's checks (distinct from ``EngineConfig.max_conflicts``, the
+  per-check budget);
+* ``timeout`` — a wall-clock limit enforced inside the SAT search loop
+  (coarse-grained preemption; simulation-backed jobs are not preempted);
+* :meth:`SciductionEngine.cancel` — pending jobs can be cancelled until
+  the batch reaches them.
+
+Exhausted budgets, timeouts, and failures never raise out of
+:meth:`~SciductionEngine.run_batch`; they are reported as structured
+unsuccessful results (``details["outcome"]``) with the job marked
+accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.api.config import EngineConfig
+from repro.api.pool import SolverPool
+from repro.api.problems import JobContext, ProblemSpec, problem_from_dict
+from repro.api.results import result_to_dict
+from repro.core.exceptions import BudgetExceededError, ReproError, SolverError
+from repro.core.procedure import SciductionResult
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """Handle for one submitted problem.
+
+    The handle is returned by :meth:`SciductionEngine.submit` immediately
+    and filled in by :meth:`SciductionEngine.run_batch`.
+    """
+
+    job_id: int
+    problem: ProblemSpec
+    max_conflicts: int | None = None
+    timeout: float | None = None
+    label: str | None = None
+    state: JobState = JobState.PENDING
+    result: SciductionResult | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has reached a terminal state."""
+        return self.state not in (JobState.PENDING, JobState.RUNNING)
+
+
+class SciductionEngine:
+    """Unified engine running declarative problem specs over pooled solvers.
+
+    Args:
+        config: engine configuration (solver flags, pool sizing); one
+            config governs every job — problem specs carry only problem
+            parameters.
+        pool: inject a pre-built :class:`SolverPool` (e.g. to share
+            sessions between engines); by default the engine owns one
+            sized by ``config.pool_size``.
+    """
+
+    def __init__(self, config: EngineConfig | None = None, pool: SolverPool | None = None):
+        self.config = config or EngineConfig()
+        self.pool = pool or SolverPool(self.config)
+        self._jobs: list[Job] = []
+        self._job_ids = itertools.count(1)
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def submit(
+        self,
+        problem: ProblemSpec | dict,
+        max_conflicts: int | None = None,
+        timeout: float | None = None,
+        label: str | None = None,
+    ) -> Job:
+        """Queue a problem for the next :meth:`run_batch`.
+
+        Args:
+            problem: a spec instance, or its wire-format dictionary
+                (dispatched through the problem-type registry).
+            max_conflicts: job-wide CDCL conflict budget.
+            timeout: wall-clock seconds before the job is preempted.
+            label: free-form tag echoed into the result details.
+        """
+        if isinstance(problem, dict):
+            problem = problem_from_dict(problem)
+        if not isinstance(problem, ProblemSpec):
+            raise ReproError(
+                f"expected a ProblemSpec or wire dict, got {type(problem).__name__}"
+            )
+        job = Job(
+            job_id=next(self._job_ids),
+            problem=problem,
+            max_conflicts=max_conflicts,
+            timeout=timeout,
+            label=label,
+        )
+        self._jobs.append(job)
+        return job
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a pending job; returns whether the cancellation took."""
+        if job.state is not JobState.PENDING:
+            return False
+        job.state = JobState.CANCELLED
+        job.result = SciductionResult(
+            success=False, details={"outcome": "cancelled"}
+        )
+        return True
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """Every job ever submitted to this engine (read-only view)."""
+        return tuple(self._jobs)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        problem: ProblemSpec | dict,
+        max_conflicts: int | None = None,
+        timeout: float | None = None,
+    ) -> SciductionResult:
+        """Submit one problem and run it immediately."""
+        job = self.submit(problem, max_conflicts=max_conflicts, timeout=timeout)
+        self._execute(job)
+        assert job.result is not None
+        return job.result
+
+    def run_batch(
+        self, problems: list[ProblemSpec | dict] | None = None
+    ) -> list[SciductionResult]:
+        """Run every pending job (submitting ``problems`` first).
+
+        Returns results in submission order — independent of the pool's
+        session scheduling.  Individual failures, exhausted budgets and
+        timeouts are reported in the results, never raised.
+        """
+        for problem in problems or []:
+            self.submit(problem)
+        batch = [job for job in self._jobs if job.state is JobState.PENDING]
+        for job in batch:
+            self._execute(job)
+        results = []
+        for job in batch:
+            assert job.result is not None
+            results.append(job.result)
+        return results
+
+    def _execute(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            return
+        job.state = JobState.RUNNING
+        deadline = (
+            time.monotonic() + job.timeout if job.timeout is not None else None
+        )
+        start = time.perf_counter()
+        retried = False
+        while True:
+            lease = self.pool.acquire() if job.problem.needs_solver else None
+            retire = False
+            try:
+                if lease is not None:
+                    lease.solver.set_job_limits(
+                        max_conflicts=job.max_conflicts, deadline=deadline
+                    )
+                context = JobContext(config=self.config, lease=lease)
+                result = job.problem.run(context)
+                job.state = JobState.COMPLETED
+            except BudgetExceededError as error:
+                timed_out = deadline is not None and time.monotonic() >= deadline
+                job.state = (
+                    JobState.TIMED_OUT if timed_out else JobState.BUDGET_EXHAUSTED
+                )
+                job.error = str(error)
+                result = SciductionResult(
+                    success=False,
+                    details={"outcome": job.state.value, "error": str(error)},
+                )
+            except SolverError as error:
+                # A pooled session can be poisoned by an earlier tenant
+                # (e.g. a variable redeclared at a different width).
+                # Retire it and retry the job once on a fresh solver —
+                # but only when the session actually had an earlier
+                # tenant; a fresh solver failing the same way would just
+                # repeat the job's side effects.
+                retire = True
+                if lease is not None and lease.reused and not retried:
+                    retried = True
+                    if lease.solver is not None:
+                        lease.solver.set_job_limits()
+                    self.pool.retire(lease)
+                    continue
+                job.state = JobState.FAILED
+                job.error = str(error)
+                result = SciductionResult(
+                    success=False,
+                    details={"outcome": "failed", "error": str(error)},
+                )
+            except Exception as error:  # noqa: BLE001 — batch jobs never raise
+                job.state = JobState.FAILED
+                job.error = str(error)
+                result = SciductionResult(
+                    success=False,
+                    details={"outcome": "failed", "error": str(error)},
+                )
+            finally:
+                if lease is not None and not lease.released:
+                    lease.solver.set_job_limits()
+                    job_smt = lease.smt_statistics()
+                    job_sat = lease.sat_statistics()
+                    if retire:
+                        self.pool.retire(lease)
+                    else:
+                        self.pool.release(lease)
+                else:
+                    job_smt = job_sat = None
+            break
+        job.elapsed = time.perf_counter() - start
+        result.details.setdefault("engine", {}).update(
+            {
+                "job_id": job.job_id,
+                "label": job.label,
+                "state": job.state.value,
+                "pooled": job.problem.needs_solver,
+                "session_reused": bool(lease is not None and lease.reused),
+            }
+        )
+        if job_smt is not None:
+            # Per-job accounting: deltas charged to this lease, never the
+            # pooled solver's lifetime totals.
+            result.details["engine"]["smt_job_statistics"] = {
+                "checks": job_smt.checks,
+                "sat_answers": job_smt.sat_answers,
+                "unsat_answers": job_smt.unsat_answers,
+                "variables_generated": job_smt.variables_generated,
+                "clauses_generated": job_smt.clauses_generated,
+            }
+            result.details["engine"]["sat_job_statistics"] = {
+                "conflicts": job_sat.conflicts,
+                "decisions": job_sat.decisions,
+                "propagations": job_sat.propagations,
+                "learned_clauses": job_sat.learned_clauses,
+            }
+        job.result = result
+
+    # -- reporting ---------------------------------------------------------
+
+    def batch_report(self) -> list[dict]:
+        """JSON-ready summaries of every finished job."""
+        report = []
+        for job in self._jobs:
+            if job.result is None:
+                continue
+            entry = {
+                "job_id": job.job_id,
+                "label": job.label,
+                "state": job.state.value,
+                "elapsed": job.elapsed,
+                "problem": job.problem.to_dict(),
+                "result": result_to_dict(job.result),
+            }
+            report.append(entry)
+        return report

@@ -1,0 +1,210 @@
+"""Persistent SMT solver sessions shared across jobs.
+
+A production sciduction service answers a stream of jobs whose SMT
+queries overlap heavily — repeated problem shapes re-blast the same term
+skeletons and re-derive the same learned clauses when every job builds a
+fresh :class:`~repro.smt.solver.SmtSolver`.  :class:`SolverPool` keeps a
+small set of long-lived incremental solvers and *leases* them to jobs:
+
+* a lease's :meth:`~SolverLease.session` returns the underlying solver
+  with one fresh push/pop scope open, so everything a job asserts is
+  scoped; releasing the lease pops back to the root, which permanently
+  falsifies the scope's activation literal and retires the job's clauses
+  without touching the rest of the database;
+* learned clauses, VSIDS activities and the bit-blaster's structural
+  caches therefore survive from job to job — a job that re-encodes terms
+  an earlier job already blasted pays nothing for them (the
+  batch-throughput benchmark in ``benchmarks/bench_perf_suite.py``
+  measures exactly this);
+* each lease snapshots the solver's statistics at hand-over, so per-job
+  accounting is a delta, never the pool-lifetime cumulative counts;
+* each lease opens a hash-consing intern scope
+  (:func:`repro.smt.terms.push_intern_scope`); at release the scope is
+  popped, and once the global intern table has grown past
+  ``config.intern_table_limit`` the scope's entries are evicted *and the
+  session is recycled* (terms live on in the solver's bit-blast caches,
+  so only dropping both actually bounds memory) — below the limit,
+  cross-job sharing is preserved untouched.
+
+Sessions are single-threaded and leases must be released in LIFO order
+with respect to each other (the engine runs jobs sequentially, which
+trivially satisfies this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.config import EngineConfig
+from repro.core.exceptions import SolverError
+from repro.smt.sat import SatStatistics
+from repro.smt.solver import SmtSolver, SmtStatistics
+from repro.smt.terms import intern_table_size, pop_intern_scope, push_intern_scope
+
+
+@dataclass
+class PoolStatistics:
+    """Counters describing the pool's behaviour over its lifetime."""
+
+    leases: int = 0
+    #: Leases that reused a solver warmed up by an earlier job.
+    reused_sessions: int = 0
+    solvers_created: int = 0
+    #: Solvers discarded via :meth:`SolverPool.retire` (poisoned sessions).
+    solvers_retired: int = 0
+    #: Intern-table entries evicted at lease release.
+    intern_entries_evicted: int = 0
+
+
+class SolverLease:
+    """One job's hold on a pooled solver session.
+
+    Obtained from :meth:`SolverPool.acquire`; hand the result of
+    :meth:`session` to the application layer, then release the lease
+    through :meth:`SolverPool.release` (or :meth:`SolverPool.retire` if
+    the session misbehaved).
+    """
+
+    def __init__(self, pool: "SolverPool", slot: int, solver: SmtSolver, reused: bool):
+        self._pool = pool
+        self._slot = slot
+        self._solver = solver
+        #: Whether this lease reuses a solver warmed by a previous job.
+        self.reused = reused
+        self._base_depth = solver.scope_depth
+        self._intern_token = push_intern_scope()
+        self._smt_base = solver.statistics.snapshot()
+        self._sat_base = solver.sat_statistics()
+        self.released = False
+
+    @property
+    def solver(self) -> SmtSolver:
+        """The leased solver (prefer :meth:`session` for job execution)."""
+        return self._solver
+
+    def session(self) -> SmtSolver:
+        """The leased solver, reset to a clean job scope.
+
+        The first call pushes one scope over the solver's root; later
+        calls (e.g. an encoder rebuilding its skeleton) pop back to the
+        root first, retiring everything asserted so far, then push a new
+        scope.  Either way the caller sees fresh-solver *semantics* on a
+        warm solver.
+
+        Raises:
+            SolverError: if the lease has already been released (a stale
+                handle must not mutate a solver now owned by another job).
+        """
+        if self.released:
+            raise SolverError("lease already released; acquire a new one")
+        while self._solver.scope_depth > self._base_depth:
+            self._solver.pop()
+        self._solver.push()
+        return self._solver
+
+    def close(self) -> None:
+        """Pop back to the pool root (called by the pool on release)."""
+        while self._solver.scope_depth > self._base_depth:
+            self._solver.pop()
+
+    # -- per-job accounting (the pooled-solver statistics contract) -------
+
+    def smt_statistics(self) -> SmtStatistics:
+        """SMT work charged to this lease (delta since acquisition)."""
+        return self._solver.statistics.delta_since(self._smt_base)
+
+    def sat_statistics(self) -> SatStatistics:
+        """CDCL work charged to this lease (delta since acquisition)."""
+        return self._solver.sat_statistics().delta_since(self._sat_base)
+
+
+class SolverPool:
+    """A fixed-size pool of persistent incremental SMT solver sessions.
+
+    Args:
+        config: engine configuration; ``pool_size`` slots are maintained,
+            solvers are constructed with ``config.solver_options()``, and
+            ``reuse_sessions`` / ``intern_table_limit`` govern reuse and
+            intern-table cleanup.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        if self.config.pool_size < 1:
+            raise SolverError("pool_size must be at least 1")
+        self._slots: list[SmtSolver | None] = [None] * self.config.pool_size
+        self._next_slot = 0
+        self._active: list[SolverLease] = []
+        self.statistics = PoolStatistics()
+
+    def acquire(self) -> SolverLease:
+        """Lease a solver session (round-robin over the pool slots)."""
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % len(self._slots)
+        solver = self._slots[slot] if self.config.reuse_sessions else None
+        reused = solver is not None
+        if solver is None:
+            solver = SmtSolver(**self.config.solver_options())
+            self.statistics.solvers_created += 1
+            if self.config.reuse_sessions:
+                self._slots[slot] = solver
+        lease = SolverLease(self, slot, solver, reused)
+        self._active.append(lease)
+        self.statistics.leases += 1
+        if reused:
+            self.statistics.reused_sessions += 1
+        return lease
+
+    def release(self, lease: SolverLease) -> None:
+        """Return a lease: pop to the root and clean up interned terms.
+
+        Below ``config.intern_table_limit`` the job's interned terms are
+        kept so later jobs can share them (and hit the warm bit-blast
+        caches); past the limit the terms are evicted together with the
+        session that caches them, bounding memory in a long-lived
+        process at the cost of a cold next lease.
+        """
+        self._finish(lease, retire=False)
+
+    def retire(self, lease: SolverLease) -> None:
+        """Release a lease *and* discard its solver.
+
+        Used when a session has been poisoned — e.g. a job redeclared a
+        variable name at a different width than an earlier tenant, which
+        the bit-blaster rejects.  The slot is refilled lazily by the next
+        :meth:`acquire`; the job's interned terms are always evicted.
+        """
+        self._finish(lease, retire=True)
+
+    def _finish(self, lease: SolverLease, retire: bool) -> None:
+        if lease.released:
+            return
+        if lease is not (self._active[-1] if self._active else None):
+            raise SolverError("solver leases must be released in LIFO order")
+        self._active.pop()
+        lease.released = True
+        try:
+            lease.close()
+        except Exception:
+            retire = True  # a session that cannot be reset is poisoned
+        limit = self.config.intern_table_limit
+        if not retire and limit is not None and intern_table_size() > limit:
+            # Recycle the whole session: evicting intern entries alone
+            # would not bound memory (the solver's bit-blaster caches
+            # keep the evicted terms alive) and would silently destroy
+            # cache sharing — rebuilt terms would re-blast into duplicate
+            # SAT variables on the warm solver.  Dropping the solver with
+            # the terms makes the limit a genuine memory bound.
+            retire = True
+        self.statistics.intern_entries_evicted += pop_intern_scope(
+            lease._intern_token, discard=retire
+        )
+        if retire:
+            self._slots[lease._slot] = None
+            self.statistics.solvers_retired += 1
+
+    def close(self) -> None:
+        """Drop every pooled solver (active leases must be released first)."""
+        if self._active:
+            raise SolverError("cannot close the pool while leases are active")
+        self._slots = [None] * len(self._slots)

@@ -1,0 +1,401 @@
+"""Declarative, JSON-serializable problem specs for the engine.
+
+The paper frames GameTime, OGIS deobfuscation and switching-logic
+synthesis as instances of one sciduction triple ⟨H, I, D⟩; this module
+gives the three applications one declarative *problem* vocabulary to
+match.  A problem spec is a plain dataclass naming a registered scenario
+plus its parameters — no callables, no solver handles — so specs can be
+serialized, queued, and replayed:
+
+    spec = DeobfuscationProblem(task="multiply45", width=8)
+    data = spec.to_dict()              # wire form
+    spec2 = problem_from_dict(data)    # round-trips
+
+New problem types plug in through :func:`register_problem_type` without
+touching the engine: subclasses declare a ``kind`` discriminator, how to
+build their underlying :class:`~repro.core.procedure.SciductionProcedure`
+from a :class:`JobContext`, and (optionally) how to post-process the
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Callable, ClassVar
+
+from repro.api.config import EngineConfig
+from repro.api.pool import SolverLease
+from repro.core.exceptions import ReproError
+from repro.core.procedure import SciductionProcedure, SciductionResult
+
+
+@dataclass
+class JobContext:
+    """Everything a problem spec may draw on while building its procedure.
+
+    Attributes:
+        config: the engine configuration (one config per engine; problem
+            specs carry *problem* parameters, never solver flags).
+        lease: the pooled solver lease assigned to this job, or ``None``
+            when the problem does not use SMT (or no pool is in play).
+    """
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+    lease: SolverLease | None = None
+
+    def session(self):
+        """A job-scoped pooled solver session, or ``None`` without a lease."""
+        if self.lease is None:
+            return None
+        return self.lease.session()
+
+    def solver_factory(self) -> Callable | None:
+        """Factory form of :meth:`session` for encoder-style consumers."""
+        if self.lease is None:
+            return None
+        return self.lease.session
+
+
+class ProblemSpec:
+    """Base class for declarative problem specifications.
+
+    Concrete specs are dataclasses; ``kind`` is the wire discriminator
+    used by the registry.  The default :meth:`run` builds the procedure
+    and runs it, stamping the spec and the ⟨H, I, D⟩ description into the
+    result's details.
+    """
+
+    #: Wire-format discriminator (unique per registered problem type).
+    kind: ClassVar[str] = "abstract"
+    #: Whether the job should be given a pooled SMT solver session.
+    needs_solver: ClassVar[bool] = True
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        data = {"kind": self.kind}
+        data.update(asdict(self))  # type: ignore[call-overload]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys fail)."""
+        payload = {key: value for key, value in data.items() if key != "kind"}
+        known = {spec_field.name for spec_field in fields(cls)}  # type: ignore[arg-type]
+        unknown = set(payload) - known
+        if unknown:
+            raise ReproError(
+                f"unknown fields for problem kind {cls.kind!r}: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    # -- execution --------------------------------------------------------
+
+    def build(self, context: JobContext | None = None) -> SciductionProcedure:
+        """Construct the underlying sciduction procedure."""
+        raise NotImplementedError
+
+    def run_kwargs(self) -> dict:
+        """Extra keyword arguments for ``procedure.run()``."""
+        return {}
+
+    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+        """Hook for per-problem post-processing (e.g. verdict checks)."""
+        return result
+
+    def run(self, context: JobContext | None = None) -> SciductionResult:
+        """Build and run the procedure, annotating the result."""
+        context = context or JobContext()
+        procedure = self.build(context)
+        result = procedure.run(**self.run_kwargs())
+        result = self.finish(result, procedure)
+        result.details.setdefault("problem", self.to_dict())
+        result.details.setdefault("hid", procedure.describe())
+        return result
+
+
+#: Registry of problem types, keyed by their ``kind`` discriminator.
+_PROBLEM_TYPES: dict[str, type[ProblemSpec]] = {}
+
+
+def register_problem_type(cls: type[ProblemSpec]) -> type[ProblemSpec]:
+    """Class decorator registering a spec under its ``kind``.
+
+    Registration is what lets new scenarios plug into the engine without
+    touching it: ``problem_from_dict`` (and therefore any queue/wire
+    front end) dispatches purely on the registry.
+    """
+    if not cls.kind or cls.kind == "abstract":
+        raise ReproError(f"{cls.__name__} must declare a concrete 'kind'")
+    existing = _PROBLEM_TYPES.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ReproError(f"problem kind {cls.kind!r} is already registered")
+    _PROBLEM_TYPES[cls.kind] = cls
+    return cls
+
+
+def problem_types() -> dict[str, type[ProblemSpec]]:
+    """A copy of the registry (kind → spec class)."""
+    return dict(_PROBLEM_TYPES)
+
+
+def problem_from_dict(data: dict) -> ProblemSpec:
+    """Instantiate the right spec class for a wire-format dictionary."""
+    kind = data.get("kind")
+    if kind not in _PROBLEM_TYPES:
+        raise ReproError(
+            f"unknown problem kind {kind!r} "
+            f"(registered: {sorted(_PROBLEM_TYPES)})"
+        )
+    return _PROBLEM_TYPES[kind].from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Deobfuscation (paper Section 4)
+# ---------------------------------------------------------------------------
+
+
+def _deobfuscation_tasks() -> dict:
+    """Named OGIS benchmark tasks (library, obfuscated, reference, arity)."""
+    from repro.ogis import (
+        insufficient_multiply45_library,
+        interchange_library,
+        interchange_obfuscated,
+        interchange_reference,
+        multiply45_library,
+        multiply45_obfuscated,
+        multiply45_reference,
+    )
+
+    return {
+        "interchange": (
+            interchange_library, interchange_obfuscated, interchange_reference, 2, 2,
+        ),
+        "multiply45": (
+            multiply45_library, multiply45_obfuscated, multiply45_reference, 1, 1,
+        ),
+        # The Figure 7 failure mode: an insufficient library, so synthesis
+        # either reports infeasibility or produces an artifact that fails
+        # the a-posteriori equivalence check (verdict False).
+        "multiply45_insufficient": (
+            insufficient_multiply45_library, multiply45_obfuscated,
+            multiply45_reference, 1, 1,
+        ),
+    }
+
+
+@register_problem_type
+@dataclass
+class DeobfuscationProblem(ProblemSpec):
+    """Recover a clean program from a named obfuscated I/O oracle.
+
+    Attributes:
+        task: registered task name (see :func:`deobfuscation_task_names`).
+        width: synthesis bit width.
+        seed: RNG seed for the initial oracle queries.
+        max_iterations: OGIS candidate/distinguishing-input round budget.
+        initial_examples: random seed inputs queried up front.
+    """
+
+    kind: ClassVar[str] = "deobfuscation"
+    needs_solver: ClassVar[bool] = True
+
+    task: str = "multiply45"
+    width: int = 8
+    seed: int = 0
+    max_iterations: int = 32
+    initial_examples: int = 1
+
+    def _task(self):
+        tasks = _deobfuscation_tasks()
+        if self.task not in tasks:
+            raise ReproError(
+                f"unknown deobfuscation task {self.task!r} "
+                f"(available: {sorted(tasks)})"
+            )
+        return tasks[self.task]
+
+    def build(self, context: JobContext | None = None) -> SciductionProcedure:
+        from repro.ogis import OgisSynthesizer, ProgramIOOracle
+
+        context = context or JobContext()
+        library, obfuscated, _, num_inputs, num_outputs = self._task()
+        oracle = ProgramIOOracle(
+            lambda values: obfuscated(values, self.width),
+            num_inputs,
+            num_outputs,
+            self.width,
+        )
+        return OgisSynthesizer(
+            library(),
+            oracle,
+            width=self.width,
+            max_iterations=self.max_iterations,
+            initial_examples=self.initial_examples,
+            seed=self.seed,
+            config=context.config,
+            solver_factory=context.solver_factory(),
+        )
+
+    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+        # A-posteriori structure-hypothesis check (paper Section 6): the
+        # verdict is whether the synthesized program is equivalent to the
+        # reference semantics at the synthesis width.
+        _, _, reference, _, _ = self._task()
+        if result.success and result.artifact is not None:
+            result.verdict = bool(
+                result.artifact.equivalent_to(
+                    lambda values: reference(values, self.width), width=self.width
+                )
+            )
+        elif not result.success:
+            result.verdict = False
+        return result
+
+
+def deobfuscation_task_names() -> list[str]:
+    """Names accepted by :class:`DeobfuscationProblem`."""
+    return sorted(_deobfuscation_tasks())
+
+
+# ---------------------------------------------------------------------------
+# Timing analysis (paper Section 3)
+# ---------------------------------------------------------------------------
+
+
+def _timing_programs() -> dict:
+    """Named task programs for timing analysis."""
+    from repro.cfg.programs import (
+        absolute_difference,
+        bounded_linear_search,
+        conditional_cascade,
+        figure4_toy,
+        modular_exponentiation,
+        saturating_add,
+    )
+
+    return {
+        "figure4_toy": figure4_toy,
+        "modular_exponentiation": modular_exponentiation,
+        "conditional_cascade": conditional_cascade,
+        "saturating_add": saturating_add,
+        "absolute_difference": absolute_difference,
+        "bounded_linear_search": bounded_linear_search,
+    }
+
+
+@register_problem_type
+@dataclass
+class TimingAnalysisProblem(ProblemSpec):
+    """GameTime-style WCET analysis of a named task program.
+
+    Attributes:
+        program: registered program name (see
+            :func:`timing_program_names`).
+        program_args: keyword arguments for the program factory (e.g.
+            ``{"exponent_bits": 4, "word_width": 16}``).
+        bound: optional cycle bound for the ⟨TA⟩ decision problem; when
+            given, the result's ``verdict`` answers "is the execution
+            time always at most ``bound``?".
+        trials: measurement budget (default: 3 × basis paths).
+        seed: RNG seed for the measurement schedule.
+        start_state: environment start state for measurements.
+    """
+
+    kind: ClassVar[str] = "timing-analysis"
+    needs_solver: ClassVar[bool] = True
+
+    program: str = "modular_exponentiation"
+    program_args: dict = field(default_factory=dict)
+    bound: int | None = None
+    trials: int | None = None
+    seed: int = 0
+    start_state: str = "cold"
+
+    def build(self, context: JobContext | None = None) -> SciductionProcedure:
+        from repro.gametime import GameTime
+
+        context = context or JobContext()
+        programs = _timing_programs()
+        if self.program not in programs:
+            raise ReproError(
+                f"unknown timing-analysis program {self.program!r} "
+                f"(available: {sorted(programs)})"
+            )
+        task = programs[self.program](**self.program_args)
+        return GameTime(
+            task,
+            start_state=self.start_state,
+            trials=self.trials,
+            seed=self.seed,
+            config=context.config,
+            solver=context.session(),
+        )
+
+    def run_kwargs(self) -> dict:
+        return {"bound": self.bound}
+
+
+def timing_program_names() -> list[str]:
+    """Names accepted by :class:`TimingAnalysisProblem`."""
+    return sorted(_timing_programs())
+
+
+# ---------------------------------------------------------------------------
+# Switching-logic synthesis (paper Section 5)
+# ---------------------------------------------------------------------------
+
+
+@register_problem_type
+@dataclass
+class SwitchingLogicProblem(ProblemSpec):
+    """Synthesize safe switching guards for a named multi-modal system.
+
+    The deductive engine here is numerical simulation, not SMT, so these
+    jobs do not draw on the solver pool.
+
+    Attributes:
+        system: registered system name (currently ``"transmission"``,
+            the paper's Figure 9 example).
+        dwell_time: minimum dwell time (0 for Eq. 3, 5.0 for Eq. 4).
+        omega_step: guard-grid precision on ω.
+        integration_step: RK4 step size of the simulation oracle.
+        horizon: per-query simulation horizon.
+        validate_corners: re-check learned guard corners (slower; yields
+            hypothesis evidence).
+    """
+
+    kind: ClassVar[str] = "switching-logic"
+    needs_solver: ClassVar[bool] = False
+
+    system: str = "transmission"
+    dwell_time: float = 0.0
+    omega_step: float = 0.1
+    integration_step: float = 0.02
+    horizon: float = 60.0
+    validate_corners: bool = False
+
+    def build(self, context: JobContext | None = None) -> SciductionProcedure:
+        from repro.hybrid import make_transmission_synthesizer
+
+        if self.system != "transmission":
+            raise ReproError(
+                f"unknown switching-logic system {self.system!r} "
+                "(available: ['transmission'])"
+            )
+        setup = make_transmission_synthesizer(
+            dwell_time=self.dwell_time,
+            omega_step=self.omega_step,
+            integration_step=self.integration_step,
+            horizon=self.horizon,
+            validate_corners=self.validate_corners,
+        )
+        return setup.synthesizer
+
+    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+        # The verdict mirrors success: every transition kept a non-empty
+        # safe guard, i.e. the closed-loop system was made safe.
+        if result.verdict is None:
+            result.verdict = result.success
+        return result

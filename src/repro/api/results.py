@@ -1,0 +1,132 @@
+"""JSON serialization for engine outcomes.
+
+:class:`~repro.core.procedure.SciductionResult` and
+:class:`~repro.core.procedure.SoundnessCertificate` are in-process
+dataclasses whose payloads (synthesized programs, timing models, guard
+tables) are arbitrary Python objects.  A service front door needs a wire
+form, so this module provides a lossy-but-faithful mapping:
+
+* every scalar field round-trips exactly;
+* ``details`` is recursively sanitized to JSON types (tuples become
+  lists, non-JSON leaves become ``repr`` strings);
+* the artifact itself is replaced by its ``repr`` under
+  ``artifact_repr`` — artifacts are reconstructed by re-running the
+  problem, not by parsing JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.hypothesis import HypothesisValidityEvidence
+from repro.core.procedure import SciductionResult, SoundnessCertificate
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert ``value`` to plain JSON types.
+
+    Dict keys are stringified; tuples/lists/sets become lists (sets are
+    sorted by repr for determinism); anything else falls back to its
+    ``repr``.
+    """
+    if isinstance(value, bool) or isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(item) for item in value), key=repr)
+    return repr(value)
+
+
+def certificate_to_dict(certificate: SoundnessCertificate) -> dict:
+    """Serialize a soundness certificate (inverse of
+    :func:`certificate_from_dict`)."""
+    evidence = certificate.hypothesis_evidence
+    return {
+        "procedure_name": certificate.procedure_name,
+        "soundness_argument": certificate.soundness_argument,
+        "probabilistic": certificate.probabilistic,
+        "confidence": certificate.confidence,
+        "statement": certificate.statement(),
+        "hypothesis_evidence": {
+            "hypothesis_name": evidence.hypothesis_name,
+            "proved": evidence.proved,
+            "argument": evidence.argument,
+            "checked_instances": evidence.checked_instances,
+            "counterexample": json_safe(evidence.counterexample),
+            "notes": list(evidence.notes),
+        },
+    }
+
+
+def certificate_from_dict(data: dict) -> SoundnessCertificate:
+    """Rebuild a certificate from :func:`certificate_to_dict` output."""
+    evidence_data = data["hypothesis_evidence"]
+    evidence = HypothesisValidityEvidence(
+        hypothesis_name=evidence_data["hypothesis_name"],
+        proved=evidence_data["proved"],
+        argument=evidence_data["argument"],
+        checked_instances=evidence_data["checked_instances"],
+        counterexample=evidence_data["counterexample"],
+        notes=list(evidence_data["notes"]),
+    )
+    return SoundnessCertificate(
+        procedure_name=data["procedure_name"],
+        hypothesis_evidence=evidence,
+        soundness_argument=data["soundness_argument"],
+        probabilistic=data["probabilistic"],
+        confidence=data["confidence"],
+    )
+
+
+def result_to_dict(result: SciductionResult) -> dict:
+    """Serialize a result to a JSON-ready dictionary."""
+    return {
+        "success": result.success,
+        "verdict": result.verdict,
+        "iterations": result.iterations,
+        "oracle_queries": result.oracle_queries,
+        "deductive_queries": result.deductive_queries,
+        "elapsed": result.elapsed,
+        "artifact_repr": None if result.artifact is None else repr(result.artifact),
+        "details": json_safe(result.details),
+        "certificate": (
+            None
+            if result.certificate is None
+            else certificate_to_dict(result.certificate)
+        ),
+    }
+
+
+def result_from_dict(data: dict) -> SciductionResult:
+    """Rebuild a result record from :func:`result_to_dict` output.
+
+    The artifact is not reconstructed (its ``repr`` is preserved inside
+    ``details["artifact_repr"]`` when present in the wire form); every
+    other field round-trips.
+    """
+    details = dict(data.get("details") or {})
+    if data.get("artifact_repr") is not None:
+        details.setdefault("artifact_repr", data["artifact_repr"])
+    certificate = data.get("certificate")
+    return SciductionResult(
+        success=data["success"],
+        artifact=None,
+        verdict=data.get("verdict"),
+        iterations=data.get("iterations", 0),
+        oracle_queries=data.get("oracle_queries", 0),
+        deductive_queries=data.get("deductive_queries", 0),
+        elapsed=data.get("elapsed", 0.0),
+        certificate=None if certificate is None else certificate_from_dict(certificate),
+        details=details,
+    )
+
+
+def result_to_json(result: SciductionResult, indent: int | None = None) -> str:
+    """One-call JSON string form of a result."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)

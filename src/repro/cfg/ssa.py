@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.exceptions import CompilationError
+from repro.core.exceptions import BudgetExceededError, CompilationError
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.lang import Assign, BinOp, Const, Expression, UnOp, Var, expression_variables
 from repro.cfg.paths import Path
-from repro.smt.solver import SmtResult, SmtSolver
+from repro.smt.solver import SmtResult, SmtSolver, SmtStatistics
 from repro.smt.terms import (
     BitVecTerm,
     BoolTerm,
@@ -83,10 +83,21 @@ class PathConstraintBuilder:
             conditions are encoded (see module docstring).
         reencode_each_check: forwarded to :class:`SmtSolver`; when True the
             solver re-bit-blasts every query (the pre-incremental
-            behaviour, kept benchmarkable).
+            behaviour, kept benchmarkable).  *Deprecated*: prefer
+            ``config``.
         solver_options: extra keyword arguments forwarded to the shared
             :class:`SmtSolver` (the perf-suite ablation knobs:
             ``simplify_terms``, ``polarity_aware``, ``gc_dead_clauses``).
+            *Deprecated*: prefer ``config``.
+        config: an :class:`~repro.api.config.EngineConfig` carrying all
+            solver flags in one place (takes precedence over the legacy
+            kwargs above).
+        solver: an externally owned :class:`SmtSolver` to run the
+            feasibility queries on — typically a pooled session leased by
+            :class:`~repro.api.pool.SolverPool`.  When provided, the
+            builder's statistics are per-builder deltas against the
+            solver's state at hand-over, not the solver's lifetime
+            totals.
     """
 
     def __init__(
@@ -95,11 +106,21 @@ class PathConstraintBuilder:
         slice_to_conditions: bool = True,
         reencode_each_check: bool = False,
         solver_options: dict | None = None,
+        config=None,
+        solver: SmtSolver | None = None,
     ):
         self.cfg = cfg
         self.slice_to_conditions = slice_to_conditions
-        self._solver = SmtSolver(
-            reencode_each_check=reencode_each_check, **(solver_options or {})
+        if solver is not None:
+            self._solver = solver
+        else:
+            if config is None:
+                from repro.api.config import EngineConfig
+
+                config = EngineConfig.from_legacy(reencode_each_check, solver_options)
+            self._solver = SmtSolver(**config.solver_options())
+        self._statistics_base = (
+            self._solver.statistics.snapshot() if solver is not None else SmtStatistics()
         )
         self.queries = 0
 
@@ -109,9 +130,14 @@ class PathConstraintBuilder:
         return self._solver
 
     @property
-    def smt_statistics(self):
-        """SMT work counters of the shared per-CFG solver."""
-        return self._solver.statistics
+    def smt_statistics(self) -> SmtStatistics:
+        """SMT work counters charged to this builder.
+
+        With an injected (pooled) solver this is the delta since the
+        solver was handed over, so sharing a session across jobs does not
+        inflate any one job's numbers.
+        """
+        return self._solver.statistics.delta_since(self._statistics_base)
 
     # -- expression translation ------------------------------------------------
 
@@ -259,6 +285,11 @@ class PathConstraintBuilder:
         Returns:
             A :class:`FeasiblePath` with a satisfying test case, or ``None``
             when the path is infeasible.
+
+        Raises:
+            BudgetExceededError: when the solver's conflict budget or
+                deadline expires before feasibility is decided (an
+                undecided path must not be silently reported infeasible).
         """
         self.queries += 1
         encoding = self.encode(path)
@@ -266,7 +297,12 @@ class PathConstraintBuilder:
         solver.push()
         try:
             solver.add(*encoding.constraints)
-            if solver.check() is not SmtResult.SAT:
+            verdict = solver.check()
+            if verdict is SmtResult.UNKNOWN:
+                raise BudgetExceededError(
+                    "path feasibility undecided: solver budget or deadline exhausted"
+                )
+            if verdict is not SmtResult.SAT:
                 return None
             # Resolve just the input variables: the shared blaster knows
             # the SSA variables of every path encoded so far, so full

@@ -148,7 +148,15 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         reencode_each_check: forwarded to the path-constraint builder's
             SMT solver; when True every feasibility query re-bit-blasts
             its encoding instead of riding the shared incremental solver
-            (kept as a benchmark baseline).
+            (kept as a benchmark baseline).  *Deprecated*: prefer
+            ``config``.
+        config: an :class:`~repro.api.config.EngineConfig` carrying all
+            solver flags; the preferred entry point is
+            :class:`repro.api.SciductionEngine` with a
+            :class:`~repro.api.problems.TimingAnalysisProblem`.
+        solver: externally owned :class:`~repro.smt.solver.SmtSolver` for
+            the feasibility queries (a pooled session leased by the
+            engine's :class:`~repro.api.pool.SolverPool`).
     """
 
     name = "gametime"
@@ -164,11 +172,16 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         rho: float = 0.0,
         seed: int = 0,
         reencode_each_check: bool = False,
+        config=None,
+        solver=None,
     ):
         self.program = program
         self.cfg: ControlFlowGraph = build_cfg(program)
         self.constraint_builder = PathConstraintBuilder(
-            self.cfg, reencode_each_check=reencode_each_check
+            self.cfg,
+            reencode_each_check=reencode_each_check,
+            config=config,
+            solver=solver,
         )
         self.binary = compile_program(program)
         self.harness = MeasurementHarness(

@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.core.exceptions import UnrealizableError
+from repro.core.exceptions import BudgetExceededError, UnrealizableError
 from repro.ogis.components import Component
 from repro.ogis.program import ComponentInstance, LoopFreeProgram
+from repro.smt.sat import SatStatistics
 from repro.smt.solver import Model, SmtResult, SmtSolver, SmtStatistics
 from repro.smt.terms import (
     BitVecTerm,
@@ -89,11 +90,24 @@ class SynthesisEncoder:
         reencode_each_check: forwarded to the underlying
             :class:`~repro.smt.solver.SmtSolver`; when True each query
             re-bit-blasts its whole encoding (the pre-incremental
-            behaviour, kept as a benchmark baseline).
+            behaviour, kept as a benchmark baseline).  *Deprecated in
+            favour of* ``config``.
         solver_options: extra keyword arguments forwarded verbatim to
             every :class:`~repro.smt.solver.SmtSolver` the encoder builds
             (the perf-suite ablation knobs: ``simplify_terms``,
-            ``polarity_aware``, ``gc_dead_clauses``).
+            ``polarity_aware``, ``gc_dead_clauses``).  *Deprecated in
+            favour of* ``config``.
+        config: an :class:`~repro.api.config.EngineConfig` (or any object
+            with a compatible ``solver_options()`` method) providing the
+            solver flags in one place; takes precedence over the legacy
+            ``reencode_each_check`` / ``solver_options`` kwargs.
+        solver_factory: callable returning the :class:`SmtSolver` to use
+            for the shared persistent session.  This is how
+            :class:`~repro.api.pool.SolverPool` leases a pooled
+            incremental solver to the encoder; when provided, the factory
+            — not this encoder — owns the solver's configuration, and
+            statistics are reported as deltas relative to the state the
+            solver was handed over in (per-job accounting).
 
     The encoder keeps one *persistent* solver across the whole OGIS loop,
     shared by ``synthesize`` and ``distinguishing_input``.  Its base-level
@@ -120,6 +134,8 @@ class SynthesisEncoder:
         outputs_from_components: bool = True,
         reencode_each_check: bool = False,
         solver_options: dict | None = None,
+        config=None,
+        solver_factory: Callable[[], SmtSolver] | None = None,
     ):
         if not library:
             raise UnrealizableError("the component library is empty")
@@ -127,8 +143,13 @@ class SynthesisEncoder:
         self.num_inputs = num_inputs
         self.num_outputs = num_outputs
         self.width = width
-        self.reencode_each_check = reencode_each_check
-        self.solver_options = dict(solver_options or {})
+        if config is None:
+            from repro.api.config import EngineConfig
+
+            config = EngineConfig.from_legacy(reencode_each_check, solver_options)
+        self._solver_kwargs = config.solver_options()
+        self.reencode_each_check = self._solver_kwargs["reencode_each_check"]
+        self._solver_factory = solver_factory
         self.num_lines = num_inputs + len(self.library)
         # The encoding compares locations against the constant ``num_lines``
         # (exclusive upper bound), so the location width must be able to
@@ -145,9 +166,15 @@ class SynthesisEncoder:
         self._encoded_examples: list[IOExample] = []
         self._symbolic_inputs: list[BvVar] = []
         self._symbolic_outputs: list[BvVar] = []
-        # SMT counters of solvers discarded by _reset_solver, so
-        # smt_statistics() covers the whole encoder lifetime.
+        # SMT / SAT counters of solvers discarded by _reset_solver, so the
+        # statistics methods cover the whole encoder lifetime; the *_base
+        # snapshots subtract whatever work a leased (pooled) solver had
+        # already done for earlier jobs, so shared solvers report per-job
+        # deltas rather than pool-lifetime cumulative counts.
         self._retired_statistics = SmtStatistics()
+        self._retired_sat_statistics = SatStatistics()
+        self._smt_base = SmtStatistics()
+        self._sat_base = SatStatistics()
 
     # -- variable factories ------------------------------------------------
 
@@ -306,11 +333,17 @@ class SynthesisEncoder:
         """(Re)build the shared persistent solver with its base skeleton."""
         if self._solver is not None:
             self._retired_statistics = self._retired_statistics.merged_with(
-                self._solver.statistics
+                self._solver.statistics.delta_since(self._smt_base)
             )
-        self._solver = SmtSolver(
-            reencode_each_check=self.reencode_each_check, **self.solver_options
-        )
+            self._retired_sat_statistics = self._retired_sat_statistics.merged_with(
+                self._solver.sat_statistics().delta_since(self._sat_base)
+            )
+        if self._solver_factory is not None:
+            self._solver = self._solver_factory()
+        else:
+            self._solver = SmtSolver(**self._solver_kwargs)
+        self._smt_base = self._solver.statistics.snapshot()
+        self._sat_base = self._solver.sat_statistics()
         self._solver_locations = self._locations("s")
         self._encoded_examples = []
         self._solver.add(*self.well_formedness(self._solver_locations))
@@ -360,22 +393,31 @@ class SynthesisEncoder:
         return solver, locations
 
     def smt_statistics(self) -> SmtStatistics:
-        """SMT work counters over the encoder's lifetime (across resets)."""
+        """SMT work counters over the encoder's lifetime (across resets).
+
+        When the solver came from ``solver_factory`` (a pooled lease),
+        only the work done *for this encoder* is counted — the counters
+        are deltas against the hand-over snapshot, not the leased
+        solver's pool-lifetime totals.
+        """
         if self._solver is None:
             return self._retired_statistics
-        return self._retired_statistics.merged_with(self._solver.statistics)
+        return self._retired_statistics.merged_with(
+            self._solver.statistics.delta_since(self._smt_base)
+        )
 
-    def sat_statistics(self):
-        """CDCL counters of the current shared solver (perf telemetry).
+    def sat_statistics(self) -> SatStatistics:
+        """CDCL counters over the encoder's lifetime (perf telemetry).
 
-        Resets discard earlier counters; a normal OGIS run (examples only
-        ever extended) never resets, so this covers the whole loop.
+        Like :meth:`smt_statistics`, counters of solvers retired by a
+        reset are accumulated and pooled solvers report per-encoder
+        deltas.
         """
-        from repro.smt.sat import SatStatistics
-
         if self._solver is None:
-            return SatStatistics()
-        return self._solver.sat_statistics()
+            return self._retired_sat_statistics
+        return self._retired_sat_statistics.merged_with(
+            self._solver.sat_statistics().delta_since(self._sat_base)
+        )
 
     # -- queries --------------------------------------------------------------------
 
@@ -389,10 +431,17 @@ class SynthesisEncoder:
             UnrealizableError: when no composition of the library matches
                 the examples (the "infeasibility reported" branch of the
                 paper's Figure 7).
+            BudgetExceededError: when the solver's conflict budget or
+                deadline expires before the query is decided.
         """
         self.statistics.synthesis_queries += 1
         solver, locations = self._synced_solver(examples)
-        if solver.check() is not SmtResult.SAT:
+        verdict = solver.check()
+        if verdict is SmtResult.UNKNOWN:
+            raise BudgetExceededError(
+                "synthesis query undecided: solver budget or deadline exhausted"
+            )
+        if verdict is not SmtResult.SAT:
             self.statistics.unsat_results += 1
             raise UnrealizableError(
                 "no loop-free composition of the library is consistent with the examples"
@@ -434,7 +483,13 @@ class SynthesisEncoder:
                 )
             )
         )
-        if solver.check(disagreement) is not SmtResult.SAT:
+        verdict = solver.check(disagreement)
+        if verdict is SmtResult.UNKNOWN:
+            raise BudgetExceededError(
+                "distinguishing-input query undecided: solver budget or "
+                "deadline exhausted"
+            )
+        if verdict is not SmtResult.SAT:
             self.statistics.unsat_results += 1
             return None
         self.statistics.sat_results += 1
@@ -452,8 +507,13 @@ class SynthesisEncoder:
         an equivalence check, decided here by SMT at the encoder's width.
         Returns a distinguishing input, or ``None`` when the programs are
         equivalent.
+
+        Raises:
+            BudgetExceededError: when a conflict budget leaves the
+                equivalence query undecided (an undecided check must not
+                be reported as "equivalent").
         """
-        solver = SmtSolver(**self.solver_options)
+        solver = SmtSolver(**self._solver_kwargs)
         symbolic_inputs = [
             bv_var(f"eqcheck_in_{index}", self.width) for index in range(self.num_inputs)
         ]
@@ -467,7 +527,12 @@ class SynthesisEncoder:
                 )
             )
         )
-        if solver.check() is not SmtResult.SAT:
+        verdict = solver.check()
+        if verdict is SmtResult.UNKNOWN:
+            raise BudgetExceededError(
+                "equivalence query undecided: solver budget or deadline exhausted"
+            )
+        if verdict is not SmtResult.SAT:
             return None
         model = solver.model()
         return tuple(int(model.get(variable.name, 0)) for variable in symbolic_inputs)

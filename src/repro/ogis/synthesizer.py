@@ -83,10 +83,18 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         reencode_each_check: forwarded to the encoder's SMT solvers; when
             True each deductive query re-bit-blasts its whole encoding
             instead of reusing the persistent incremental solvers (kept as
-            a benchmark baseline).
+            a benchmark baseline).  *Deprecated*: prefer ``config``.
         solver_options: forwarded to the encoder's SMT solvers (the
             perf-suite ablation knobs, see
             :class:`~repro.ogis.encoding.SynthesisEncoder`).
+            *Deprecated*: prefer ``config``.
+        config: an :class:`~repro.api.config.EngineConfig` carrying all
+            solver flags in one place; the preferred entry point is
+            :class:`repro.api.SciductionEngine` with a
+            :class:`~repro.api.problems.DeobfuscationProblem`, which
+            builds this procedure with a pooled solver.
+        solver_factory: factory for the encoder's shared solver (used by
+            the engine's :class:`~repro.api.pool.SolverPool`).
     """
 
     name = "oracle-guided-component-synthesis"
@@ -101,6 +109,8 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         seed: int = 0,
         reencode_each_check: bool = False,
         solver_options: dict | None = None,
+        config=None,
+        solver_factory=None,
     ):
         self.library = list(library)
         self.oracle = oracle
@@ -112,6 +122,8 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
             width=self.width,
             reencode_each_check=reencode_each_check,
             solver_options=solver_options,
+            config=config,
+            solver_factory=solver_factory,
         )
         self.max_iterations = max_iterations
         self.initial_examples = max(1, initial_examples)

@@ -12,7 +12,13 @@ module implements the classic CDCL architecture from scratch:
   backjumping,
 * VSIDS-style variable activities with exponential decay,
 * phase saving,
-* Luby-sequence restarts,
+* Luby-sequence restarts (the default), plus optional glucose-style
+  adaptive restarts driven by LBD moving averages
+  (``restart_strategy="glucose"``): restart when the average LBD of the
+  last 50 learned clauses exceeds the lifetime average by the glucose
+  factor (recent avg > lifetime avg / 0.8, i.e. 1.25×) — the recent
+  clauses are "worse glue" than usual, so the current search region is
+  unpromising,
 * glucose-style learned-clause management: every learned clause carries
   its LBD ("literals block distance" — the number of distinct decision
   levels among its literals); reduction deletes high-LBD clauses first
@@ -31,6 +37,8 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -77,6 +85,32 @@ class SatStatistics:
     gc_removed_clauses: int = 0
     #: Number of :meth:`CdclSolver.simplify_database` runs.
     gc_runs: int = 0
+
+    def delta_since(self, baseline: "SatStatistics") -> "SatStatistics":
+        """Counters accumulated since ``baseline`` was snapshotted.
+
+        Used for per-job accounting on shared (pooled) solvers: every
+        monotone counter is differenced; ``max_decision_level`` is not a
+        monotone count, so the current value is reported as-is.
+        """
+        delta = SatStatistics()
+        for name in vars(delta):
+            if name == "max_decision_level":
+                setattr(delta, name, getattr(self, name))
+            else:
+                setattr(delta, name, getattr(self, name) - getattr(baseline, name))
+        return delta
+
+    def merged_with(self, other: "SatStatistics") -> "SatStatistics":
+        """Field-wise sum of two records (max for the level-depth field)."""
+        merged = SatStatistics()
+        for name in vars(merged):
+            if name == "max_decision_level":
+                value = max(getattr(self, name), getattr(other, name))
+            else:
+                value = getattr(self, name) + getattr(other, name)
+            setattr(merged, name, value)
+        return merged
 
 
 def luby(index: int) -> int:
@@ -133,6 +167,14 @@ class CdclSolver:
     calls (incremental solving).
     """
 
+    #: Number of recent learned-clause LBDs averaged by the glucose
+    #: restart heuristic, and its scaling factor K: a restart fires when
+    #: ``recent_avg * K > lifetime_avg``, i.e. the recent average must
+    #: exceed ``lifetime_avg / K`` (1.25× at K = 0.8).  *Raising* K makes
+    #: restarts more frequent.
+    GLUCOSE_LBD_WINDOW = 50
+    GLUCOSE_MARGIN = 0.8
+
     def __init__(
         self,
         variable_decay: float = 0.95,
@@ -140,7 +182,10 @@ class CdclSolver:
         restart_base: int = 100,
         max_learned_ratio: float = 0.5,
         max_conflicts: int | None = None,
+        restart_strategy: str = "luby",
     ):
+        if restart_strategy not in {"luby", "glucose"}:
+            raise SolverError(f"unknown restart strategy {restart_strategy!r}")
         self._num_vars = 0
         self._clauses: list[_Clause] = []
         # Watch lists indexed by literal; each entry is a (blocker, clause)
@@ -162,6 +207,20 @@ class CdclSolver:
         self._restart_base = restart_base
         self._max_learned_ratio = max_learned_ratio
         self._max_conflicts = max_conflicts
+        self._restart_strategy = restart_strategy
+        # Moving window of recent learned-clause LBDs plus running sums for
+        # the glucose restart heuristic (cheap to maintain even under Luby).
+        self._lbd_recent: deque[int] = deque(maxlen=self.GLUCOSE_LBD_WINDOW)
+        self._lbd_recent_sum = 0
+        self._lbd_lifetime_sum = 0
+        self._lbd_lifetime_count = 0
+        # Job-level limits (see :meth:`set_limits`): an absolute ceiling on
+        # ``statistics.conflicts`` and a ``time.monotonic()`` deadline,
+        # both answering UNKNOWN when exceeded.  Unlike ``max_conflicts``
+        # (a per-solve budget) these span solve() calls, which lets the
+        # SMT/engine layers enforce per-*job* budgets across many checks.
+        self._conflict_ceiling: int | None = None
+        self._deadline: float | None = None
         self._unsat = False
         self._conflicts_at_last_reduction = 0
         # Decision levels occupied by assumption pseudo-decisions during the
@@ -296,10 +355,7 @@ class CdclSolver:
             if conflict is not None:
                 self.statistics.conflicts += 1
                 conflicts_since_restart += 1
-                if (
-                    conflict_budget is not None
-                    and self.statistics.conflicts - conflicts_at_start >= conflict_budget
-                ):
+                if self._limits_exhausted(conflicts_at_start, conflict_budget):
                     self._backtrack(0)
                     return SatResult.UNKNOWN
                 if self._decision_level() == 0:
@@ -312,14 +368,17 @@ class CdclSolver:
                 learned, backjump_level, lbd = self._analyze_conflict(conflict)
                 self._backtrack(max(backjump_level, len(self._active_assumption_levels)))
                 self._learn_clause(learned, lbd)
+                self._record_lbd(lbd)
                 self._decay_activities()
                 continue
 
-            if conflicts_since_restart >= conflicts_until_restart:
+            if self._restart_due(conflicts_since_restart, conflicts_until_restart):
                 restart_count += 1
                 self.statistics.restarts += 1
                 conflicts_since_restart = 0
                 conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+                self._lbd_recent.clear()
+                self._lbd_recent_sum = 0
                 self._backtrack(len(self._active_assumption_levels))
                 continue
 
@@ -343,6 +402,14 @@ class CdclSolver:
                 self._active_assumption_levels.append(self._decision_level())
                 self._enqueue(next_assumption, None)
                 continue
+
+            if (
+                self._deadline is not None
+                and (self.statistics.decisions & 255) == 0
+                and time.monotonic() >= self._deadline
+            ):
+                self._backtrack(0)
+                return SatResult.UNKNOWN
 
             literal = self._pick_branch_literal()
             if literal is None:
@@ -395,6 +462,70 @@ class CdclSolver:
         callers must not mutate it.
         """
         return self._cached_model
+
+    # -- job limits & restart policy --------------------------------------
+
+    def set_limits(
+        self,
+        conflict_ceiling: int | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """Install (or clear, with ``None``) job-level solving limits.
+
+        Args:
+            conflict_ceiling: absolute bound on ``statistics.conflicts``;
+                once reached, :meth:`solve` answers UNKNOWN.  Because the
+                bound is absolute it naturally spans multiple solve()
+                calls — callers enforce a per-job budget by setting
+                ``statistics.conflicts + budget``.
+            deadline: ``time.monotonic()`` timestamp after which solve()
+                answers UNKNOWN.  Polled at every conflict and every 256
+                decisions, so preemption granularity is coarse but the hot
+                propagation loop stays untouched.
+        """
+        self._conflict_ceiling = conflict_ceiling
+        self._deadline = deadline
+
+    def _limits_exhausted(
+        self, conflicts_at_start: int, conflict_budget: int | None
+    ) -> bool:
+        """Whether any conflict budget / ceiling / deadline is exceeded."""
+        conflicts = self.statistics.conflicts
+        if conflict_budget is not None and conflicts - conflicts_at_start >= conflict_budget:
+            return True
+        if self._conflict_ceiling is not None and conflicts >= self._conflict_ceiling:
+            return True
+        if (
+            self._deadline is not None
+            and (conflicts & 31) == 0
+            and time.monotonic() >= self._deadline
+        ):
+            return True
+        return False
+
+    def _record_lbd(self, lbd: int) -> None:
+        """Feed one learned clause's LBD into the restart moving averages."""
+        self._lbd_lifetime_sum += lbd
+        self._lbd_lifetime_count += 1
+        if len(self._lbd_recent) == self.GLUCOSE_LBD_WINDOW:
+            self._lbd_recent_sum -= self._lbd_recent[0]
+        self._lbd_recent.append(lbd)
+        self._lbd_recent_sum += lbd
+
+    def _restart_due(
+        self, conflicts_since_restart: int, conflicts_until_restart: int
+    ) -> bool:
+        """Decide whether to restart under the configured strategy."""
+        if self._restart_strategy == "glucose":
+            # Adaptive: the last window's average LBD (scaled by the
+            # glucose margin) exceeding the lifetime average means recent
+            # learned clauses are unusually poor glue — restart.
+            if len(self._lbd_recent) < self.GLUCOSE_LBD_WINDOW:
+                return False
+            recent_average = self._lbd_recent_sum / self.GLUCOSE_LBD_WINDOW
+            lifetime_average = self._lbd_lifetime_sum / self._lbd_lifetime_count
+            return recent_average * self.GLUCOSE_MARGIN > lifetime_average
+        return conflicts_since_restart >= conflicts_until_restart
 
     # -- internal: assignment & propagation ------------------------------
 

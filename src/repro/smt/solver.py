@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.core.deductive import DeductiveAnswer, DeductiveEngine, DeductiveQuery
@@ -153,17 +153,31 @@ class SmtStatistics:
             clauses_collected=self.clauses_collected + other.clauses_collected,
         )
 
+    def snapshot(self) -> "SmtStatistics":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def delta_since(self, baseline: "SmtStatistics") -> "SmtStatistics":
+        """Counters accumulated since ``baseline`` was snapshotted.
+
+        This is the per-job view used when a solver is shared across jobs
+        (see :mod:`repro.api.pool`): all fields are monotone counters, so
+        a plain field-wise difference is exact.
+        """
+        return SmtStatistics(
+            checks=self.checks - baseline.checks,
+            sat_answers=self.sat_answers - baseline.sat_answers,
+            unsat_answers=self.unsat_answers - baseline.unsat_answers,
+            clauses_generated=self.clauses_generated - baseline.clauses_generated,
+            variables_generated=self.variables_generated - baseline.variables_generated,
+            terms_simplified=self.terms_simplified - baseline.terms_simplified,
+            clauses_collected=self.clauses_collected - baseline.clauses_collected,
+        )
+
 
 def _merge_sat_statistics(left: SatStatistics, right: SatStatistics) -> SatStatistics:
     """Field-wise sum of two CDCL statistics records (max for level depth)."""
-    merged = SatStatistics()
-    for name in vars(merged):
-        if name == "max_decision_level":
-            value = max(getattr(left, name), getattr(right, name))
-        else:
-            value = getattr(left, name) + getattr(right, name)
-        setattr(merged, name, value)
-    return merged
+    return left.merged_with(right)
 
 
 class SmtSolver:
@@ -188,6 +202,9 @@ class SmtSolver:
             accumulated by ``pop`` that triggers a level-0 garbage
             collection of the SAT clause database; ``None`` disables the
             collection (ablation knob).
+        restart_strategy: CDCL restart policy — ``"luby"`` (default) or
+            ``"glucose"`` (adaptive, LBD-moving-average driven; see
+            :class:`~repro.smt.sat.CdclSolver`).
     """
 
     def __init__(
@@ -197,6 +214,7 @@ class SmtSolver:
         simplify_terms: bool = True,
         polarity_aware: bool = True,
         gc_dead_clauses: int | None = 2000,
+        restart_strategy: str = "luby",
     ):
         self._assertions: list[BoolTerm] = []
         self._scopes: list[int] = []
@@ -205,6 +223,10 @@ class SmtSolver:
         self._simplify_terms = simplify_terms
         self._assert_polarity = POSITIVE if polarity_aware else BOTH
         self._gc_dead_clauses = gc_dead_clauses
+        self._restart_strategy = restart_strategy
+        # Job-level limits (see :meth:`set_job_limits`).
+        self._job_conflicts_remaining: int | None = None
+        self._job_deadline: float | None = None
         self._last_model: Model | None = None
         # (blaster, sat model bits) of the last SAT answer; the Model is
         # built lazily from it on the first model() call, so checks whose
@@ -297,12 +319,62 @@ class SmtSolver:
         """The currently asserted formulas (read-only view)."""
         return tuple(self._assertions)
 
+    @property
+    def scope_depth(self) -> int:
+        """Number of currently open push/pop scopes."""
+        return len(self._scopes)
+
+    # -- job limits ---------------------------------------------------------
+
+    def set_job_limits(
+        self,
+        max_conflicts: int | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """Install (or clear, when called with no arguments) job limits.
+
+        Args:
+            max_conflicts: total CDCL conflict budget shared by all
+                subsequent ``check`` calls (unlike the constructor's
+                ``max_conflicts``, which is per-check); exhausted checks
+                answer :data:`SmtResult.UNKNOWN`.
+            deadline: ``time.monotonic()`` timestamp after which checks
+                answer :data:`SmtResult.UNKNOWN`.
+
+        This is how the engine layer (:mod:`repro.api`) enforces per-job
+        budgets and timeouts on pooled solvers without rebuilding them.
+        """
+        self._job_conflicts_remaining = max_conflicts
+        self._job_deadline = deadline
+        if self._sat_solver is not None and max_conflicts is None and deadline is None:
+            self._sat_solver.set_limits(None, None)
+
+    def _install_job_limits(self, sat_solver: CdclSolver) -> None:
+        ceiling = None
+        if self._job_conflicts_remaining is not None:
+            ceiling = sat_solver.statistics.conflicts + max(
+                0, self._job_conflicts_remaining
+            )
+        sat_solver.set_limits(ceiling, self._job_deadline)
+
+    def _charge_job_conflicts(
+        self, sat_solver: CdclSolver, conflicts_before: int
+    ) -> None:
+        if self._job_conflicts_remaining is not None:
+            spent = sat_solver.statistics.conflicts - conflicts_before
+            self._job_conflicts_remaining = max(
+                0, self._job_conflicts_remaining - spent
+            )
+
     # -- incremental core ---------------------------------------------------
 
     def _core(self) -> tuple[CdclSolver, BitBlaster]:
         """The persistent SAT solver + blaster pair (created on first use)."""
         if self._sat_solver is None:
-            self._sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
+            self._sat_solver = CdclSolver(
+                max_conflicts=self._max_conflicts,
+                restart_strategy=self._restart_strategy,
+            )
             self._blaster = BitBlaster(self._sat_solver)
             # Count the blaster's true-constant variable and unit clause so
             # both solver modes measure the same encoding work.
@@ -368,6 +440,7 @@ class SmtSolver:
         sat_solver, blaster = self._core()
         variables_before = sat_solver.num_variables
         clauses_before = sat_solver.statistics.clauses_added
+        conflicts_before = sat_solver.statistics.conflicts
         self._encode_pending()
         assumptions = list(self._activations)
         # ``extra`` formulas are assumed true for this check only, which is
@@ -376,7 +449,9 @@ class SmtSolver:
             blaster.blast_bool(self._prepare(formula), self._assert_polarity)
             for formula in extra
         )
+        self._install_job_limits(sat_solver)
         result = sat_solver.solve(assumptions)
+        self._charge_job_conflicts(sat_solver, conflicts_before)
         self.statistics.variables_generated += (
             sat_solver.num_variables - variables_before
         )
@@ -387,13 +462,18 @@ class SmtSolver:
 
     def _check_reencoding(self, extra: Sequence[BoolTerm]) -> SmtResult:
         """One-shot check: fresh SAT solver, full re-blast (escape hatch)."""
-        sat_solver = CdclSolver(max_conflicts=self._max_conflicts)
+        sat_solver = CdclSolver(
+            max_conflicts=self._max_conflicts,
+            restart_strategy=self._restart_strategy,
+        )
         blaster = BitBlaster(sat_solver)
         for formula in list(self._assertions) + list(extra):
             blaster.assert_formula(self._prepare(formula), self._assert_polarity)
         self.statistics.variables_generated += sat_solver.num_variables
         self.statistics.clauses_generated += sat_solver.statistics.clauses_added
+        self._install_job_limits(sat_solver)
         result = sat_solver.solve()
+        self._charge_job_conflicts(sat_solver, 0)
         self._retired_sat_statistics = _merge_sat_statistics(
             self._retired_sat_statistics, sat_solver.statistics
         )

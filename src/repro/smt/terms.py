@@ -44,12 +44,21 @@ _term_counter = itertools.count()
 #: interned term itself, so ``_id``-based keys never dangle.
 _intern_table: dict[tuple, "Term"] = {}
 
+#: Open intern scopes (see :func:`push_intern_scope`).  Each entry records
+#: the keys interned while that scope was innermost, so a long-lived
+#: process (e.g. a :class:`~repro.api.pool.SolverPool`) can drop exactly
+#: the terms a finished job contributed instead of letting the table grow
+#: monotonically.
+_intern_scopes: list[list[tuple]] = []
+
 
 def _interned(key: tuple, build) -> "Term":
     term = _intern_table.get(key)
     if term is None:
         term = build()
         _intern_table[key] = term
+        if _intern_scopes:
+            _intern_scopes[-1].append(key)
     return term
 
 
@@ -59,13 +68,64 @@ def intern_table_size() -> int:
 
 
 def clear_intern_table() -> None:
-    """Drop all interned terms.
+    """Drop all interned terms (and any open intern scopes).
 
     Only useful for long-running processes that build unbounded numbers of
     distinct terms; terms constructed before and after the call no longer
-    share structure.
+    share structure.  For job-granular cleanup prefer the scoped interface
+    (:func:`push_intern_scope` / :func:`pop_intern_scope`).
     """
     _intern_table.clear()
+    _intern_scopes.clear()
+
+
+def push_intern_scope() -> int:
+    """Open an intern scope and return its token (the scope depth).
+
+    Terms interned while the scope is innermost are recorded so
+    :func:`pop_intern_scope` can later evict exactly those entries.  Scopes
+    nest and must be popped LIFO; :class:`~repro.api.pool.SolverPool`
+    wires one scope around every solver lease so per-job terms can be
+    reclaimed when the lease is released.
+
+    Dropping a scope's entries never invalidates existing terms — they
+    stay alive and structurally correct — it only stops *future* term
+    construction from sharing structure with them.
+    """
+    _intern_scopes.append([])
+    return len(_intern_scopes)
+
+
+def pop_intern_scope(token: int, discard: bool = True) -> int:
+    """Close the innermost intern scope opened by :func:`push_intern_scope`.
+
+    Args:
+        token: the value returned by the matching ``push_intern_scope``
+            (guards against unbalanced pops).
+        discard: when True, evict the scope's entries from the intern
+            table; when False, keep them (they are re-attributed to the
+            enclosing scope, or become permanent at top level).
+
+    Returns:
+        The number of intern-table entries evicted.
+
+    Raises:
+        SolverError: if ``token`` does not match the innermost open scope.
+    """
+    if token != len(_intern_scopes) or not _intern_scopes:
+        raise SolverError(
+            f"intern scope pop out of order (token {token}, depth {len(_intern_scopes)})"
+        )
+    keys = _intern_scopes.pop()
+    if not discard:
+        if _intern_scopes:
+            _intern_scopes[-1].extend(keys)
+        return 0
+    evicted = 0
+    for key in keys:
+        if _intern_table.pop(key, None) is not None:
+            evicted += 1
+    return evicted
 
 
 def _mask(width: int) -> int:

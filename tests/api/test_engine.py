@@ -1,0 +1,229 @@
+"""SciductionEngine: batch lifecycle, verdict parity, budgets, determinism."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    DeobfuscationProblem,
+    EngineConfig,
+    JobState,
+    SciductionEngine,
+    SwitchingLogicProblem,
+    TimingAnalysisProblem,
+    result_from_dict,
+    result_to_dict,
+)
+
+#: Small, fast instances of all three problem types.
+DEOB = DeobfuscationProblem(task="multiply45", width=4, seed=0)
+TIMING = TimingAnalysisProblem(
+    program="bounded_linear_search",
+    program_args={"length": 3, "word_width": 16},
+    bound=250,
+    seed=0,
+)
+SWITCHING = SwitchingLogicProblem(
+    system="transmission", omega_step=0.5, integration_step=0.05, horizon=40.0
+)
+
+
+def _verdict_tuple(result):
+    return (result.success, result.verdict)
+
+
+class TestBatchLifecycle:
+    def test_all_three_problem_types_run_through_one_batch(self):
+        engine = SciductionEngine(EngineConfig())
+        results = engine.run_batch([DEOB, TIMING, SWITCHING])
+        assert [result.success for result in results] == [True, True, True]
+        assert all(result.certificate is not None for result in results)
+        assert all("hid" in result.details for result in results)
+        # SMT-backed jobs report per-job solver work; the simulation-backed
+        # job does not draw on the pool at all.
+        assert "smt_job_statistics" in results[0].details["engine"]
+        assert results[2].details["engine"]["pooled"] is False
+
+    def test_verdicts_match_direct_entry_points(self):
+        engine = SciductionEngine(EngineConfig())
+        deob_result, timing_result, switching_result = engine.run_batch(
+            [DEOB, TIMING, SWITCHING]
+        )
+
+        # Direct OGIS entry point.
+        from repro.ogis import (
+            OgisSynthesizer, ProgramIOOracle, multiply45_library,
+            multiply45_obfuscated, multiply45_reference,
+        )
+
+        oracle = ProgramIOOracle(
+            lambda values: multiply45_obfuscated(values, 4), 1, 1, 4
+        )
+        direct = OgisSynthesizer(multiply45_library(), oracle, width=4, seed=0)
+        program = direct.synthesize()
+        assert deob_result.verdict == bool(
+            program.equivalent_to(lambda values: multiply45_reference(values, 4), width=4)
+        )
+        # The engine may find a syntactically different (but equally
+        # valid) program — scoped pooled sessions perturb SAT decision
+        # order — so parity is semantic, not syntactic.
+        assert deob_result.artifact.equivalent_to(
+            lambda values: multiply45_reference(values, 4), width=4
+        )
+
+        # Direct GameTime entry point.
+        from repro.cfg import bounded_linear_search
+        from repro.gametime import GameTime
+
+        analysis = GameTime(bounded_linear_search(3, 16), seed=0)
+        answer = analysis.answer_timing_query(bound=250)
+        assert timing_result.verdict == answer.within_bound
+        assert (
+            timing_result.details["wcet_measured"]
+            == answer.witness.measured_cycles
+        )
+
+        # Direct switching-logic entry point.
+        from repro.hybrid import make_transmission_synthesizer
+
+        setup = make_transmission_synthesizer(
+            dwell_time=0.0, omega_step=0.5, integration_step=0.05, horizon=40.0
+        )
+        report = setup.synthesizer.synthesize()
+        assert switching_result.success == all(
+            not box.is_empty for box in report.switching_logic.values()
+        )
+        assert {
+            name: box.describe() for name, box in report.switching_logic.items()
+        } == {
+            name: box.describe() for name, box in switching_result.artifact.items()
+        }
+
+    def test_wire_format_submission(self):
+        engine = SciductionEngine()
+        result = engine.run(DEOB.to_dict())
+        assert result.success and result.verdict is True
+
+    def test_results_in_submission_order_with_labels(self):
+        engine = SciductionEngine()
+        engine.submit(DEOB, label="first")
+        engine.submit(TIMING, label="second")
+        results = engine.run_batch()
+        assert results[0].details["engine"]["label"] == "first"
+        assert results[1].details["engine"]["label"] == "second"
+
+
+class TestBudgetsTimeoutsCancellation:
+    def test_conflict_budget_exhaustion_is_structured(self):
+        engine = SciductionEngine()
+        job = engine.submit(
+            DeobfuscationProblem(task="interchange", width=8, seed=1),
+            max_conflicts=0,
+        )
+        (result,) = engine.run_batch()
+        assert job.state is JobState.BUDGET_EXHAUSTED
+        assert result.success is False
+        assert result.details["outcome"] == "budget-exhausted"
+        assert "budget" in (job.error or "")
+
+    def test_budget_does_not_leak_into_next_job(self):
+        engine = SciductionEngine()
+        engine.submit(DeobfuscationProblem(task="multiply45", width=4, seed=0),
+                      max_conflicts=0)
+        unbudgeted = engine.submit(
+            DeobfuscationProblem(task="multiply45", width=4, seed=0)
+        )
+        engine.run_batch()
+        assert unbudgeted.state is JobState.COMPLETED
+        assert unbudgeted.result.verdict is True
+
+    def test_timeout_preempts_the_job(self):
+        engine = SciductionEngine()
+        job = engine.submit(
+            DeobfuscationProblem(task="interchange", width=8, seed=1),
+            timeout=0.0,
+        )
+        (result,) = engine.run_batch()
+        assert job.state is JobState.TIMED_OUT
+        assert result.details["outcome"] == "timed-out"
+
+    def test_cancelled_jobs_never_run(self):
+        engine = SciductionEngine()
+        keep = engine.submit(DEOB)
+        cancelled = engine.submit(DEOB)
+        assert engine.cancel(cancelled)
+        results = engine.run_batch()
+        assert len(results) == 1
+        assert keep.state is JobState.COMPLETED
+        assert cancelled.state is JobState.CANCELLED
+        assert cancelled.result.details["outcome"] == "cancelled"
+        # A finished job cannot be cancelled.
+        assert not engine.cancel(keep)
+
+    def test_failed_jobs_are_reported_not_raised(self):
+        engine = SciductionEngine()
+        result = engine.run(
+            TimingAnalysisProblem(program="nonexistent-program")
+        )
+        assert result.success is False
+        assert result.details["outcome"] == "failed"
+        assert engine.jobs[-1].state is JobState.FAILED
+
+
+class TestSchedulingDeterminism:
+    PROBLEMS = [
+        DeobfuscationProblem(task="multiply45", width=4, seed=0),
+        TimingAnalysisProblem(
+            program="bounded_linear_search",
+            program_args={"length": 3, "word_width": 16},
+            bound=250,
+        ),
+        DeobfuscationProblem(task="multiply45", width=5, seed=0),
+    ]
+
+    def _verdicts(self, config, order):
+        engine = SciductionEngine(config)
+        problems = [self.PROBLEMS[index] for index in order]
+        results = engine.run_batch(problems)
+        by_problem = {}
+        for index, result in zip(order, results):
+            by_problem[index] = _verdict_tuple(result)
+        return by_problem
+
+    def test_batch_verdicts_independent_of_pool_scheduling(self):
+        baseline = self._verdicts(
+            EngineConfig(reuse_sessions=False), order=[0, 1, 2]
+        )
+        for config in (
+            EngineConfig(pool_size=1),
+            EngineConfig(pool_size=2),
+        ):
+            for order in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+                assert self._verdicts(config, order) == baseline
+
+
+class TestResultSerialization:
+    def test_result_json_roundtrip(self):
+        engine = SciductionEngine()
+        result = engine.run(DEOB)
+        wire = result_to_dict(result)
+        parsed = json.loads(json.dumps(wire))
+        rebuilt = result_from_dict(parsed)
+        assert result_to_dict(rebuilt)["success"] == wire["success"]
+        assert rebuilt.verdict == result.verdict
+        assert rebuilt.iterations == result.iterations
+        assert rebuilt.certificate.statement() == result.certificate.statement()
+        assert rebuilt.details["engine"]["job_id"] == (
+            result.details["engine"]["job_id"]
+        )
+        # The artifact itself does not cross the wire; its repr does.
+        assert rebuilt.artifact is None
+        assert rebuilt.details["artifact_repr"] == repr(result.artifact)
+
+    def test_batch_report_is_json_serializable(self):
+        engine = SciductionEngine()
+        engine.run_batch([DEOB, SWITCHING])
+        report = engine.batch_report()
+        assert len(report) == 2
+        json.dumps(report)  # must not raise
+        assert report[0]["problem"]["kind"] == "deobfuscation"

@@ -1,0 +1,168 @@
+"""SolverPool: session reuse, scoped resets, per-job accounting, intern GC."""
+
+import pytest
+
+from repro.api import EngineConfig, SolverPool
+from repro.core.exceptions import SolverError
+from repro.smt.solver import SmtResult
+from repro.smt.terms import bv_const, bv_var, intern_table_size
+
+
+def _fresh_pool(**overrides) -> SolverPool:
+    return SolverPool(EngineConfig(**overrides))
+
+
+class TestLeaseLifecycle:
+    def test_sessions_are_reused_across_leases(self):
+        pool = _fresh_pool()
+        lease_a = pool.acquire()
+        solver_a = lease_a.session()
+        pool.release(lease_a)
+        lease_b = pool.acquire()
+        assert lease_b.solver is solver_a
+        assert lease_b.reused and not lease_a.reused
+        pool.release(lease_b)
+        assert pool.statistics.reused_sessions == 1
+        assert pool.statistics.solvers_created == 1
+
+    def test_reuse_disabled_hands_out_fresh_solvers(self):
+        pool = _fresh_pool(reuse_sessions=False)
+        lease_a = pool.acquire()
+        solver_a = lease_a.solver
+        pool.release(lease_a)
+        lease_b = pool.acquire()
+        assert lease_b.solver is not solver_a
+        pool.release(lease_b)
+        assert pool.statistics.solvers_created == 2
+
+    def test_release_retires_previous_jobs_assertions(self):
+        pool = _fresh_pool()
+        x = bv_var("pool_reset_x", 8)
+
+        lease_a = pool.acquire()
+        session = lease_a.session()
+        session.add(x.eq(bv_const(1, 8)))
+        assert session.check() is SmtResult.SAT
+        pool.release(lease_a)
+
+        # Job B sees fresh-solver semantics: job A's x == 1 must be gone,
+        # so x == 2 is satisfiable on the very same warm solver.
+        lease_b = pool.acquire()
+        session = lease_b.session()
+        session.add(x.eq(bv_const(2, 8)))
+        assert session.check() is SmtResult.SAT
+        assert session.model_value("pool_reset_x") == 2
+        pool.release(lease_b)
+
+    def test_session_callable_again_resets_midjob(self):
+        # Encoders call the session factory again when rebuilding their
+        # skeleton; the second call must retire everything so far.
+        pool = _fresh_pool()
+        lease = pool.acquire()
+        x = bv_var("pool_midjob_x", 8)
+        session = lease.session()
+        session.add(x.eq(bv_const(1, 8)), x.eq(bv_const(2, 8)))
+        assert session.check() is SmtResult.UNSAT
+        session = lease.session()
+        session.add(x.eq(bv_const(2, 8)))
+        assert session.check() is SmtResult.SAT
+        pool.release(lease)
+
+    def test_leases_must_release_lifo(self):
+        pool = _fresh_pool(pool_size=2)
+        lease_a = pool.acquire()
+        lease_b = pool.acquire()
+        with pytest.raises(SolverError, match="LIFO"):
+            pool.release(lease_a)
+        pool.release(lease_b)
+        pool.release(lease_a)
+
+    def test_released_lease_cannot_reopen_a_session(self):
+        pool = _fresh_pool()
+        lease = pool.acquire()
+        lease.session()
+        pool.release(lease)
+        with pytest.raises(SolverError, match="already released"):
+            lease.session()
+
+    def test_retire_discards_the_session(self):
+        pool = _fresh_pool()
+        lease_a = pool.acquire()
+        solver_a = lease_a.solver
+        pool.retire(lease_a)
+        lease_b = pool.acquire()
+        assert lease_b.solver is not solver_a
+        pool.release(lease_b)
+        assert pool.statistics.solvers_retired == 1
+
+
+class TestPerJobAccounting:
+    def test_statistics_are_deltas_not_pool_lifetime(self):
+        pool = _fresh_pool()
+        x = bv_var("pool_stats_x", 8)
+
+        lease_a = pool.acquire()
+        session = lease_a.session()
+        session.add((x * bv_const(3, 8)).eq(bv_const(5, 8)))
+        session.check()
+        first_job = lease_a.smt_statistics()
+        pool.release(lease_a)
+        assert first_job.checks == 1
+        assert first_job.clauses_generated > 0
+
+        lease_b = pool.acquire()
+        session = lease_b.session()
+        session.check()
+        second_job = lease_b.smt_statistics()
+        sat_second = lease_b.sat_statistics()
+        pool.release(lease_b)
+        # Job B did one trivial check; its delta must not include job A's
+        # encoding work even though the pooled solver's lifetime counters do.
+        assert second_job.checks == 1
+        assert second_job.clauses_generated < first_job.clauses_generated
+        assert sat_second.conflicts >= 0
+        assert lease_b.solver.statistics.checks == 2  # lifetime view differs
+
+
+class TestInternScopeCleanup:
+    def test_entries_evicted_once_table_exceeds_limit(self):
+        pool = _fresh_pool(intern_table_limit=0)
+        lease = pool.acquire()
+        solver = lease.session()
+        base = intern_table_size()
+        y = bv_var("intern_gc_y", 8)
+        y + bv_const(17, 8)
+        assert intern_table_size() > base
+        pool.release(lease)
+        assert intern_table_size() == base
+        assert pool.statistics.intern_entries_evicted >= 2
+        # Over the limit, the session is recycled along with its terms —
+        # the solver's bit-blast caches would otherwise keep the evicted
+        # terms alive (and re-blast their replacements into duplicates).
+        assert pool.statistics.solvers_retired == 1
+        follow_up = pool.acquire()
+        assert follow_up.solver is not solver
+        pool.release(follow_up)
+
+    def test_entries_kept_below_limit(self):
+        pool = _fresh_pool(intern_table_limit=10_000_000)
+        lease = pool.acquire()
+        lease.session()
+        base = intern_table_size()
+        z = bv_var("intern_keep_z", 8)
+        z + bv_const(23, 8)
+        grown = intern_table_size()
+        pool.release(lease)
+        assert grown > base
+        assert intern_table_size() == grown
+        assert pool.statistics.intern_entries_evicted == 0
+
+    def test_retire_always_evicts_job_terms(self):
+        pool = _fresh_pool(intern_table_limit=10_000_000)
+        lease = pool.acquire()
+        lease.session()
+        base = intern_table_size()
+        w = bv_var("intern_retire_w", 8)
+        w + bv_const(29, 8)
+        pool.retire(lease)
+        assert intern_table_size() == base

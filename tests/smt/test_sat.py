@@ -508,3 +508,82 @@ class TestDifferential:
         if expected:
             assert model is not None
             assert _model_satisfies(model, clauses)
+
+
+class TestAdaptiveRestarts:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SolverError, match="restart strategy"):
+            CdclSolver(restart_strategy="geometric")
+
+    def test_glucose_agrees_with_brute_force(self):
+        # Differential fuzz: glucose-style adaptive restarts change only
+        # the search schedule, never the verdict or model validity.
+        rng = random.Random(23)
+        for _ in range(120):
+            num_vars = rng.randint(1, 8)
+            clauses = _random_clauses(rng, num_vars, rng.randint(1, 30))
+            expected = _brute_force_sat(num_vars, clauses)
+            solver = CdclSolver(restart_strategy="glucose")
+            solver.ensure_variables(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            assert (result is SatResult.SAT) == expected
+            if expected:
+                assert _model_satisfies(solver.model(), clauses)
+
+    def test_glucose_restarts_fire_on_hard_instances(self):
+        # Pigeonhole 7-into-6 forces many LBD windows of conflicts, so the
+        # adaptive policy must restart at least once.
+        pigeons, holes = 7, 6
+        solver = CdclSolver(restart_strategy="glucose")
+        variables = {
+            (pigeon, hole): solver.new_variable()
+            for pigeon in range(pigeons)
+            for hole in range(holes)
+        }
+        for pigeon in range(pigeons):
+            solver.add_clause(
+                [make_literal(variables[(pigeon, hole)]) for hole in range(holes)]
+            )
+        for hole in range(holes):
+            for first in range(pigeons):
+                for second in range(first + 1, pigeons):
+                    solver.add_clause(
+                        [
+                            make_literal(variables[(first, hole)], negative=True),
+                            make_literal(variables[(second, hole)], negative=True),
+                        ]
+                    )
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.statistics.restarts >= 1
+
+    def test_job_limits_span_solve_calls(self):
+        # A conflict ceiling is absolute: on an instance that cannot be
+        # decided without conflicts (pigeonhole 4-into-3), a ceiling of 0
+        # forces UNKNOWN on every solve until the limits are cleared.
+        pigeons, holes = 4, 3
+        solver = CdclSolver()
+        variables = {
+            (pigeon, hole): solver.new_variable()
+            for pigeon in range(pigeons)
+            for hole in range(holes)
+        }
+        for pigeon in range(pigeons):
+            solver.add_clause(
+                [make_literal(variables[(pigeon, hole)]) for hole in range(holes)]
+            )
+        for hole in range(holes):
+            for first in range(pigeons):
+                for second in range(first + 1, pigeons):
+                    solver.add_clause(
+                        [
+                            make_literal(variables[(first, hole)], negative=True),
+                            make_literal(variables[(second, hole)], negative=True),
+                        ]
+                    )
+        solver.set_limits(conflict_ceiling=0)
+        assert solver.solve() is SatResult.UNKNOWN
+        assert solver.solve() is SatResult.UNKNOWN  # ceiling spans calls
+        solver.set_limits(None, None)
+        assert solver.solve() is SatResult.UNSAT

@@ -185,3 +185,60 @@ class TestFreeVariables:
         )
         with pytest.raises(SolverError):
             free_variables(term)
+
+
+class TestInternScopes:
+    def test_scoped_entries_evicted_on_discard(self):
+        from repro.smt.terms import (
+            intern_table_size, pop_intern_scope, push_intern_scope,
+        )
+
+        base = intern_table_size()
+        token = push_intern_scope()
+        x = bv_var("intern_scope_x", 8)
+        y = x + bv_const(1, 8)
+        assert intern_table_size() > base
+        evicted = pop_intern_scope(token)
+        assert evicted >= 2  # the variable and the add node are new
+        assert intern_table_size() == base
+        # The terms themselves stay alive and usable; only future sharing
+        # with structurally equal terms is lost.
+        rebuilt = bv_var("intern_scope_x", 8) + bv_const(1, 8)
+        assert rebuilt is not y
+        assert evaluate(y, Assignment(bv_values={"intern_scope_x": 5})) == 6
+
+    def test_scoped_entries_kept_without_discard(self):
+        from repro.smt.terms import (
+            intern_table_size, pop_intern_scope, push_intern_scope,
+        )
+
+        token = push_intern_scope()
+        kept = bv_var("intern_scope_kept", 8) + bv_const(2, 8)
+        grown = intern_table_size()
+        assert pop_intern_scope(token, discard=False) == 0
+        assert intern_table_size() == grown
+        assert (bv_var("intern_scope_kept", 8) + bv_const(2, 8)) is kept
+
+    def test_nested_scopes_pop_lifo(self):
+        from repro.core.exceptions import SolverError
+        from repro.smt.terms import pop_intern_scope, push_intern_scope
+
+        outer = push_intern_scope()
+        inner = push_intern_scope()
+        with pytest.raises(SolverError, match="out of order"):
+            pop_intern_scope(outer)
+        pop_intern_scope(inner)
+        pop_intern_scope(outer)
+
+    def test_inner_entries_reattributed_to_outer_scope(self):
+        from repro.smt.terms import (
+            intern_table_size, pop_intern_scope, push_intern_scope,
+        )
+
+        base = intern_table_size()
+        outer = push_intern_scope()
+        inner = push_intern_scope()
+        bv_var("intern_scope_nested", 8) + bv_const(3, 8)
+        pop_intern_scope(inner, discard=False)
+        assert pop_intern_scope(outer) >= 2
+        assert intern_table_size() == base
