@@ -54,6 +54,7 @@ from repro.api.results import (
     result_from_dict,
     result_to_dict,
     result_to_json,
+    result_wire_canonical,
 )
 
 __all__ = [
@@ -76,5 +77,6 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "result_to_json",
+    "result_wire_canonical",
     "timing_program_names",
 ]

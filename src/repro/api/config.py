@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
 
+from repro.core.exceptions import ReproError
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -37,11 +39,54 @@ class EngineConfig:
         max_conflicts: default per-check CDCL conflict budget (``None``
             = unlimited); per-*job* budgets are set at submit time and
             override nothing here — both limits apply independently.
-        pool_size: number of persistent solver sessions kept by the
-            engine's :class:`~repro.api.pool.SolverPool`.
+        workers: number of worker *processes* backing
+            :meth:`~repro.api.engine.SciductionEngine.run_batch`.  The
+            default of 1 runs jobs sequentially in-process; ``workers > 1``
+            fans the batch out over a process pool, one
+            :class:`~repro.api.pool.SolverPool` per worker, with jobs
+            routed to workers by problem shape so every shape's session
+            history (and therefore every result) is identical to the
+            sequential run.
+        pool_size: maximum number of idle persistent solver sessions kept
+            warm by the engine's :class:`~repro.api.pool.SolverPool`.
+            Sessions are keyed by problem shape (see
+            :meth:`~repro.api.problems.ProblemSpec.shape_key`), so the
+            default of 4 lets a mixed stream keep one warm session per
+            shape; the least-recently-used session is recycled past the
+            limit.
         reuse_sessions: when False the pool hands out a fresh solver for
             every lease (the per-job-fresh baseline measured by the
             batch-throughput benchmark).
+        release_clause_lbd: LBD retention threshold applied to a pooled
+            session's learned clauses when a job releases its lease:
+            learned clauses with LBD above the threshold are dropped, so
+            the warm clause database stays lean enough that session reuse
+            is a wall-time win, not just an encoding win.  The default of
+            0 drops *all* learned clauses — together with the release-time
+            heuristic reset this makes a warm session replay exactly the
+            search a fresh solver would run, minus the encoding work;
+            ``N >= 1`` additionally keeps glue/binary clauses with LBD ≤ N
+            (cross-job lemma transfer, which can help or perturb);
+            ``None`` disables the trim entirely.
+        memoize_checks: let every solver memoize decided ``check``
+            answers keyed by the exact asserted-formula sequence (see
+            :class:`~repro.smt.solver.SmtSolver`).  On a warm shape-routed
+            session a repeated job replays the same query sequence, so
+            its checks answer from the memo without running the SAT
+            search — this is the warm-cache hit that makes pooled
+            throughput beat per-job-fresh solving.  Fresh solvers carry
+            the same flag (one config governs both), they just never see
+            a repeat within their one-job lifetime.
+        gc_freeze_sessions: move each pooled session's long-lived object
+            graph (clause database, watch lists, bit-blast caches) into
+            the cyclic garbage collector's permanent generation the first
+            time the session is released (``gc.collect()`` then
+            ``gc.freeze()``, the standard long-lived-service pattern).
+            Without this, every generation-2 collection re-walks the warm
+            sessions' graphs and session reuse loses its wall-time edge
+            over fresh solvers.  The freeze affects the whole process:
+            objects alive at freeze time are exempted from cyclic
+            collection (reference counting still frees them normally).
         intern_table_limit: once the global hash-consing table exceeds
             this many entries, the pool evicts each finished job's
             interned terms at lease release and recycles the session
@@ -57,9 +102,17 @@ class EngineConfig:
     reencode_each_check: bool = False
     adaptive_restarts: bool = False
     max_conflicts: int | None = None
-    pool_size: int = 1
+    workers: int = 1
+    pool_size: int = 4
     reuse_sessions: bool = True
+    release_clause_lbd: int | None = 0
+    memoize_checks: bool = True
+    gc_freeze_sessions: bool = True
     intern_table_limit: int | None = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError("workers must be at least 1")
 
     def solver_options(self) -> dict:
         """Keyword arguments for :class:`~repro.smt.solver.SmtSolver`."""
@@ -70,6 +123,7 @@ class EngineConfig:
             "polarity_aware": self.polarity_aware,
             "gc_dead_clauses": self.gc_dead_clauses,
             "restart_strategy": "glucose" if self.adaptive_restarts else "luby",
+            "memoize_checks": self.memoize_checks,
         }
 
     def to_dict(self) -> dict:

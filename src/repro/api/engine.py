@@ -10,22 +10,42 @@ job-oriented service surface:
     results = engine.run_batch()          # runs every pending job
     print(result_to_json(results[0]))
 
-Jobs are executed sequentially (the solvers are single-threaded Python),
-but *sessions* persist: SMT-backed jobs lease a pooled incremental
-solver from the engine's :class:`~repro.api.pool.SolverPool`, so learned
-clauses and bit-blast caches amortize across the batch.  Scoped leases
-guarantee the verdicts are independent of which session a job lands on —
-a batch gives the same answers as running each job on a fresh solver.
+Within one process jobs run sequentially (the solvers are
+single-threaded Python), but *sessions* persist: SMT-backed jobs lease a
+pooled incremental solver from the engine's
+:class:`~repro.api.pool.SolverPool`, routed by problem shape so the warm
+caches a job inherits actually match the terms it asserts.  Scoped
+leases guarantee the verdicts are independent of which session a job
+lands on — a batch gives the same answers as running each job on a
+fresh solver.
 
-Per-job controls:
+With ``EngineConfig(workers=N)`` (N > 1), :meth:`run_batch` fans the
+batch out over a pool of worker *processes*, one ``SolverPool`` per
+worker.  Problem specs are JSON-round-trippable, so they ship to the
+workers as their wire dictionaries; results and certificates come back
+as the existing JSON wire format (the in-process artifact object stays
+behind — its ``repr`` and the problem-specific details survive).  Jobs
+are bucketed onto workers by their shape key, so every shape's session
+history — and therefore every result — is identical to the sequential
+run; results are returned in submission order either way.  (When a batch
+spans more distinct solver shapes than ``pool_size``, session evictions
+depend on the cross-shape interleaving each pool observes, so per-job
+*statistics* may differ between worker topologies; verdicts, artifacts
+and certificates never do.)  A worker process that dies mid-job is
+retired and replaced (the job retried once, then reported failed),
+mirroring the pool's poisoned-session retry.
+
+Per-job controls (both execution modes):
 
 * ``max_conflicts`` — a job-wide CDCL conflict budget spanning all of the
   job's checks (distinct from ``EngineConfig.max_conflicts``, the
   per-check budget);
 * ``timeout`` — a wall-clock limit enforced inside the SAT search loop
-  (coarse-grained preemption; simulation-backed jobs are not preempted);
+  for SMT-backed jobs and inside the reachability oracle's integration
+  loop for simulation-backed (switching-logic) jobs;
 * :meth:`SciductionEngine.cancel` — pending jobs can be cancelled until
-  the batch reaches them.
+  the batch reaches them; under ``workers > 1`` a submitted job can
+  still be cancelled while it is queued behind an in-flight job.
 
 Exhausted budgets, timeouts, and failures never raise out of
 :meth:`~SciductionEngine.run_batch`; they are reported as structured
@@ -37,13 +57,16 @@ from __future__ import annotations
 
 import enum
 import itertools
+import multiprocessing
 import time
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.api.config import EngineConfig
 from repro.api.pool import SolverPool
 from repro.api.problems import JobContext, ProblemSpec, problem_from_dict
-from repro.api.results import result_to_dict
+from repro.api.results import json_safe, result_from_dict, result_to_dict
 from repro.core.exceptions import BudgetExceededError, ReproError, SolverError
 from repro.core.procedure import SciductionResult
 
@@ -77,11 +100,96 @@ class Job:
     result: SciductionResult | None = None
     error: str | None = None
     elapsed: float = 0.0
+    # Transient parallel-execution state (parent side; never pickled —
+    # only wire dictionaries cross the process boundary).
+    _future: Future | None = field(default=None, repr=False, compare=False)
+    _bucket: int = field(default=0, repr=False, compare=False)
+    _crash_retried: bool = field(default=False, repr=False, compare=False)
+    _result_wire: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
         """Whether the job has reached a terminal state."""
         return self.state not in (JobState.PENDING, JobState.RUNNING)
+
+    def result_wire(self) -> dict | None:
+        """The result's JSON wire form, or None while the job is open.
+
+        Under ``workers > 1`` this is the *exact* dictionary produced by
+        the worker process (so two runs of the same batch can be compared
+        byte for byte); sequentially it is computed on demand.
+        """
+        if self._result_wire is not None:
+            return self._result_wire
+        if self.result is None:
+            return None
+        return result_to_dict(self.result)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process machinery (workers > 1)
+# ---------------------------------------------------------------------------
+
+#: The per-process engine built by :func:`_initialize_worker`.  One engine —
+#: and therefore one :class:`SolverPool` — lives for the whole worker
+#: process, so warm sessions amortize across every job the worker runs.
+_WORKER_ENGINE: "SciductionEngine | None" = None
+
+
+def _initialize_worker(config_wire: dict) -> None:
+    """Process-pool initializer: build this worker's engine from the wire.
+
+    The worker engine is forced to ``workers=1`` — worker processes run
+    their jobs sequentially; parallelism lives in the parent's executor.
+    """
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = SciductionEngine(
+        EngineConfig.from_dict(dict(config_wire, workers=1))
+    )
+
+
+def _run_job_in_worker(payload: dict) -> dict:
+    """Execute one job (wire form in, wire form out) in a worker process.
+
+    Budget, deadline and statistics semantics are exactly the sequential
+    engine's: the payload carries the *relative* timeout, the deadline
+    clock starts when the job starts executing here, and the per-job
+    statistics deltas are snapshotted by this process's lease — never by
+    the parent — so parallel batches report per-job work, not
+    pool-lifetime totals.
+    """
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover — initializer always ran
+        raise ReproError("worker process was not initialized")
+    job = Job(
+        job_id=payload["job_id"],
+        problem=problem_from_dict(payload["problem"]),
+        max_conflicts=payload["max_conflicts"],
+        timeout=payload["timeout"],
+        label=payload["label"],
+    )
+    engine._execute(job)
+    assert job.result is not None
+    return {
+        "state": job.state.value,
+        "error": job.error,
+        "elapsed": job.elapsed,
+        "result": result_to_dict(job.result),
+    }
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context when available (else default).
+
+    Forked workers inherit the parent's problem-type registry, so problem
+    kinds registered at runtime (plugins, tests) remain resolvable in the
+    workers; platforms without ``fork`` fall back to the default start
+    method, where only import-time registrations are visible.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return None
 
 
 class SciductionEngine:
@@ -137,14 +245,31 @@ class SciductionEngine:
         return job
 
     def cancel(self, job: Job) -> bool:
-        """Cancel a pending job; returns whether the cancellation took."""
-        if job.state is not JobState.PENDING:
-            return False
+        """Cancel a job; returns whether the cancellation took.
+
+        Pending jobs always cancel.  Under ``workers > 1`` a job already
+        submitted to a worker can still be cancelled while it is queued
+        behind another in-flight job (its future has not started); a job
+        whose worker is already executing it cannot be cancelled.
+        """
+        if job.state is JobState.PENDING:
+            self._mark_cancelled(job)
+            return True
+        if (
+            job.state is JobState.RUNNING
+            and job._future is not None
+            and job._future.cancel()
+        ):
+            self._mark_cancelled(job)
+            return True
+        return False
+
+    @staticmethod
+    def _mark_cancelled(job: Job) -> None:
         job.state = JobState.CANCELLED
         job.result = SciductionResult(
             success=False, details={"outcome": "cancelled"}
         )
-        return True
 
     @property
     def jobs(self) -> tuple[Job, ...]:
@@ -171,19 +296,162 @@ class SciductionEngine:
         """Run every pending job (submitting ``problems`` first).
 
         Returns results in submission order — independent of the pool's
-        session scheduling.  Individual failures, exhausted budgets and
-        timeouts are reported in the results, never raised.
+        session scheduling and of ``config.workers``.  Individual
+        failures, exhausted budgets and timeouts are reported in the
+        results, never raised.
         """
         for problem in problems or []:
             self.submit(problem)
         batch = [job for job in self._jobs if job.state is JobState.PENDING]
-        for job in batch:
-            self._execute(job)
+        if self.config.workers > 1 and len(batch) > 1:
+            self._execute_batch_parallel(batch)
+        else:
+            for job in batch:
+                self._execute(job)
         results = []
         for job in batch:
             assert job.result is not None
             results.append(job.result)
         return results
+
+    # -- parallel execution ------------------------------------------------
+
+    def _execute_batch_parallel(self, batch: list[Job]) -> None:
+        """Fan ``batch`` out over worker processes with shape affinity.
+
+        Jobs are bucketed by their problem's shape key (buckets assigned
+        to workers round-robin in first-appearance order — deterministic,
+        unlike a hash) and each bucket is served by a dedicated
+        single-process executor, FIFO.  A shape's jobs therefore hit one
+        worker, in submission order, on one warm session — exactly the
+        session history the sequential engine produces — so parallel
+        results match sequential results, and they are collected back in
+        submission order regardless of which worker finishes first.
+        """
+        workers = min(self.config.workers, len(batch))
+        config_wire = self.config.to_dict()
+        bucket_of_shape: dict[str, int] = {}
+        buckets: list[list[Job]] = [[] for _ in range(workers)]
+        for job in batch:
+            shape = job.problem.shape_key()
+            if shape not in bucket_of_shape:
+                # Deterministic least-loaded assignment: a new shape goes
+                # to the worker with the fewest queued jobs so far (ties
+                # break on the lower index).  Any shape→worker map keeps
+                # results byte-identical — what matters for parity is that
+                # one worker owns all of a shape's jobs, in order.
+                bucket_of_shape[shape] = min(
+                    range(workers), key=lambda index: (len(buckets[index]), index)
+                )
+            job._bucket = bucket_of_shape[shape]
+            buckets[job._bucket].append(job)
+        executors: list[ProcessPoolExecutor | None] = [None] * workers
+
+        def executor_for(bucket: int) -> ProcessPoolExecutor:
+            if executors[bucket] is None:
+                executors[bucket] = ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=_fork_context(),
+                    initializer=_initialize_worker,
+                    initargs=(config_wire,),
+                )
+            return executors[bucket]
+
+        def submit(job: Job) -> None:
+            job.state = JobState.RUNNING
+            job._future = executor_for(job._bucket).submit(
+                _run_job_in_worker,
+                {
+                    "job_id": job.job_id,
+                    "problem": job.problem.to_dict(),
+                    "max_conflicts": job.max_conflicts,
+                    "timeout": job.timeout,
+                    "label": job.label,
+                },
+            )
+
+        def retire_worker(bucket: int) -> None:
+            # Mirror of the pool's poisoned-session retirement: drop the
+            # dead process, then resubmit the bucket's unfinished jobs to
+            # a fresh worker (preserving their order).
+            executor = executors[bucket]
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executors[bucket] = None
+            for queued in buckets[bucket]:
+                if queued.state is JobState.RUNNING:
+                    submit(queued)
+
+        try:
+            for bucket_jobs in buckets:
+                for job in bucket_jobs:
+                    submit(job)
+            for job in batch:
+                self._collect_parallel(job, retire_worker)
+        finally:
+            # Waiting for worker teardown keeps interpreter shutdown clean
+            # (an abandoned executor's atexit hook races its own pipes);
+            # every job has been collected, so the workers are idle.
+            for executor in executors:
+                if executor is not None:
+                    executor.shutdown(wait=True, cancel_futures=True)
+
+    def _collect_parallel(self, job: Job, retire_worker) -> None:
+        """Wait for one parallel job and fold its outcome into the handle."""
+        while True:
+            if job.state is JobState.CANCELLED:
+                return  # cancel() already recorded the structured result
+            assert job._future is not None
+            try:
+                payload = job._future.result()
+            except CancelledError:
+                return  # cancel() won the race while the job was queued
+            except BrokenProcessPool:
+                if not job._crash_retried:
+                    job._crash_retried = True
+                    retire_worker(job._bucket)
+                    continue
+                self._record_crash(job)
+                retire_worker(job._bucket)
+                return
+            except Exception as error:  # noqa: BLE001 — batch jobs never raise
+                # The worker returned an unrunnable-job error (e.g. a
+                # problem kind not registered in the worker process).
+                job.state = JobState.FAILED
+                job.error = str(error)
+                job.result = SciductionResult(
+                    success=False,
+                    details={"outcome": "failed", "error": str(error)},
+                )
+                self._stamp_engine_details(job)
+                return
+            job.state = JobState(payload["state"])
+            job.error = payload["error"]
+            job.elapsed = payload["elapsed"]
+            job._result_wire = payload["result"]
+            job.result = result_from_dict(payload["result"])
+            return
+
+    def _record_crash(self, job: Job) -> None:
+        job.state = JobState.FAILED
+        job.error = "worker process crashed (retry exhausted)"
+        job.result = SciductionResult(
+            success=False,
+            details={"outcome": "failed", "error": job.error},
+        )
+        self._stamp_engine_details(job)
+
+    def _stamp_engine_details(self, job: Job) -> None:
+        assert job.result is not None
+        job.result.details.setdefault("engine", {}).update(
+            {
+                "job_id": job.job_id,
+                "label": job.label,
+                "state": job.state.value,
+                "pooled": job.problem.needs_solver,
+                "session_reused": False,
+            }
+        )
 
     def _execute(self, job: Job) -> None:
         if job.state is not JobState.PENDING:
@@ -195,14 +463,20 @@ class SciductionEngine:
         start = time.perf_counter()
         retried = False
         while True:
-            lease = self.pool.acquire() if job.problem.needs_solver else None
+            lease = (
+                self.pool.acquire(shape=job.problem.shape_key())
+                if job.problem.needs_solver
+                else None
+            )
             retire = False
             try:
                 if lease is not None:
                     lease.solver.set_job_limits(
                         max_conflicts=job.max_conflicts, deadline=deadline
                     )
-                context = JobContext(config=self.config, lease=lease)
+                context = JobContext(
+                    config=self.config, lease=lease, deadline=deadline
+                )
                 result = job.problem.run(context)
                 job.state = JobState.COMPLETED
             except BudgetExceededError as error:
@@ -211,10 +485,13 @@ class SciductionEngine:
                     JobState.TIMED_OUT if timed_out else JobState.BUDGET_EXHAUSTED
                 )
                 job.error = str(error)
-                result = SciductionResult(
-                    success=False,
-                    details={"outcome": job.state.value, "error": str(error)},
-                )
+                details = {"outcome": job.state.value, "error": str(error)}
+                if error.partial:
+                    # Reusable partial progress (e.g. the OGIS example
+                    # set); resubmitting the problem with it resumes the
+                    # job instead of restarting from zero.
+                    details["partial"] = json_safe(error.partial)
+                result = SciductionResult(success=False, details=details)
             except SolverError as error:
                 # A pooled session can be poisoned by an earlier tenant
                 # (e.g. a variable redeclared at a different width).

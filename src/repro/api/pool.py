@@ -6,16 +6,23 @@ skeletons and re-derive the same learned clauses when every job builds a
 fresh :class:`~repro.smt.solver.SmtSolver`.  :class:`SolverPool` keeps a
 small set of long-lived incremental solvers and *leases* them to jobs:
 
+* leases are routed by **problem shape**: each idle session remembers the
+  shape key (problem kind + bit-width signature, see
+  :meth:`~repro.api.problems.ProblemSpec.shape_key`) of the job it last
+  served, and :meth:`SolverPool.acquire` hands a job the session that
+  last solved the same shape — so a job's warm bit-blast caches and
+  learned clauses actually match the terms it is about to assert, instead
+  of whatever a round-robin slot happened to accumulate;
 * a lease's :meth:`~SolverLease.session` returns the underlying solver
   with one fresh push/pop scope open, so everything a job asserts is
   scoped; releasing the lease pops back to the root, which permanently
   falsifies the scope's activation literal and retires the job's clauses
   without touching the rest of the database;
-* learned clauses, VSIDS activities and the bit-blaster's structural
-  caches therefore survive from job to job — a job that re-encodes terms
-  an earlier job already blasted pays nothing for them (the
-  batch-throughput benchmark in ``benchmarks/bench_perf_suite.py``
-  measures exactly this);
+* at release the session's learned-clause database is trimmed with an
+  LBD threshold (``config.release_clause_lbd``): only glucose-style
+  good-glue clauses survive into the next job, which keeps propagation on
+  warm sessions as fast as on fresh solvers (the regression the
+  batch-throughput benchmark guards against);
 * each lease snapshots the solver's statistics at hand-over, so per-job
   accounting is a delta, never the pool-lifetime cumulative counts;
 * each lease opens a hash-consing intern scope
@@ -26,14 +33,19 @@ small set of long-lived incremental solvers and *leases* them to jobs:
   so only dropping both actually bounds memory) — below the limit,
   cross-job sharing is preserved untouched.
 
-Sessions are single-threaded and leases must be released in LIFO order
-with respect to each other (the engine runs jobs sequentially, which
-trivially satisfies this).
+``config.pool_size`` bounds the number of *idle* sessions kept warm
+(least-recently-used sessions are recycled past the bound); concurrent
+leases may temporarily exceed it.  Sessions are single-threaded and
+leases must be released in LIFO order with respect to each other (the
+engine runs jobs sequentially per process, which trivially satisfies
+this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import gc
+
+from dataclasses import dataclass
 
 from repro.api.config import EngineConfig
 from repro.core.exceptions import SolverError
@@ -50,10 +62,44 @@ class PoolStatistics:
     #: Leases that reused a solver warmed up by an earlier job.
     reused_sessions: int = 0
     solvers_created: int = 0
-    #: Solvers discarded via :meth:`SolverPool.retire` (poisoned sessions).
+    #: Solvers discarded via :meth:`SolverPool.retire` (poisoned sessions)
+    #: or recycled past the ``pool_size`` / intern-table bounds.
     solvers_retired: int = 0
     #: Intern-table entries evicted at lease release.
     intern_entries_evicted: int = 0
+    #: Leases routed to a session that last solved the same problem shape.
+    routing_hits: int = 0
+    #: Leases that found no same-shape idle session and started cold.
+    routing_misses: int = 0
+    #: Learned clauses dropped by the release-time LBD retention pass.
+    trimmed_learned_clauses: int = 0
+
+
+@dataclass
+class _SessionRecord:
+    """Pool-side state of one solver session (leased or idle)."""
+
+    solver: SmtSolver
+    #: Shape key of the job this session last served (None if never routed).
+    shape: str | None
+    #: Monotone recency stamp (higher = more recently released).
+    stamp: int
+    #: Scope depth of the pool root (0 for pool-created solvers).
+    root_depth: int = 0
+    #: Fingerprint of the persistent base scope kept open *across* leases
+    #: (see :meth:`SolverLease.base_session`), or None when the session is
+    #: parked at its root.
+    base_fingerprint: str | None = None
+    #: SAT variable watermark captured when the base scope was sealed;
+    #: releases roll the session back to it, shedding the finished job's
+    #: encoding while keeping the base scope's clauses and lemmas.
+    frontier: int | None = None
+    #: Level-0 trail length at seal time: when unchanged at release, no
+    #: new fixed facts appeared and the heuristic reset can skip its
+    #: database simplification pass.
+    level0_mark: int = 0
+    #: Whether this session's long-lived graph has been gc-frozen.
+    frozen: bool = False
 
 
 class SolverLease:
@@ -65,16 +111,17 @@ class SolverLease:
     the session misbehaved).
     """
 
-    def __init__(self, pool: "SolverPool", slot: int, solver: SmtSolver, reused: bool):
+    def __init__(self, pool: "SolverPool", record: _SessionRecord, reused: bool):
         self._pool = pool
-        self._slot = slot
-        self._solver = solver
+        self._record = record
+        self._solver = record.solver
         #: Whether this lease reuses a solver warmed by a previous job.
         self.reused = reused
-        self._base_depth = solver.scope_depth
         self._intern_token = push_intern_scope()
-        self._smt_base = solver.statistics.snapshot()
-        self._sat_base = solver.sat_statistics()
+        self._smt_base = self._solver.statistics.snapshot()
+        self._sat_base = self._solver.sat_statistics()
+        #: Fingerprint handed to :meth:`base_session` but not yet sealed.
+        self._pending_fingerprint: str | None = None
         self.released = False
 
     @property
@@ -82,12 +129,26 @@ class SolverLease:
         """The leased solver (prefer :meth:`session` for job execution)."""
         return self._solver
 
+    @property
+    def shape(self) -> str | None:
+        """Shape key the lease was routed by."""
+        return self._record.shape
+
+    def _check_open(self) -> None:
+        if self.released:
+            raise SolverError("lease already released; acquire a new one")
+
+    def _pop_to(self, depth: int) -> None:
+        while self._solver.scope_depth > depth:
+            self._solver.pop()
+
     def session(self) -> SmtSolver:
         """The leased solver, reset to a clean job scope.
 
         The first call pushes one scope over the solver's root; later
         calls (e.g. an encoder rebuilding its skeleton) pop back to the
-        root first, retiring everything asserted so far, then push a new
+        root first, retiring everything asserted so far — including any
+        persistent base scope a previous tenant kept — then push a new
         scope.  Either way the caller sees fresh-solver *semantics* on a
         warm solver.
 
@@ -95,17 +156,87 @@ class SolverLease:
             SolverError: if the lease has already been released (a stale
                 handle must not mutate a solver now owned by another job).
         """
-        if self.released:
-            raise SolverError("lease already released; acquire a new one")
-        while self._solver.scope_depth > self._base_depth:
-            self._solver.pop()
+        self._check_open()
+        self._record.base_fingerprint = None
+        self._record.frontier = None
+        self._pending_fingerprint = None
+        # New epoch: memoized model bits were recorded against the old
+        # base scope's variable layout.
+        self._solver.clear_check_memo()
+        self._pop_to(self._record.root_depth)
         self._solver.push()
         return self._solver
 
+    def base_session(self, fingerprint: str) -> tuple[SmtSolver, bool]:
+        """A job scope stacked on a persistent, fingerprinted base scope.
+
+        This is how application encoders share work *across* jobs beyond
+        the bit-blast caches: a base scope (e.g. the OGIS well-formedness
+        + symbolic-run skeleton) stays open between leases, so its
+        activation literal — and therefore every learned clause the
+        search derived about it — remains valid and assumed for the next
+        same-shape tenant.  Popping the scope per job (the plain
+        :meth:`session` contract) would permanently falsify the literal
+        and turn those clauses into dead weight.
+
+        Returns ``(solver, base_ready)``.  When the session's sealed base
+        fingerprint equals ``fingerprint``, the base scope is kept, a
+        fresh job scope is pushed on top, and ``base_ready`` is True.
+        Otherwise everything is popped to the root, one empty scope is
+        pushed, and ``base_ready`` is False: the caller asserts its base
+        constraints into that scope and calls :meth:`seal_base`, which
+        records the fingerprint and pushes the job scope.
+        """
+        self._check_open()
+        root = self._record.root_depth
+        if (
+            self._record.base_fingerprint == fingerprint
+            and self._solver.scope_depth == root + 1
+        ):
+            self._pending_fingerprint = None
+            self._solver.push()
+            return self._solver, True
+        self._record.base_fingerprint = None
+        self._record.frontier = None
+        self._pending_fingerprint = fingerprint
+        self._solver.clear_check_memo()
+        self._pop_to(root)
+        self._solver.push()
+        return self._solver, False
+
+    def seal_base(self) -> None:
+        """Seal the base scope opened by :meth:`base_session` and open the
+        job scope above it.
+
+        The base constraints are flushed into the SAT core and the
+        variable frontier is captured: every release rolls the session
+        back to it, dropping the finished job's encoding (variables, gate
+        definitions, job-local learned clauses) wholesale while the
+        sealed base — and every lemma the search derives over it — stays
+        warm for the next same-shape job.
+
+        Raises:
+            SolverError: without a preceding unsealed ``base_session``.
+        """
+        self._check_open()
+        if self._pending_fingerprint is None:
+            raise SolverError("seal_base requires an unsealed base_session")
+        self._solver.flush()
+        self._record.frontier = self._solver.frontier()
+        self._record.level0_mark = self._solver.level0_facts()
+        self._record.base_fingerprint = self._pending_fingerprint
+        self._pending_fingerprint = None
+        self._solver.push()
+
     def close(self) -> None:
-        """Pop back to the pool root (called by the pool on release)."""
-        while self._solver.scope_depth > self._base_depth:
-            self._solver.pop()
+        """Pop back to the persistent base scope — or the pool root when
+        none is sealed (called by the pool on release)."""
+        keep = 1 if self._record.base_fingerprint is not None else 0
+        self._pop_to(self._record.root_depth + keep)
+
+    def __call__(self) -> SmtSolver:
+        """Alias for :meth:`session`: leases double as solver factories."""
+        return self.session()
 
     # -- per-job accounting (the pooled-solver statistics contract) -------
 
@@ -119,50 +250,98 @@ class SolverLease:
 
 
 class SolverPool:
-    """A fixed-size pool of persistent incremental SMT solver sessions.
+    """A pool of persistent incremental SMT solver sessions, routed by shape.
 
     Args:
-        config: engine configuration; ``pool_size`` slots are maintained,
-            solvers are constructed with ``config.solver_options()``, and
-            ``reuse_sessions`` / ``intern_table_limit`` govern reuse and
-            intern-table cleanup.
+        config: engine configuration; up to ``pool_size`` idle sessions
+            are kept warm, solvers are constructed with
+            ``config.solver_options()``, and ``reuse_sessions`` /
+            ``release_clause_lbd`` / ``intern_table_limit`` govern reuse,
+            learned-clause retention and intern-table cleanup.
     """
 
     def __init__(self, config: EngineConfig | None = None):
         self.config = config or EngineConfig()
         if self.config.pool_size < 1:
             raise SolverError("pool_size must be at least 1")
-        self._slots: list[SmtSolver | None] = [None] * self.config.pool_size
-        self._next_slot = 0
+        #: Idle (not currently leased) warm sessions, unordered; recency
+        #: is tracked by each session's ``stamp``.
+        self._idle: list[_SessionRecord] = []
+        self._clock = 0
         self._active: list[SolverLease] = []
         self.statistics = PoolStatistics()
 
-    def acquire(self) -> SolverLease:
-        """Lease a solver session (round-robin over the pool slots)."""
-        slot = self._next_slot
-        self._next_slot = (self._next_slot + 1) % len(self._slots)
-        solver = self._slots[slot] if self.config.reuse_sessions else None
-        reused = solver is not None
-        if solver is None:
-            solver = SmtSolver(**self.config.solver_options())
-            self.statistics.solvers_created += 1
-            if self.config.reuse_sessions:
-                self._slots[slot] = solver
-        lease = SolverLease(self, slot, solver, reused)
-        self._active.append(lease)
+    def acquire(self, shape: str | None = None) -> SolverLease:
+        """Lease a solver session, preferring one warmed on ``shape``.
+
+        Routing policy (when ``reuse_sessions`` is on):
+
+        1. an idle session whose last job had the same shape — a *routing
+           hit*: its bit-blast caches and sealed base scope match the
+           work about to arrive;
+        2. otherwise a fresh solver (a miss), retiring the
+           least-recently-used idle session first when the pool is
+           already at ``pool_size``.  A wrong-shape warm session is never
+           handed out: its variable names typically recur at different
+           bit widths, so the tenant would poison it mid-job and re-run
+           on a fresh solver anyway — paying for the job twice.
+
+        Because every shape keeps its own session while the pool has
+        room, a shape's session history depends only on that shape's own
+        job sequence — which is what makes parallel (per-worker-pool)
+        execution return results identical to the sequential run.  (Past
+        ``pool_size`` distinct shapes, evictions depend on the global
+        cross-shape interleaving, so per-job *statistics* may differ
+        between worker topologies; verdicts and artifacts never do.)
+        """
+        self._clock += 1
         self.statistics.leases += 1
+        record: _SessionRecord | None = None
+        if self.config.reuse_sessions:
+            match = None
+            for idle in self._idle:
+                if idle.shape == shape and (
+                    match is None or idle.stamp > match.stamp
+                ):
+                    match = idle
+            if match is not None:
+                self._idle.remove(match)
+                record = match
+                self.statistics.routing_hits += 1
+            else:
+                self.statistics.routing_misses += 1
+                while len(self._idle) >= self.config.pool_size:
+                    victim = min(self._idle, key=lambda idle: idle.stamp)
+                    self._idle.remove(victim)
+                    self.statistics.solvers_retired += 1
+        else:
+            self.statistics.routing_misses += 1
+        reused = record is not None
+        if record is None:
+            solver = SmtSolver(**self.config.solver_options())
+            record = _SessionRecord(
+                solver, shape, self._clock, root_depth=solver.scope_depth
+            )
+            self.statistics.solvers_created += 1
+        lease = SolverLease(self, record, reused)
+        self._active.append(lease)
         if reused:
             self.statistics.reused_sessions += 1
         return lease
 
     def release(self, lease: SolverLease) -> None:
-        """Return a lease: pop to the root and clean up interned terms.
+        """Return a lease: pop to the root, trim learned clauses, clean up.
 
-        Below ``config.intern_table_limit`` the job's interned terms are
-        kept so later jobs can share them (and hit the warm bit-blast
-        caches); past the limit the terms are evicted together with the
-        session that caches them, bounding memory in a long-lived
-        process at the cost of a cold next lease.
+        The session is put back on the idle list keyed by the lease's
+        shape (evicting the least-recently-used session past
+        ``pool_size``).  Its learned-clause database is trimmed to
+        ``config.release_clause_lbd`` so the warmth the next tenant
+        inherits is good glue, not drag.  Below
+        ``config.intern_table_limit`` the job's interned terms are kept
+        so later jobs can share them (and hit the warm bit-blast caches);
+        past the limit the terms are evicted together with the session
+        that caches them, bounding memory in a long-lived process at the
+        cost of a cold next lease.
         """
         self._finish(lease, retire=False)
 
@@ -171,8 +350,8 @@ class SolverPool:
 
         Used when a session has been poisoned — e.g. a job redeclared a
         variable name at a different width than an earlier tenant, which
-        the bit-blaster rejects.  The slot is refilled lazily by the next
-        :meth:`acquire`; the job's interned terms are always evicted.
+        the bit-blaster rejects.  The job's interned terms are always
+        evicted.
         """
         self._finish(lease, retire=True)
 
@@ -200,11 +379,52 @@ class SolverPool:
             lease._intern_token, discard=retire
         )
         if retire:
-            self._slots[lease._slot] = None
+            self.statistics.solvers_retired += 1
+            return
+        if not self.config.reuse_sessions:
+            return
+        if lease._record.frontier is not None:
+            # Roll the session back to its sealed base: the finished
+            # job's variables, gate definitions and job-local learned
+            # clauses all go; the base scope's encoding stays.
+            lease.solver.rollback_to(lease._record.frontier)
+        if self.config.release_clause_lbd is not None:
+            self.statistics.trimmed_learned_clauses += lease.solver.trim_learned(
+                self.config.release_clause_lbd
+            )
+        # Hand the next tenant a pristine search state over the warm
+        # encoding: without this, the previous job's VSIDS activities and
+        # saved phases steer the next search off the trajectory a fresh
+        # solver would take — empirically a net loss on these workloads.
+        # The simplification pass is only needed when new level-0 facts
+        # appeared during the lease (rare).
+        lease.solver.reset_search_state(
+            simplify=(
+                lease._record.frontier is None
+                or lease.solver.level0_facts() != lease._record.level0_mark
+            )
+        )
+        if self.config.gc_freeze_sessions and not lease._record.frozen:
+            # The session's clause database, watch lists and blaster
+            # caches are long-lived from here on; without a freeze every
+            # generation-2 cyclic collection re-walks them, which alone
+            # costs warm sessions their wall-time edge over fresh
+            # solvers.  Collect first so pending cyclic garbage does not
+            # become permanent (sessions are created rarely — once per
+            # shape in steady state — so the full collection amortizes).
+            lease._record.frozen = True
+            gc.collect()
+            gc.freeze()
+        self._clock += 1
+        lease._record.stamp = self._clock
+        self._idle.append(lease._record)
+        while len(self._idle) > self.config.pool_size:
+            victim = min(self._idle, key=lambda idle: idle.stamp)
+            self._idle.remove(victim)
             self.statistics.solvers_retired += 1
 
     def close(self) -> None:
         """Drop every pooled solver (active leases must be released first)."""
         if self._active:
             raise SolverError("cannot close the pool while leases are active")
-        self._slots = [None] * len(self._slots)
+        self._idle = []

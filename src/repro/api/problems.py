@@ -38,10 +38,16 @@ class JobContext:
             specs carry *problem* parameters, never solver flags).
         lease: the pooled solver lease assigned to this job, or ``None``
             when the problem does not use SMT (or no pool is in play).
+        deadline: ``time.monotonic()`` timestamp after which the job
+            should be preempted.  SMT-backed jobs get it enforced inside
+            the SAT loop via the lease; simulation-backed problems must
+            wire it into their own deductive engine (see
+            :meth:`SwitchingLogicProblem.build`).
     """
 
     config: EngineConfig = field(default_factory=EngineConfig)
     lease: SolverLease | None = None
+    deadline: float | None = None
 
     def session(self):
         """A job-scoped pooled solver session, or ``None`` without a lease."""
@@ -50,10 +56,16 @@ class JobContext:
         return self.lease.session()
 
     def solver_factory(self) -> Callable | None:
-        """Factory form of :meth:`session` for encoder-style consumers."""
+        """Factory form of :meth:`session` for encoder-style consumers.
+
+        The lease itself is returned (it is callable): encoders that know
+        how to share a persistent base scope across jobs can detect the
+        richer :meth:`~repro.api.pool.SolverLease.base_session` /
+        ``seal_base`` protocol on it, while plain callers just call it.
+        """
         if self.lease is None:
             return None
-        return self.lease.session
+        return self.lease
 
 
 class ProblemSpec:
@@ -69,6 +81,21 @@ class ProblemSpec:
     kind: ClassVar[str] = "abstract"
     #: Whether the job should be given a pooled SMT solver session.
     needs_solver: ClassVar[bool] = True
+
+    def shape_key(self) -> str:
+        """Routing key for shape-aware session placement.
+
+        Jobs with equal shape keys produce structurally similar SMT
+        encodings (same problem kind, same bit widths), so the
+        :class:`~repro.api.pool.SolverPool` routes them to the session
+        that last solved the same shape — its bit-blast caches and
+        retained learned clauses then actually apply.  The engine's
+        parallel executor also buckets jobs onto workers by this key,
+        which keeps every shape's session history (and therefore every
+        result) identical to the sequential run.  Subclasses refine the
+        default (the bare ``kind``) with their width signature.
+        """
+        return self.kind
 
     # -- serialization ----------------------------------------------------
 
@@ -196,6 +223,12 @@ class DeobfuscationProblem(ProblemSpec):
         seed: RNG seed for the initial oracle queries.
         max_iterations: OGIS candidate/distinguishing-input round budget.
         initial_examples: random seed inputs queried up front.
+        examples: oracle-verified I/O examples seeding the loop, as
+            ``[[inputs...], [outputs...]]`` pairs — the wire form of the
+            ``partial["examples"]`` payload a budget-exhausted run leaves
+            in its result details.  Resubmitting with them makes the job
+            *resumable*: synthesis continues from the learned evidence
+            instead of restarting from zero.
     """
 
     kind: ClassVar[str] = "deobfuscation"
@@ -206,6 +239,10 @@ class DeobfuscationProblem(ProblemSpec):
     seed: int = 0
     max_iterations: int = 32
     initial_examples: int = 1
+    examples: list = field(default_factory=list)
+
+    def shape_key(self) -> str:
+        return f"{self.kind}/w{self.width}"
 
     def _task(self):
         tasks = _deobfuscation_tasks()
@@ -218,6 +255,7 @@ class DeobfuscationProblem(ProblemSpec):
 
     def build(self, context: JobContext | None = None) -> SciductionProcedure:
         from repro.ogis import OgisSynthesizer, ProgramIOOracle
+        from repro.ogis.encoding import IOExample
 
         context = context or JobContext()
         library, obfuscated, _, num_inputs, num_outputs = self._task()
@@ -236,6 +274,10 @@ class DeobfuscationProblem(ProblemSpec):
             seed=self.seed,
             config=context.config,
             solver_factory=context.solver_factory(),
+            examples=[
+                IOExample(inputs=tuple(inputs), outputs=tuple(outputs))
+                for inputs, outputs in self.examples
+            ],
         )
 
     def finish(self, result: SciductionResult, procedure) -> SciductionResult:
@@ -313,6 +355,10 @@ class TimingAnalysisProblem(ProblemSpec):
     seed: int = 0
     start_state: str = "cold"
 
+    def shape_key(self) -> str:
+        width = self.program_args.get("word_width", "default")
+        return f"{self.kind}/{self.program}/w{width}"
+
     def build(self, context: JobContext | None = None) -> SciductionProcedure:
         from repro.gametime import GameTime
 
@@ -379,6 +425,7 @@ class SwitchingLogicProblem(ProblemSpec):
     def build(self, context: JobContext | None = None) -> SciductionProcedure:
         from repro.hybrid import make_transmission_synthesizer
 
+        context = context or JobContext()
         if self.system != "transmission":
             raise ReproError(
                 f"unknown switching-logic system {self.system!r} "
@@ -391,6 +438,10 @@ class SwitchingLogicProblem(ProblemSpec):
             horizon=self.horizon,
             validate_corners=self.validate_corners,
         )
+        # Deadlines cannot be enforced in a SAT loop here — the deductive
+        # engine is numerical simulation — so hand them to the
+        # reachability oracle's own preemption hook.
+        setup.synthesizer.set_deadline(context.deadline)
         return setup.synthesizer
 
     def finish(self, result: SciductionResult, procedure) -> SciductionResult:

@@ -130,3 +130,19 @@ def result_from_dict(data: dict) -> SciductionResult:
 def result_to_json(result: SciductionResult, indent: int | None = None) -> str:
     """One-call JSON string form of a result."""
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)
+
+
+def result_wire_canonical(wire: dict) -> dict:
+    """A result wire dictionary with its volatile fields removed.
+
+    Everything in a result is deterministic given the job stream and the
+    engine configuration — verdicts, artifacts' reprs, per-job solver
+    statistics, certificates — *except* wall-clock timing.  Dropping the
+    ``elapsed`` field yields a form that can be compared byte for byte
+    across runs, which is how the batch-throughput benchmark (and the
+    parallel-engine tests) assert that ``run_batch`` under ``workers > 1``
+    returns exactly the sequential results.
+    """
+    canonical = dict(wire)
+    canonical.pop("elapsed", None)
+    return canonical

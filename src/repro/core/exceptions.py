@@ -50,7 +50,18 @@ class BudgetExceededError(ReproError):
     Sciductive procedures are iterative; each application bounds the number
     of oracle queries or refinement rounds and raises this error instead of
     looping forever when the bound is hit.
+
+    Attributes:
+        partial: optional JSON-ready payload describing reusable partial
+            progress — e.g. the example set an interrupted OGIS run had
+            already learned.  The engine layer surfaces it in the job's
+            result details (``details["partial"]``) so the job can be
+            resubmitted with that progress instead of restarting from zero.
     """
+
+    def __init__(self, *args: object, partial: dict | None = None):
+        super().__init__(*args)
+        self.partial = partial
 
 
 class SolverError(ReproError):

@@ -18,12 +18,15 @@ learner can drive it directly.
 
 from __future__ import annotations
 
+import time as _time
+
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.deductive import DeductiveAnswer, DeductiveEngine, DeductiveQuery
+from repro.core.exceptions import BudgetExceededError
 from repro.core.oracle import LabelingOracle
 from repro.hybrid.hyperbox import Hyperbox
 from repro.hybrid.mds import MultiModalSystem
@@ -86,6 +89,35 @@ class ReachabilityOracle(DeductiveEngine[ReachabilityQuery, ReachabilityVerdict]
         self.horizon = horizon
         self.allow_no_exit = allow_no_exit
         self.simulations = 0
+        self._deadline: float | None = None
+
+    # -- job limits -------------------------------------------------------------
+
+    #: How many integration steps pass between deadline polls.  Checking
+    #: the clock every step would dominate the (cheap) RK4 stepper; every
+    #: 64 steps keeps preemption granularity under ~2 simulated seconds at
+    #: the default step sizes while staying off the hot path.
+    DEADLINE_POLL_STEPS = 64
+
+    def set_deadline(self, deadline: float | None = None) -> None:
+        """Install (or clear, with ``None``) a wall-clock preemption deadline.
+
+        Analogous to :meth:`repro.smt.sat.CdclSolver.set_limits`: once
+        ``time.monotonic()`` passes ``deadline``, every simulation query
+        raises :class:`~repro.core.exceptions.BudgetExceededError` instead
+        of running to its horizon.  This is how the engine layer
+        (:mod:`repro.api`) preempts simulation-backed (switching-logic)
+        jobs, whose deductive engine is this oracle rather than the SAT
+        loop.
+        """
+        self._deadline = deadline
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and _time.monotonic() >= self._deadline:
+            raise BudgetExceededError(
+                "reachability oracle deadline exceeded after "
+                f"{self.simulations} simulation queries"
+            )
 
     # -- core query ------------------------------------------------------------
 
@@ -102,7 +134,13 @@ class ReachabilityOracle(DeductiveEngine[ReachabilityQuery, ReachabilityVerdict]
         sample the safety predicate is checked, and once the dwell time has
         elapsed the exit guards are checked.  The first event decides the
         verdict.
+
+        Raises:
+            BudgetExceededError: when a deadline installed via
+                :meth:`set_deadline` has passed (polled every
+                :data:`DEADLINE_POLL_STEPS` integration steps).
         """
+        self._check_deadline()
         self.simulations += 1
         system = self.system
         dynamics = system.modes[mode].dynamics
@@ -114,7 +152,12 @@ class ReachabilityOracle(DeductiveEngine[ReachabilityQuery, ReachabilityVerdict]
             (name, guard) for name, guard in exit_guards.items() if not guard.is_empty
         ]
         time = 0.0
+        steps_since_poll = 0
         while True:
+            steps_since_poll += 1
+            if steps_since_poll >= self.DEADLINE_POLL_STEPS:
+                steps_since_poll = 0
+                self._check_deadline()
             if not system.is_safe(mode, state_vector):
                 return ReachabilityVerdict(safe=False, violation_time=time)
             if time >= min_dwell - 1e-12:

@@ -61,6 +61,17 @@ class Component:
         """Render an application of the component on argument strings."""
         return self.template.format(*arguments)
 
+    def __repr__(self) -> str:
+        # The default dataclass repr would render the semantics callables,
+        # whose reprs embed memory addresses — making the repr of anything
+        # containing a Component (synthesized programs in particular)
+        # unstable from run to run.  Identity is the name/arity/template
+        # triple; the callables are implementation.
+        return (
+            f"Component(name={self.name!r}, arity={self.arity}, "
+            f"template={self.template!r})"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Primitive components

@@ -329,8 +329,27 @@ class SynthesisEncoder:
 
     # -- persistent solver management -------------------------------------------
 
+    def _skeleton_fingerprint(self) -> str:
+        """Identity of the base skeleton (for cross-job base-scope reuse)."""
+        names = ",".join(component.name for component in self.library)
+        return (
+            f"ogis/{names}/w{self.width}/i{self.num_inputs}/o{self.num_outputs}"
+            f"/f{int(self.outputs_from_components)}"
+        )
+
     def _reset_solver(self) -> None:
-        """(Re)build the shared persistent solver with its base skeleton."""
+        """(Re)build the shared persistent solver with its base skeleton.
+
+        With a pooled solver lease as the factory, the skeleton
+        (well-formedness + symbolic run) lives in a *persistent base
+        scope* keyed by :meth:`_skeleton_fingerprint`
+        (:meth:`~repro.api.pool.SolverLease.base_session`): a later job of
+        the same shape finds the scope still open, skips re-asserting the
+        skeleton, and — because the scope's activation literal was never
+        falsified — inherits every learned clause the earlier job's
+        search derived over it.  That is what converts session reuse from
+        an encoding saving into a search saving.
+        """
         if self._solver is not None:
             self._retired_statistics = self._retired_statistics.merged_with(
                 self._solver.statistics.delta_since(self._smt_base)
@@ -338,7 +357,11 @@ class SynthesisEncoder:
             self._retired_sat_statistics = self._retired_sat_statistics.merged_with(
                 self._solver.sat_statistics().delta_since(self._sat_base)
             )
-        if self._solver_factory is not None:
+        skeleton_ready = False
+        base_session = getattr(self._solver_factory, "base_session", None)
+        if base_session is not None:
+            self._solver, skeleton_ready = base_session(self._skeleton_fingerprint())
+        elif self._solver_factory is not None:
             self._solver = self._solver_factory()
         else:
             self._solver = SmtSolver(**self._solver_kwargs)
@@ -346,10 +369,9 @@ class SynthesisEncoder:
         self._sat_base = self._solver.sat_statistics()
         self._solver_locations = self._locations("s")
         self._encoded_examples = []
-        self._solver.add(*self.well_formedness(self._solver_locations))
-        # A symbolic run of the candidate program: unconstrained inputs, so
-        # these constraints never affect the synthesis query's verdict, but
-        # they let distinguishing-input queries ride the same solver.
+        # The skeleton's variable names are deterministic, so on a warm
+        # base scope the hash-consed terms rebuilt here are the very
+        # objects the persistent solver already knows.
         self._symbolic_inputs = [
             bv_var(f"distinguishing_in_{index}", self.width)
             for index in range(self.num_inputs)
@@ -357,6 +379,12 @@ class SynthesisEncoder:
         self._symbolic_outputs = [
             bv_var(f"alt_out_{index}", self.width) for index in range(self.num_outputs)
         ]
+        if skeleton_ready:
+            return
+        self._solver.add(*self.well_formedness(self._solver_locations))
+        # A symbolic run of the candidate program: unconstrained inputs, so
+        # these constraints never affect the synthesis query's verdict, but
+        # they let distinguishing-input queries ride the same solver.
         self._solver.add(
             *self._dataflow(
                 self._solver_locations,
@@ -365,6 +393,10 @@ class SynthesisEncoder:
                 tag="sym",
             )
         )
+        if base_session is not None:
+            # Seal the skeleton scope for later same-shape jobs and open
+            # this job's own scope above it.
+            self._solver_factory.seal_base()
 
     def _synced_solver(
         self, examples: Sequence[IOExample]

@@ -95,6 +95,12 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
             builds this procedure with a pooled solver.
         solver_factory: factory for the encoder's shared solver (used by
             the engine's :class:`~repro.api.pool.SolverPool`).
+        examples: oracle-verified I/O examples to seed the loop with —
+            typically the ``partial["examples"]`` payload of an earlier
+            :class:`~repro.core.exceptions.BudgetExceededError`, making
+            budget-exhausted jobs resumable.  When given, the random
+            initial-example phase is skipped (the loop already has
+            evidence to work from).
     """
 
     name = "oracle-guided-component-synthesis"
@@ -111,6 +117,7 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         solver_options: dict | None = None,
         config=None,
         solver_factory=None,
+        examples: Sequence[IOExample] | None = None,
     ):
         self.library = list(library)
         self.oracle = oracle
@@ -129,6 +136,15 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         self.initial_examples = max(1, initial_examples)
         self._rng = random.Random(seed)
         self.trace = SynthesisTrace()
+        if examples:
+            mask = (1 << self.width) - 1
+            self.trace.examples.extend(
+                IOExample(
+                    inputs=tuple(int(value) & mask for value in example.inputs),
+                    outputs=tuple(int(value) & mask for value in example.outputs),
+                )
+                for example in examples
+            )
         super().__init__(
             hypothesis=component_library_hypothesis(self.library),
             inductive=None,
@@ -176,13 +192,32 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
         self.trace.oracle_queries += 1
         return example
 
+    def _attach_partial(self, error: BudgetExceededError) -> BudgetExceededError:
+        """Stamp the learned example set onto a budget error (resumability).
+
+        Every example in the trace is oracle-verified, so an interrupted
+        run's evidence can seed a resubmission (see the ``examples``
+        constructor argument) instead of being discarded.
+        """
+        partial = dict(error.partial or {})
+        partial["examples"] = [
+            [list(example.inputs), list(example.outputs)]
+            for example in self.trace.examples
+        ]
+        partial["iterations"] = self.trace.iterations
+        error.partial = partial
+        return error
+
     def synthesize(self) -> LoopFreeProgram:
         """Run the OGIS loop and return the synthesized program.
 
         Raises:
             UnrealizableError: when no composition of the library is
                 consistent with the gathered examples.
-            BudgetExceededError: when ``max_iterations`` is exhausted.
+            BudgetExceededError: when ``max_iterations`` is exhausted, or
+                when a solver-level conflict budget / deadline preempts a
+                query; either way the error carries the learned example
+                set in its ``partial`` payload so the job can be resumed.
         """
         if not self.trace.examples:
             seen: set[tuple[int, ...]] = set()
@@ -192,22 +227,29 @@ class OgisSynthesizer(SciductionProcedure[LoopFreeProgram]):
                     candidate_input = self._random_input()
                 seen.add(candidate_input)
                 self._query_oracle(candidate_input)
-        for _ in range(self.max_iterations):
-            self.trace.iterations += 1
-            candidate = self.encoder.synthesize(self.trace.examples)
-            self.trace.candidates.append(candidate)
-            distinguishing = self.encoder.distinguishing_input(
-                self.trace.examples, candidate
-            )
-            if distinguishing is None:
-                candidate.input_names = tuple(
-                    f"in{i}" for i in range(self.oracle.num_inputs)
+        try:
+            for _ in range(self.max_iterations):
+                self.trace.iterations += 1
+                candidate = self.encoder.synthesize(self.trace.examples)
+                self.trace.candidates.append(candidate)
+                distinguishing = self.encoder.distinguishing_input(
+                    self.trace.examples, candidate
                 )
-                return candidate
-            self.trace.distinguishing_inputs.append(distinguishing)
-            self._query_oracle(distinguishing)
-        raise BudgetExceededError(
-            f"OGIS did not converge within {self.max_iterations} iterations"
+                if distinguishing is None:
+                    candidate.input_names = tuple(
+                        f"in{i}" for i in range(self.oracle.num_inputs)
+                    )
+                    return candidate
+                self.trace.distinguishing_inputs.append(distinguishing)
+                self._query_oracle(distinguishing)
+        except BudgetExceededError as error:
+            # SMT-level budgets (conflicts/deadline) surface here; keep the
+            # evidence gathered so far attached to the error.
+            raise self._attach_partial(error)
+        raise self._attach_partial(
+            BudgetExceededError(
+                f"OGIS did not converge within {self.max_iterations} iterations"
+            )
         )
 
     # -- SciductionProcedure interface ------------------------------------------------

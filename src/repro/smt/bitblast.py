@@ -225,6 +225,62 @@ class BitBlaster:
                 value |= 1 << position
         return value
 
+    def rollback_variables(self, max_var: int) -> None:
+        """Evict every cache entry referencing a SAT variable above ``max_var``.
+
+        Companion of :meth:`repro.smt.sat.CdclSolver.shrink_variables`:
+        after the solver drops the variables above a watermark, the
+        blaster must forget the terms/gates whose encoding used them, so
+        a later occurrence of the same term re-blasts into fresh
+        variables instead of resolving to a dangling cache hit.  Entries
+        at or below the watermark are untouched — by allocation order,
+        everything they transitively reference (gate inputs, internal
+        carries) was allocated before them and therefore also survives.
+        """
+
+        def keep(literal: int) -> bool:
+            return (literal >> 1) <= max_var
+
+        self._bool_cache = {
+            term: literal
+            for term, literal in self._bool_cache.items()
+            if keep(literal)
+        }
+        self._bool_polarity = {
+            term: mask
+            for term, mask in self._bool_polarity.items()
+            if term in self._bool_cache
+        }
+        self._bv_cache = {
+            term: literals
+            for term, literals in self._bv_cache.items()
+            if all(keep(literal) for literal in literals)
+        }
+        # The name→bits maps hold *literals* (like every other cache here),
+        # not variable indices.
+        self._bool_vars = {
+            name: literal
+            for name, literal in self._bool_vars.items()
+            if keep(literal)
+        }
+        self._bv_vars = {
+            name: literals
+            for name, literals in self._bv_vars.items()
+            if all(keep(literal) for literal in literals)
+        }
+        # Gate keys only reference literals allocated before the gate's
+        # output, so filtering on the output covers the key as well.
+        self._gate_cache = {
+            key: output
+            for key, output in self._gate_cache.items()
+            if keep(output)
+        }
+        self._gate_emitted = {
+            key: mask
+            for key, mask in self._gate_emitted.items()
+            if key in self._gate_cache
+        }
+
     @staticmethod
     def _literal_value(literal: int, sat_model: Sequence[bool]) -> bool:
         value = sat_model[literal >> 1]

@@ -26,6 +26,9 @@ module implements the classic CDCL architecture from scratch:
 * level-0 database simplification (:meth:`CdclSolver.simplify_database`),
   used by the SMT layer to garbage-collect clause scopes that were
   permanently deactivated by popping,
+* forced LBD-threshold retention (:meth:`CdclSolver.reduce_learned`),
+  used by the solver pool between jobs to keep only good-glue learned
+  clauses on long-lived sessions,
 * solving under assumptions (used for incremental queries by the SMT layer).
 
 The implementation favours clarity over raw speed but is easily fast enough
@@ -138,15 +141,20 @@ class _Clause:
     ``lbd`` is the literals-block-distance of learned clauses (number of
     distinct decision levels at learning time, kept as a running minimum);
     problem clauses carry the sentinel 0 and are never reduced.
+    ``pristine`` remembers the literal order the clause was created with:
+    propagation permanently swaps literals in place while relocating
+    watches, and :meth:`CdclSolver.reset_search_state` restores the
+    original order so a reused solver replays a fresh solver's search.
     """
 
-    __slots__ = ("literals", "learned", "activity", "lbd")
+    __slots__ = ("literals", "learned", "activity", "lbd", "pristine")
 
     def __init__(self, literals: list[int], learned: bool = False, lbd: int = 0):
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
         self.lbd = lbd
+        self.pristine = tuple(literals)
 
 
 class CdclSolver:
@@ -266,6 +274,13 @@ class CdclSolver:
     def num_variables(self) -> int:
         """Number of variables allocated so far."""
         return self._num_vars
+
+    @property
+    def num_fixed_assignments(self) -> int:
+        """Number of level-0 (fixed) assignments on the trail."""
+        if self._trail_limits:
+            return self._trail_limits[0]
+        return len(self._trail)
 
     def add_clause(self, literals: Iterable[int]) -> None:
         """Add a clause (internal literal encoding) to the database.
@@ -767,13 +782,32 @@ class CdclSolver:
         self._clause_increment /= self._clause_decay
 
     def _pick_branch_literal(self) -> int | None:
+        # Compact the lazy heap once stale entries dominate: every
+        # unassigned variable's effective priority is its *current*
+        # activity (bumps and backtracking always re-push at the current
+        # value, and newer entries pop first), so rebuilding from the
+        # activity table preserves the pop order exactly while bounding
+        # heap operations — and the churn of deallocating hundreds of
+        # thousands of stale tuples — to O(num_vars).
+        if len(self._order_heap) > 4 * self._num_vars + 16:
+            self._order_heap = [
+                (-self._activity[variable], variable)
+                for variable in range(1, self._num_vars + 1)
+                if self._assignment[variable] == _UNASSIGNED
+            ]
+            heapq.heapify(self._order_heap)
         # Pop the lazy heap until an unassigned variable surfaces.  Stale
         # entries (assigned variables, or outdated activities) are simply
         # discarded; unassigned variables are guaranteed to be present
         # because they are re-pushed on backtracking and on activity bumps.
         while self._order_heap:
             _, variable = heapq.heappop(self._order_heap)
-            if self._assignment[variable] == _UNASSIGNED:
+            # The index bound guards against entries for variables dropped
+            # by shrink_variables.
+            if (
+                variable <= self._num_vars
+                and self._assignment[variable] == _UNASSIGNED
+            ):
                 return make_literal(variable, negative=not self._phase[variable])
         # Heap exhausted: scan forward from the low-water mark (covers
         # variables never bumped nor backtracked over since their initial
@@ -825,6 +859,179 @@ class CdclSolver:
                 entry for entry in self._watches[literal] if id(entry[1]) not in to_delete
             ]
 
+    def reduce_learned(self, max_lbd: int) -> int:
+        """Drop learned clauses whose LBD exceeds ``max_lbd`` (level 0 only).
+
+        Unlike :meth:`_reduce_learned_clauses_if_needed` — the in-search
+        heuristic that halves the learned set once it dwarfs the problem
+        clauses — this is a *forced*, threshold-based retention pass meant
+        for session reuse: a pooled solver that has just finished a job
+        keeps at most the clauses glucose would call good glue (low LBD)
+        so the next tenant's propagation is not dragged through thousands
+        of job-specific learned clauses.  With ``max_lbd >= 1``, binary
+        clauses are kept regardless (they cost nothing to propagate);
+        ``max_lbd <= 0`` drops *every* learned clause, handing the next
+        tenant a clause database indistinguishable from a freshly encoded
+        one.  Clauses locked as reasons of the level-0 trail always stay.
+
+        Returns:
+            The number of clauses removed.
+
+        Raises:
+            SolverError: if called above decision level 0.
+        """
+        if self._trail_limits:
+            raise SolverError("reduce_learned requires decision level 0")
+        locked = {
+            id(self._reason[literal_variable(lit)])
+            for lit in self._trail
+            if self._reason[literal_variable(lit)] is not None
+        }
+        to_delete = {
+            id(clause)
+            for clause in self._clauses
+            if clause.learned
+            and (max_lbd <= 0 or (len(clause.literals) > 2 and clause.lbd > max_lbd))
+            and id(clause) not in locked
+        }
+        if not to_delete:
+            return 0
+        self.statistics.deleted_clauses += len(to_delete)
+        self._clauses = [c for c in self._clauses if id(c) not in to_delete]
+        for literal in range(2, 2 * self._num_vars + 2):
+            watch_list = self._watches[literal]
+            if watch_list:
+                self._watches[literal] = [
+                    entry for entry in watch_list if id(entry[1]) not in to_delete
+                ]
+        return len(to_delete)
+
+    def reset_search_state(self, simplify: bool = True) -> None:
+        """Reset every branching heuristic to its pristine state (level 0).
+
+        Clears VSIDS activities, phase saving, clause activities, the
+        decay increments, the lazy order heap, and the glucose LBD
+        windows — everything the *search* accumulated, while the clause
+        database and the level-0 trail stay.  A pooled solver session
+        calls this between jobs so the next tenant starts from the same
+        heuristic state a fresh solver would: the warm session then
+        replays the fresh search over its warm encoding instead of being
+        steered off it by a previous job's activities and phases.
+
+        Args:
+            simplify: run a level-0 database simplification after
+                restoring clause order.  Required for soundness whenever
+                level-0 facts (learned units) were fixed since the clauses
+                were added — a restored watch must not sit on an
+                already-falsified literal.  Callers that know the level-0
+                trail has not grown (the solver pool tracks it across a
+                lease) may pass False to skip the pass.
+
+        Raises:
+            SolverError: if called above decision level 0.
+        """
+        if self._trail_limits:
+            raise SolverError("reset_search_state requires decision level 0")
+        for index in range(1, self._num_vars + 1):
+            self._activity[index] = 0.0
+            self._phase[index] = False
+        self._variable_increment = 1.0
+        self._clause_increment = 1.0
+        # Restore every clause's creation-time literal order (propagation
+        # permanently swaps literals while relocating watches) and rebuild
+        # the watch lists in clause order — the exact state a fresh solver
+        # would be in after adding the same clauses.
+        for watch_list in self._watches:
+            watch_list.clear()
+        for clause in self._clauses:
+            if clause.learned:
+                clause.activity = 0.0
+            clause.literals = list(clause.pristine)
+            self._watches[clause.literals[0]].append((clause.literals[1], clause))
+            self._watches[clause.literals[1]].append((clause.literals[0], clause))
+        # Mirror the level-0 filtering add_clause would have applied had
+        # the clauses been added now: facts fixed since (learned units)
+        # may satisfy whole clauses or falsify restored watch literals,
+        # and a clause must never watch an already-falsified literal.
+        if simplify:
+            self.simplify_database()
+        # Ascending (0.0, var) pairs already satisfy the heap invariant —
+        # the same content a fresh solver's heap holds after allocation.
+        self._order_heap = [(0.0, index) for index in range(1, self._num_vars + 1)]
+        self._fallback_head = 1
+        self._lbd_recent.clear()
+        self._lbd_recent_sum = 0
+        self._lbd_lifetime_sum = 0
+        self._lbd_lifetime_count = 0
+        self._conflicts_at_last_reduction = self.statistics.conflicts
+
+    def shrink_variables(self, num_vars: int) -> int:
+        """Drop every variable above ``num_vars`` and every clause using one.
+
+        This rolls the solver's variable frontier back to an earlier
+        watermark (level 0 only).  It is sound when the dropped variables
+        form a *conservative extension* of the retained ones — Tseitin
+        gate definitions are exactly that (any model over the retained
+        variables extends to the gates) — and when the caller guarantees
+        the dropped variables are never referenced again (the SMT layer
+        evicts the matching bit-blaster cache entries, so a re-appearing
+        term re-blasts into fresh variables).  Learned clauses over
+        retained variables may keep facts derived *through* dropped
+        definitions; by the conservative-extension argument those facts
+        are implied by the retained clauses alone.
+
+        The solver pool uses this between jobs: a session rolls back to
+        its persistent base skeleton, so the next tenant inherits the
+        skeleton's clauses and lemmas without dragging the previous job's
+        encoding through every propagation and model completion.
+
+        Returns:
+            The number of clauses removed.
+
+        Raises:
+            SolverError: if called above decision level 0.
+        """
+        if self._trail_limits:
+            raise SolverError("shrink_variables requires decision level 0")
+        if num_vars >= self._num_vars:
+            return 0
+        kept: list[_Clause] = []
+        removed = 0
+        # literal > limit  <=>  literal_variable(literal) > num_vars
+        limit = 2 * num_vars + 1
+        for clause in self._clauses:
+            if max(clause.literals) > limit:
+                removed += 1
+                if clause.learned:
+                    self.statistics.deleted_clauses += 1
+            else:
+                kept.append(clause)
+        self._clauses = kept
+        self._trail = [literal for literal in self._trail if literal <= limit]
+        # Everything on the trail is level 0 here; dropped clauses may be
+        # referenced as reasons, and conflict analysis never dereferences
+        # level-0 reasons, so clear them all (mirrors simplify_database).
+        for literal in self._trail:
+            self._reason[literal_variable(literal)] = None
+        self._propagation_head = len(self._trail)
+        del self._assignment[num_vars + 1:]
+        del self._level[num_vars + 1:]
+        del self._reason[num_vars + 1:]
+        del self._activity[num_vars + 1:]
+        del self._phase[num_vars + 1:]
+        del self._watches[2 * num_vars + 2:]
+        for watch_list in self._watches:
+            watch_list.clear()
+        for clause in kept:
+            self._watches[clause.literals[0]].append((clause.literals[1], clause))
+            self._watches[clause.literals[1]].append((clause.literals[0], clause))
+        self._num_vars = num_vars
+        # Stale heap entries for dropped variables are skipped lazily by
+        # _pick_branch_literal (it re-checks the index bound).
+        self._fallback_head = min(self._fallback_head, num_vars + 1)
+        self._cached_model = None
+        return removed
+
     # -- internal: level-0 database simplification -------------------------
 
     def simplify_database(self) -> int:
@@ -874,6 +1081,10 @@ class CdclSolver:
                     removed += 1
                     continue
                 clause.literals = remaining
+                # The stripped literals must not reappear when the
+                # pristine order is restored (a watch on a fixed-false
+                # literal would never fire again).
+                clause.pristine = tuple(remaining)
             kept.append(clause)
         if removed:
             self._clauses = kept

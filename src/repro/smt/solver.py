@@ -140,6 +140,8 @@ class SmtStatistics:
     terms_simplified: int = 0
     #: Clauses reclaimed by scope garbage collection (see ``gc_dead_clauses``).
     clauses_collected: int = 0
+    #: Checks answered from the check memo without touching the SAT core.
+    check_memo_hits: int = 0
 
     def merged_with(self, other: "SmtStatistics") -> "SmtStatistics":
         """Field-wise sum of two statistics records."""
@@ -151,6 +153,7 @@ class SmtStatistics:
             variables_generated=self.variables_generated + other.variables_generated,
             terms_simplified=self.terms_simplified + other.terms_simplified,
             clauses_collected=self.clauses_collected + other.clauses_collected,
+            check_memo_hits=self.check_memo_hits + other.check_memo_hits,
         )
 
     def snapshot(self) -> "SmtStatistics":
@@ -172,6 +175,7 @@ class SmtStatistics:
             variables_generated=self.variables_generated - baseline.variables_generated,
             terms_simplified=self.terms_simplified - baseline.terms_simplified,
             clauses_collected=self.clauses_collected - baseline.clauses_collected,
+            check_memo_hits=self.check_memo_hits - baseline.check_memo_hits,
         )
 
 
@@ -205,7 +209,23 @@ class SmtSolver:
         restart_strategy: CDCL restart policy — ``"luby"`` (default) or
             ``"glucose"`` (adaptive, LBD-moving-average driven; see
             :class:`~repro.smt.sat.CdclSolver`).
+        memoize_checks: cache decided ``check`` answers keyed by the
+            exact asserted-formula sequence plus the ``extra`` assumptions
+            (hash-consed terms make the key cheap and exact).  A repeated
+            query — the common case on pooled sessions whose job stream
+            repeats problem shapes — returns the recorded verdict and
+            model bits without touching the SAT core.  Sound because a
+            check's verdict is a pure function of the asserted formulas,
+            and the recorded model is exactly the one the deterministic
+            search would recompute; UNKNOWN (budget-limited) answers are
+            never cached.  Off by default: plain solvers prefer the
+            freshest model a re-search would find.
     """
+
+    #: Bound on memoized check answers (the memo is wiped, not LRU-evicted,
+    #: beyond it — entries are cheap to recompute and the bound exists only
+    #: to keep a pathological stream from pinning unbounded model bits).
+    CHECK_MEMO_LIMIT = 512
 
     def __init__(
         self,
@@ -215,6 +235,7 @@ class SmtSolver:
         polarity_aware: bool = True,
         gc_dead_clauses: int | None = 2000,
         restart_strategy: str = "luby",
+        memoize_checks: bool = False,
     ):
         self._assertions: list[BoolTerm] = []
         self._scopes: list[int] = []
@@ -224,6 +245,11 @@ class SmtSolver:
         self._assert_polarity = POSITIVE if polarity_aware else BOTH
         self._gc_dead_clauses = gc_dead_clauses
         self._restart_strategy = restart_strategy
+        self._memoize_checks = memoize_checks
+        # (assertion tuple, extra tuple) → (verdict, model bits | None).
+        # Keys hold strong references to the hash-consed terms, so key
+        # identity can never be recycled under the memo.
+        self._check_memo: dict = {}
         # Job-level limits (see :meth:`set_job_limits`).
         self._job_conflicts_remaining: int | None = None
         self._job_deadline: float | None = None
@@ -449,16 +475,76 @@ class SmtSolver:
             blaster.blast_bool(self._prepare(formula), self._assert_polarity)
             for formula in extra
         )
-        self._install_job_limits(sat_solver)
-        result = sat_solver.solve(assumptions)
-        self._charge_job_conflicts(sat_solver, conflicts_before)
         self.statistics.variables_generated += (
             sat_solver.num_variables - variables_before
         )
         self.statistics.clauses_generated += (
             sat_solver.statistics.clauses_added - clauses_before
         )
-        return self._record_result(result, sat_solver, blaster)
+        memo_key = None
+        if self._memoize_checks:
+            # The memo is consulted *after* the encoding work, so hits
+            # and misses leave the solver in the identical state — the
+            # variable layout never depends on which checks were cached.
+            # Including the post-encoding variable count in the key makes
+            # a recorded model's bit indices valid by construction: a
+            # hit's layout provably matches the record-time layout for
+            # every variable the memoized check constrains (same formula
+            # sequence blasted from the same frontier; see the solver
+            # pool's base-scope epochs).
+            memo_key = (
+                tuple(self._assertions),
+                tuple(extra),
+                sat_solver.num_variables,
+            )
+            cached = self._check_memo.get(memo_key)
+            if cached is not None:
+                return self._replay_memoized(cached)
+        self._install_job_limits(sat_solver)
+        result = sat_solver.solve(assumptions)
+        self._charge_job_conflicts(sat_solver, conflicts_before)
+        verdict = self._record_result(result, sat_solver, blaster)
+        if memo_key is not None and verdict is not SmtResult.UNKNOWN:
+            if len(self._check_memo) >= self.CHECK_MEMO_LIMIT:
+                self._check_memo.clear()
+            self._check_memo[memo_key] = (
+                verdict,
+                sat_solver.cached_model() if verdict is SmtResult.SAT else None,
+            )
+        return verdict
+
+    def _replay_memoized(self, cached: tuple) -> SmtResult:
+        """Answer an already-encoded check from the memo (no search).
+
+        Only the SAT search is skipped — the caller has already encoded
+        pending assertions and the check's assumptions, exactly as a miss
+        would, so the recorded model bits line up with the live variable
+        layout (guaranteed by the variable count in the memo key).  Names
+        blasted only after the recorded model resolve to None, which is
+        correct: the memoized check did not constrain them.  The pool
+        clears the memo whenever a session's base scope is
+        re-established (:meth:`clear_check_memo`).
+        """
+        verdict, model_bits = cached
+        self.statistics.check_memo_hits += 1
+        self._last_model = None
+        _, blaster = self._core()
+        if verdict is SmtResult.SAT:
+            self.statistics.sat_answers += 1
+            self._model_source = (blaster, model_bits)
+        else:
+            self.statistics.unsat_answers += 1
+            self._model_source = None
+        return verdict
+
+    def clear_check_memo(self) -> None:
+        """Drop every memoized check answer.
+
+        Called by the solver pool whenever a session's base scope is
+        re-established: memoized model bits are only valid relative to
+        the variable layout of the epoch they were recorded in.
+        """
+        self._check_memo.clear()
 
     def _check_reencoding(self, extra: Sequence[BoolTerm]) -> SmtResult:
         """One-shot check: fresh SAT solver, full re-blast (escape hatch)."""
@@ -478,6 +564,107 @@ class SmtSolver:
             self._retired_sat_statistics, sat_solver.statistics
         )
         return self._record_result(result, sat_solver, blaster)
+
+    def flush(self) -> None:
+        """Encode every pending assertion into the SAT core now.
+
+        Normally encoding is lazy (it happens at ``check`` time); flushing
+        makes the solver's variable frontier reflect exactly the
+        assertions made so far, which is what :meth:`frontier` needs to
+        capture a meaningful watermark.  A no-op in re-encode mode.
+        """
+        if self._reencode_each_check:
+            return
+        sat_solver, _ = self._core()
+        variables_before = sat_solver.num_variables
+        clauses_before = sat_solver.statistics.clauses_added
+        self._encode_pending()
+        self.statistics.variables_generated += (
+            sat_solver.num_variables - variables_before
+        )
+        self.statistics.clauses_generated += (
+            sat_solver.statistics.clauses_added - clauses_before
+        )
+
+    def frontier(self) -> int | None:
+        """The current SAT variable watermark (see :meth:`rollback_to`).
+
+        Call :meth:`flush` first so pending assertions are included.
+        Returns None in re-encode mode (there is no persistent frontier).
+        """
+        if self._reencode_each_check:
+            return None
+        sat_solver, _ = self._core()
+        return sat_solver.num_variables
+
+    def rollback_to(self, frontier: int) -> int:
+        """Drop all SAT variables, clauses and blaster caches above
+        ``frontier``.
+
+        The pooled-session retention hook
+        (:class:`~repro.api.pool.SolverPool`): between jobs a session
+        rolls back to the watermark captured when its persistent base
+        scope was sealed, shedding the finished job's entire encoding —
+        gate definitions included — while keeping the base scope's
+        clauses and every learned clause over base variables.  Requires
+        that all scopes opened after the watermark have been popped.
+
+        Returns:
+            The number of SAT clauses removed.
+        """
+        if self._reencode_each_check or self._sat_solver is None:
+            return 0
+        if frontier >= self._sat_solver.num_variables:
+            return 0
+        assert self._blaster is not None
+        removed = self._sat_solver.shrink_variables(frontier)
+        self._blaster.rollback_variables(frontier)
+        # Dead-scope accounting may reference dropped clauses; reset it
+        # rather than triggering a GC over clauses already gone.
+        self._dead_clauses = 0
+        self._last_model = None
+        self._model_source = None
+        return removed
+
+    def trim_learned(self, max_lbd: int) -> int:
+        """Drop learned clauses with LBD above ``max_lbd`` (between jobs).
+
+        This is the cross-job retention hook used by
+        :class:`~repro.api.pool.SolverPool` at lease release: a warm
+        session keeps its bit-blast caches and (for ``max_lbd >= 1``) its
+        good-glue learned clauses, but sheds the high-LBD clauses a
+        finished job left behind, which would otherwise slow down
+        propagation for every later tenant; ``max_lbd <= 0`` drops every
+        learned clause.  A no-op in re-encode mode (there is no
+        persistent SAT solver).
+
+        Returns:
+            The number of learned clauses removed.
+        """
+        if self._sat_solver is None:
+            return 0
+        return self._sat_solver.reduce_learned(max_lbd)
+
+    def reset_search_state(self, simplify: bool = True) -> None:
+        """Reset the SAT core's branching heuristics to a pristine state.
+
+        See :meth:`repro.smt.sat.CdclSolver.reset_search_state`; a no-op
+        in re-encode mode (every check builds a fresh solver anyway).
+        """
+        if self._sat_solver is not None:
+            self._sat_solver.reset_search_state(simplify=simplify)
+
+    def level0_facts(self) -> int:
+        """Number of assignments fixed on the level-0 trail.
+
+        Used by the solver pool to detect whether any new facts (learned
+        units and their consequences) appeared during a lease, which
+        decides whether the release-time heuristic reset needs its
+        simplification pass.
+        """
+        if self._sat_solver is None:
+            return 0
+        return self._sat_solver.num_fixed_assignments
 
     def sat_statistics(self) -> SatStatistics:
         """Aggregated CDCL counters over the solver's lifetime.

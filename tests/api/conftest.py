@@ -1,0 +1,49 @@
+"""API-suite fixtures: optional forced-parallel engine execution.
+
+Setting ``REPRO_API_FORCE_WORKERS=N`` (N > 1) reruns the whole api test
+suite with every :class:`~repro.api.SciductionEngine` built at
+``workers=N`` unless the test's config asks for a specific worker count —
+the CI matrix uses this to prove the parallel executor is a drop-in
+replacement for the sequential path.
+
+Tests that inspect in-process artifacts (which deliberately do not cross
+the worker process boundary — results come back in wire form) are marked
+``sequential_only`` and keep their explicit configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+import repro.api.engine as engine_module
+from repro.api.config import EngineConfig
+
+_FORCED_WORKERS = int(os.environ.get("REPRO_API_FORCE_WORKERS", "0"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sequential_only: test depends on in-process state (e.g. artifact "
+        "objects) that does not cross the worker process boundary",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _force_parallel_workers(request, monkeypatch):
+    if _FORCED_WORKERS <= 1 or request.node.get_closest_marker("sequential_only"):
+        yield
+        return
+    original = engine_module.SciductionEngine.__init__
+
+    def forced(self, config=None, pool=None):
+        config = config or EngineConfig()
+        if config.workers == 1:
+            config = replace(config, workers=_FORCED_WORKERS)
+        original(self, config, pool)
+
+    monkeypatch.setattr(engine_module.SciductionEngine, "__init__", forced)
+    yield

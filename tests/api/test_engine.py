@@ -44,6 +44,7 @@ class TestBatchLifecycle:
         assert "smt_job_statistics" in results[0].details["engine"]
         assert results[2].details["engine"]["pooled"] is False
 
+    @pytest.mark.sequential_only  # artifact objects stay in-process
     def test_verdicts_match_direct_entry_points(self):
         engine = SciductionEngine(EngineConfig())
         deob_result, timing_result, switching_result = engine.run_batch(
@@ -168,6 +169,62 @@ class TestBudgetsTimeoutsCancellation:
         assert result.success is False
         assert result.details["outcome"] == "failed"
         assert engine.jobs[-1].state is JobState.FAILED
+
+    def test_deadline_preempts_simulation_backed_job(self):
+        """Wall-clock deadlines must reach the reachability oracle.
+
+        Switching-logic jobs have no SAT loop to poll the clock in; the
+        deadline hook on the simulation oracle is what preempts them.
+        """
+        engine = SciductionEngine()
+        job = engine.submit(
+            SwitchingLogicProblem(
+                system="transmission",
+                omega_step=0.5,
+                integration_step=0.05,
+                horizon=40.0,
+            ),
+            timeout=0.0,
+        )
+        (result,) = engine.run_batch()
+        assert job.state is JobState.TIMED_OUT
+        assert result.success is False
+        assert result.details["outcome"] == "timed-out"
+        assert "deadline" in (job.error or "")
+
+    def test_budget_exhausted_ogis_job_is_resumable(self):
+        """Partial examples survive budget exhaustion and seed a resume.
+
+        multiply45/w4/seed0 needs two OGIS iterations; a one-iteration
+        budget must surface the learned example set in the result payload,
+        and resubmitting with it must finish without re-learning.
+        """
+        engine = SciductionEngine()
+        job = engine.submit(
+            DeobfuscationProblem(
+                task="multiply45", width=4, seed=0, max_iterations=1
+            )
+        )
+        (result,) = engine.run_batch()
+        assert job.state is JobState.BUDGET_EXHAUSTED
+        partial = result.details["partial"]
+        assert partial["iterations"] == 1
+        assert len(partial["examples"]) == 2  # seed example + 1 learned
+
+        resumed = engine.run(
+            DeobfuscationProblem(
+                task="multiply45",
+                width=4,
+                seed=0,
+                max_iterations=1,  # the same budget now suffices
+                examples=partial["examples"],
+            )
+        )
+        assert resumed.success and resumed.verdict is True
+        # No random seeding phase: the resumed run starts from the
+        # surfaced evidence and needs no further oracle queries to
+        # reconstruct it.
+        assert resumed.oracle_queries < 2
 
 
 class TestSchedulingDeterminism:

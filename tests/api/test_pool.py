@@ -1,8 +1,9 @@
-"""SolverPool: session reuse, scoped resets, per-job accounting, intern GC."""
+"""SolverPool: shape routing, session reuse, scoped resets, accounting."""
 
 import pytest
 
-from repro.api import EngineConfig, SolverPool
+from repro.api import EngineConfig, SciductionEngine, SolverPool
+from repro.api.problems import DeobfuscationProblem
 from repro.core.exceptions import SolverError
 from repro.smt.solver import SmtResult
 from repro.smt.terms import bv_const, bv_var, intern_table_size
@@ -122,6 +123,162 @@ class TestPerJobAccounting:
         assert second_job.clauses_generated < first_job.clauses_generated
         assert sat_second.conflicts >= 0
         assert lease_b.solver.statistics.checks == 2  # lifetime view differs
+
+
+class TestShapeRouting:
+    def test_matching_shape_reuses_its_session(self):
+        pool = _fresh_pool(pool_size=2)
+        first = pool.acquire(shape="deob/w4")
+        solver_w4 = first.solver
+        pool.release(first)
+        other = pool.acquire(shape="timing/w16")
+        solver_timing = other.solver
+        pool.release(other)
+        assert solver_timing is not solver_w4
+
+        again = pool.acquire(shape="deob/w4")
+        assert again.solver is solver_w4
+        pool.release(again)
+        timing_again = pool.acquire(shape="timing/w16")
+        assert timing_again.solver is solver_timing
+        pool.release(timing_again)
+        assert pool.statistics.routing_hits == 2
+        assert pool.statistics.routing_misses == 2  # the two cold starts
+        assert pool.statistics.solvers_created == 2
+
+    def test_full_pool_retires_lru_session_for_a_new_shape(self):
+        pool = _fresh_pool(pool_size=1)
+        first = pool.acquire(shape="deob/w4")
+        solver = first.solver
+        pool.release(first)
+        # A new shape never inherits a wrong-shape warm session (its
+        # variable names would recur at another width and poison it);
+        # the LRU session is retired and a fresh solver handed out.
+        fresh = pool.acquire(shape="deob/w5")
+        assert fresh.solver is not solver
+        assert not fresh.reused
+        pool.release(fresh)
+        assert pool.statistics.routing_hits == 0
+        assert pool.statistics.routing_misses == 2
+        assert pool.statistics.solvers_retired == 1
+        # The replacement session is keyed by the new shape.
+        back = pool.acquire(shape="deob/w5")
+        assert back.solver is fresh.solver
+        pool.release(back)
+        assert pool.statistics.routing_hits == 1
+
+    def test_idle_sessions_beyond_pool_size_are_recycled(self):
+        pool = _fresh_pool(pool_size=1)
+        lease_a = pool.acquire(shape="a")
+        lease_b = pool.acquire(shape="b")  # concurrent overflow lease
+        pool.release(lease_b)
+        pool.release(lease_a)
+        assert pool.statistics.solvers_created == 2
+        assert pool.statistics.solvers_retired == 1  # idle bound enforced
+
+    @pytest.mark.sequential_only  # inspects the parent engine's own pool
+    def test_engine_routes_jobs_by_problem_shape(self):
+        from repro.api import SciductionEngine
+
+        engine = SciductionEngine(EngineConfig())
+        problems = [
+            DeobfuscationProblem(task="multiply45", width=4, seed=0),
+            DeobfuscationProblem(task="multiply45", width=5, seed=0),
+            DeobfuscationProblem(task="multiply45", width=4, seed=1),
+            DeobfuscationProblem(task="multiply45", width=5, seed=1),
+        ]
+        results = engine.run_batch(problems)
+        assert all(result.success for result in results)
+        # Jobs 3 and 4 land on the sessions warmed by jobs 1 and 2.
+        assert engine.pool.statistics.routing_hits == 2
+        assert engine.pool.statistics.solvers_created == 2
+
+
+class TestBaseScopeProtocol:
+    def test_sealed_base_survives_release_and_is_found_again(self):
+        pool = _fresh_pool()
+        lease = pool.acquire(shape="deob/w8")
+        solver, ready = lease.base_session("fingerprint-a")
+        assert not ready
+        x = bv_var("base_scope_x", 8)
+        solver.add(x.ult(bv_const(100, 8)))
+        lease.seal_base()
+        solver.add(x.eq(bv_const(7, 8)))  # job-scope assertion
+        assert solver.check() is SmtResult.SAT
+        pool.release(lease)
+
+        lease2 = pool.acquire(shape="deob/w8")
+        solver2, ready2 = lease2.base_session("fingerprint-a")
+        assert ready2 and solver2 is solver
+        # The base constraint is still active; the old job scope is gone.
+        solver2.add(x.eq(bv_const(200, 8)))
+        assert solver2.check() is SmtResult.UNSAT  # 200 violates x < 100
+        pool.release(lease2)
+
+    def test_fingerprint_mismatch_rebuilds_the_base(self):
+        pool = _fresh_pool()
+        lease = pool.acquire(shape="s")
+        solver, ready = lease.base_session("fp-1")
+        assert not ready
+        y = bv_var("base_mismatch_y", 8)
+        solver.add(y.eq(bv_const(1, 8)))
+        lease.seal_base()
+        pool.release(lease)
+
+        lease2 = pool.acquire(shape="s")
+        solver2, ready2 = lease2.base_session("fp-2")
+        assert not ready2
+        # fp-1's base constraint must be retired with its scope.
+        solver2.add(y.eq(bv_const(2, 8)))
+        lease2.seal_base()
+        assert solver2.check() is SmtResult.SAT
+        pool.release(lease2)
+
+    def test_plain_session_clears_a_previous_tenants_base(self):
+        pool = _fresh_pool()
+        lease = pool.acquire(shape="s")
+        solver, _ = lease.base_session("fp")
+        z = bv_var("base_clear_z", 8)
+        solver.add(z.eq(bv_const(5, 8)))
+        lease.seal_base()
+        pool.release(lease)
+
+        lease2 = pool.acquire(shape="s")
+        session = lease2.session()  # plain contract: fresh-solver semantics
+        session.add(z.eq(bv_const(6, 8)))
+        assert session.check() is SmtResult.SAT
+        pool.release(lease2)
+        # And the fingerprint is gone: the next base_session must rebuild.
+        lease3 = pool.acquire(shape="s")
+        _, ready = lease3.base_session("fp")
+        assert not ready
+        pool.release(lease3)
+
+    def test_seal_requires_open_base(self):
+        pool = _fresh_pool()
+        lease = pool.acquire()
+        lease.session()
+        with pytest.raises(SolverError, match="seal_base"):
+            lease.seal_base()
+        pool.release(lease)
+
+    def test_release_rolls_job_encoding_back_to_the_sealed_frontier(self):
+        pool = _fresh_pool()
+        lease = pool.acquire(shape="s")
+        solver, _ = lease.base_session("fp")
+        base_var = bv_var("frontier_base", 8)
+        solver.add(base_var.ult(bv_const(100, 8)))
+        lease.seal_base()
+        frontier = lease._record.frontier
+        assert frontier is not None
+        job_var = bv_var("frontier_job", 8)
+        solver.add(job_var.eq(bv_const(3, 8)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.frontier() > frontier  # job grew the SAT store
+        pool.release(lease)
+        # The session is back at the sealed frontier: the job's variables
+        # and gate definitions are gone, the base encoding is not.
+        assert solver.frontier() == frontier
 
 
 class TestInternScopeCleanup:

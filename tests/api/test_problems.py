@@ -1,5 +1,7 @@
 """Problem-spec declarations: JSON round-trips and registry dispatch."""
 
+import json
+
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -101,3 +103,42 @@ class TestRegistryExtension:
             TimingAnalysisProblem(program="nonexistent").build()
         with pytest.raises(ReproError, match="unknown switching-logic system"):
             SwitchingLogicProblem(system="nonexistent").build()
+
+
+class TestShapeKeys:
+    def test_shape_keys_encode_kind_and_width(self):
+        assert DeobfuscationProblem(width=4).shape_key() == "deobfuscation/w4"
+        assert DeobfuscationProblem(width=8).shape_key() == "deobfuscation/w8"
+        timing = TimingAnalysisProblem(
+            program="bounded_linear_search", program_args={"word_width": 16}
+        )
+        assert timing.shape_key() == "timing-analysis/bounded_linear_search/w16"
+        assert SwitchingLogicProblem().shape_key() == "switching-logic"
+
+    def test_same_shape_means_same_key_different_seeds(self):
+        a = DeobfuscationProblem(task="multiply45", width=4, seed=0)
+        b = DeobfuscationProblem(task="multiply45", width=4, seed=7)
+        assert a.shape_key() == b.shape_key()
+
+
+class TestResumableExamples:
+    def test_examples_survive_the_wire(self):
+        spec = DeobfuscationProblem(
+            task="multiply45",
+            width=4,
+            examples=[[[3], [7]], [[5], [1]]],
+        )
+        rebuilt = problem_from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert rebuilt.examples == [[[3], [7]], [[5], [1]]]
+
+    def test_examples_seed_the_synthesizer_trace(self):
+        spec = DeobfuscationProblem(
+            task="multiply45", width=4, examples=[[[3], [7]]]
+        )
+        procedure = spec.build()
+        assert [
+            (list(example.inputs), list(example.outputs))
+            for example in procedure.trace.examples
+        ] == [([3], [7])]

@@ -88,6 +88,33 @@ class TestReachabilityOracle:
         assert not verdict.safe
         assert verdict.violation_time == 0.0
 
+    def test_expired_deadline_preempts_queries(self):
+        import time
+
+        from repro.core import BudgetExceededError
+
+        system = _thermostat_system()
+        oracle = ReachabilityOracle(system, IntegratorConfig(step=0.05), horizon=30.0)
+        oracle.set_deadline(time.monotonic() - 1.0)
+        with pytest.raises(BudgetExceededError, match="deadline"):
+            oracle.label_state("HEAT", [5.0], {})
+        # Clearing the deadline restores normal service.
+        oracle.set_deadline(None)
+        assert oracle.label_state("HEAT", [5.0], {}).safe in (True, False)
+
+    def test_deadline_preempts_mid_simulation(self):
+        import time
+
+        from repro.core import BudgetExceededError
+
+        system = _thermostat_system()
+        oracle = ReachabilityOracle(system, IntegratorConfig(step=1e-5), horizon=30.0)
+        # A deadline a few milliseconds out expires inside the (very
+        # finely stepped) trajectory, between the periodic polls.
+        oracle.set_deadline(time.monotonic() + 0.005)
+        with pytest.raises(BudgetExceededError, match="deadline"):
+            oracle.label_state("HEAT", [5.0], {})
+
     def test_dwell_time_delays_exit(self):
         system = _thermostat_system()
         oracle = ReachabilityOracle(system, IntegratorConfig(step=0.05), horizon=30.0)

@@ -587,3 +587,131 @@ class TestAdaptiveRestarts:
         assert solver.solve() is SatResult.UNKNOWN  # ceiling spans calls
         solver.set_limits(None, None)
         assert solver.solve() is SatResult.UNSAT
+
+
+class TestSessionRetentionHooks:
+    """reduce_learned / shrink_variables / reset_search_state (pool hooks)."""
+
+    def _solver_with_learned_clauses(self):
+        # Pigeonhole 5-into-4: UNSAT, guaranteed to learn clauses.
+        pigeons, holes = 5, 4
+        solver = CdclSolver()
+        variables = {
+            (pigeon, hole): solver.new_variable()
+            for pigeon in range(pigeons)
+            for hole in range(holes)
+        }
+        for pigeon in range(pigeons):
+            solver.add_clause(
+                [make_literal(variables[(pigeon, hole)]) for hole in range(holes)]
+            )
+        for hole in range(holes):
+            for first in range(pigeons):
+                for second in range(first + 1, pigeons):
+                    solver.add_clause(
+                        [
+                            make_literal(variables[(first, hole)], negative=True),
+                            make_literal(variables[(second, hole)], negative=True),
+                        ]
+                    )
+        return solver
+
+    def test_reduce_learned_threshold_and_drop_all(self):
+        solver = self._solver_with_learned_clauses()
+        assert solver.solve() is SatResult.UNSAT
+        learned = [c for c in solver._clauses if c.learned]
+        assert learned, "expected learned clauses from the pigeonhole proof"
+        removed = solver.reduce_learned(2)
+        survivors = [c for c in solver._clauses if c.learned]
+        assert all(c.lbd <= 2 or len(c.literals) <= 2 for c in survivors)
+        # Drop-all retains nothing learned (locked reasons aside).
+        removed_all = solver.reduce_learned(0)
+        assert removed + removed_all >= len(learned) - len(
+            [c for c in solver._clauses if c.learned]
+        )
+        assert solver.solve() is SatResult.UNSAT  # database still sound
+
+    def test_shrink_variables_drops_clauses_and_allows_regrowth(self):
+        solver = CdclSolver()
+        a, b = solver.new_variable(), solver.new_variable()
+        solver.add_clause([make_literal(a), make_literal(b)])
+        watermark = solver.num_variables
+        c = solver.new_variable()
+        solver.add_clause([make_literal(b, negative=True), make_literal(c)])
+        removed = solver.shrink_variables(watermark)
+        assert removed == 1
+        assert solver.num_variables == watermark
+        # The retained clause still solves; fresh variables reuse indices.
+        d = solver.new_variable()
+        assert d == watermark + 1
+        solver.add_clause([make_literal(d, negative=True)])
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        assert model[a] or model[b]
+        assert model[d] is False
+
+    def test_shrink_variables_requires_level_zero(self):
+        solver = self._solver_with_learned_clauses()
+        solver._trail_limits.append(0)  # simulate an open decision level
+        with pytest.raises(SolverError, match="level 0"):
+            solver.shrink_variables(1)
+        solver._trail_limits.pop()
+
+    def _guarded_pigeonhole(self):
+        """Pigeonhole 5-into-4, guarded by an activation literal.
+
+        Solving under the activation assumption is UNSAT but does not
+        latch the solver's permanent UNSAT flag, so the search can be
+        re-run — which is what a pooled session does between jobs.
+        """
+        pigeons, holes = 5, 4
+        solver = CdclSolver()
+        guard = solver.new_variable()
+        variables = {
+            (pigeon, hole): solver.new_variable()
+            for pigeon in range(pigeons)
+            for hole in range(holes)
+        }
+        deactivate = make_literal(guard, negative=True)
+        for pigeon in range(pigeons):
+            solver.add_clause(
+                [deactivate]
+                + [make_literal(variables[(pigeon, hole)]) for hole in range(holes)]
+            )
+        for hole in range(holes):
+            for first in range(pigeons):
+                for second in range(first + 1, pigeons):
+                    solver.add_clause(
+                        [
+                            deactivate,
+                            make_literal(variables[(first, hole)], negative=True),
+                            make_literal(variables[(second, hole)], negative=True),
+                        ]
+                    )
+        return solver, [make_literal(guard)]
+
+    def test_reset_search_state_replays_identical_search(self):
+        first, assumptions = self._guarded_pigeonhole()
+        baseline, base_assumptions = self._guarded_pigeonhole()
+        assert first.solve(assumptions) is SatResult.UNSAT
+        first_stats = (
+            first.statistics.conflicts,
+            first.statistics.decisions,
+            first.statistics.propagations,
+        )
+        first.reduce_learned(0)
+        first.reset_search_state()
+        # The reset solver must retrace the fresh solver's search exactly.
+        assert first.solve(assumptions) is SatResult.UNSAT
+        assert baseline.solve(base_assumptions) is SatResult.UNSAT
+        base_stats = (
+            baseline.statistics.conflicts,
+            baseline.statistics.decisions,
+            baseline.statistics.propagations,
+        )
+        assert first_stats == base_stats
+        assert (
+            first.statistics.conflicts,
+            first.statistics.decisions,
+            first.statistics.propagations,
+        ) == tuple(2 * value for value in base_stats)

@@ -369,3 +369,82 @@ class TestSmtDeductiveEngine:
 
     def test_lightweightness_documented(self):
         assert "QF_BV" in SmtDeductiveEngine().lightweightness()
+
+
+class TestCheckMemoization:
+    def test_repeated_check_hits_the_memo(self):
+        from repro.smt.terms import bv_const, bv_var
+
+        solver = SmtSolver(memoize_checks=True)
+        x = bv_var("memo_x", 8)
+        solver.add((x * bv_const(3, 8)).eq(bv_const(15, 8)))
+        assert solver.check() is SmtResult.SAT
+        witness = solver.model_value("memo_x")
+        conflicts_after_first = solver.sat_statistics().conflicts
+        assert solver.statistics.check_memo_hits == 0
+
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.check_memo_hits == 1
+        # No SAT work was done and the recorded model is served.
+        assert solver.sat_statistics().conflicts == conflicts_after_first
+        assert solver.model_value("memo_x") == witness
+
+    def test_new_assertion_misses_the_memo(self):
+        from repro.smt.terms import bv_const, bv_var
+
+        solver = SmtSolver(memoize_checks=True)
+        y = bv_var("memo_y", 8)
+        solver.add(y.ult(bv_const(10, 8)))
+        assert solver.check() is SmtResult.SAT
+        solver.add(y.uge(bv_const(10, 8)))
+        assert solver.check() is SmtResult.UNSAT
+        assert solver.statistics.check_memo_hits == 0
+
+    def test_extra_assumptions_key_the_memo(self):
+        from repro.smt.terms import bv_const, bv_var
+
+        solver = SmtSolver(memoize_checks=True)
+        z = bv_var("memo_z", 8)
+        solver.add(z.ult(bv_const(4, 8)))
+        assert solver.check(z.eq(bv_const(2, 8))) is SmtResult.SAT
+        assert solver.check(z.eq(bv_const(9, 8))) is SmtResult.UNSAT
+        assert solver.statistics.check_memo_hits == 0
+        # Replaying the pair: the first query misses — its entry was
+        # recorded before the second query's gates grew the variable
+        # frontier, and the memo key is deliberately layout-exact — and
+        # is re-recorded at the current frontier; the second query hits.
+        assert solver.check(z.eq(bv_const(2, 8))) is SmtResult.SAT
+        assert solver.check(z.eq(bv_const(9, 8))) is SmtResult.UNSAT
+        assert solver.statistics.check_memo_hits == 1
+        # From here the layout is stable, so the whole pair replays from
+        # the memo — the steady state a pooled session reaches.
+        assert solver.check(z.eq(bv_const(2, 8))) is SmtResult.SAT
+        assert solver.check(z.eq(bv_const(9, 8))) is SmtResult.UNSAT
+        assert solver.statistics.check_memo_hits == 3
+
+    def test_scope_pop_invalidates_by_content(self):
+        from repro.smt.terms import bv_const, bv_var
+
+        solver = SmtSolver(memoize_checks=True)
+        w = bv_var("memo_w", 8)
+        solver.push()
+        solver.add(w.eq(bv_const(1, 8)))
+        assert solver.check() is SmtResult.SAT
+        solver.pop()
+        # Different assertion content => different key, no false hit.
+        solver.push()
+        solver.add(w.eq(bv_const(2, 8)))
+        assert solver.check() is SmtResult.SAT
+        assert solver.model_value("memo_w") == 2
+        solver.pop()
+
+    def test_clear_check_memo(self):
+        from repro.smt.terms import bv_const, bv_var
+
+        solver = SmtSolver(memoize_checks=True)
+        v = bv_var("memo_v", 8)
+        solver.add(v.eq(bv_const(5, 8)))
+        assert solver.check() is SmtResult.SAT
+        solver.clear_check_memo()
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.check_memo_hits == 0
