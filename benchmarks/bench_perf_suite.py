@@ -301,16 +301,29 @@ BATCH_JOBS = (
      "program_args": {"length": 4, "word_width": 16}, "bound": 250},
     {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
 )
-BATCH_JOBS_QUICK = BATCH_JOBS[:2] + BATCH_JOBS[3:6]
+# The quick stream keeps the repeated timing-analysis jobs (indices 2 and
+# 6): the per-CFG base-scope hard check needs a second same-shape timing
+# job to observe the memoized feasibility sweep.
+BATCH_JOBS_QUICK = BATCH_JOBS[:3] + BATCH_JOBS[5:8]
 
 
 def _run_engine_batch(reuse_sessions: bool, quick: bool, workers: int = 1) -> dict:
-    """Run the job stream through one SciductionEngine and sum its SMT work."""
+    """Run the job stream through one SciductionEngine and sum its SMT work.
+
+    The ``reuse_sessions=False`` baseline is the *pre-pool* behaviour — a
+    fresh solver per job and no cross-job caching of any kind — so the
+    engine-level shared check memo (which would happily answer the fresh
+    solvers' repeated checks too) is disabled along with the pool.
+    """
     from repro.api import EngineConfig, SciductionEngine, result_wire_canonical
 
     jobs = BATCH_JOBS_QUICK if quick else BATCH_JOBS
     engine = SciductionEngine(
-        EngineConfig(reuse_sessions=reuse_sessions, workers=workers)
+        EngineConfig(
+            reuse_sessions=reuse_sessions,
+            shared_check_memo=reuse_sessions,
+            workers=workers,
+        )
     )
     start = time.perf_counter()
     results = engine.run_batch([dict(job) for job in jobs])
@@ -349,6 +362,22 @@ def _run_engine_batch(reuse_sessions: bool, quick: bool, workers: int = 1) -> di
         record["sessions_created"] = engine.pool.statistics.solvers_created
         record["sessions_reused"] = engine.pool.statistics.reused_sessions
         record["routing_hits"] = engine.pool.statistics.routing_hits
+        # Per-CFG base scopes (PR 5): the *second* timing-analysis job of
+        # the stream lands on the session its twin warmed up, finds the
+        # sealed base scope, and answers its whole feasibility sweep from
+        # the check memo.  Recorded here, asserted as a hard check.
+        timing_jobs = [
+            job
+            for job in engine.jobs
+            if job.problem.to_dict().get("kind") == "timing-analysis"
+        ]
+        if len(timing_jobs) >= 2:
+            second = timing_jobs[1].result.details["engine"]
+            record["timing_second_job_session_reused"] = second["session_reused"]
+            record["timing_second_job_memo_hits"] = second[
+                "smt_job_statistics"
+            ]["check_memo_hits"]
+    engine.close()
     return record
 
 
@@ -395,6 +424,122 @@ def _batch_child_main(spec_json: str) -> int:
     )
     print(json.dumps(record))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Scheduler throughput: work stealing + cross-worker check memo
+# ---------------------------------------------------------------------------
+
+#: A deliberately *skewed* 12-job stream: shape A (deobfuscation w5) has a
+#: few slow jobs, shapes B/C (timing analysis) have several fast ones, and
+#: shape D (deobfuscation w4) lands on the slow worker's plan where it sits
+#: un-started — exactly the situation work stealing exists for.  The static
+#: PR-4 plan puts W1 = [A×4, D×3] and W2 = [B×3, C×2]; W2 drains its fast
+#: jobs and steals the whole D queue while W1 is still grinding through A.
+SKEWED_JOBS = (
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 1},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 1},
+    {"kind": "timing-analysis", "program": "bounded_linear_search",
+     "program_args": {"length": 3, "word_width": 16}, "bound": 250},
+    {"kind": "timing-analysis", "program": "bounded_linear_search",
+     "program_args": {"length": 3, "word_width": 16}, "bound": 250},
+    {"kind": "timing-analysis", "program": "bounded_linear_search",
+     "program_args": {"length": 3, "word_width": 16}, "bound": 250},
+    {"kind": "timing-analysis", "program": "absolute_difference",
+     "program_args": {"word_width": 16}, "bound": 250},
+    {"kind": "timing-analysis", "program": "absolute_difference",
+     "program_args": {"word_width": 16}, "bound": 250},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 1},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0},
+)
+
+
+def _run_sched_child() -> dict:
+    """Drive the skewed stream through sequential + work-stealing engines.
+
+    Three measurements on one long-lived parallel engine (the service
+    situation):
+
+    1. batch 1 — skewed 12-job stream, ``workers=2``: results must be
+       byte-identical to the sequential engine's (work stealing moves
+       whole shape queues only, so every shape's session history is
+       preserved) and the steal counter must be positive;
+    2. batch 2 — the *same* stream resubmitted: the per-batch plan
+       rotation lands the shapes on the other worker, whose fresh
+       sessions answer the repeated checks from the parent's shared
+       check memo — cross-worker memo hits, recorded in the engine
+       statistics (verdicts must match batch 1);
+    3. the sequential twin runs both batches too, so the comparison
+       engine sees the same warm-session evolution.
+    """
+    from repro.api import EngineConfig, SciductionEngine, result_wire_canonical
+
+    jobs = [dict(job) for job in SKEWED_JOBS]
+
+    def canonical(engine):
+        return [
+            result_wire_canonical(job.result_wire()) for job in engine.jobs
+        ]
+
+    sequential = SciductionEngine(EngineConfig(workers=1))
+    parallel = SciductionEngine(EngineConfig(workers=2))
+    start = time.perf_counter()
+    sequential_results = sequential.run_batch([dict(job) for job in jobs])
+    sequential_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_results = parallel.run_batch([dict(job) for job in jobs])
+    parallel_seconds = time.perf_counter() - start
+    batch1_identical = canonical(parallel) == canonical(sequential)
+    scheduler_stats = parallel.statistics()["scheduler"]
+
+    second_sequential = sequential.run_batch([dict(job) for job in jobs])
+    second_parallel = parallel.run_batch([dict(job) for job in jobs])
+    statistics = parallel.statistics()
+    parallel.close()
+    sequential.close()
+    return {
+        "jobs": len(jobs),
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "batch1_results_byte_identical": batch1_identical,
+        "steals": scheduler_stats["steals"],
+        "stolen_jobs": scheduler_stats["stolen_jobs"],
+        "batches": statistics["scheduler"]["batches"],
+        "cross_worker_memo_hits": statistics["shared_memo"].get(
+            "cross_worker_hits", 0
+        ),
+        "shared_memo_entries": statistics["shared_memo"].get("entries", 0),
+        "second_batch_verdicts_match": (
+            [(r.success, r.verdict) for r in second_parallel]
+            == [(r.success, r.verdict) for r in second_sequential]
+        ),
+        "verdicts": [(r.success, r.verdict) for r in parallel_results],
+        "verdicts_match_sequential": (
+            [(r.success, r.verdict) for r in parallel_results]
+            == [(r.success, r.verdict) for r in sequential_results]
+        ),
+    }
+
+
+def run_scheduler_throughput() -> dict:
+    """Run :func:`_run_sched_child` in an isolated subprocess.
+
+    Isolation mirrors the batch measurements: the engines freeze warm
+    sessions out of the cyclic GC and fill process-global caches, which
+    must not leak into the other workloads' timings.
+    """
+    process = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--sched-child"],
+        capture_output=True,
+        text=True,
+        cwd=str(_ROOT),
+    )
+    if process.returncode != 0:
+        raise RuntimeError(f"sched child failed:\n{process.stderr[-2000:]}")
+    return json.loads(process.stdout.strip().splitlines()[-1])
 
 
 def run_batch_throughput(quick: bool = False) -> dict:
@@ -480,6 +625,8 @@ def run_suite(quick: bool = False, configs: dict | None = None) -> dict:
     }
     batch = run_batch_throughput(quick=quick)
     results["batch"] = batch
+    scheduler = run_scheduler_throughput()
+    results["scheduler"] = scheduler
     results["checks"] = {
         "verdicts_identical_across_configs": verdicts_identical,
         "models_satisfy_original_formulas": models_ok,
@@ -499,6 +646,25 @@ def run_suite(quick: bool = False, configs: dict | None = None) -> dict:
         # ratio itself is recorded in both modes.
         "batch_pooled_wall_time_le_fresh": (
             True if quick else batch["wall_time_ratio_pooled_vs_fresh"] <= 1.0
+        ),
+        # Per-CFG base scopes: the stream's second timing-analysis job
+        # must land on its twin's warm session and answer its path
+        # feasibility sweep from the check memo.
+        "batch_timing_base_scope_reuse": (
+            batch["pooled"].get("timing_second_job_session_reused") is True
+            and batch["pooled"].get("timing_second_job_memo_hits", 0) > 0
+        ),
+        # Work stealing on the skewed 12-job stream: byte-identical to
+        # sequential with the steal counter positive...
+        "sched_skewed_parallel_byte_identical": (
+            scheduler["batch1_results_byte_identical"]
+        ),
+        "sched_steal_counter_positive": scheduler["steals"] > 0,
+        # ...and the rotated second batch answers moved shapes from the
+        # shared cross-worker check memo.
+        "sched_cross_worker_memo_hit": scheduler["cross_worker_memo_hits"] > 0,
+        "sched_second_batch_verdicts_match": (
+            scheduler["second_batch_verdicts_match"]
         ),
     }
     return results
@@ -543,6 +709,14 @@ def _print_summary(results: dict) -> None:
         f"(byte-identical results: "
         f"{batch['parallel_results_byte_identical']})"
     )
+    scheduler = results["scheduler"]
+    print(
+        f"  skewed stream ({scheduler['jobs']} jobs): steals "
+        f"{scheduler['steals']} ({scheduler['stolen_jobs']} jobs), "
+        f"cross-worker memo hits {scheduler['cross_worker_memo_hits']}, "
+        f"parallel {scheduler['parallel_seconds']:.2f}s vs sequential "
+        f"{scheduler['sequential_seconds']:.2f}s"
+    )
     for check, passed in results["checks"].items():
         print(f"  [{'ok' if passed else 'FAIL'}] {check}")
 
@@ -562,6 +736,15 @@ def test_perf_suite(benchmark, tmp_path):
     assert results["checks"]["batch_pooling_beats_fresh_on_sat_work"], results["batch"]
     assert results["checks"]["batch_parallel_results_byte_identical"], (
         results["batch"]["parallel"]
+    )
+    assert results["checks"]["batch_timing_base_scope_reuse"], results["batch"]["pooled"]
+    assert results["checks"]["sched_skewed_parallel_byte_identical"], (
+        results["scheduler"]
+    )
+    assert results["checks"]["sched_steal_counter_positive"], results["scheduler"]
+    assert results["checks"]["sched_cross_worker_memo_hit"], results["scheduler"]
+    assert results["checks"]["sched_second_batch_verdicts_match"], (
+        results["scheduler"]
     )
     # The pooled-vs-fresh wall-time bar is enforced on the full stream
     # only; here we assert the ratio is measured and recorded.
@@ -588,9 +771,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="internal: run one isolated batch measurement and print JSON",
     )
+    parser.add_argument(
+        "--sched-child",
+        action="store_true",
+        help="internal: run the isolated scheduler workload and print JSON",
+    )
     arguments = parser.parse_args(argv)
     if arguments.batch_child is not None:
         return _batch_child_main(arguments.batch_child)
+    if arguments.sched_child:
+        print(json.dumps(_run_sched_child()))
+        return 0
     results = run_suite(quick=arguments.quick)
     write_report(results, arguments.output)
     _print_summary(results)

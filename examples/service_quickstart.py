@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Quickstart: the sciduction engine as a long-lived HTTP service.
+
+Boots :class:`repro.service.SciductionService` on an ephemeral port,
+drives it over plain HTTP the way any non-Python client would (see
+``docs/SERVICE.md`` for the equivalent ``curl`` commands), and shows the
+service-grade machinery at work:
+
+1. one job of each problem kind submitted over the wire,
+2. a queued job cancelled before the engine reaches it,
+3. the ``/stats`` counters — pool routing, scheduler, shared check memo.
+
+Run with::
+
+    python examples/service_quickstart.py [--width 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import EngineConfig
+from repro.service import SciductionService
+
+
+def call(base: str, method: str, path: str, body: dict | None = None):
+    request = urllib.request.Request(
+        base + path,
+        method=method,
+        data=None if body is None else json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def wait_for(base: str, job_id: int) -> dict:
+    while True:
+        _, record = call(base, "GET", f"/jobs/{job_id}")
+        if record["done"]:
+            return record
+        time.sleep(0.1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--width", type=int, default=4, help="deobfuscation width")
+    arguments = parser.parse_args()
+
+    service = SciductionService(EngineConfig(workers=1), port=0, quiet=True)
+    service.start()
+    base = service.url
+    print(f"service listening on {base}")
+    try:
+        jobs = [
+            {"kind": "deobfuscation", "task": "multiply45",
+             "width": arguments.width, "seed": 0},
+            {"kind": "timing-analysis", "program": "bounded_linear_search",
+             "program_args": {"length": 3, "word_width": 16}, "bound": 250},
+            {"kind": "switching-logic", "system": "transmission",
+             "omega_step": 0.5, "integration_step": 0.05, "horizon": 40.0},
+        ]
+        for spec in jobs:
+            status, submitted = call(
+                base, "POST", "/jobs", {"problem": spec, "label": spec["kind"]}
+            )
+            assert status == 202, (status, submitted)
+            record = wait_for(base, submitted["job_id"])
+            _, result = call(base, "GET", f"/jobs/{submitted['job_id']}/result")
+            print(
+                f"  {spec['kind']:<16} -> {record['state']}"
+                f" (success={result['success']}, verdict={result['verdict']},"
+                f" {record['elapsed']:.2f}s)"
+            )
+            assert result["success"] is True
+
+        # Cancellation: queue two jobs, cancel the second while the first
+        # (deliberately slower) still runs.
+        status, blocker = call(
+            base, "POST", "/jobs",
+            {"problem": {"kind": "deobfuscation", "task": "multiply45",
+                         "width": max(5, arguments.width)}},
+        )
+        status, target = call(
+            base, "POST", "/jobs",
+            {"problem": {"kind": "deobfuscation", "task": "multiply45",
+                         "width": arguments.width}},
+        )
+        status, outcome = call(base, "DELETE", f"/jobs/{target['job_id']}")
+        print(f"  DELETE /jobs/{target['job_id']} -> {status} {outcome}")
+        wait_for(base, blocker["job_id"])
+
+        _, stats = call(base, "GET", "/stats")
+        print("  /stats queue:", stats["queue"])
+        print("  /stats pool routing hits:", stats["engine"]["pool"]["routing_hits"])
+        print("  /stats shared memo:", {
+            key: stats["engine"]["shared_memo"].get(key, 0)
+            for key in ("publishes", "hits", "cross_worker_hits")
+        })
+    finally:
+        service.shutdown()
+    print("done.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

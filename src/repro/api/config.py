@@ -77,6 +77,18 @@ class EngineConfig:
             throughput beat per-job-fresh solving.  Fresh solvers carry
             the same flag (one config governs both), they just never see
             a repeat within their one-job lifetime.
+        shared_check_memo: additionally share decided check answers
+            *across* solver sessions and worker processes through a
+            :class:`~repro.api.memo.SharedCheckMemo` owned by the engine
+            (workers reach it through a ``multiprocessing`` manager).
+            Keys are the process-independent wire form of ``(assertions,
+            extras, frontier)``, so a verdict decided on worker A
+            short-circuits the same check on worker B — the situation a
+            long-lived service creates whenever a problem shape moves
+            between workers (re-planned batches, stolen shape queues,
+            sessions recycled past the pool bound).  Requires
+            ``memoize_checks``; ignored without it.
+        shared_memo_size: LRU entry bound of the shared check memo.
         gc_freeze_sessions: move each pooled session's long-lived object
             graph (clause database, watch lists, bit-blast caches) into
             the cyclic garbage collector's permanent generation the first
@@ -107,12 +119,16 @@ class EngineConfig:
     reuse_sessions: bool = True
     release_clause_lbd: int | None = 0
     memoize_checks: bool = True
+    shared_check_memo: bool = True
+    shared_memo_size: int = 4096
     gc_freeze_sessions: bool = True
     intern_table_limit: int | None = 1_000_000
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ReproError("workers must be at least 1")
+        if self.shared_memo_size < 1:
+            raise ReproError("shared_memo_size must be at least 1")
 
     def solver_options(self) -> dict:
         """Keyword arguments for :class:`~repro.smt.solver.SmtSolver`."""

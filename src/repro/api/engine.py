@@ -20,20 +20,32 @@ lands on — a batch gives the same answers as running each job on a
 fresh solver.
 
 With ``EngineConfig(workers=N)`` (N > 1), :meth:`run_batch` fans the
-batch out over a pool of worker *processes*, one ``SolverPool`` per
-worker.  Problem specs are JSON-round-trippable, so they ship to the
-workers as their wire dictionaries; results and certificates come back
-as the existing JSON wire format (the in-process artifact object stays
-behind — its ``repr`` and the problem-specific details survive).  Jobs
-are bucketed onto workers by their shape key, so every shape's session
-history — and therefore every result — is identical to the sequential
-run; results are returned in submission order either way.  (When a batch
-spans more distinct solver shapes than ``pool_size``, session evictions
-depend on the cross-shape interleaving each pool observes, so per-job
-*statistics* may differ between worker topologies; verdicts, artifacts
-and certificates never do.)  A worker process that dies mid-job is
-retired and replaced (the job retried once, then reported failed),
-mirroring the pool's poisoned-session retry.
+batch out over a persistent fleet of worker *processes*, one
+``SolverPool`` per worker.  Problem specs are JSON-round-trippable, so
+they ship to the workers as their wire dictionaries; results and
+certificates come back as the existing JSON wire format (the in-process
+artifact object stays behind — its ``repr`` and the problem-specific
+details survive).  Jobs are grouped into per-shape FIFO queues and
+shapes planned onto workers least-loaded; idle workers then *steal whole
+un-started shape queues* from loaded ones
+(:mod:`repro.api.scheduler`), so skewed streams keep every worker busy
+while every shape's session history — and therefore every result — stays
+identical to the sequential run; results are returned in submission
+order either way.  (When a batch spans more distinct solver shapes than
+``pool_size``, session evictions depend on the cross-shape interleaving
+each pool observes, so per-job *statistics* may differ between worker
+topologies; verdicts, artifacts and certificates never do.)  A worker
+process that dies mid-job is retired and replaced (the job retried once,
+then reported failed), mirroring the pool's poisoned-session retry.
+
+Decided ``check`` verdicts are shared *across* sessions and workers
+through the engine's :class:`~repro.api.memo.SharedCheckMemo` (workers
+reach the parent-held store through a ``multiprocessing`` manager): when
+a long-lived engine re-plans a repeated stream onto different workers —
+the per-batch plan rotation does this on purpose — the new worker
+answers the moved shape's checks from the memo instead of re-running the
+SAT search.  The fleet and the memo manager persist across batches;
+:meth:`SciductionEngine.close` (or dropping the engine) shuts them down.
 
 Per-job controls (both execution modes):
 
@@ -58,15 +70,18 @@ from __future__ import annotations
 import enum
 import itertools
 import multiprocessing
+import threading
 import time
-from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
 
 from repro.api.config import EngineConfig
+from repro.api.memo import MemoClient, SharedCheckMemo, start_shared_memo
 from repro.api.pool import SolverPool
 from repro.api.problems import JobContext, ProblemSpec, problem_from_dict
 from repro.api.results import json_safe, result_from_dict, result_to_dict
+from repro.api.scheduler import SchedulerStatistics, WorkStealingScheduler
 from repro.core.exceptions import BudgetExceededError, ReproError, SolverError
 from repro.core.procedure import SciductionResult
 
@@ -103,7 +118,6 @@ class Job:
     # Transient parallel-execution state (parent side; never pickled —
     # only wire dictionaries cross the process boundary).
     _future: Future | None = field(default=None, repr=False, compare=False)
-    _bucket: int = field(default=0, repr=False, compare=False)
     _crash_retried: bool = field(default=False, repr=False, compare=False)
     _result_wire: dict | None = field(default=None, repr=False, compare=False)
 
@@ -134,18 +148,29 @@ class Job:
 #: and therefore one :class:`SolverPool` — lives for the whole worker
 #: process, so warm sessions amortize across every job the worker runs.
 _WORKER_ENGINE: "SciductionEngine | None" = None
+#: This worker's client id (stamped into shared-memo calls and payloads).
+_WORKER_ID: str = ""
 
 
-def _initialize_worker(config_wire: dict) -> None:
+def _initialize_worker(config_wire: dict, memo_proxy, worker_id: str) -> None:
     """Process-pool initializer: build this worker's engine from the wire.
 
     The worker engine is forced to ``workers=1`` — worker processes run
-    their jobs sequentially; parallelism lives in the parent's executor.
+    their jobs sequentially; parallelism lives in the parent's
+    scheduler.  ``shared_check_memo`` is likewise forced off: the worker
+    must not grow its own store — it consults the *parent's* through
+    ``memo_proxy`` (a manager proxy), installed on the worker pool so
+    every solver session publishes and reads cross-worker.
     """
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_ID
+    _WORKER_ID = worker_id
     _WORKER_ENGINE = SciductionEngine(
-        EngineConfig.from_dict(dict(config_wire, workers=1))
+        EngineConfig.from_dict(
+            dict(config_wire, workers=1, shared_check_memo=False)
+        )
     )
+    if memo_proxy is not None:
+        _WORKER_ENGINE.pool.set_memo_backend(MemoClient(memo_proxy, worker_id))
 
 
 def _run_job_in_worker(payload: dict) -> dict:
@@ -156,7 +181,9 @@ def _run_job_in_worker(payload: dict) -> dict:
     clock starts when the job starts executing here, and the per-job
     statistics deltas are snapshotted by this process's lease — never by
     the parent — so parallel batches report per-job work, not
-    pool-lifetime totals.
+    pool-lifetime totals.  The worker's cumulative pool statistics ride
+    along so the parent can aggregate fleet-wide counters for
+    :meth:`SciductionEngine.statistics`.
     """
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover — initializer always ran
@@ -175,7 +202,15 @@ def _run_job_in_worker(payload: dict) -> dict:
         "error": job.error,
         "elapsed": job.elapsed,
         "result": result_to_dict(job.result),
+        "worker_id": _WORKER_ID,
+        "pool_statistics": asdict(engine.pool.statistics),
     }
+
+
+def _worker_ready() -> bool:
+    """No-op submitted by :meth:`_WorkerFleet.prestart` to force the
+    executor to fork its worker process immediately."""
+    return True
 
 
 def _fork_context():
@@ -192,6 +227,100 @@ def _fork_context():
         return None
 
 
+class _WorkerFleet:
+    """Persistent worker processes (plus the shared-memo manager) of one engine.
+
+    PR 4 built and tore down its executors inside every ``run_batch``
+    call; a long-lived service amortizes much better with workers that
+    survive across batches — their warm solver pools keep serving
+    re-planned shapes, and the shared check memo keeps its entries.  The
+    fleet is created lazily on the first parallel batch and lives until
+    :meth:`close` (called by :meth:`SciductionEngine.close`, and by a
+    ``weakref`` finalizer when an engine is simply dropped).
+
+    One single-process executor per worker index keeps the scheduler's
+    placement decisions authoritative — a shape's jobs reach exactly the
+    worker the plan (or a steal) routed them to, FIFO.
+    """
+
+    def __init__(self, config: EngineConfig):
+        self._config_wire = config.to_dict()
+        self._executors: dict[int, ProcessPoolExecutor] = {}
+        self._memo_manager = None
+        self._memo_proxy = None
+        if config.shared_check_memo and config.memoize_checks:
+            self._memo_manager, self._memo_proxy = start_shared_memo(
+                config.shared_memo_size, context=_fork_context()
+            )
+        self._closed = False
+
+    def submit(self, worker: int, payload: dict) -> Future:
+        """Submit one job payload to worker ``worker`` (created lazily).
+
+        Raises:
+            ReproError: after :meth:`close` — rebuilding an executor on a
+                closed fleet would leak worker processes nothing tracks.
+        """
+        if self._closed:
+            raise ReproError("worker fleet is closed")
+        return self._executor(worker).submit(_run_job_in_worker, payload)
+
+    def _executor(self, worker: int) -> ProcessPoolExecutor:
+        executor = self._executors.get(worker)
+        if executor is None:
+            executor = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=_fork_context(),
+                initializer=_initialize_worker,
+                initargs=(self._config_wire, self._memo_proxy, f"worker-{worker}"),
+            )
+            self._executors[worker] = executor
+        return executor
+
+    def prestart(self, workers: int) -> None:
+        """Fork every worker process now, from the calling thread.
+
+        ``fork`` from a multithreaded process is unsafe (handler threads
+        may hold locks mid-fork); a service that serves HTTP with
+        ``workers > 1`` calls this *before* starting its threads, so the
+        lazily-created executors never have to fork later.
+        """
+        for worker in range(workers):
+            self._executor(worker).submit(_worker_ready).result()
+
+    def retire(self, worker: int) -> None:
+        """Drop a crashed worker's executor; the next submit rebuilds it."""
+        executor = self._executors.pop(worker, None)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def memo_statistics(self) -> dict | None:
+        """Counter snapshot of the manager-served shared memo (or None)."""
+        if self._memo_proxy is None:
+            return None
+        try:
+            return self._memo_proxy.statistics()
+        except Exception:  # pragma: no cover — manager already gone
+            return None
+
+    def close(self) -> None:
+        """Shut down every worker process and the memo manager (idempotent).
+
+        Waiting for worker teardown keeps interpreter shutdown clean (an
+        abandoned executor's atexit hook races its own pipes).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors.values():
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._executors.clear()
+        if self._memo_manager is not None:
+            self._memo_manager.shutdown()
+            self._memo_manager = None
+            self._memo_proxy = None
+
+
 class SciductionEngine:
     """Unified engine running declarative problem specs over pooled solvers.
 
@@ -206,9 +335,70 @@ class SciductionEngine:
 
     def __init__(self, config: EngineConfig | None = None, pool: SolverPool | None = None):
         self.config = config or EngineConfig()
-        self.pool = pool or SolverPool(self.config)
+        #: In-process shared check-memo store: every session of this
+        #: engine's pool reads and publishes through it, so a verdict
+        #: decided on one session short-circuits the same check on
+        #: another (e.g. after a session was recycled past the pool
+        #: bound).  Parallel batches serve the workers a separate,
+        #: manager-hosted store (see :class:`_WorkerFleet`).
+        self._memo_store: SharedCheckMemo | None = None
+        memo_backend = None
+        if self.config.shared_check_memo and self.config.memoize_checks:
+            self._memo_store = SharedCheckMemo(self.config.shared_memo_size)
+            memo_backend = MemoClient(self._memo_store, "local")
+        self.pool = pool or SolverPool(self.config, memo_backend=memo_backend)
         self._jobs: list[Job] = []
         self._job_ids = itertools.count(1)
+        # Guards PENDING → RUNNING/CANCELLED transitions: cancel() may be
+        # called from another thread (the HTTP front end) while a batch
+        # dispatches.
+        self._state_lock = threading.Lock()
+        self._scheduler_statistics = SchedulerStatistics()
+        #: Latest cumulative pool statistics reported by each worker.
+        self._worker_pool_statistics: dict[str, dict] = {}
+        self._fleet: _WorkerFleet | None = None
+        self._fleet_finalizer = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down worker processes and the shared-memo manager.
+
+        Only needed for engines that ran parallel batches (their worker
+        fleet persists across ``run_batch`` calls); sequential engines
+        hold no external resources.  Idempotent; the engine remains
+        usable afterwards (a new fleet is built on demand).
+        """
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
+
+    def __enter__(self) -> "SciductionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _worker_fleet(self) -> _WorkerFleet:
+        if self._fleet is None:
+            self._fleet = _WorkerFleet(self.config)
+            # Belt and braces for engines that are dropped without
+            # close(): the finalizer references the fleet, never the
+            # engine, so it cannot keep the engine alive.
+            self._fleet_finalizer = weakref.finalize(self, self._fleet.close)
+        return self._fleet
+
+    def prestart_workers(self) -> None:
+        """Fork the worker fleet now instead of at the first batch.
+
+        Worker processes are started with the ``fork`` method (it is what
+        lets runtime-registered problem kinds resolve in workers), and
+        forking is only safe while the process is single-threaded — a
+        host that is about to start serving threads (the HTTP service)
+        calls this first.  A no-op for ``workers == 1``.
+        """
+        if self.config.workers > 1:
+            self._worker_fleet().prestart(self.config.workers)
 
     # -- job lifecycle -----------------------------------------------------
 
@@ -247,21 +437,18 @@ class SciductionEngine:
     def cancel(self, job: Job) -> bool:
         """Cancel a job; returns whether the cancellation took.
 
-        Pending jobs always cancel.  Under ``workers > 1`` a job already
-        submitted to a worker can still be cancelled while it is queued
-        behind another in-flight job (its future has not started); a job
-        whose worker is already executing it cannot be cancelled.
+        Pending jobs always cancel — including jobs of a batch that is
+        already in flight under ``workers > 1``: the scheduler holds
+        queued jobs in the parent process and only transitions them to
+        RUNNING at dispatch, so anything not yet handed to a worker is
+        still cancellable (the transition and the cancellation are
+        serialized by one lock).  A job a worker is already executing
+        cannot be cancelled.
         """
-        if job.state is JobState.PENDING:
-            self._mark_cancelled(job)
-            return True
-        if (
-            job.state is JobState.RUNNING
-            and job._future is not None
-            and job._future.cancel()
-        ):
-            self._mark_cancelled(job)
-            return True
+        with self._state_lock:
+            if job.state is JobState.PENDING:
+                self._mark_cancelled(job)
+                return True
         return False
 
     @staticmethod
@@ -273,8 +460,31 @@ class SciductionEngine:
 
     @property
     def jobs(self) -> tuple[Job, ...]:
-        """Every job ever submitted to this engine (read-only view)."""
+        """Every job this engine still tracks (read-only view).
+
+        By default that is every job ever submitted; long-lived callers
+        (the HTTP service) call :meth:`prune` after harvesting results so
+        the engine's history — and with it ``run_batch``'s pending scan —
+        stays bounded.
+        """
         return tuple(self._jobs)
+
+    def prune(self) -> int:
+        """Forget finished jobs (the caller keeps the handles it needs).
+
+        A service that runs forever must not let the engine accumulate
+        every result ever produced: the job handles pin full
+        :class:`SciductionResult` payloads (models, certificates, wire
+        dictionaries).  Open jobs (pending or running) are always kept.
+
+        Returns:
+            The number of job handles dropped.
+        """
+        with self._state_lock:
+            kept = [job for job in self._jobs if not job.done]
+            dropped = len(self._jobs) - len(kept)
+            self._jobs = kept
+        return dropped
 
     # -- execution ---------------------------------------------------------
 
@@ -317,120 +527,101 @@ class SciductionEngine:
     # -- parallel execution ------------------------------------------------
 
     def _execute_batch_parallel(self, batch: list[Job]) -> None:
-        """Fan ``batch`` out over worker processes with shape affinity.
+        """Fan ``batch`` out over the worker fleet with work stealing.
 
-        Jobs are bucketed by their problem's shape key (buckets assigned
-        to workers round-robin in first-appearance order — deterministic,
-        unlike a hash) and each bucket is served by a dedicated
-        single-process executor, FIFO.  A shape's jobs therefore hit one
+        Jobs are grouped into per-shape FIFO queues and shapes assigned
+        to workers by the deterministic least-loaded plan; idle workers
+        then steal whole un-started shape queues from loaded ones (see
+        :mod:`repro.api.scheduler`).  A shape's jobs always hit one
         worker, in submission order, on one warm session — exactly the
         session history the sequential engine produces — so parallel
-        results match sequential results, and they are collected back in
-        submission order regardless of which worker finishes first.
+        results match sequential results byte for byte, and they are
+        collected back in submission order regardless of which worker
+        finishes first.
+
+        The plan's tie-break rotates once per batch: on a long-lived
+        engine a repeated stream lands its shapes on different workers
+        over time, and the cross-worker check memo converts the move
+        into shared-memo hits instead of cold re-searches.
         """
-        workers = min(self.config.workers, len(batch))
-        config_wire = self.config.to_dict()
-        bucket_of_shape: dict[str, int] = {}
-        buckets: list[list[Job]] = [[] for _ in range(workers)]
-        for job in batch:
-            shape = job.problem.shape_key()
-            if shape not in bucket_of_shape:
-                # Deterministic least-loaded assignment: a new shape goes
-                # to the worker with the fewest queued jobs so far (ties
-                # break on the lower index).  Any shape→worker map keeps
-                # results byte-identical — what matters for parity is that
-                # one worker owns all of a shape's jobs, in order.
-                bucket_of_shape[shape] = min(
-                    range(workers), key=lambda index: (len(buckets[index]), index)
+        workers = self.config.workers
+        fleet = self._worker_fleet()
+
+        def claim(job: Job) -> bool:
+            with self._state_lock:
+                if job.state is not JobState.PENDING:
+                    return False  # cancelled while queued in the plan
+                job.state = JobState.RUNNING
+                return True
+
+        class _Transport:
+            @staticmethod
+            def submit(worker: int, job: Job) -> Future:
+                job._future = fleet.submit(
+                    worker,
+                    {
+                        "job_id": job.job_id,
+                        "problem": job.problem.to_dict(),
+                        "max_conflicts": job.max_conflicts,
+                        "timeout": job.timeout,
+                        "label": job.label,
+                    },
                 )
-            job._bucket = bucket_of_shape[shape]
-            buckets[job._bucket].append(job)
-        executors: list[ProcessPoolExecutor | None] = [None] * workers
+                return job._future
 
-        def executor_for(bucket: int) -> ProcessPoolExecutor:
-            if executors[bucket] is None:
-                executors[bucket] = ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=_fork_context(),
-                    initializer=_initialize_worker,
-                    initargs=(config_wire,),
-                )
-            return executors[bucket]
+            @staticmethod
+            def retire(worker: int) -> None:
+                fleet.retire(worker)
 
-        def submit(job: Job) -> None:
-            job.state = JobState.RUNNING
-            job._future = executor_for(job._bucket).submit(
-                _run_job_in_worker,
-                {
-                    "job_id": job.job_id,
-                    "problem": job.problem.to_dict(),
-                    "max_conflicts": job.max_conflicts,
-                    "timeout": job.timeout,
-                    "label": job.label,
-                },
-            )
+        def retry_crash(job: Job) -> bool:
+            if job._crash_retried:
+                return False
+            job._crash_retried = True
+            return True
 
-        def retire_worker(bucket: int) -> None:
-            # Mirror of the pool's poisoned-session retirement: drop the
-            # dead process, then resubmit the bucket's unfinished jobs to
-            # a fresh worker (preserving their order).
-            executor = executors[bucket]
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
-                executors[bucket] = None
-            for queued in buckets[bucket]:
-                if queued.state is JobState.RUNNING:
-                    submit(queued)
-
-        try:
-            for bucket_jobs in buckets:
-                for job in bucket_jobs:
-                    submit(job)
-            for job in batch:
-                self._collect_parallel(job, retire_worker)
-        finally:
-            # Waiting for worker teardown keeps interpreter shutdown clean
-            # (an abandoned executor's atexit hook races its own pipes);
-            # every job has been collected, so the workers are idle.
-            for executor in executors:
-                if executor is not None:
-                    executor.shutdown(wait=True, cancel_futures=True)
-
-    def _collect_parallel(self, job: Job, retire_worker) -> None:
-        """Wait for one parallel job and fold its outcome into the handle."""
-        while True:
-            if job.state is JobState.CANCELLED:
-                return  # cancel() already recorded the structured result
-            assert job._future is not None
-            try:
-                payload = job._future.result()
-            except CancelledError:
-                return  # cancel() won the race while the job was queued
-            except BrokenProcessPool:
-                if not job._crash_retried:
-                    job._crash_retried = True
-                    retire_worker(job._bucket)
-                    continue
+        def complete(job: Job, kind: str, value) -> None:
+            if kind == "payload":
+                job.state = JobState(value["state"])
+                job.error = value["error"]
+                job.elapsed = value["elapsed"]
+                job._result_wire = value["result"]
+                job.result = result_from_dict(value["result"])
+                self._worker_pool_statistics[value["worker_id"]] = value[
+                    "pool_statistics"
+                ]
+            elif kind == "crashed":
                 self._record_crash(job)
-                retire_worker(job._bucket)
-                return
-            except Exception as error:  # noqa: BLE001 — batch jobs never raise
+            elif kind == "error":
                 # The worker returned an unrunnable-job error (e.g. a
                 # problem kind not registered in the worker process).
                 job.state = JobState.FAILED
-                job.error = str(error)
+                job.error = str(value)
                 job.result = SciductionResult(
                     success=False,
-                    details={"outcome": "failed", "error": str(error)},
+                    details={"outcome": "failed", "error": str(value)},
                 )
                 self._stamp_engine_details(job)
-                return
-            job.state = JobState(payload["state"])
-            job.error = payload["error"]
-            job.elapsed = payload["elapsed"]
-            job._result_wire = payload["result"]
-            job.result = result_from_dict(payload["result"])
-            return
+            elif kind == "cancelled" and job.result is None:
+                # Normally cancel() recorded the result before the future
+                # was dropped; a future cancelled from outside (e.g. the
+                # fleet shut down mid-batch) still needs one — run_batch
+                # promises a structured result for every job, never a
+                # raise.
+                self._mark_cancelled(job)
+
+        scheduler = WorkStealingScheduler(
+            transport=_Transport,
+            claim=claim,
+            complete=complete,
+            retry_crash=retry_crash,
+            statistics=self._scheduler_statistics,
+        )
+        rotation = (self._scheduler_statistics.batches) % workers
+        scheduler.run_batch(
+            [(job.problem.shape_key(), job) for job in batch],
+            workers=workers,
+            rotation=rotation,
+        )
 
     def _record_crash(self, job: Job) -> None:
         job.state = JobState.FAILED
@@ -454,9 +645,10 @@ class SciductionEngine:
         )
 
     def _execute(self, job: Job) -> None:
-        if job.state is not JobState.PENDING:
-            return
-        job.state = JobState.RUNNING
+        with self._state_lock:
+            if job.state is not JobState.PENDING:
+                return
+            job.state = JobState.RUNNING
         deadline = (
             time.monotonic() + job.timeout if job.timeout is not None else None
         )
@@ -550,6 +742,8 @@ class SciductionEngine:
                 "unsat_answers": job_smt.unsat_answers,
                 "variables_generated": job_smt.variables_generated,
                 "clauses_generated": job_smt.clauses_generated,
+                "check_memo_hits": job_smt.check_memo_hits,
+                "shared_memo_hits": job_smt.shared_memo_hits,
             }
             result.details["engine"]["sat_job_statistics"] = {
                 "conflicts": job_sat.conflicts,
@@ -560,6 +754,44 @@ class SciductionEngine:
         job.result = result
 
     # -- reporting ---------------------------------------------------------
+
+    def statistics(self) -> dict:
+        """JSON-ready engine-wide counters (the ``/stats`` payload).
+
+        Aggregates four layers:
+
+        * ``pool`` — the in-process :class:`~repro.api.pool.SolverPool`
+          (sequential execution and ``run()`` calls);
+        * ``scheduler`` — batches, dispatches, steals and crash
+          retirements of the parallel work-stealing scheduler;
+        * ``workers`` — each worker process's latest cumulative pool
+          counters (reported with every finished job);
+        * ``shared_memo`` — the cross-session / cross-worker check-memo
+          counters, summed over the engine's in-process store and the
+          manager-served store the workers use.  ``cross_worker_hits``
+          counts verdicts decided by one client and reused by another.
+        """
+        memo = {}
+        stores = []
+        if self._memo_store is not None:
+            stores.append(self._memo_store.statistics())
+        if self._fleet is not None:
+            fleet_memo = self._fleet.memo_statistics()
+            if fleet_memo is not None:
+                stores.append(fleet_memo)
+        for record in stores:
+            for key, value in record.items():
+                if key == "capacity":
+                    # The configured bound, not a counter — never summed.
+                    memo[key] = max(memo.get(key, 0), value)
+                else:
+                    memo[key] = memo.get(key, 0) + value
+        return {
+            "pool": asdict(self.pool.statistics),
+            "scheduler": self._scheduler_statistics.as_dict(),
+            "workers": dict(sorted(self._worker_pool_statistics.items())),
+            "shared_memo": memo,
+        }
 
     def batch_report(self) -> list[dict]:
         """JSON-ready summaries of every finished job."""

@@ -260,7 +260,7 @@ class SolverPool:
             learned-clause retention and intern-table cleanup.
     """
 
-    def __init__(self, config: EngineConfig | None = None):
+    def __init__(self, config: EngineConfig | None = None, memo_backend=None):
         self.config = config or EngineConfig()
         if self.config.pool_size < 1:
             raise SolverError("pool_size must be at least 1")
@@ -270,6 +270,24 @@ class SolverPool:
         self._clock = 0
         self._active: list[SolverLease] = []
         self.statistics = PoolStatistics()
+        #: Shared (cross-session / cross-worker) check-memo backend
+        #: installed on every solver the pool creates; see
+        #: :meth:`set_memo_backend`.
+        self._memo_backend = memo_backend
+
+    def set_memo_backend(self, backend) -> None:
+        """Install a shared check-memo backend on the pool.
+
+        Solvers created *after* the call consult it (see
+        :meth:`~repro.smt.solver.SmtSolver.set_memo_backend`); existing
+        idle sessions are updated in place.  The engine wires this up —
+        sequential engines hand every pool session one in-process
+        :class:`~repro.api.memo.SharedCheckMemo`, worker processes
+        receive a manager proxy to the parent's store.
+        """
+        self._memo_backend = backend
+        for idle in self._idle:
+            idle.solver.set_memo_backend(backend)
 
     def acquire(self, shape: str | None = None) -> SolverLease:
         """Lease a solver session, preferring one warmed on ``shape``.
@@ -319,6 +337,8 @@ class SolverPool:
         reused = record is not None
         if record is None:
             solver = SmtSolver(**self.config.solver_options())
+            if self._memo_backend is not None and self.config.memoize_checks:
+                solver.set_memo_backend(self._memo_backend)
             record = _SessionRecord(
                 solver, shape, self._clock, root_depth=solver.scope_depth
             )

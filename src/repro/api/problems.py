@@ -370,13 +370,18 @@ class TimingAnalysisProblem(ProblemSpec):
                 f"(available: {sorted(programs)})"
             )
         task = programs[self.program](**self.program_args)
+        # The lease itself is the factory: the path-constraint builder
+        # detects its base_session/seal_base protocol and keeps a
+        # fingerprinted per-CFG base scope open across same-shape jobs
+        # (frontier rollback + memoized feasibility verdicts), exactly
+        # like the OGIS encoder's skeleton scope.
         return GameTime(
             task,
             start_state=self.start_state,
             trials=self.trials,
             seed=self.seed,
             config=context.config,
-            solver=context.session(),
+            solver_factory=context.solver_factory(),
         )
 
     def run_kwargs(self) -> dict:

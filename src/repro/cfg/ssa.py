@@ -19,6 +19,8 @@ bit-vectors.  Two refinements keep the queries small:
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass
 
 from repro.core.exceptions import BudgetExceededError, CompilationError
@@ -98,6 +100,18 @@ class PathConstraintBuilder:
             builder's statistics are per-builder deltas against the
             solver's state at hand-over, not the solver's lifetime
             totals.
+        solver_factory: a solver factory — typically the
+            :class:`~repro.api.pool.SolverLease` itself.  When the
+            factory offers the ``base_session`` / ``seal_base`` protocol,
+            the builder opens a *fingerprinted per-CFG base scope* on the
+            leased session, exactly like the OGIS encoder's skeleton
+            scope: at lease release the pool rolls the session back to
+            the scope's variable frontier (shedding every per-path SSA
+            encoding wholesale), and a later job on the same CFG finds
+            the scope — and therefore the session's memoized feasibility
+            verdicts — still valid, so a repeated timing-analysis sweep
+            answers its path queries without re-running the SAT search.
+            Takes precedence over ``solver``.
     """
 
     def __init__(
@@ -108,10 +122,30 @@ class PathConstraintBuilder:
         solver_options: dict | None = None,
         config=None,
         solver: SmtSolver | None = None,
+        solver_factory=None,
     ):
         self.cfg = cfg
         self.slice_to_conditions = slice_to_conditions
-        if solver is not None:
+        #: Whether this builder found its base scope already sealed by an
+        #: earlier same-CFG tenant (telemetry for tests/benchmarks).
+        self.base_scope_reused = False
+        if solver_factory is not None:
+            base_session = getattr(solver_factory, "base_session", None)
+            if base_session is not None:
+                self._solver, self.base_scope_reused = base_session(
+                    self.fingerprint()
+                )
+                if not self.base_scope_reused:
+                    # The SSA encoding has no job-independent constraints
+                    # to assert (every path formula is query-local), so
+                    # the base scope is sealed empty: its value is the
+                    # frontier watermark — release-time rollback — and
+                    # the check-memo epoch it keeps alive across jobs.
+                    solver_factory.seal_base()
+            else:
+                self._solver = solver_factory()
+            solver = self._solver
+        elif solver is not None:
             self._solver = solver
         else:
             if config is None:
@@ -123,6 +157,27 @@ class PathConstraintBuilder:
             self._solver.statistics.snapshot() if solver is not None else SmtStatistics()
         )
         self.queries = 0
+
+    def fingerprint(self) -> str:
+        """Stable identity of this builder's base scope.
+
+        Two builders share a fingerprint exactly when they produce the
+        same encodings: same CFG structure (blocks, statements, edge
+        conditions, parameters, word width) and the same slicing flag.
+        """
+        blocks = ";".join(
+            ",".join(repr(statement) for statement in block.statements)
+            for block in self.cfg.blocks
+        )
+        edges = ";".join(
+            f"{edge.source}>{edge.target}:{edge.condition!r}"
+            for edge in self.cfg.edges
+        )
+        raw = (
+            f"{self.cfg.word_width}|{','.join(self.cfg.parameters)}"
+            f"|{int(self.slice_to_conditions)}|{blocks}|{edges}"
+        )
+        return "cfg/" + hashlib.sha1(raw.encode("utf-8")).hexdigest()
 
     @property
     def solver(self) -> SmtSolver:

@@ -157,6 +157,13 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         solver: externally owned :class:`~repro.smt.solver.SmtSolver` for
             the feasibility queries (a pooled session leased by the
             engine's :class:`~repro.api.pool.SolverPool`).
+        solver_factory: a solver factory — preferably the pooled
+            :class:`~repro.api.pool.SolverLease` itself, which lets the
+            path-constraint builder keep a fingerprinted per-CFG base
+            scope alive across jobs (frontier rollback plus memoized
+            feasibility verdicts on repeated analyses; see
+            :class:`~repro.cfg.ssa.PathConstraintBuilder`).  Takes
+            precedence over ``solver``.
     """
 
     name = "gametime"
@@ -174,6 +181,7 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
         reencode_each_check: bool = False,
         config=None,
         solver=None,
+        solver_factory=None,
     ):
         self.program = program
         self.cfg: ControlFlowGraph = build_cfg(program)
@@ -182,6 +190,7 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
             reencode_each_check=reencode_each_check,
             config=config,
             solver=solver,
+            solver_factory=solver_factory,
         )
         self.binary = compile_program(program)
         self.harness = MeasurementHarness(

@@ -1,0 +1,39 @@
+"""Sciduction as a long-lived HTTP service.
+
+The :mod:`repro.api` engine made the three paper applications one
+library call; this package makes them one *service*: a stdlib-only HTTP
+front end (``http.server``, no new dependencies) over a persistent
+:class:`~repro.api.engine.SciductionEngine` with a thread-safe job
+queue.  Problems arrive as the same JSON wire-form specs the engine
+already speaks, results leave as the same wire-form results — running a
+job over HTTP and running it in process produce byte-identical wire
+forms (the service-smoke CI job asserts exactly that).
+
+Endpoints (see :mod:`repro.service.server`)::
+
+    POST   /jobs             submit {"problem": {...}, "timeout": ..., ...}
+    GET    /jobs             list job summaries
+    GET    /jobs/<id>        job state record
+    GET    /jobs/<id>/result wire-form result (409 while the job is open)
+    DELETE /jobs/<id>        cancel a queued job
+    GET    /stats            engine + queue + shared-memo counters
+    GET    /problems         registered problem kinds
+    GET    /healthz          liveness probe
+
+Run it::
+
+    python -m repro.service --port 8080
+    python -m repro.service --port 0 --port-file port.txt   # ephemeral
+"""
+
+from repro.service.queue import JobQueue, ServiceJob
+from repro.service.server import SciductionService
+from repro.service.wire import WireError, parse_job_request
+
+__all__ = [
+    "JobQueue",
+    "SciductionService",
+    "ServiceJob",
+    "WireError",
+    "parse_job_request",
+]

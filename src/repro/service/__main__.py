@@ -1,0 +1,77 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Examples::
+
+    python -m repro.service --port 8080
+    python -m repro.service --port 0 --port-file port.txt   # ephemeral port
+    python -m repro.service --workers 2 --pool-size 8
+
+The bound address is printed on stdout (and written to ``--port-file``
+when given) so callers that asked for an ephemeral port can discover it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api.config import EngineConfig
+from repro.service.server import SciductionService
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the sciduction engine over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (for --port 0 callers)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for batch execution (1 = in-process)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        help="warm solver sessions kept per pool (default: engine default)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    arguments = parser.parse_args(argv)
+
+    config_kwargs: dict = {"workers": arguments.workers}
+    if arguments.pool_size is not None:
+        config_kwargs["pool_size"] = arguments.pool_size
+    service = SciductionService(
+        EngineConfig(**config_kwargs),
+        host=arguments.host,
+        port=arguments.port,
+        quiet=arguments.quiet,
+    )
+    print(f"sciduction service listening on {service.url}", flush=True)
+    if arguments.port_file is not None:
+        arguments.port_file.write_text(f"{service.port}\n")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,269 @@
+"""Thread-safe job queue + the engine runner thread.
+
+The HTTP handler threads (one per connection under
+``ThreadingHTTPServer``) only ever touch the :class:`JobQueue`; a single
+:class:`_Runner` thread owns the :class:`~repro.api.engine.SciductionEngine`
+and drains the queue into ``run_batch`` calls.  Draining everything
+pending into one batch is what hands the engine real batches to
+schedule: with ``workers > 1`` the work-stealing scheduler fans a burst
+of submissions out over the worker fleet exactly as a library
+``run_batch`` would.
+
+Cancellation composes the two layers: a job still in the service queue
+is cancelled locally; a job already drained into the engine is forwarded
+to :meth:`SciductionEngine.cancel`, which can still cancel anything the
+scheduler has not dispatched to a worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from dataclasses import dataclass, field
+
+from repro.api.engine import Job, JobState, SciductionEngine
+from repro.api.results import result_to_dict
+from repro.core.procedure import SciductionResult
+
+#: Engine job states surfaced verbatim; PENDING is reported as "queued".
+_STATE_NAMES = {
+    JobState.PENDING: "queued",
+    JobState.RUNNING: "running",
+    JobState.COMPLETED: "completed",
+    JobState.FAILED: "failed",
+    JobState.TIMED_OUT: "timed-out",
+    JobState.BUDGET_EXHAUSTED: "budget-exhausted",
+    JobState.CANCELLED: "cancelled",
+}
+
+#: States in which a job has a result to serve.
+_TERMINAL = {"completed", "failed", "timed-out", "budget-exhausted", "cancelled"}
+
+
+def _cancelled_wire() -> dict:
+    """The wire form the engine produces for a cancelled job (kept
+    identical for jobs cancelled before they ever reach the engine)."""
+    return result_to_dict(
+        SciductionResult(success=False, details={"outcome": "cancelled"})
+    )
+
+
+@dataclass
+class ServiceJob:
+    """One submitted job as the HTTP surface sees it."""
+
+    job_id: int
+    problem: dict
+    max_conflicts: int | None = None
+    timeout: float | None = None
+    label: str | None = None
+    #: Local state ("queued"/"cancelled" before the drain, the final
+    #: state after :meth:`_finalize`); while the job lives in the engine,
+    #: the engine job is authoritative.
+    _local_state: str = field(default="queued", repr=False)
+    _local_result: dict | None = field(default=None, repr=False)
+    _local_error: str | None = field(default=None, repr=False)
+    _local_elapsed: float = field(default=0.0, repr=False)
+    _engine_job: Job | None = field(default=None, repr=False)
+
+    @property
+    def state(self) -> str:
+        if self._engine_job is not None:
+            return _STATE_NAMES[self._engine_job.state]
+        return self._local_state
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+    @property
+    def result(self) -> dict | None:
+        """The wire-form result, or None while the job is open."""
+        if self._engine_job is not None:
+            if self.state in _TERMINAL:
+                # result_wire() may momentarily be None while the runner
+                # thread is still folding the outcome; served as not-done.
+                return self._engine_job.result_wire()
+            return None
+        return self._local_result
+
+    @property
+    def error(self) -> str | None:
+        if self._engine_job is not None:
+            return self._engine_job.error
+        return self._local_error
+
+    @property
+    def elapsed(self) -> float:
+        if self._engine_job is not None:
+            return self._engine_job.elapsed
+        return self._local_elapsed
+
+    def _finalize(self) -> None:
+        """Copy the engine job's outcome locally and release the handle.
+
+        Detaching lets the engine :meth:`~SciductionEngine.prune` its
+        history — without this, a long-lived service would pin every
+        result ever produced in two places.
+        """
+        engine_job = self._engine_job
+        if engine_job is None or not engine_job.done:
+            return
+        self._local_state = _STATE_NAMES[engine_job.state]
+        self._local_result = engine_job.result_wire()
+        self._local_error = engine_job.error
+        self._local_elapsed = engine_job.elapsed
+        self._engine_job = None
+
+
+class JobQueue:
+    """Registry + FIFO of service jobs, drained by the runner thread.
+
+    Args:
+        engine: the owning engine (driven only by the runner thread).
+        max_history: finished jobs retained for ``GET /jobs/<id>`` —
+            the oldest finished records are evicted past the bound, so a
+            service that runs forever holds bounded memory.  Open jobs
+            are never evicted.
+    """
+
+    def __init__(self, engine: SciductionEngine, max_history: int = 10_000):
+        self.engine = engine
+        self.max_history = max_history
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._jobs: dict[int, ServiceJob] = {}
+        self._pending: list[ServiceJob] = []
+        self._ids = itertools.count(1)
+        self._stopped = False
+        self._runner = _Runner(self)
+
+    # -- HTTP-side API -----------------------------------------------------
+
+    def submit(self, request: dict) -> ServiceJob:
+        """Enqueue a validated job request (see
+        :func:`repro.service.wire.parse_job_request`)."""
+        with self._wakeup:
+            if self._stopped:
+                raise RuntimeError("service is shutting down")
+            job = ServiceJob(
+                job_id=next(self._ids),
+                problem=request["problem"],
+                max_conflicts=request["max_conflicts"],
+                timeout=request["timeout"],
+                label=request["label"],
+            )
+            self._jobs[job.job_id] = job
+            self._pending.append(job)
+            self._wakeup.notify_all()
+            return job
+
+    def get(self, job_id: int) -> ServiceJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[ServiceJob]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def cancel(self, job_id: int) -> bool | None:
+        """Cancel a queued job.
+
+        Returns True when the cancellation took, False when the job is
+        already running or finished, None for an unknown id.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job._engine_job is not None:
+                return self.engine.cancel(job._engine_job)
+            if job._local_state != "queued":
+                return False
+            job._local_state = "cancelled"
+            job._local_result = _cancelled_wire()
+            try:
+                self._pending.remove(job)
+            except ValueError:  # pragma: no cover — drained concurrently
+                pass
+            return True
+
+    def counts(self) -> dict:
+        """Per-state job counts (for ``/stats``)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._runner.start()
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the runner thread (the in-flight batch is finished first)."""
+        with self._wakeup:
+            self._stopped = True
+            self._wakeup.notify_all()
+        if self._runner.is_alive():
+            self._runner.join(timeout=timeout)
+
+    # -- runner side -------------------------------------------------------
+
+    def _drain(self) -> list[ServiceJob]:
+        """Move every pending job into the engine (runner thread only).
+
+        Blocks until at least one job is pending or the queue stops.
+        """
+        with self._wakeup:
+            while not self._pending and not self._stopped:
+                self._wakeup.wait()
+            drained = self._pending[:]
+            self._pending.clear()
+            for job in drained:
+                job._engine_job = self.engine.submit(
+                    job.problem,
+                    max_conflicts=job.max_conflicts,
+                    timeout=job.timeout,
+                    label=job.label,
+                )
+            return drained
+
+    def _harvest(self, drained: list[ServiceJob]) -> None:
+        """Fold a finished batch back and bound retained memory
+        (runner thread only): finished jobs keep a local copy of their
+        wire-form outcome, the engine forgets its handles, and the
+        oldest finished service records past ``max_history`` are
+        evicted."""
+        with self._lock:
+            for job in drained:
+                job._finalize()
+            self.engine.prune()
+            if len(self._jobs) > self.max_history:
+                for job_id in sorted(self._jobs):
+                    if len(self._jobs) <= self.max_history:
+                        break
+                    if self._jobs[job_id]._engine_job is None and self._jobs[
+                        job_id
+                    ].state != "queued":
+                        del self._jobs[job_id]
+
+
+class _Runner(threading.Thread):
+    """The single thread that owns the engine and runs the batches."""
+
+    def __init__(self, queue: JobQueue):
+        super().__init__(name="sciduction-runner", daemon=True)
+        self._queue = queue
+
+    def run(self) -> None:
+        while True:
+            drained = self._queue._drain()
+            if drained:
+                self._queue.engine.run_batch()
+                self._queue._harvest(drained)
+            elif self._queue._stopped:
+                return

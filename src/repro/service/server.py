@@ -1,0 +1,280 @@
+"""The HTTP front end: stdlib ``ThreadingHTTPServer`` over the engine.
+
+No frameworks, no new dependencies: request routing is a handful of
+regular expressions, bodies are ``json`` both ways, concurrency is one
+handler thread per connection (the handlers only touch the thread-safe
+:class:`~repro.service.queue.JobQueue`; the engine itself is driven by
+the queue's single runner thread).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.config import EngineConfig
+from repro.api.engine import SciductionEngine
+from repro.api.problems import problem_types
+from repro.service.queue import JobQueue
+from repro.service.wire import (
+    WireError,
+    error_wire,
+    job_record_wire,
+    job_summary_wire,
+    parse_job_request,
+)
+
+_JOB_PATH = re.compile(r"^/jobs/(\d+)$")
+_RESULT_PATH = re.compile(r"^/jobs/(\d+)/result$")
+
+#: Request bodies above this size are rejected (the wire forms the
+#: service accepts are small; this bounds memory per connection).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the owning :class:`SciductionService`."""
+
+    #: Injected by :meth:`SciductionService._handler_class`.
+    service: "SciductionService"
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _body_length(self) -> int:
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            # A client protocol error, not a server fault — and the body
+            # size is unknowable, so the connection cannot be reused.
+            self.close_connection = True
+            raise WireError(f"invalid Content-Length header {raw!r}") from None
+        return max(0, length)
+
+    def _drain_body(self) -> None:
+        """Discard an unread request body before replying.
+
+        Under HTTP/1.1 keep-alive the connection is reused for the next
+        request; replying without consuming the body would leave it in
+        the stream, where it gets parsed as the next request line.
+        Oversized bodies are not worth draining — the connection is
+        closed instead.
+        """
+        try:
+            remaining = self._body_length()
+        except WireError:
+            return  # close_connection already set
+        if not remaining:
+            return
+        if remaining > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _reply(self, status: int, payload: dict | list) -> None:
+        if not self._body_consumed:
+            self._drain_body()
+            self._body_consumed = True
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self._reply(status, error_wire(message, status))
+
+    def _read_json(self):
+        length = self._body_length()
+        self._body_consumed = True
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise WireError("request body too large", status=413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise WireError("request body required")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise WireError(f"invalid JSON body: {error}") from error
+
+    def handle_one_request(self) -> None:  # noqa: D102 — http.server API
+        self._body_consumed = False
+        super().handle_one_request()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.service.quiet:
+            super().log_message(format, *args)
+
+    def _job_or_404(self, job_id: str):
+        job = self.service.queue.get(int(job_id))
+        if job is None:
+            self._fail(404, f"unknown job id {job_id}")
+        return job
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok"})
+                return
+            if self.path == "/stats":
+                self._reply(200, self.service.stats())
+                return
+            if self.path == "/problems":
+                self._reply(200, {"kinds": sorted(problem_types())})
+                return
+            if self.path == "/jobs":
+                self._reply(
+                    200,
+                    {"jobs": [job_summary_wire(job) for job in self.service.queue.jobs()]},
+                )
+                return
+            match = _JOB_PATH.match(self.path)
+            if match:
+                job = self._job_or_404(match.group(1))
+                if job is not None:
+                    self._reply(200, job_record_wire(job))
+                return
+            match = _RESULT_PATH.match(self.path)
+            if match:
+                job = self._job_or_404(match.group(1))
+                if job is None:
+                    return
+                result = job.result
+                if result is None:
+                    self._fail(409, f"job {job.job_id} is {job.state}; no result yet")
+                    return
+                self._reply(200, result)
+                return
+            self._fail(404, f"unknown path {self.path}")
+        except Exception as error:  # noqa: BLE001 — a handler must answer
+            self._fail(500, f"internal error: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path != "/jobs":
+                self._fail(404, f"unknown path {self.path}")
+                return
+            request = parse_job_request(self._read_json())
+            job = self.service.queue.submit(request)
+            self._reply(
+                202,
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "location": f"/jobs/{job.job_id}",
+                },
+            )
+        except WireError as error:
+            self._fail(error.status, str(error))
+        except Exception as error:  # noqa: BLE001
+            self._fail(500, f"internal error: {error}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            match = _JOB_PATH.match(self.path)
+            if not match:
+                self._fail(404, f"unknown path {self.path}")
+                return
+            cancelled = self.service.queue.cancel(int(match.group(1)))
+            if cancelled is None:
+                self._fail(404, f"unknown job id {match.group(1)}")
+                return
+            if not cancelled:
+                self._fail(409, "job is already running or finished")
+                return
+            self._reply(200, {"cancelled": True})
+        except Exception as error:  # noqa: BLE001
+            self._fail(500, f"internal error: {error}")
+
+
+class SciductionService:
+    """Engine + queue + HTTP server, composed for one process.
+
+    Args:
+        config: engine configuration (``workers > 1`` fans service
+            batches over the parallel scheduler).
+        host: bind address (loopback by default — the service speaks
+            plaintext HTTP and has no auth story yet; see ROADMAP).
+        port: bind port; 0 asks the OS for an ephemeral one (read it
+            back from :attr:`port`).
+        quiet: silence per-request access logs.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = False,
+    ):
+        self.engine = SciductionEngine(config)
+        self.queue = JobQueue(self.engine)
+        self.quiet = quiet
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._server_thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: queue counts + engine-wide counters."""
+        return {
+            "queue": self.queue.counts(),
+            "engine": self.engine.statistics(),
+            "config": self.engine.config.to_dict(),
+        }
+
+    def start(self) -> None:
+        """Start the runner thread and serve HTTP in the background."""
+        # Fork the worker fleet while this process is still
+        # single-threaded — forking under live handler threads is unsafe.
+        self.engine.prestart_workers()
+        self.queue.start()
+        self._server_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sciduction-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+
+    def serve_forever(self) -> None:
+        """Start the runner thread and serve HTTP on the calling thread."""
+        self.engine.prestart_workers()
+        self.queue.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, finish the in-flight batch, release workers."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10.0)
+            self._server_thread = None
+        self.queue.stop()
+        self.engine.close()

@@ -41,6 +41,8 @@ needed to justify those assertions.
 
 from __future__ import annotations
 
+import zlib
+
 from typing import Protocol, Sequence
 
 from repro.core.exceptions import SolverError
@@ -115,6 +117,14 @@ class BitBlaster:
         # Polarity directions already emitted, per Boolean term / per gate.
         self._bool_polarity: dict[Term, int] = {}
         self._gate_emitted: dict[tuple, int] = {}
+        # Hash chain over named-variable declarations, in order:
+        # (highest SAT variable of the declaration, chain value).  The
+        # chain value is a process-independent witness of the name→bits
+        # layout — exactly what model extraction depends on — used by the
+        # shared check memo to guarantee that replayed model bits decode
+        # against the layout they were recorded under (a bare variable
+        # *count* can collide between differently-polluted sessions).
+        self._declarations: list[tuple[int, int]] = []
 
     # -- public API -------------------------------------------------------
 
@@ -167,6 +177,26 @@ class BitBlaster:
             )
         self._bv_cache[term] = bits
         return bits
+
+    def _record_declaration(self, name: str, literals: Sequence[int]) -> None:
+        previous = self._declarations[-1][1] if self._declarations else 0
+        top = max(literal >> 1 for literal in literals)
+        token = f"{previous}|{name}|{len(literals)}|{literals[0]}"
+        self._declarations.append(
+            (top, zlib.crc32(token.encode("utf-8")))
+        )
+
+    def layout_signature(self) -> int:
+        """Process-independent digest of the name→bits declaration layout.
+
+        Two blasters with equal signatures assign every declared variable
+        name the same SAT literals (declarations are recorded in order
+        with their positions), so a SAT model recorded under one decodes
+        identically under the other — the guarantee the shared check
+        memo's keys need.  Maintained incrementally and rolled back by
+        :meth:`rollback_variables`.
+        """
+        return self._declarations[-1][1] if self._declarations else 0
 
     def bool_variable_literal(self, name: str) -> int | None:
         """Literal assigned to a declared Boolean variable, if any."""
@@ -280,6 +310,11 @@ class BitBlaster:
             for key, mask in self._gate_emitted.items()
             if key in self._gate_cache
         }
+        # Rewind the declaration chain to the watermark: a deterministic
+        # replay from here reproduces the same chain values, so the
+        # layout signature stays a faithful witness across rollbacks.
+        while self._declarations and self._declarations[-1][0] > max_var:
+            self._declarations.pop()
 
     @staticmethod
     def _literal_value(literal: int, sat_model: Sequence[bool]) -> bool:
@@ -398,7 +433,9 @@ class BitBlaster:
             return self._constant(term.value)
         if isinstance(term, BoolVar):
             if term.name not in self._bool_vars:
-                self._bool_vars[term.name] = self._fresh()
+                literal = self._fresh()
+                self._bool_vars[term.name] = literal
+                self._record_declaration(term.name, (literal,))
             return self._bool_vars[term.name]
         if isinstance(term, BoolOp):
             if term.kind == "not":
@@ -477,7 +514,9 @@ class BitBlaster:
             ]
         if isinstance(term, BvVar):
             if term.name not in self._bv_vars:
-                self._bv_vars[term.name] = [self._fresh() for _ in range(term.width)]
+                bits = [self._fresh() for _ in range(term.width)]
+                self._bv_vars[term.name] = bits
+                self._record_declaration(term.name, bits)
             bits = self._bv_vars[term.name]
             if len(bits) != term.width:
                 raise SolverError(

@@ -140,8 +140,12 @@ class SmtStatistics:
     terms_simplified: int = 0
     #: Clauses reclaimed by scope garbage collection (see ``gc_dead_clauses``).
     clauses_collected: int = 0
-    #: Checks answered from the check memo without touching the SAT core.
+    #: Checks answered from the check memo (local or shared) without
+    #: touching the SAT core.
     check_memo_hits: int = 0
+    #: The subset of ``check_memo_hits`` answered by the *shared*
+    #: cross-worker memo backend (see :meth:`SmtSolver.set_memo_backend`).
+    shared_memo_hits: int = 0
 
     def merged_with(self, other: "SmtStatistics") -> "SmtStatistics":
         """Field-wise sum of two statistics records."""
@@ -154,6 +158,7 @@ class SmtStatistics:
             terms_simplified=self.terms_simplified + other.terms_simplified,
             clauses_collected=self.clauses_collected + other.clauses_collected,
             check_memo_hits=self.check_memo_hits + other.check_memo_hits,
+            shared_memo_hits=self.shared_memo_hits + other.shared_memo_hits,
         )
 
     def snapshot(self) -> "SmtStatistics":
@@ -176,6 +181,7 @@ class SmtStatistics:
             terms_simplified=self.terms_simplified - baseline.terms_simplified,
             clauses_collected=self.clauses_collected - baseline.clauses_collected,
             check_memo_hits=self.check_memo_hits - baseline.check_memo_hits,
+            shared_memo_hits=self.shared_memo_hits - baseline.shared_memo_hits,
         )
 
 
@@ -250,6 +256,12 @@ class SmtSolver:
         # Keys hold strong references to the hash-consed terms, so key
         # identity can never be recycled under the memo.
         self._check_memo: dict = {}
+        # Optional shared (cross-worker) memo backend consulted after a
+        # local miss; see :meth:`set_memo_backend`.
+        self._memo_backend = None
+        # Term → structural digest, memoized for shared-memo keys
+        # (cleared together with the local memo).
+        self._digest_cache: dict = {}
         # Job-level limits (see :meth:`set_job_limits`).
         self._job_conflicts_remaining: int | None = None
         self._job_deadline: float | None = None
@@ -500,18 +512,82 @@ class SmtSolver:
             cached = self._check_memo.get(memo_key)
             if cached is not None:
                 return self._replay_memoized(cached)
+            shared = self._shared_lookup(memo_key)
+            if shared is not None:
+                # Read-through: keep the answer locally so the shared
+                # round trip is paid at most once per solver.
+                self._store_memo(memo_key, shared)
+                self.statistics.shared_memo_hits += 1
+                return self._replay_memoized(shared)
         self._install_job_limits(sat_solver)
         result = sat_solver.solve(assumptions)
         self._charge_job_conflicts(sat_solver, conflicts_before)
         verdict = self._record_result(result, sat_solver, blaster)
         if memo_key is not None and verdict is not SmtResult.UNKNOWN:
-            if len(self._check_memo) >= self.CHECK_MEMO_LIMIT:
-                self._check_memo.clear()
-            self._check_memo[memo_key] = (
+            entry = (
                 verdict,
                 sat_solver.cached_model() if verdict is SmtResult.SAT else None,
             )
+            self._store_memo(memo_key, entry)
+            self._shared_publish(memo_key, entry)
         return verdict
+
+    def _store_memo(self, memo_key: tuple, entry: tuple) -> None:
+        if len(self._check_memo) >= self.CHECK_MEMO_LIMIT:
+            self._check_memo.clear()
+        self._check_memo[memo_key] = entry
+
+    # -- shared (cross-worker) memo backend ---------------------------------
+
+    def set_memo_backend(self, backend) -> None:
+        """Install a shared check-memo backend (or None to detach).
+
+        ``backend`` is duck-typed (see :class:`repro.api.memo.MemoClient`):
+        ``lookup(key)`` returns ``(verdict_value, model_bits)`` or None,
+        ``publish(key, verdict_value, model_bits)`` records a decided
+        answer.  The backend is consulted only when ``memoize_checks`` is
+        on and only after the solver-local memo misses; keys are the
+        process-independent wire form of ``(assertions, extras,
+        frontier)`` built by :func:`repro.smt.wire.check_wire_key`, so a
+        verdict decided by one worker process short-circuits the same
+        check in another.
+        """
+        self._memo_backend = backend
+
+    def _shared_key(self, memo_key: tuple) -> str:
+        from repro.smt.wire import check_wire_key
+
+        assertions, extras, frontier = memo_key
+        # The blaster's declaration-layout signature joins the key: a
+        # variable *count* alone can coincide between sessions whose
+        # caches were polluted differently (e.g. a re-sealed base over
+        # leftover blasted terms), and replayed model bits are only valid
+        # when every declared name sits at the recorded positions.
+        _, blaster = self._core()
+        return (
+            f"{blaster.layout_signature()}:"
+            f"{check_wire_key(assertions, extras, frontier, self._digest_cache)}"
+        )
+
+    def _shared_lookup(self, memo_key: tuple) -> tuple | None:
+        if self._memo_backend is None:
+            return None
+        found = self._memo_backend.lookup(self._shared_key(memo_key))
+        if found is None:
+            return None
+        verdict_value, model_bits = found
+        return (
+            SmtResult(verdict_value),
+            None if model_bits is None else list(model_bits),
+        )
+
+    def _shared_publish(self, memo_key: tuple, entry: tuple) -> None:
+        if self._memo_backend is None:
+            return
+        verdict, model_bits = entry
+        self._memo_backend.publish(
+            self._shared_key(memo_key), verdict.value, model_bits
+        )
 
     def _replay_memoized(self, cached: tuple) -> SmtResult:
         """Answer an already-encoded check from the memo (no search).
@@ -542,9 +618,12 @@ class SmtSolver:
 
         Called by the solver pool whenever a session's base scope is
         re-established: memoized model bits are only valid relative to
-        the variable layout of the epoch they were recorded in.
+        the variable layout of the epoch they were recorded in.  (The
+        shared backend is left untouched — its keys embed the variable
+        frontier, so entries from other epochs simply never match.)
         """
         self._check_memo.clear()
+        self._digest_cache.clear()
 
     def _check_reencoding(self, extra: Sequence[BoolTerm]) -> SmtResult:
         """One-shot check: fresh SAT solver, full re-blast (escape hatch)."""

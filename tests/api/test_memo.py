@@ -1,0 +1,189 @@
+"""Shared cross-worker check memo: store semantics + solver integration.
+
+The store itself (LRU bound, cross-worker hit accounting, first-writer
+wins) is exercised directly; the solver integration is exercised by
+running the same query on independent solvers that share one store — the
+second solver must answer without touching its SAT core.  Worker-process
+integration is covered end to end by ``test_scheduler.py`` (rotated
+batches) and the bench suite's skewed-stream workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.memo import MemoClient, SharedCheckMemo
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.smt.terms import bv_const, bv_var
+from repro.smt.wire import check_wire_key, term_digest
+
+
+def _query_solver(store: SharedCheckMemo | None, client_id: str) -> SmtSolver:
+    solver = SmtSolver(memoize_checks=True)
+    if store is not None:
+        solver.set_memo_backend(MemoClient(store, client_id))
+    return solver
+
+
+def _multiply_query(solver: SmtSolver, width: int = 8) -> SmtResult:
+    x = bv_var("x", width)
+    solver.add((x * bv_const(3, width)).eq(bv_const(15, width)))
+    return solver.check()
+
+
+class TestSharedCheckMemoStore:
+    def test_lru_eviction_bound(self):
+        store = SharedCheckMemo(capacity=4)
+        for index in range(10):
+            store.publish(f"key-{index}", "sat", [True], "w0")
+        assert store.size() == 4
+        statistics = store.statistics()
+        assert statistics["evictions"] == 6
+        assert statistics["publishes"] == 10
+        # The four most recent keys survived, the old ones are gone.
+        assert store.lookup("key-9", "w0") is not None
+        assert store.lookup("key-5", "w0") is None
+
+    def test_lookup_refreshes_recency(self):
+        store = SharedCheckMemo(capacity=2)
+        store.publish("a", "sat", None, "w0")
+        store.publish("b", "sat", None, "w0")
+        assert store.lookup("a", "w0") is not None  # refresh a
+        store.publish("c", "sat", None, "w0")  # evicts b, not a
+        assert store.lookup("a", "w0") is not None
+        assert store.lookup("b", "w0") is None
+
+    def test_cross_worker_hits_counted_per_publisher(self):
+        store = SharedCheckMemo(capacity=8)
+        store.publish("k", "unsat", None, "worker-0")
+        assert store.lookup("k", "worker-0") == ("unsat", None)
+        assert store.lookup("k", "worker-1") == ("unsat", None)
+        statistics = store.statistics()
+        assert statistics["hits"] == 2
+        assert statistics["cross_worker_hits"] == 1
+
+    def test_first_writer_wins(self):
+        store = SharedCheckMemo(capacity=8)
+        store.publish("k", "sat", [True], "w0")
+        store.publish("k", "unsat", None, "w1")
+        assert store.lookup("k", "w2") == ("sat", [True])
+        assert store.statistics()["duplicate_publishes"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SharedCheckMemo(capacity=0)
+
+    def test_broken_transport_degrades_to_noop(self):
+        class _DeadProxy:
+            def lookup(self, key, requester):
+                raise ConnectionResetError("manager gone")
+
+            def publish(self, *args):
+                raise ConnectionResetError("manager gone")
+
+        client = MemoClient(_DeadProxy(), "w0")
+        assert client.lookup("k") is None
+        assert client.broken is True
+        client.publish("k", "sat", None)  # must not raise
+
+
+class TestWireKeys:
+    def test_digest_is_structural_not_identity(self):
+        cache_a: dict = {}
+        cache_b: dict = {}
+        x = bv_var("x", 8)
+        formula = (x + bv_const(1, 8)).eq(bv_const(5, 8))
+        again = (bv_var("x", 8) + bv_const(1, 8)).eq(bv_const(5, 8))
+        assert term_digest(formula, cache_a) == term_digest(again, cache_b)
+
+    def test_width_changes_the_key(self):
+        def key(width: int) -> str:
+            x = bv_var("x", width)
+            formula = x.eq(bv_const(1, width))
+            return check_wire_key((formula,), (), 10, {})
+
+        assert key(8) != key(16)
+
+    def test_frontier_changes_the_key(self):
+        x = bv_var("x", 8)
+        formula = x.eq(bv_const(1, 8))
+        assert check_wire_key((formula,), (), 10, {}) != check_wire_key(
+            (formula,), (), 11, {}
+        )
+
+
+class TestSolverIntegration:
+    def test_second_solver_answers_from_shared_memo_without_search(self):
+        store = SharedCheckMemo(capacity=64)
+        first = _query_solver(store, "worker-0")
+        assert _multiply_query(first) is SmtResult.SAT
+        witness = first.model()["x"]
+
+        second = _query_solver(store, "worker-1")
+        assert _multiply_query(second) is SmtResult.SAT
+        assert second.statistics.shared_memo_hits == 1
+        assert second.statistics.check_memo_hits == 1
+        # The SAT search never ran: no decisions, no conflicts.
+        assert second.sat_statistics().decisions == 0
+        assert second.model()["x"] == witness
+        assert store.statistics()["cross_worker_hits"] == 1
+
+    def test_shared_hit_is_cached_locally(self):
+        store = SharedCheckMemo(capacity=64)
+        assert _multiply_query(_query_solver(store, "w0")) is SmtResult.SAT
+        solver = _query_solver(store, "w1")
+        x = bv_var("x", 8)
+        query = (x * bv_const(3, 8)).eq(bv_const(15, 8))
+        solver.add(query)
+        lookups_before = store.statistics()["lookups"]
+        assert solver.check() is SmtResult.SAT
+        assert store.statistics()["lookups"] == lookups_before + 1
+        # Read-through: the repeat answers locally, no second round trip.
+        assert solver.check() is SmtResult.SAT
+        assert store.statistics()["lookups"] == lookups_before + 1
+        assert solver.statistics.check_memo_hits == 2
+        assert solver.statistics.shared_memo_hits == 1
+
+    def test_unknown_answers_are_never_published(self):
+        store = SharedCheckMemo(capacity=64)
+        solver = SmtSolver(max_conflicts=0, memoize_checks=True)
+        solver.set_memo_backend(MemoClient(store, "w0"))
+        x = bv_var("x", 8)
+        # Hard enough to exhaust a zero-conflict budget.
+        solver.add((x * x).eq(bv_const(49, 8)), x.ugt(bv_const(8, 8)))
+        assert solver.check() is SmtResult.UNKNOWN
+        assert store.statistics()["publishes"] == 0
+
+    def test_epoch_invalidation_on_clear(self):
+        store = SharedCheckMemo(capacity=64)
+        solver = _query_solver(store, "w0")
+        assert _multiply_query(solver) is SmtResult.SAT
+        solver.clear_check_memo()
+        # The local memo is gone, but the shared entry still matches the
+        # identical epoch (same assertions, same frontier) — the check is
+        # answered shared, not re-searched.
+        assert solver.check() is SmtResult.SAT
+        assert solver.statistics.shared_memo_hits == 1
+
+
+class TestPoolWiring:
+    def test_pool_installs_backend_on_new_sessions(self):
+        from repro.api.config import EngineConfig
+        from repro.api.pool import SolverPool
+
+        store = SharedCheckMemo(capacity=64)
+        pool = SolverPool(
+            EngineConfig(), memo_backend=MemoClient(store, "local")
+        )
+        lease = pool.acquire(shape="s")
+        assert lease.solver._memo_backend is not None
+        pool.release(lease)
+
+    def test_engine_reports_shared_memo_statistics(self):
+        from repro.api import DeobfuscationProblem, EngineConfig, SciductionEngine
+
+        engine = SciductionEngine(EngineConfig(workers=1))
+        engine.run(DeobfuscationProblem(task="multiply45", width=4, seed=0))
+        statistics = engine.statistics()
+        assert statistics["shared_memo"]["publishes"] > 0
+        assert "pool" in statistics and "scheduler" in statistics

@@ -182,10 +182,15 @@ class TestWorkerCrashRetirement:
 
 class TestParallelCancellation:
     def test_queued_job_cancelled_while_batch_in_flight(self):
+        """Jobs queued behind an in-flight job stay cancellable.
+
+        The scheduler dispatches one job per worker at a time and keeps
+        the rest queued in the parent process (state PENDING, no
+        future), so anything the workers have not reached yet can still
+        be cancelled mid-batch.
+        """
         engine = SciductionEngine(EngineConfig(workers=2))
         blocker = engine.submit(_StuntProblem(mode="sleep", seconds=1.5))
-        # The executor prefetches one queued call beyond the running one,
-        # so a filler keeps the target deep enough to stay cancellable.
         filler = engine.submit(_StuntProblem(mode="sleep", seconds=0.1))
         # Same shape as the blocker: queued behind it on the same worker.
         target = engine.submit(_StuntProblem(mode="echo", payload="never"))
@@ -197,9 +202,11 @@ class TestParallelCancellation:
         runner.start()
         try:
             deadline = time.monotonic() + 10.0
-            while target._future is None and time.monotonic() < deadline:
+            while blocker._future is None and time.monotonic() < deadline:
                 time.sleep(0.01)
-            assert target._future is not None, "job was never submitted"
+            assert blocker._future is not None, "batch never started"
+            assert target.state is JobState.PENDING
+            assert target._future is None, "queued job must not be dispatched"
             assert engine.cancel(target), "queued job should be cancellable"
         finally:
             runner.join(timeout=30.0)

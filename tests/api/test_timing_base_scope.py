@@ -1,0 +1,124 @@
+"""Per-CFG base scopes for timing analysis (the PR-4 open item).
+
+:class:`~repro.cfg.ssa.PathConstraintBuilder` now rides the pooled
+lease's ``base_session`` / ``seal_base`` protocol like the OGIS encoder:
+a repeated timing-analysis job finds its CFG's fingerprinted base scope
+still sealed, keeps the session's check-memo epoch alive, and answers
+the whole path-feasibility sweep from the memo instead of re-running the
+SAT search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, SciductionEngine, TimingAnalysisProblem
+from repro.api.pool import SolverPool
+from repro.cfg import build_cfg
+from repro.cfg.programs import absolute_difference, bounded_linear_search
+from repro.cfg.ssa import PathConstraintBuilder
+
+SPEC = dict(
+    program="bounded_linear_search",
+    program_args={"length": 4, "word_width": 16},
+    bound=250,
+)
+
+
+class TestFingerprint:
+    def test_same_cfg_same_fingerprint(self):
+        cfg_a = build_cfg(bounded_linear_search(4, 16))
+        cfg_b = build_cfg(bounded_linear_search(4, 16))
+        assert (
+            PathConstraintBuilder(cfg_a).fingerprint()
+            == PathConstraintBuilder(cfg_b).fingerprint()
+        )
+
+    def test_structure_and_flags_change_the_fingerprint(self):
+        cfg = build_cfg(bounded_linear_search(4, 16))
+        base = PathConstraintBuilder(cfg).fingerprint()
+        assert PathConstraintBuilder(
+            build_cfg(bounded_linear_search(3, 16))
+        ).fingerprint() != base
+        assert PathConstraintBuilder(
+            build_cfg(absolute_difference(16))
+        ).fingerprint() != base
+        assert (
+            PathConstraintBuilder(cfg, slice_to_conditions=False).fingerprint()
+            != base
+        )
+
+
+class TestBuilderBaseScope:
+    def test_builder_seals_and_reuses_the_base_scope(self):
+        pool = SolverPool(EngineConfig())
+        cfg = build_cfg(bounded_linear_search(3, 16))
+
+        lease = pool.acquire(shape="timing")
+        first = PathConstraintBuilder(cfg, solver_factory=lease)
+        assert first.base_scope_reused is False
+        pool.release(lease)
+
+        lease = pool.acquire(shape="timing")
+        second = PathConstraintBuilder(cfg, solver_factory=lease)
+        assert second.base_scope_reused is True
+        pool.release(lease)
+
+    def test_plain_callable_factory_still_works(self):
+        from repro.smt.solver import SmtSolver
+
+        cfg = build_cfg(bounded_linear_search(3, 16))
+        builder = PathConstraintBuilder(cfg, solver_factory=lambda: SmtSolver())
+        assert builder.base_scope_reused is False
+        assert builder.solver is not None
+
+
+class TestEngineTimingReuse:
+    @pytest.mark.sequential_only
+    def test_second_timing_job_answers_from_the_memo(self):
+        engine = SciductionEngine(EngineConfig(workers=1))
+        first = engine.run(TimingAnalysisProblem(**SPEC))
+        second = engine.run(TimingAnalysisProblem(**SPEC))
+        assert (first.success, first.verdict) == (second.success, second.verdict)
+        first_stats = first.details["engine"]["smt_job_statistics"]
+        second_stats = second.details["engine"]["smt_job_statistics"]
+        assert second.details["engine"]["session_reused"] is True
+        # Every feasibility check of the repeated sweep is memo-answered.
+        assert second_stats["check_memo_hits"] == second_stats["checks"]
+        assert second_stats["checks"] > 0
+        assert first_stats["check_memo_hits"] == 0
+        # ...so the repeated job does strictly less encoding work too.
+        assert (
+            second_stats["clauses_generated"] <= first_stats["clauses_generated"]
+        )
+        # And the routing layer actually sent it to the warm session.
+        assert engine.pool.statistics.routing_hits >= 1
+
+    @pytest.mark.sequential_only
+    def test_epoch_invalidation_on_base_scope_reseal(self):
+        """A different CFG on the same session re-seals the base scope and
+        must not serve the old epoch's memoized answers.
+
+        ``bounded_linear_search`` with a different length has the *same
+        shape key* (same program name, same word width) but a different
+        CFG — the warm session is reused, the fingerprint mismatches, the
+        base scope is re-sealed, and the memo epoch is invalidated.
+        """
+        engine = SciductionEngine(EngineConfig(workers=1, pool_size=1))
+        first = engine.run(TimingAnalysisProblem(**SPEC))
+        other = engine.run(
+            TimingAnalysisProblem(
+                program="bounded_linear_search",
+                program_args={"length": 3, "word_width": 16},
+                bound=250,
+            )
+        )
+        assert other.success
+        assert other.details["engine"]["session_reused"] is True
+        other_stats = other.details["engine"]["smt_job_statistics"]
+        # New fingerprint ⇒ fresh epoch: no stale local answers, and the
+        # shared store cannot match either (different assertions and
+        # frontier), so every check ran for real.
+        assert other_stats["check_memo_hits"] == 0
+        again = engine.run(TimingAnalysisProblem(**SPEC))
+        assert (first.success, first.verdict) == (again.success, again.verdict)

@@ -1,0 +1,221 @@
+"""End-to-end HTTP tests against an in-process service instance.
+
+One module-scoped service (ephemeral port, workers=1) serves every test;
+the jobs are the smallest instances of each problem kind.  The headline
+assertion mirrors the service-smoke CI job: a job submitted over HTTP
+returns the byte-identical wire form of the same spec run on an
+in-process engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import EngineConfig, SciductionEngine, result_wire_canonical
+from repro.service import SciductionService
+
+DEOB = {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0}
+TIMING = {
+    "kind": "timing-analysis",
+    "program": "bounded_linear_search",
+    "program_args": {"length": 3, "word_width": 16},
+    "bound": 250,
+}
+
+
+@pytest.fixture(scope="module")
+def service():
+    instance = SciductionService(EngineConfig(workers=1), port=0, quiet=True)
+    instance.start()
+    yield instance
+    instance.shutdown()
+
+
+def call(service, method: str, path: str, body: dict | None = None):
+    request = urllib.request.Request(
+        service.url + path,
+        method=method,
+        data=None if body is None else json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def submit_and_wait(service, body: dict, timeout: float = 120.0) -> tuple[int, dict]:
+    status, submitted = call(service, "POST", "/jobs", body)
+    assert status == 202, (status, submitted)
+    job_id = submitted["job_id"]
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, record = call(service, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if record["done"]:
+            return job_id, record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestHttpSurface:
+    def test_healthz_and_problem_kinds(self, service):
+        assert call(service, "GET", "/healthz") == (200, {"status": "ok"})
+        status, kinds = call(service, "GET", "/problems")
+        assert status == 200
+        assert {"deobfuscation", "timing-analysis", "switching-logic"} <= set(
+            kinds["kinds"]
+        )
+
+    def test_submitted_job_matches_in_process_wire(self, service):
+        job_id, record = submit_and_wait(
+            service, {"problem": dict(DEOB), "label": "parity"}
+        )
+        assert record["state"] == "completed"
+        assert record["label"] == "parity"
+        status, result = call(service, "GET", f"/jobs/{job_id}/result")
+        assert status == 200
+
+        engine = SciductionEngine(EngineConfig(workers=1))
+        engine.submit(dict(DEOB), label="parity")
+        engine.run_batch()
+        local = engine.jobs[0].result_wire()
+        http_wire = result_wire_canonical(result)
+        local_wire = result_wire_canonical(local)
+        # Engine job ids differ between the long-lived service engine and
+        # the fresh twin; everything else must match byte for byte.
+        http_wire["details"]["engine"].pop("job_id")
+        local_wire["details"]["engine"].pop("job_id")
+        assert http_wire == local_wire
+
+    def test_timing_job_over_http(self, service):
+        job_id, record = submit_and_wait(service, {"problem": dict(TIMING)})
+        assert record["state"] == "completed"
+        status, result = call(service, "GET", f"/jobs/{job_id}/result")
+        assert status == 200
+        assert result["verdict"] is True
+
+    def test_job_listing_and_record_fields(self, service):
+        job_id, _ = submit_and_wait(service, {"problem": dict(DEOB)})
+        status, listing = call(service, "GET", "/jobs")
+        assert status == 200
+        entry = next(j for j in listing["jobs"] if j["job_id"] == job_id)
+        assert entry["kind"] == "deobfuscation"
+        status, record = call(service, "GET", f"/jobs/{job_id}")
+        assert record["problem"]["kind"] == "deobfuscation"
+        assert record["elapsed"] >= 0.0
+
+    def test_cancel_queued_job(self, service):
+        # A slow blocker keeps the runner busy while the target queues.
+        status, blocker = call(
+            service,
+            "POST",
+            "/jobs",
+            {"problem": {"kind": "deobfuscation", "task": "multiply45", "width": 8}},
+        )
+        assert status == 202
+        status, target = call(service, "POST", "/jobs", {"problem": dict(DEOB)})
+        assert status == 202
+        status, outcome = call(
+            service, "DELETE", f"/jobs/{target['job_id']}"
+        )
+        assert status == 200 and outcome["cancelled"] is True
+        status, record = call(service, "GET", f"/jobs/{target['job_id']}")
+        assert record["state"] == "cancelled"
+        status, result = call(service, "GET", f"/jobs/{target['job_id']}/result")
+        assert status == 200
+        assert result["details"]["outcome"] == "cancelled"
+        # Double-cancel answers 409; the blocker still completes.
+        status, _ = call(service, "DELETE", f"/jobs/{target['job_id']}")
+        assert status == 409
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            _, record = call(service, "GET", f"/jobs/{blocker['job_id']}")
+            if record["done"]:
+                break
+            time.sleep(0.05)
+        assert record["state"] == "completed"
+
+    def test_result_conflict_while_open_and_404s(self, service):
+        status, _ = call(service, "GET", "/jobs/999999")
+        assert status == 404
+        status, _ = call(service, "GET", "/jobs/999999/result")
+        assert status == 404
+        status, _ = call(service, "DELETE", "/jobs/999999")
+        assert status == 404
+        status, _ = call(service, "GET", "/nope")
+        assert status == 404
+        status, submitted = call(
+            service,
+            "POST",
+            "/jobs",
+            {"problem": {"kind": "deobfuscation", "task": "multiply45", "width": 8, "seed": 1}},
+        )
+        assert status == 202
+        status, body = call(
+            service, "GET", f"/jobs/{submitted['job_id']}/result"
+        )
+        # Either still open (409) or already finished on a fast machine.
+        assert status in (409, 200)
+        submit_and_wait(service, {"problem": dict(DEOB)})  # drain
+
+    def test_malformed_submissions(self, service):
+        status, error = call(service, "POST", "/jobs", {"problem": {"kind": "nope"}})
+        assert status == 400 and "unknown problem kind" in error["error"]
+        status, error = call(service, "POST", "/jobs", {"nope": 1})
+        assert status == 400
+
+    def test_keepalive_survives_error_replies(self, service):
+        """Error paths must drain unread request bodies: under HTTP/1.1
+        keep-alive, leftover body bytes would be parsed as the next
+        request line and corrupt the connection."""
+        import socket
+
+        connection = socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        )
+        try:
+            body = json.dumps({"problem": {"kind": "deobfuscation"}}).encode()
+            connection.sendall(
+                b"POST /wrong HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+            time.sleep(0.2)
+            connection.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            time.sleep(0.3)
+            data = connection.recv(65536).decode()
+        finally:
+            connection.close()
+        assert data.startswith("HTTP/1.1 404"), data[:200]
+        assert '"status": "ok"' in data, data[:600]
+        assert "Bad request syntax" not in data
+
+    def test_malformed_content_length_is_a_400(self, service):
+        import socket
+
+        connection = socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        )
+        try:
+            connection.sendall(
+                b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: abc\r\n\r\n"
+            )
+            data = connection.recv(65536).decode()
+        finally:
+            connection.close()
+        assert data.splitlines()[0].split()[1] == "400", data[:200]
+
+    def test_stats_payload(self, service):
+        status, stats = call(service, "GET", "/stats")
+        assert status == 200
+        assert stats["queue"].get("completed", 0) >= 1
+        assert "pool" in stats["engine"]
+        assert "shared_memo" in stats["engine"]
+        assert stats["config"]["workers"] == 1

@@ -1,0 +1,58 @@
+"""Wire-envelope validation of the HTTP front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.wire import WireError, parse_job_request
+
+
+def _valid_problem() -> dict:
+    return {"kind": "deobfuscation", "task": "multiply45", "width": 4}
+
+
+class TestParseJobRequest:
+    def test_minimal_request_round_trips_the_problem(self):
+        parsed = parse_job_request({"problem": _valid_problem()})
+        assert parsed["problem"]["kind"] == "deobfuscation"
+        assert parsed["problem"]["width"] == 4
+        assert parsed["max_conflicts"] is None
+        assert parsed["timeout"] is None
+        assert parsed["label"] is None
+
+    def test_options_are_normalized(self):
+        parsed = parse_job_request(
+            {
+                "problem": _valid_problem(),
+                "max_conflicts": 100,
+                "timeout": 5,
+                "label": "smoke",
+            }
+        )
+        assert parsed["max_conflicts"] == 100
+        assert parsed["timeout"] == 5.0 and isinstance(parsed["timeout"], float)
+        assert parsed["label"] == "smoke"
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ("not-a-dict", "JSON object"),
+            ({}, "'problem'"),
+            ({"problem": []}, "'problem'"),
+            ({"problem": {"kind": "nope"}}, "unknown problem kind"),
+            (
+                {"problem": {"kind": "deobfuscation", "bogus": 1}},
+                "unknown fields",
+            ),
+            ({"problem": _valid_problem(), "extra": 1}, "unknown request fields"),
+            ({"problem": _valid_problem(), "timeout": "fast"}, "'timeout'"),
+            ({"problem": _valid_problem(), "timeout": -1}, "non-negative"),
+            ({"problem": _valid_problem(), "max_conflicts": True}, "'max_conflicts'"),
+            ({"problem": _valid_problem(), "label": 7}, "'label'"),
+        ],
+    )
+    def test_malformed_requests_fail_with_400(self, payload, fragment):
+        with pytest.raises(WireError) as excinfo:
+            parse_job_request(payload)
+        assert excinfo.value.status == 400
+        assert fragment in str(excinfo.value)

@@ -59,6 +59,14 @@ class TestExamples:
         assert "harsh-memory" in output and "friendly-memory" in output
         assert "noisy platform" in output
 
+    def test_service_quickstart_example(self):
+        output = _run_example("service_quickstart.py", "--width", "4")
+        assert "service listening on http://" in output
+        assert "deobfuscation    -> completed" in output
+        assert "timing-analysis  -> completed" in output
+        assert "switching-logic  -> completed" in output
+        assert "done." in output
+
     @pytest.mark.slow
     def test_quickstart(self):
         output = _run_example("quickstart.py")
