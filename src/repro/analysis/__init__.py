@@ -1,0 +1,41 @@
+"""Static and dynamic analysis gates for the concurrent engine.
+
+The engine's headline guarantee — byte-identical results across the
+sequential, pooled, parallel and HTTP execution paths — rests on
+invariants that used to live only in docstrings: wire-form purity at the
+worker process boundary, deterministic iteration feeding digests and
+scheduler plans, and lock discipline around the engine/queue/memo shared
+state.  This package enforces them mechanically:
+
+* :mod:`repro.analysis.lint` — stdlib-``ast`` checkers run over the
+  source tree (``python -m repro.analysis``); every rule encodes a
+  failure class that has actually bitten a previous PR.
+* :mod:`repro.analysis.lockcheck` — an opt-in instrumented lock layer
+  that records the per-thread acquisition graph at runtime, fails on
+  cycles (potential deadlock) and on ``@holds``-annotated methods called
+  without their declared lock.  The scheduler/queue/memo/service test
+  suites enable it through a pytest fixture.
+* :mod:`repro.analysis.annotations` — the ``@holds`` / ``@guarded_by``
+  declaration convention both layers consume.
+
+The CI ``analysis`` job runs the lint gate plus mypy (per-module
+strictness, see ``mypy.ini``) and blocks on any finding.
+"""
+
+from repro.analysis.annotations import guarded_by, holds
+from repro.analysis.lint import Finding, run_lint
+from repro.analysis.lockcheck import (
+    LockDisciplineViolation,
+    LockOrderViolation,
+    instrument,
+)
+
+__all__ = [
+    "Finding",
+    "LockDisciplineViolation",
+    "LockOrderViolation",
+    "guarded_by",
+    "holds",
+    "instrument",
+    "run_lint",
+]

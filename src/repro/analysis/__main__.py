@@ -1,0 +1,130 @@
+"""CLI for the analysis gate: ``python -m repro.analysis``.
+
+Runs the project lint over ``src/repro`` and, when mypy is importable,
+the typed-core check (``mypy.ini`` holds the per-module strictness
+table).  Exit status is non-zero if either layer reports a problem —
+this is the command the CI ``analysis`` job blocks on, and the one to
+run locally before pushing.
+
+Options:
+    ``--root PATH``   lint a different package root (defaults to the
+                      installed ``repro`` package directory)
+    ``--no-mypy``     skip the mypy layer even if mypy is installed
+    ``--summary PATH``  also write a markdown findings table (defaults
+                      to ``$GITHUB_STEP_SUMMARY`` when set)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import Finding, iter_rules, run_lint
+
+#: Packages the typed-core gate checks (see mypy.ini for strictness).
+MYPY_PACKAGES = ("repro.api", "repro.service", "repro.analysis")
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _repo_root() -> Path:
+    return _package_root().parent.parent
+
+
+def _render_summary(findings: list[Finding], mypy_status: str) -> str:
+    lines = ["## repro.analysis gate", ""]
+    if findings:
+        lines += [
+            f"**{len(findings)} finding(s)**",
+            "",
+            "| rule | location | message |",
+            "| --- | --- | --- |",
+        ]
+        for finding in findings:
+            message = finding.message.replace("|", "\\|")
+            lines.append(
+                f"| {finding.rule} | `{finding.path}:{finding.line}` | {message} |"
+            )
+    else:
+        lines.append("**Lint clean** — no findings.")
+    lines += ["", f"**mypy:** {mypy_status}", "", "Rules checked:", ""]
+    for rule, description in iter_rules():
+        lines.append(f"- `{rule}` — {description}")
+    return "\n".join(lines) + "\n"
+
+
+def _run_mypy() -> tuple[bool, str]:
+    """(ok, status text) for the typed-core gate.
+
+    mypy is a dev-only dependency: when it is not installed (e.g. a bare
+    runtime container) the lint layer still runs and the typed gate is
+    reported as skipped rather than failing the world.
+    """
+    if importlib.util.find_spec("mypy") is None:
+        return True, "skipped (mypy not installed)"
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(_repo_root() / "mypy.ini"),
+    ]
+    for package in MYPY_PACKAGES:
+        command += ["-p", package]
+    completed = subprocess.run(
+        command,
+        capture_output=True,
+        text=True,
+        cwd=_repo_root(),
+    )
+    output = (completed.stdout + completed.stderr).strip()
+    if completed.returncode == 0:
+        return True, f"clean ({', '.join(MYPY_PACKAGES)})"
+    sys.stderr.write(output + "\n")
+    tail = output.splitlines()[-1] if output else "mypy failed"
+    return False, f"FAILED — {tail}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repro invariant lint and typed-core gates.",
+    )
+    parser.add_argument("--root", type=Path, default=None)
+    parser.add_argument("--no-mypy", action="store_true")
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=os.environ.get("GITHUB_STEP_SUMMARY") or None,
+    )
+    options = parser.parse_args(argv)
+
+    findings = run_lint(options.root)
+    for finding in findings:
+        print(finding.render())
+
+    if options.no_mypy:
+        mypy_ok, mypy_status = True, "skipped (--no-mypy)"
+    else:
+        mypy_ok, mypy_status = _run_mypy()
+
+    if options.summary is not None:
+        with open(options.summary, "a", encoding="utf-8") as handle:
+            handle.write(_render_summary(findings, mypy_status))
+
+    print(
+        f"repro.analysis: {len(findings)} lint finding(s); mypy: {mypy_status}"
+    )
+    return 1 if (findings or not mypy_ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

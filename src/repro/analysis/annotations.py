@@ -1,0 +1,94 @@
+"""Lock-discipline declarations consumed by the lint and lockcheck layers.
+
+The engine's shared mutable state (the job list of a
+:class:`~repro.api.engine.SciductionEngine`, the pending queue of a
+:class:`~repro.service.queue.JobQueue`, the entry store of a
+:class:`~repro.api.memo.SharedCheckMemo`) is guarded by per-instance
+locks, but nothing used to *declare* that relationship — a method
+mutating the state without the lock compiled, imported and usually even
+passed the tests.  Two small declarations close the gap:
+
+* ``@guarded_by(lock, *fields, aliases=())`` on a class states that the
+  listed attributes must only be mutated while ``self.<lock>`` is held.
+  The static checker (:mod:`repro.analysis.lint`, rule ``LOCK01``)
+  verifies every method lexically: a mutation of a guarded field must
+  sit inside ``with self.<lock>:`` (or an alias such as a
+  ``Condition`` wrapping the same lock), or the whole method must be
+  decorated ``@holds``.
+* ``@holds(lock)`` on a method states the *caller* provides the lock.
+  Statically it exempts the method from the lexical check; dynamically,
+  while :func:`repro.analysis.lockcheck.instrument` is active, entering
+  the method without the declared lock held raises
+  :class:`~repro.analysis.lockcheck.LockDisciplineViolation`.
+
+Both declarations are inert outside the analysis gates: ``guarded_by``
+only records metadata on the class, and ``holds`` adds one module-flag
+check per call.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable, TypeVar
+
+_ClassT = TypeVar("_ClassT", bound=type)
+_FuncT = TypeVar("_FuncT", bound=Callable[..., Any])
+
+#: Metadata attribute set by :func:`guarded_by` (class) — maps each
+#: guarded field name to the declared lock attribute.
+GUARDED_ATTR = "__analysis_guarded_by__"
+#: Metadata attribute set by :func:`guarded_by` (class) — lock aliases.
+ALIASES_ATTR = "__analysis_lock_aliases__"
+#: Metadata attribute set by :func:`holds` (function) — the lock name.
+HOLDS_ATTR = "__analysis_holds__"
+
+
+def guarded_by(
+    lock: str, *fields: str, aliases: Iterable[str] = ()
+) -> Callable[[_ClassT], _ClassT]:
+    """Class decorator declaring ``fields`` guarded by ``self.<lock>``.
+
+    Args:
+        lock: attribute name of the guarding lock (e.g. ``"_state_lock"``).
+        fields: attribute names that must only be mutated under the lock.
+        aliases: attribute names that also count as holding the lock —
+            e.g. a ``threading.Condition`` constructed over the same
+            lock object, whose ``with`` block acquires it.
+    """
+    if not fields:
+        raise ValueError("guarded_by requires at least one guarded field")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        guarded = dict(getattr(cls, GUARDED_ATTR, {}))
+        guarded.update({field: lock for field in fields})
+        setattr(cls, GUARDED_ATTR, guarded)
+        setattr(cls, ALIASES_ATTR, tuple(aliases))
+        return cls
+
+    return decorate
+
+
+def holds(lock: str) -> Callable[[_FuncT], _FuncT]:
+    """Method decorator declaring that the caller holds ``self.<lock>``.
+
+    The static ``LOCK01`` rule exempts the method body from the lexical
+    with-block check; at runtime, while lock instrumentation is active,
+    the declaration is *verified* on entry — calling the method without
+    the lock raises instead of silently racing.
+    """
+
+    def decorate(func: _FuncT) -> _FuncT:
+        @functools.wraps(func)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            # Import at call time so annotations stay importable even if
+            # the lockcheck layer is stripped from a deployment.
+            from repro.analysis import lockcheck
+
+            if lockcheck.active():
+                lockcheck.assert_holds(self, lock, func.__qualname__)
+            return func(self, *args, **kwargs)
+
+        setattr(wrapper, HOLDS_ATTR, lock)
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

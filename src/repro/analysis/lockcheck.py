@@ -1,0 +1,316 @@
+"""Runtime lock-order and lock-discipline instrumentation.
+
+PR 5 left the engine with three concurrency layers — HTTP handler
+threads, the queue's runner thread, and the parallel scheduler's
+dispatch loop — coordinating through a handful of per-instance locks.
+A lock-order inversion between any two of them (thread 1 takes A then B,
+thread 2 takes B then A) deadlocks only under the right interleaving,
+which a test suite essentially never produces.  This module makes the
+*order* observable instead of the deadlock:
+
+* :func:`instrument` swaps the ``threading`` module *reference* of the
+  targeted modules for a shim whose ``Lock``/``RLock`` return
+  :class:`InstrumentedLock` wrappers.  Only locks created by the
+  targeted modules while instrumentation is active are wrapped — the
+  rest of the process (pytest internals, executors) keeps real locks.
+* Every wrapped acquisition records an edge ``held → wanted`` in a
+  global acquisition graph, grouped by the lock's *allocation site* (so
+  two engine instances contribute to the same node, which is what makes
+  ABBA inversions between instances of the same classes visible).  An
+  edge that closes a cycle raises :class:`LockOrderViolation` *before*
+  blocking — the test fails instead of hanging.
+* :func:`assert_holds` backs the ``@holds`` declaration from
+  :mod:`repro.analysis.annotations`: entering an annotated method
+  without its declared (instrumented) lock raises
+  :class:`LockDisciplineViolation`.
+
+Every violation is also recorded on the active :class:`LockRegistry`, so
+the pytest fixture enabling the instrumentation can fail the test even
+if the raise was swallowed by application-level error folding (the
+engine deliberately converts job exceptions into structured results).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from types import ModuleType
+from typing import Any, Iterator
+
+from repro.core.exceptions import ReproError
+
+
+class LockOrderViolation(ReproError):
+    """Acquiring this lock would close a cycle in the acquisition graph."""
+
+
+class LockDisciplineViolation(ReproError):
+    """A ``@holds``-annotated method ran without its declared lock."""
+
+
+_THIS_FILE = os.path.abspath(__file__)
+
+
+def _allocation_label() -> str:
+    """``file.py:line`` of the first frame outside this module.
+
+    Grouping the acquisition graph by allocation site (rather than lock
+    instance) is what lets two *instances* of the same classes witness
+    an ABBA inversion: every ``SciductionEngine._state_lock`` maps to
+    one node regardless of which engine object owns it.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if filename != _THIS_FILE:
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"  # pragma: no cover — there is always a caller
+
+
+class LockRegistry:
+    """Acquisition graph + per-thread held set of one instrumentation run."""
+
+    def __init__(self) -> None:
+        #: label → set of labels acquired while it was held.
+        self.edges: dict[str, set[str]] = {}
+        #: Human-readable records of every violation observed.
+        self.violations: list[str] = []
+        self._graph_lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- held-set bookkeeping (per thread) ---------------------------------
+
+    def _held(self) -> list[list[Any]]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def holds(self, lock: "InstrumentedLock") -> bool:
+        """Whether the calling thread currently holds ``lock``."""
+        return any(entry[0] is lock for entry in self._held())
+
+    def held_labels(self) -> list[str]:
+        """Labels of the locks the calling thread holds, oldest first."""
+        return [entry[1] for entry in self._held()]
+
+    # -- acquisition events ------------------------------------------------
+
+    def before_acquire(self, lock: "InstrumentedLock") -> None:
+        """Record ``held → lock`` edges and fail on a cycle, pre-block.
+
+        Called before a *blocking* acquire: raising here turns a
+        would-be deadlock into a test failure instead of a hang.
+        Reentrant acquisitions (the lock is already held by this
+        thread) add no edges.
+        """
+        held = self._held()
+        if any(entry[0] is lock for entry in held):
+            return
+        target = lock.label
+        for entry in held:
+            source = entry[1]
+            if source == target:
+                continue
+            with self._graph_lock:
+                cycle = self._path_exists(target, source)
+                self.edges.setdefault(source, set()).add(target)
+            if cycle:
+                message = (
+                    f"lock-order cycle: acquiring {target!r} while holding "
+                    f"{source!r}, but {target!r} → … → {source!r} was "
+                    f"previously recorded (held here: {self.held_labels()})"
+                )
+                self.violations.append(message)
+                raise LockOrderViolation(message)
+
+    def _path_exists(self, start: str, goal: str) -> bool:
+        """Reachability in the acquisition graph (caller holds the lock)."""
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for child in self.edges.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    def on_acquired(self, lock: "InstrumentedLock") -> None:
+        held = self._held()
+        for entry in held:
+            if entry[0] is lock:
+                entry[2] += 1
+                return
+        held.append([lock, lock.label, 1])
+
+    def on_released(self, lock: "InstrumentedLock") -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] is lock:
+                held[index][2] -= 1
+                if held[index][2] == 0:
+                    del held[index]
+                return
+
+    def on_released_all(self, lock: "InstrumentedLock") -> None:
+        """Drop every recursion level of ``lock`` (Condition.wait path)."""
+        self._tls.held = [e for e in self._held() if e[0] is not lock]
+
+    def record_discipline_violation(self, message: str) -> None:
+        self.violations.append(message)
+
+
+class InstrumentedLock:
+    """A ``threading.Lock``/``RLock`` that reports to a :class:`LockRegistry`.
+
+    Implements the full lock protocol plus the private hooks
+    ``threading.Condition`` uses (``_is_owned`` / ``_release_save`` /
+    ``_acquire_restore``), so instrumented locks compose with conditions
+    exactly like real ones — including held-set bookkeeping across
+    ``Condition.wait``.
+    """
+
+    def __init__(self, registry: LockRegistry, inner: Any, label: str) -> None:
+        self._registry = registry
+        self._inner = inner
+        self.label = label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._registry.before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._registry.on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._registry.on_released(self)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- threading.Condition integration -----------------------------------
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        return self._registry.holds(self)
+
+    def _release_save(self) -> Any:
+        self._registry.on_released_all(self)
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state: Any) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._registry.on_acquired(self)
+
+
+class _ThreadingShim:
+    """Stand-in for the ``threading`` module inside instrumented modules.
+
+    ``Lock``/``RLock`` return instrumented wrappers labelled by their
+    allocation site; ``Condition`` builds a real condition over an
+    instrumented lock; everything else delegates to the real module.
+    """
+
+    def __init__(self, registry: LockRegistry) -> None:
+        self._registry = registry
+
+    def Lock(self) -> InstrumentedLock:  # noqa: N802 — mirrors threading
+        return InstrumentedLock(
+            self._registry, threading.Lock(), _allocation_label()
+        )
+
+    def RLock(self) -> InstrumentedLock:  # noqa: N802
+        return InstrumentedLock(
+            self._registry, threading.RLock(), _allocation_label()
+        )
+
+    def Condition(self, lock: Any = None) -> "threading.Condition":  # noqa: N802
+        return threading.Condition(lock if lock is not None else self.RLock())
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(threading, name)
+
+
+#: The registry of the innermost active :func:`instrument` block.
+_ACTIVE: LockRegistry | None = None
+
+
+def active() -> bool:
+    """Whether lock instrumentation is currently enabled."""
+    return _ACTIVE is not None
+
+
+def active_registry() -> LockRegistry | None:
+    """The active registry, or None outside :func:`instrument`."""
+    return _ACTIVE
+
+
+def assert_holds(instance: Any, lock_name: str, where: str) -> None:
+    """Verify a ``@holds`` declaration against the live held set.
+
+    Only instrumented locks can be queried; objects built before
+    instrumentation (or outside it) are skipped — the declaration then
+    remains a statically-checked contract only.
+    """
+    registry = _ACTIVE
+    if registry is None:
+        return
+    lock = getattr(instance, lock_name, None)
+    if not isinstance(lock, InstrumentedLock):
+        return
+    if not registry.holds(lock):
+        message = (
+            f"{where} declares @holds({lock_name!r}) but the calling thread "
+            f"does not hold it (held: {registry.held_labels()})"
+        )
+        registry.record_discipline_violation(message)
+        raise LockDisciplineViolation(message)
+
+
+@contextmanager
+def instrument(*modules: ModuleType) -> Iterator[LockRegistry]:
+    """Instrument lock creation inside ``modules`` for the block's duration.
+
+    Each module's ``threading`` attribute is swapped for the shim, so
+    locks the module creates while the block is active are wrapped;
+    locks created before (or by untargeted modules) stay real and are
+    simply invisible to the analysis.  Nested instrumentation is not
+    supported — the innermost registry would steal the outer one's
+    events — and raises.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ReproError("lock instrumentation is already active")
+    registry = LockRegistry()
+    shim = _ThreadingShim(registry)
+    saved: list[tuple[ModuleType, Any]] = []
+    for module in modules:
+        saved.append((module, module.__dict__.get("threading")))
+        setattr(module, "threading", shim)
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = None
+        for module, previous in saved:
+            setattr(module, "threading", previous)

@@ -75,7 +75,9 @@ import time
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
+from typing import Any
 
+from repro.analysis.annotations import guarded_by
 from repro.api.config import EngineConfig
 from repro.api.memo import MemoClient, SharedCheckMemo, start_shared_memo
 from repro.api.pool import SolverPool
@@ -152,7 +154,7 @@ _WORKER_ENGINE: "SciductionEngine | None" = None
 _WORKER_ID: str = ""
 
 
-def _initialize_worker(config_wire: dict, memo_proxy, worker_id: str) -> None:
+def _initialize_worker(config_wire: dict, memo_proxy: Any, worker_id: str) -> None:
     """Process-pool initializer: build this worker's engine from the wire.
 
     The worker engine is forced to ``workers=1`` — worker processes run
@@ -213,7 +215,7 @@ def _worker_ready() -> bool:
     return True
 
 
-def _fork_context():
+def _fork_context() -> "multiprocessing.context.BaseContext | None":
     """The ``fork`` multiprocessing context when available (else default).
 
     Forked workers inherit the parent's problem-type registry, so problem
@@ -243,11 +245,11 @@ class _WorkerFleet:
     worker the plan (or a steal) routed them to, FIFO.
     """
 
-    def __init__(self, config: EngineConfig):
+    def __init__(self, config: EngineConfig) -> None:
         self._config_wire = config.to_dict()
         self._executors: dict[int, ProcessPoolExecutor] = {}
-        self._memo_manager = None
-        self._memo_proxy = None
+        self._memo_manager: Any = None
+        self._memo_proxy: Any = None
         if config.shared_check_memo and config.memoize_checks:
             self._memo_manager, self._memo_proxy = start_shared_memo(
                 config.shared_memo_size, context=_fork_context()
@@ -321,6 +323,7 @@ class _WorkerFleet:
             self._memo_proxy = None
 
 
+@guarded_by("_state_lock", "_jobs", "_worker_pool_statistics")
 class SciductionEngine:
     """Unified engine running declarative problem specs over pooled solvers.
 
@@ -333,7 +336,7 @@ class SciductionEngine:
             sized by ``config.pool_size``.
     """
 
-    def __init__(self, config: EngineConfig | None = None, pool: SolverPool | None = None):
+    def __init__(self, config: EngineConfig | None = None, pool: SolverPool | None = None) -> None:
         self.config = config or EngineConfig()
         #: In-process shared check-memo store: every session of this
         #: engine's pool reads and publishes through it, so a verdict
@@ -357,7 +360,7 @@ class SciductionEngine:
         #: Latest cumulative pool statistics reported by each worker.
         self._worker_pool_statistics: dict[str, dict] = {}
         self._fleet: _WorkerFleet | None = None
-        self._fleet_finalizer = None
+        self._fleet_finalizer: "weakref.finalize | None" = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -376,7 +379,7 @@ class SciductionEngine:
     def __enter__(self) -> "SciductionEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _worker_fleet(self) -> _WorkerFleet:
@@ -431,7 +434,11 @@ class SciductionEngine:
             timeout=timeout,
             label=label,
         )
-        self._jobs.append(job)
+        # Serialized against prune()'s list swap: an unlocked append can
+        # land on the list prune() is about to replace and silently lose
+        # the handle (LOCK01).
+        with self._state_lock:
+            self._jobs.append(job)
         return job
 
     def cancel(self, job: Job) -> bool:
@@ -467,7 +474,8 @@ class SciductionEngine:
         the engine's history — and with it ``run_batch``'s pending scan —
         stays bounded.
         """
-        return tuple(self._jobs)
+        with self._state_lock:
+            return tuple(self._jobs)
 
     def prune(self) -> int:
         """Forget finished jobs (the caller keeps the handles it needs).
@@ -512,7 +520,8 @@ class SciductionEngine:
         """
         for problem in problems or []:
             self.submit(problem)
-        batch = [job for job in self._jobs if job.state is JobState.PENDING]
+        with self._state_lock:
+            batch = [job for job in self._jobs if job.state is JobState.PENDING]
         if self.config.workers > 1 and len(batch) > 1:
             self._execute_batch_parallel(batch)
         else:
@@ -579,16 +588,19 @@ class SciductionEngine:
             job._crash_retried = True
             return True
 
-        def complete(job: Job, kind: str, value) -> None:
+        def complete(job: Job, kind: str, value: Any) -> None:
             if kind == "payload":
                 job.state = JobState(value["state"])
                 job.error = value["error"]
                 job.elapsed = value["elapsed"]
                 job._result_wire = value["result"]
                 job.result = result_from_dict(value["result"])
-                self._worker_pool_statistics[value["worker_id"]] = value[
-                    "pool_statistics"
-                ]
+                # statistics() reads this dict from HTTP handler threads
+                # while the dispatch loop completes jobs (LOCK01).
+                with self._state_lock:
+                    self._worker_pool_statistics[value["worker_id"]] = value[
+                        "pool_statistics"
+                    ]
             elif kind == "crashed":
                 self._record_crash(job)
             elif kind == "error":
@@ -650,9 +662,9 @@ class SciductionEngine:
                 return
             job.state = JobState.RUNNING
         deadline = (
-            time.monotonic() + job.timeout if job.timeout is not None else None
+            time.monotonic() + job.timeout if job.timeout is not None else None  # analysis: allow[WC01] sanctioned deadline anchor; budget enforcement only
         )
-        start = time.perf_counter()
+        start = time.perf_counter()  # analysis: allow[WC01] elapsed-time accounting for the job record; not a decision input
         retried = False
         while True:
             lease = (
@@ -672,7 +684,7 @@ class SciductionEngine:
                 result = job.problem.run(context)
                 job.state = JobState.COMPLETED
             except BudgetExceededError as error:
-                timed_out = deadline is not None and time.monotonic() >= deadline
+                timed_out = deadline is not None and time.monotonic() >= deadline  # analysis: allow[WC01] sanctioned deadline probe; classifies timeout vs budget exhaustion
                 job.state = (
                     JobState.TIMED_OUT if timed_out else JobState.BUDGET_EXHAUSTED
                 )
@@ -723,7 +735,7 @@ class SciductionEngine:
                 else:
                     job_smt = job_sat = None
             break
-        job.elapsed = time.perf_counter() - start
+        job.elapsed = time.perf_counter() - start  # analysis: allow[WC01] elapsed-time accounting for the job record; not a decision input
         result.details.setdefault("engine", {}).update(
             {
                 "job_id": job.job_id,
@@ -786,17 +798,19 @@ class SciductionEngine:
                     memo[key] = max(memo.get(key, 0), value)
                 else:
                     memo[key] = memo.get(key, 0) + value
+        with self._state_lock:
+            workers = dict(sorted(self._worker_pool_statistics.items()))
         return {
             "pool": asdict(self.pool.statistics),
             "scheduler": self._scheduler_statistics.as_dict(),
-            "workers": dict(sorted(self._worker_pool_statistics.items())),
+            "workers": workers,
             "shared_memo": memo,
         }
 
     def batch_report(self) -> list[dict]:
         """JSON-ready summaries of every finished job."""
         report = []
-        for job in self._jobs:
+        for job in self.jobs:
             if job.result is None:
                 continue
             entry = {

@@ -44,7 +44,9 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing.managers import BaseManager
+from typing import Any
 
+from repro.analysis.annotations import guarded_by
 from repro.smt.wire import check_wire_key, term_digest  # noqa: F401 — re-export
 
 # ---------------------------------------------------------------------------
@@ -78,6 +80,7 @@ class SharedMemoStatistics:
         }
 
 
+@guarded_by("_lock", "_entries", "_statistics")
 class SharedCheckMemo:
     """Bounded LRU store of decided check answers, shared across workers.
 
@@ -93,7 +96,7 @@ class SharedCheckMemo:
             entry is evicted past the bound.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("shared memo capacity must be at least 1")
         self._capacity = capacity
@@ -211,7 +214,9 @@ class _MemoManager(BaseManager):
 _MemoManager.register("SharedCheckMemo", SharedCheckMemo)
 
 
-def start_shared_memo(capacity: int, context=None) -> tuple[_MemoManager, object]:
+def start_shared_memo(
+    capacity: int, context: Any | None = None
+) -> tuple[_MemoManager, Any]:
     """Start a manager process hosting a :class:`SharedCheckMemo`.
 
     Returns ``(manager, proxy)``; the proxy is picklable and is handed to

@@ -46,6 +46,7 @@ from __future__ import annotations
 import gc
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.api.config import EngineConfig
 from repro.core.exceptions import SolverError
@@ -111,7 +112,7 @@ class SolverLease:
     the session misbehaved).
     """
 
-    def __init__(self, pool: "SolverPool", record: _SessionRecord, reused: bool):
+    def __init__(self, pool: "SolverPool", record: _SessionRecord, reused: bool) -> None:
         self._pool = pool
         self._record = record
         self._solver = record.solver
@@ -260,7 +261,9 @@ class SolverPool:
             learned-clause retention and intern-table cleanup.
     """
 
-    def __init__(self, config: EngineConfig | None = None, memo_backend=None):
+    def __init__(
+        self, config: EngineConfig | None = None, memo_backend: Any | None = None
+    ) -> None:
         self.config = config or EngineConfig()
         if self.config.pool_size < 1:
             raise SolverError("pool_size must be at least 1")
@@ -275,7 +278,7 @@ class SolverPool:
         #: :meth:`set_memo_backend`.
         self._memo_backend = memo_backend
 
-    def set_memo_backend(self, backend) -> None:
+    def set_memo_backend(self, backend: Any) -> None:
         """Install a shared check-memo backend on the pool.
 
         Solvers created *after* the call consult it (see

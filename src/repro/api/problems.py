@@ -21,7 +21,7 @@ result.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Callable, ClassVar
+from typing import Any, Callable, ClassVar
 
 from repro.api.config import EngineConfig
 from repro.api.pool import SolverLease
@@ -49,7 +49,7 @@ class JobContext:
     lease: SolverLease | None = None
     deadline: float | None = None
 
-    def session(self):
+    def session(self) -> Any:
         """A job-scoped pooled solver session, or ``None`` without a lease."""
         if self.lease is None:
             return None
@@ -127,7 +127,9 @@ class ProblemSpec:
         """Extra keyword arguments for ``procedure.run()``."""
         return {}
 
-    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+    def finish(
+        self, result: SciductionResult, procedure: SciductionProcedure
+    ) -> SciductionResult:
         """Hook for per-problem post-processing (e.g. verdict checks)."""
         return result
 
@@ -244,7 +246,7 @@ class DeobfuscationProblem(ProblemSpec):
     def shape_key(self) -> str:
         return f"{self.kind}/w{self.width}"
 
-    def _task(self):
+    def _task(self) -> tuple:
         tasks = _deobfuscation_tasks()
         if self.task not in tasks:
             raise ReproError(
@@ -280,7 +282,9 @@ class DeobfuscationProblem(ProblemSpec):
             ],
         )
 
-    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+    def finish(
+        self, result: SciductionResult, procedure: SciductionProcedure
+    ) -> SciductionResult:
         # A-posteriori structure-hypothesis check (paper Section 6): the
         # verdict is whether the synthesized program is equivalent to the
         # reference semantics at the synthesis width.
@@ -449,7 +453,9 @@ class SwitchingLogicProblem(ProblemSpec):
         setup.synthesizer.set_deadline(context.deadline)
         return setup.synthesizer
 
-    def finish(self, result: SciductionResult, procedure) -> SciductionResult:
+    def finish(
+        self, result: SciductionResult, procedure: SciductionProcedure
+    ) -> SciductionResult:
         # The verdict mirrors success: every transition kept a non-empty
         # safe guard, i.e. the closed-loop system was made safe.
         if result.verdict is None:

@@ -43,6 +43,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable
 
 
 @dataclass
@@ -83,7 +84,12 @@ class ShapePlan:
             into a cross-worker cache instead of a per-worker one).
     """
 
-    def __init__(self, items, workers: int, rotation: int = 0):
+    def __init__(
+        self,
+        items: Iterable[tuple[str, Any]],
+        workers: int,
+        rotation: int = 0,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
@@ -115,7 +121,7 @@ class ShapePlan:
         """Jobs not yet popped from any queue."""
         return sum(len(queue) for queue in self.queues.values())
 
-    def next_job(self, worker: int):
+    def next_job(self, worker: int) -> Any:
         """Pop the next job for ``worker`` (stealing if it has none), or None.
 
         Own shapes are served in global submission order (the head with
@@ -190,19 +196,24 @@ class WorkStealingScheduler:
 
     def __init__(
         self,
-        transport,
-        claim,
-        complete,
-        retry_crash,
+        transport: Any,
+        claim: Callable[[Any], bool],
+        complete: Callable[[Any, str, Any], None],
+        retry_crash: Callable[[Any], bool],
         statistics: SchedulerStatistics | None = None,
-    ):
+    ) -> None:
         self._transport = transport
         self._claim = claim
         self._complete = complete
         self._retry_crash = retry_crash
         self.statistics = statistics or SchedulerStatistics()
 
-    def run_batch(self, items, workers: int, rotation: int = 0) -> ShapePlan:
+    def run_batch(
+        self,
+        items: Iterable[tuple[str, Any]],
+        workers: int,
+        rotation: int = 0,
+    ) -> ShapePlan:
         """Run ``items`` (``(shape, job)`` pairs, submission order) to completion."""
         plan = ShapePlan(items, workers, rotation)
         self.statistics.batches += 1

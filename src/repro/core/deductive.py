@@ -124,14 +124,14 @@ class DeductiveEngine(ABC, Generic[QueryT, AnswerT]):
         Raises:
             DeductionError: if the engine fails internally.
         """
-        start = time.perf_counter()
+        start = time.perf_counter()  # analysis: allow[WC01] elapsed-time accounting for statistics; not a decision input
         try:
             result = self._answer(query)
         except DeductionError:
             raise
         except Exception as exc:  # pragma: no cover - defensive
             raise DeductionError(f"{self.name} failed on {query.kind.value}: {exc}") from exc
-        result.elapsed = time.perf_counter() - start
+        result.elapsed = time.perf_counter() - start  # analysis: allow[WC01] elapsed-time accounting for statistics; not a decision input
         self.statistics.record(query, result)
         return result
 

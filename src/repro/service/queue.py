@@ -22,9 +22,11 @@ import threading
 
 from dataclasses import dataclass, field
 
+from repro.analysis.annotations import guarded_by
 from repro.api.engine import Job, JobState, SciductionEngine
 from repro.api.results import result_to_dict
 from repro.core.procedure import SciductionResult
+from repro.service.stats import DEPTH_BOUNDS, LATENCY_BOUNDS, Histogram
 
 #: Engine job states surfaced verbatim; PENDING is reported as "queued".
 _STATE_NAMES = {
@@ -117,6 +119,7 @@ class ServiceJob:
         self._engine_job = None
 
 
+@guarded_by("_lock", "_jobs", "_pending", "_stopped", aliases=("_wakeup",))
 class JobQueue:
     """Registry + FIFO of service jobs, drained by the runner thread.
 
@@ -128,7 +131,7 @@ class JobQueue:
             are never evicted.
     """
 
-    def __init__(self, engine: SciductionEngine, max_history: int = 10_000):
+    def __init__(self, engine: SciductionEngine, max_history: int = 10_000) -> None:
         self.engine = engine
         self.max_history = max_history
         self._lock = threading.Lock()
@@ -137,6 +140,12 @@ class JobQueue:
         self._pending: list[ServiceJob] = []
         self._ids = itertools.count(1)
         self._stopped = False
+        #: Queue depth observed at each submission (how far behind the
+        #: runner is when work arrives), and per-problem-kind job
+        #: latencies harvested from finished batches.  Both are only
+        #: touched under ``_lock``.
+        self._depth_histogram = Histogram(DEPTH_BOUNDS)
+        self._latency_histograms: dict[str, Histogram] = {}
         self._runner = _Runner(self)
 
     # -- HTTP-side API -----------------------------------------------------
@@ -156,6 +165,7 @@ class JobQueue:
             )
             self._jobs[job.job_id] = job
             self._pending.append(job)
+            self._depth_histogram.observe(len(self._pending))
             self._wakeup.notify_all()
             return job
 
@@ -197,6 +207,19 @@ class JobQueue:
         for job in jobs:
             counts[job.state] = counts.get(job.state, 0) + 1
         return counts
+
+    def histograms(self) -> dict:
+        """Queue-depth and per-kind latency histograms (for ``/stats``)."""
+        with self._lock:
+            return {
+                "queue_depth": self._depth_histogram.as_dict(),
+                "job_latency": {
+                    kind: histogram.as_dict()
+                    for kind, histogram in sorted(
+                        self._latency_histograms.items()
+                    )
+                },
+            }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -241,6 +264,13 @@ class JobQueue:
         with self._lock:
             for job in drained:
                 job._finalize()
+                kind = str(job.problem.get("kind", "unknown"))
+                histogram = self._latency_histograms.get(kind)
+                if histogram is None:
+                    histogram = self._latency_histograms[kind] = Histogram(
+                        LATENCY_BOUNDS
+                    )
+                histogram.observe(job.elapsed)
             self.engine.prune()
             if len(self._jobs) > self.max_history:
                 for job_id in sorted(self._jobs):
@@ -255,7 +285,7 @@ class JobQueue:
 class _Runner(threading.Thread):
     """The single thread that owns the engine and runs the batches."""
 
-    def __init__(self, queue: JobQueue):
+    def __init__(self, queue: JobQueue) -> None:
         super().__init__(name="sciduction-runner", daemon=True)
         self._queue = queue
 

@@ -13,11 +13,12 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 
 from repro.api.config import EngineConfig
 from repro.api.engine import SciductionEngine
 from repro.api.problems import problem_types
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, ServiceJob
 from repro.service.wire import (
     WireError,
     error_wire,
@@ -95,7 +96,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _fail(self, status: int, message: str) -> None:
         self._reply(status, error_wire(message, status))
 
-    def _read_json(self):
+    def _read_json(self) -> Any:
         length = self._body_length()
         self._body_consumed = True
         if length > MAX_BODY_BYTES:
@@ -113,11 +114,11 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_consumed = False
         super().handle_one_request()
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.service.quiet:
             super().log_message(format, *args)
 
-    def _job_or_404(self, job_id: str):
+    def _job_or_404(self, job_id: str) -> "ServiceJob | None":
         job = self.service.queue.get(int(job_id))
         if job is None:
             self._fail(404, f"unknown job id {job_id}")
@@ -220,7 +221,7 @@ class SciductionService:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = False,
-    ):
+    ) -> None:
         self.engine = SciductionEngine(config)
         self.queue = JobQueue(self.engine)
         self.quiet = quiet
@@ -243,12 +244,21 @@ class SciductionService:
         return f"http://{self.host}:{self.port}"
 
     def stats(self) -> dict:
-        """The ``/stats`` payload: queue counts + engine-wide counters."""
-        return {
+        """The ``/stats`` payload: queue counts, depth/latency histograms,
+        and engine-wide counters.
+
+        ``queue`` stays the flat per-state count mapping (clients key on
+        it); the histograms ride along as separate top-level keys:
+        ``queue_depth`` (pending depth observed at each submission) and
+        ``job_latency`` (per-problem-kind seconds, from harvested jobs).
+        """
+        payload = {
             "queue": self.queue.counts(),
             "engine": self.engine.statistics(),
             "config": self.engine.config.to_dict(),
         }
+        payload.update(self.queue.histograms())
+        return payload
 
     def start(self) -> None:
         """Start the runner thread and serve HTTP in the background."""

@@ -1,0 +1,80 @@
+"""Histogram primitives for the service ``/stats`` surface.
+
+The per-state counts in ``/stats`` say how many jobs are queued *now*;
+they say nothing about how deep the queue has been or how long jobs of
+each problem kind actually take.  :class:`Histogram` fills that gap with
+fixed log-scale buckets — constant memory regardless of traffic, and
+JSON-ready via :meth:`Histogram.as_dict`.
+
+Instances are not thread-safe on their own; the :class:`~repro.service.
+queue.JobQueue` records observations under its existing state lock.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Default bucket upper bounds for job latency, in seconds.
+LATENCY_BOUNDS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Default bucket upper bounds for queue depth, in jobs.
+DEPTH_BOUNDS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style upper bounds.
+
+    Each bucket counts observations ``<= bound``; values above the last
+    bound land in the implicit overflow bucket reported as ``"inf"``.
+    ``count`` / ``sum`` / ``max`` ride along so averages and worst cases
+    need no separate counters.
+    """
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self._bounds = tuple(float(bound) for bound in bounds)
+        self._buckets = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (caller provides synchronization)."""
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        for index, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._buckets[index] += 1
+                return
+        self._buckets[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: count, sum, max and non-empty buckets.
+
+        Bucket keys are rendered deterministically (``"<=0.005"`` …
+        ``"inf"``) and empty buckets are omitted so the payload stays
+        small for quiet services.
+        """
+        buckets = {}
+        for bound, hits in zip(self._bounds, self._buckets):
+            if hits:
+                label = f"<={int(bound)}" if bound == int(bound) else f"<={bound}"
+                buckets[label] = hits
+        if self._buckets[-1]:
+            buckets["inf"] = self._buckets[-1]
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 9),
+            "max": round(self._max, 9),
+            "buckets": buckets,
+        }

@@ -11,16 +11,19 @@ instead of tracebacks.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.api.problems import problem_from_dict
 from repro.core.exceptions import ReproError
+
+if TYPE_CHECKING:  # a type-only edge; at runtime queue is a consumer of wire
+    from repro.service.queue import ServiceJob
 
 
 class WireError(ReproError):
     """A malformed request, carrying the HTTP status to answer with."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.status = status
 
@@ -76,7 +79,7 @@ def parse_job_request(payload: Any) -> dict:
     }
 
 
-def job_record_wire(job) -> dict:
+def job_record_wire(job: "ServiceJob") -> dict:
     """The ``GET /jobs/<id>`` record for a :class:`~repro.service.queue.ServiceJob`."""
     return {
         "job_id": job.job_id,
@@ -91,7 +94,7 @@ def job_record_wire(job) -> dict:
     }
 
 
-def job_summary_wire(job) -> dict:
+def job_summary_wire(job: "ServiceJob") -> dict:
     """The compact entry used by ``GET /jobs``."""
     return {
         "job_id": job.job_id,

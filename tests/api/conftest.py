@@ -19,9 +19,25 @@ from dataclasses import replace
 import pytest
 
 import repro.api.engine as engine_module
+import repro.api.memo as memo_module
+from repro.analysis import lockcheck
 from repro.api.config import EngineConfig
 
 _FORCED_WORKERS = int(os.environ.get("REPRO_API_FORCE_WORKERS", "0"))
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck_instrumentation():
+    """Run every api test under the lock-order/discipline detector.
+
+    Engines and memo stores built during the test get instrumented
+    locks: a lock-order cycle or a ``@holds`` method entered without its
+    lock raises at the violation site, and any violation swallowed by
+    application-level error folding still fails the test here.
+    """
+    with lockcheck.instrument(engine_module, memo_module) as registry:
+        yield
+    assert not registry.violations, "\n".join(registry.violations)
 
 
 def pytest_configure(config):

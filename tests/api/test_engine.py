@@ -284,3 +284,55 @@ class TestResultSerialization:
         assert len(report) == 2
         json.dumps(report)  # must not raise
         assert report[0]["problem"]["kind"] == "deobfuscation"
+
+
+class TestSharedStateLockDiscipline:
+    """Regression tests for races the LOCK01 lint rule surfaced.
+
+    ``submit`` used to append to ``_jobs`` without ``_state_lock`` while
+    ``prune`` (called from the service's runner thread) swapped the list
+    under it — an append landing between prune's copy and its swap was
+    silently dropped, losing the job handle.
+    """
+
+    def test_concurrent_submit_and_prune_loses_no_handles(self):
+        import threading
+
+        engine = SciductionEngine(EngineConfig())
+        per_thread, threads = 200, 4
+        start = threading.Barrier(threads + 2)  # submitters + pruner + main
+        done = threading.Event()
+
+        def submitter():
+            start.wait()
+            for _ in range(per_thread):
+                engine.submit(DEOB)
+
+        def pruner():
+            start.wait()
+            while not done.is_set():
+                engine.prune()  # nothing is finished; must keep all
+
+        workers = [threading.Thread(target=submitter) for _ in range(threads)]
+        chaos = threading.Thread(target=pruner)
+        for worker in workers:
+            worker.start()
+        chaos.start()
+        start.wait()
+        for worker in workers:
+            worker.join()
+        done.set()
+        chaos.join()
+        assert len(engine.jobs) == per_thread * threads
+
+    def test_worker_statistics_snapshot_is_consistent(self):
+        # statistics() is served to HTTP threads while batches complete;
+        # the workers map must be read under the state lock.
+        engine = SciductionEngine(EngineConfig(workers=2))
+        try:
+            engine.run_batch([DEOB, TIMING])
+            stats = engine.statistics()
+            assert set(stats) == {"pool", "scheduler", "workers", "shared_memo"}
+            json.dumps(stats)  # must stay JSON-ready
+        finally:
+            engine.close()

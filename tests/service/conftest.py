@@ -1,0 +1,30 @@
+"""Service-suite fixtures: lock instrumentation across both layers.
+
+The HTTP service exercises the full lock surface — handler threads on
+the queue lock, the runner thread bridging into the engine's state lock,
+and memo locks under solving — so the whole suite runs under the
+lock-order/discipline detector.  The queue → engine acquisition order is
+part of the service's design; a change that inverts it anywhere fails
+here instead of deadlocking in production.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api.engine as engine_module
+import repro.api.memo as memo_module
+import repro.service.queue as queue_module
+from repro.analysis import lockcheck
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _lockcheck_instrumentation():
+    # Module-scoped (and autouse, so it is set up first): the suites
+    # build one service per module, and its queue/engine locks must be
+    # created while instrumentation is active to be observable.
+    with lockcheck.instrument(
+        engine_module, memo_module, queue_module
+    ) as registry:
+        yield
+    assert not registry.violations, "\n".join(registry.violations)

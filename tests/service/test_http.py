@@ -219,3 +219,21 @@ class TestHttpSurface:
         assert "pool" in stats["engine"]
         assert "shared_memo" in stats["engine"]
         assert stats["config"]["workers"] == 1
+
+    def test_stats_histograms(self, service):
+        # At least one job was submitted and harvested by earlier tests.
+        submit_and_wait(service, {"problem": dict(DEOB)})
+        status, stats = call(service, "GET", "/stats")
+        assert status == 200
+
+        depth = stats["queue_depth"]
+        assert depth["count"] >= 1
+        assert depth["max"] >= 1
+        assert sum(depth["buckets"].values()) == depth["count"]
+
+        latency = stats["job_latency"]
+        assert "deobfuscation" in latency
+        per_kind = latency["deobfuscation"]
+        assert per_kind["count"] >= 1
+        assert per_kind["sum"] >= 0.0
+        assert sum(per_kind["buckets"].values()) == per_kind["count"]

@@ -1,0 +1,235 @@
+"""Tests for the invariant lint rules and the repo-wide gate."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_source, run_lint
+
+
+def _rules(source: str, deterministic: bool = True) -> list[str]:
+    findings = lint_source(
+        textwrap.dedent(source), "probe.py", deterministic=deterministic
+    )
+    return [finding.rule for finding in findings]
+
+
+# -- ND01 -------------------------------------------------------------------
+
+
+def test_nd01_flags_set_iteration_contexts():
+    assert _rules("for item in {1, 2}:\n    pass\n") == ["ND01"]
+    assert _rules("items = [str(x) for x in set(data)]\n") == ["ND01"]
+    assert _rules("items = list(frozenset(data))\n") == ["ND01"]
+    assert _rules("text = ','.join({'a', 'b'})\n") == ["ND01"]
+
+
+def test_nd01_tracks_local_set_variables():
+    source = """
+    def build(data):
+        pending = set(data)
+        for item in pending:
+            yield item
+    """
+    assert _rules(source) == ["ND01"]
+
+
+def test_nd01_tracks_self_set_attributes():
+    source = """
+    class Tracker:
+        def __init__(self):
+            self.started: set[str] = set()
+
+        def names(self):
+            return [name for name in self.started]
+    """
+    assert _rules(source) == ["ND01"]
+
+
+def test_nd01_accepts_sorted_and_membership():
+    source = """
+    def build(data):
+        pending = set(data)
+        if "x" in pending:
+            pass
+        return sorted(pending)
+    """
+    assert _rules(source) == []
+
+
+def test_nd01_set_operations_propagate():
+    assert _rules("for x in set(a) - set(b):\n    pass\n") == ["ND01"]
+    assert _rules("out = sorted(set(a) | set(b))\n") == []
+
+
+def test_nd01_only_in_deterministic_modules():
+    source = "for item in {1, 2}:\n    pass\n"
+    assert _rules(source, deterministic=False) == []
+
+
+# -- WC01 -------------------------------------------------------------------
+
+
+def test_wc01_flags_clock_reads():
+    assert _rules("import time\nnow = time.time()\n") == ["WC01"]
+    assert _rules("import time\nnow = time.monotonic()\n") == ["WC01"]
+    assert _rules(
+        "from time import perf_counter\nstart = perf_counter()\n"
+    ) == ["WC01"]
+    assert _rules(
+        "import datetime\nstamp = datetime.datetime.now()\n"
+    ) == ["WC01"]
+
+
+def test_wc01_ignores_non_clock_time_functions():
+    assert _rules("import time\ntime.sleep(0.1)\n") == []
+
+
+# -- allowlist --------------------------------------------------------------
+
+
+def test_allow_comment_suppresses_with_reason():
+    source = "import time\nnow = time.time()  # analysis: allow[WC01] deadline anchor\n"
+    assert _rules(source) == []
+
+
+def test_allow_comment_without_reason_is_al00():
+    source = "import time\nnow = time.time()  # analysis: allow[WC01]\n"
+    assert sorted(_rules(source)) == ["AL00", "WC01"]
+
+
+def test_stale_allow_comment_is_al01():
+    source = "value = 1  # analysis: allow[WC01] nothing here needs it\n"
+    assert _rules(source) == ["AL01"]
+
+
+def test_allow_for_wrong_rule_does_not_suppress():
+    source = "import time\nnow = time.time()  # analysis: allow[ND01] wrong rule\n"
+    assert sorted(_rules(source)) == ["AL01", "WC01"]
+
+
+def test_allow_pattern_in_string_literal_is_not_an_entry():
+    source = "MESSAGE = 'use # analysis: allow[WC01] here'\n"
+    assert _rules(source) == []
+
+
+# -- WIRE01 -----------------------------------------------------------------
+
+
+def test_wire01_flags_non_json_fields_in_registered_specs():
+    source = """
+    @register_problem_type
+    class Spec:
+        kind = "probe"
+        width: int = 8
+        callback: Callable[[int], int] | None = None
+    """
+    assert _rules(source) == ["WIRE01"]
+
+
+def test_wire01_checks_to_dict_from_dict_classes():
+    source = """
+    class Config:
+        retries: int = 1
+        solver: CdclSolver | None = None
+
+        def to_dict(self):
+            return {}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls()
+    """
+    assert _rules(source) == ["WIRE01"]
+
+
+def test_wire01_accepts_json_shaped_fields():
+    source = """
+    @register_problem_type
+    class Spec:
+        width: int = 8
+        name: str | None = None
+        rows: list[dict[str, float]] = None
+        extras: ClassVar[SomethingInternal] = None
+    """
+    assert _rules(source) == []
+
+
+def test_wire01_ignores_unmarked_classes():
+    source = """
+    class Internal:
+        solver: CdclSolver | None = None
+    """
+    assert _rules(source) == []
+
+
+# -- LOCK01 -----------------------------------------------------------------
+
+
+_GUARDED_TEMPLATE = """
+@guarded_by("_lock", "_jobs", aliases=("_wakeup",))
+class Queue:
+    def __init__(self):
+        self._jobs = []
+
+    def locked_append(self, job):
+        with self._lock:
+            self._jobs.append(job)
+
+    def alias_append(self, job):
+        with self._wakeup:
+            self._jobs.append(job)
+
+    @holds("_lock")
+    def caller_holds(self, job):
+        self._jobs.append(job)
+"""
+
+
+def test_lock01_accepts_locked_alias_and_holds_mutations():
+    assert _rules(_GUARDED_TEMPLATE) == []
+
+
+def test_lock01_flags_unlocked_mutations():
+    source = _GUARDED_TEMPLATE + """
+    def racy_append(self, job):
+        self._jobs.append(job)
+
+    def racy_assign(self):
+        self._jobs = []
+
+    def racy_subscript(self, job):
+        self._jobs[0] = job
+"""
+    assert _rules(source) == ["LOCK01", "LOCK01", "LOCK01"]
+
+
+def test_lock01_nested_closures_start_unlocked():
+    source = _GUARDED_TEMPLATE + """
+    def register(self):
+        with self._lock:
+            def callback(job):
+                self._jobs.append(job)
+            return callback
+"""
+    # The closure may run long after the with-block exited.
+    assert _rules(source) == ["LOCK01"]
+
+
+def test_lock01_ignores_unguarded_fields():
+    source = _GUARDED_TEMPLATE + """
+    def touch_other(self):
+        self._other = []
+"""
+    assert _rules(source) == []
+
+
+# -- the repo gate ----------------------------------------------------------
+
+
+def test_repo_is_lint_clean():
+    """The shipping tree has zero findings (and explained allows only)."""
+    package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    findings = run_lint(package_root)
+    assert findings == [], "\n".join(finding.render() for finding in findings)

@@ -1,0 +1,172 @@
+"""Tests for the runtime lock-order / lock-discipline detector itself.
+
+These construct violations on purpose, so they run *outside* the
+suite-wide instrumentation fixtures (which would fail the test on the
+recorded violation): each test opens its own :func:`instrument` block
+over a throwaway probe module and inspects the registry directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import types
+
+import pytest
+
+from repro.analysis import (
+    LockDisciplineViolation,
+    LockOrderViolation,
+    guarded_by,
+    holds,
+    instrument,
+)
+from repro.analysis.annotations import GUARDED_ATTR, HOLDS_ATTR
+from repro.analysis.lockcheck import InstrumentedLock
+
+
+def _probe_module() -> types.ModuleType:
+    module = types.ModuleType("lockcheck_probe")
+    module.threading = threading
+    return module
+
+
+def test_instrument_wraps_only_targeted_module_locks():
+    probe = _probe_module()
+    with instrument(probe):
+        wrapped = probe.threading.Lock()
+        unwrapped = threading.Lock()
+        assert isinstance(wrapped, InstrumentedLock)
+        assert not isinstance(unwrapped, InstrumentedLock)
+    # After the block the module is back on the real threading module.
+    assert probe.threading is threading
+
+
+def test_consistent_nested_acquisition_is_clean():
+    probe = _probe_module()
+    with instrument(probe) as registry:
+        lock_a = probe.threading.Lock()
+        lock_b = probe.threading.Lock()
+
+        def worker() -> None:
+            for _ in range(50):
+                with lock_a:
+                    with lock_b:
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        worker()
+    assert registry.violations == []
+
+
+def test_abba_cycle_raises_before_blocking():
+    probe = _probe_module()
+    with instrument(probe) as registry:
+        lock_a = probe.threading.Lock()
+        lock_b = probe.threading.Lock()
+        with lock_a:
+            with lock_b:
+                pass
+        # The inverted order closes the cycle; no second thread (and no
+        # actual deadlock) is needed — the graph remembers A → B.
+        with lock_b:
+            with pytest.raises(LockOrderViolation):
+                with lock_a:
+                    pass  # pragma: no cover — acquire must raise
+        assert len(registry.violations) == 1
+        assert "cycle" in registry.violations[0]
+
+
+def test_rlock_reentrancy_adds_no_cycle():
+    probe = _probe_module()
+    with instrument(probe) as registry:
+        lock = probe.threading.RLock()
+        with lock:
+            with lock:
+                pass
+    assert registry.violations == []
+    assert registry.edges == {}
+
+
+def test_condition_wait_keeps_held_bookkeeping():
+    probe = _probe_module()
+    with instrument(probe) as registry:
+        lock = probe.threading.Lock()
+        condition = probe.threading.Condition(lock)
+        released: list[bool] = []
+
+        def releaser() -> None:
+            with condition:
+                released.append(True)
+                condition.notify_all()
+
+        with condition:
+            thread = threading.Thread(target=releaser)
+            thread.start()
+            # wait() releases the underlying lock (letting the releaser
+            # in) and must restore it — and the held-set — on wakeup.
+            assert condition.wait(timeout=5.0)
+            thread.join()
+        assert released == [True]
+        # A fresh acquisition still works and records no violation.
+        with condition:
+            pass
+    assert registry.violations == []
+
+
+class _Guarded:
+    def __init__(self, lock_factory):
+        self._lock = lock_factory()
+        self._items: list[int] = []
+
+    @holds("_lock")
+    def add_unlocked_contract(self, value: int) -> None:
+        self._items.append(value)
+
+    def add_properly(self, value: int) -> None:
+        with self._lock:
+            self.add_unlocked_contract(value)
+
+
+def test_holds_violation_raises_and_is_recorded():
+    probe = _probe_module()
+    with instrument(probe) as registry:
+        guarded = _Guarded(probe.threading.Lock)
+        guarded.add_properly(1)
+        assert guarded._items == [1]
+        with pytest.raises(LockDisciplineViolation):
+            guarded.add_unlocked_contract(2)
+        assert len(registry.violations) == 1
+        assert "add_unlocked_contract" in registry.violations[0]
+
+
+def test_holds_is_inert_without_instrumentation():
+    guarded = _Guarded(threading.Lock)
+    guarded.add_unlocked_contract(3)  # contract unchecked: plain lock
+    assert guarded._items == [3]
+    assert getattr(_Guarded.add_unlocked_contract, HOLDS_ATTR) == "_lock"
+
+
+def test_guarded_by_records_metadata():
+    @guarded_by("_lock", "_jobs", "_pending", aliases=("_wakeup",))
+    class Example:
+        pass
+
+    assert getattr(Example, GUARDED_ATTR) == {
+        "_jobs": "_lock",
+        "_pending": "_lock",
+    }
+
+    with pytest.raises(ValueError):
+        guarded_by("_lock")(Example)
+
+
+def test_nested_instrumentation_rejected():
+    probe = _probe_module()
+    with instrument(probe):
+        with pytest.raises(Exception, match="already active"):
+            with instrument(probe):
+                pass  # pragma: no cover
