@@ -20,7 +20,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -46,11 +45,13 @@ def call(base: str, method: str, path: str, body: dict | None = None):
 
 
 def wait_for(base: str, job_id: int) -> dict:
+    # Long-poll: the server holds the request open (up to 30s per call)
+    # and answers the moment the job reaches a terminal state — no
+    # client-side sleep/poll loop.
     while True:
-        _, record = call(base, "GET", f"/jobs/{job_id}")
+        _, record = call(base, "GET", f"/jobs/{job_id}?wait=30")
         if record["done"]:
             return record
-        time.sleep(0.1)
 
 
 def main() -> int:

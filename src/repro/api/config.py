@@ -106,6 +106,19 @@ class EngineConfig:
             cross-job term sharing — and therefore bit-blast-cache
             amortization — is fully preserved; past it, memory is
             genuinely bounded at the cost of cold sessions.
+        job_retry_limit: per-job budget for supervised retries — both a
+            worker process crashing mid-job (parallel execution) and a
+            poisoned pooled session failing a job (sequential
+            execution) consume from it.  Once exhausted the job reaches
+            a terminal ``failed`` state whose details carry the fault
+            chain (one entry per attempt), so an operator can tell a
+            persistent fault from a transient one.  0 disables retries.
+        retry_backoff: base seconds slept before retry attempt ``n``
+            (``retry_backoff * 2**(n-1)``, exponential).  The default
+            of 0 retries immediately — correct for poisoned-session
+            retries, which are deterministic; raise it on deployments
+            where crashes are resource-driven and immediate retries
+            would just crash again.
     """
 
     simplify_terms: bool = True
@@ -123,12 +136,18 @@ class EngineConfig:
     shared_memo_size: int = 4096
     gc_freeze_sessions: bool = True
     intern_table_limit: int | None = 1_000_000
+    job_retry_limit: int = 1
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ReproError("workers must be at least 1")
         if self.shared_memo_size < 1:
             raise ReproError("shared_memo_size must be at least 1")
+        if self.job_retry_limit < 0:
+            raise ReproError("job_retry_limit must be non-negative")
+        if self.retry_backoff < 0:
+            raise ReproError("retry_backoff must be non-negative")
 
     def solver_options(self) -> dict:
         """Keyword arguments for :class:`~repro.smt.solver.SmtSolver`."""

@@ -86,6 +86,7 @@ from repro.api.results import json_safe, result_from_dict, result_to_dict
 from repro.api.scheduler import SchedulerStatistics, WorkStealingScheduler
 from repro.core.exceptions import BudgetExceededError, ReproError, SolverError
 from repro.core.procedure import SciductionResult
+from repro.testing.faults import fault_point
 
 
 class JobState(enum.Enum):
@@ -120,7 +121,8 @@ class Job:
     # Transient parallel-execution state (parent side; never pickled —
     # only wire dictionaries cross the process boundary).
     _future: Future | None = field(default=None, repr=False, compare=False)
-    _crash_retried: bool = field(default=False, repr=False, compare=False)
+    _crash_retries: int = field(default=0, repr=False, compare=False)
+    _fault_chain: list = field(default_factory=list, repr=False, compare=False)
     _result_wire: dict | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -190,6 +192,10 @@ def _run_job_in_worker(payload: dict) -> dict:
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover — initializer always ran
         raise ReproError("worker process was not initialized")
+    # Fault site: `exit` faults armed here (inherited over fork, or via
+    # REPRO_FAULTS) kill this worker with no cleanup — the supervised
+    # crash-retry path in the parent is exactly what gets exercised.
+    fault_point("worker.crash")
     job = Job(
         job_id=payload["job_id"],
         problem=problem_from_dict(payload["problem"]),
@@ -583,9 +589,13 @@ class SciductionEngine:
                 fleet.retire(worker)
 
         def retry_crash(job: Job) -> bool:
-            if job._crash_retried:
+            job._fault_chain.append(
+                f"worker process crashed (attempt {job._crash_retries + 1})"
+            )
+            if job._crash_retries >= self.config.job_retry_limit:
                 return False
-            job._crash_retried = True
+            job._crash_retries += 1
+            self._retry_backoff_sleep(job._crash_retries)
             return True
 
         def complete(job: Job, kind: str, value: Any) -> None:
@@ -635,13 +645,23 @@ class SciductionEngine:
             rotation=rotation,
         )
 
+    def _retry_backoff_sleep(self, attempt: int) -> None:
+        """Exponential pre-retry pause: ``retry_backoff * 2**(attempt-1)``."""
+        if self.config.retry_backoff > 0:
+            time.sleep(self.config.retry_backoff * (2 ** (attempt - 1)))
+
     def _record_crash(self, job: Job) -> None:
         job.state = JobState.FAILED
-        job.error = "worker process crashed (retry exhausted)"
-        job.result = SciductionResult(
-            success=False,
-            details={"outcome": "failed", "error": job.error},
+        job.error = (
+            "worker process crashed (retry budget of "
+            f"{self.config.job_retry_limit} exhausted)"
         )
+        details: dict = {"outcome": "failed", "error": job.error}
+        if job._fault_chain:
+            # The full fault history, one entry per attempt — a terminal
+            # failure names every crash that consumed the retry budget.
+            details["fault_chain"] = list(job._fault_chain)
+        job.result = SciductionResult(success=False, details=details)
         self._stamp_engine_details(job)
 
     def _stamp_engine_details(self, job: Job) -> None:
@@ -665,7 +685,8 @@ class SciductionEngine:
             time.monotonic() + job.timeout if job.timeout is not None else None  # analysis: allow[WC01] sanctioned deadline anchor; budget enforcement only
         )
         start = time.perf_counter()  # analysis: allow[WC01] elapsed-time accounting for the job record; not a decision input
-        retried = False
+        retries = 0
+        fault_chain: list[str] = []
         while True:
             lease = (
                 self.pool.acquire(shape=job.problem.shape_key())
@@ -674,6 +695,11 @@ class SciductionEngine:
             )
             retire = False
             try:
+                # Fault sites (no-ops unless a test armed them): a slow
+                # engine and an in-process execution fault, both folded
+                # into the job outcome like any organic failure.
+                fault_point("engine.slow")
+                fault_point("engine.crash")
                 if lease is not None:
                     lease.solver.set_job_limits(
                         max_conflicts=job.max_conflicts, deadline=deadline
@@ -699,23 +725,32 @@ class SciductionEngine:
             except SolverError as error:
                 # A pooled session can be poisoned by an earlier tenant
                 # (e.g. a variable redeclared at a different width).
-                # Retire it and retry the job once on a fresh solver —
-                # but only when the session actually had an earlier
-                # tenant; a fresh solver failing the same way would just
-                # repeat the job's side effects.
+                # Retire it and retry the job on a fresh solver, bounded
+                # by the per-job retry budget — and only when the
+                # session actually had an earlier tenant; a fresh solver
+                # failing the same way would just repeat the job's side
+                # effects.
                 retire = True
-                if lease is not None and lease.reused and not retried:
-                    retried = True
+                fault_chain.append(
+                    f"poisoned session (attempt {retries + 1}): {error}"
+                )
+                if (
+                    lease is not None
+                    and lease.reused
+                    and retries < self.config.job_retry_limit
+                ):
+                    retries += 1
                     if lease.solver is not None:
                         lease.solver.set_job_limits()
                     self.pool.retire(lease)
+                    self._retry_backoff_sleep(retries)
                     continue
                 job.state = JobState.FAILED
                 job.error = str(error)
-                result = SciductionResult(
-                    success=False,
-                    details={"outcome": "failed", "error": str(error)},
-                )
+                details = {"outcome": "failed", "error": str(error)}
+                if fault_chain:
+                    details["fault_chain"] = list(fault_chain)
+                result = SciductionResult(success=False, details=details)
             except Exception as error:  # noqa: BLE001 — batch jobs never raise
                 job.state = JobState.FAILED
                 job.error = str(error)

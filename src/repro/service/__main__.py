@@ -5,19 +5,38 @@ Examples::
     python -m repro.service --port 8080
     python -m repro.service --port 0 --port-file port.txt   # ephemeral port
     python -m repro.service --workers 2 --pool-size 8
+    python -m repro.service --data-dir /var/lib/sciduction  # crash-safe
+
+With ``--data-dir`` the service journals every job lifecycle transition
+to ``<data-dir>/journal.wal`` before acknowledging it and persists
+completed results under ``<data-dir>/certs``; a restart on the same
+directory replays the journal — finished results are served from
+history, accepted-but-unfinished jobs run again.
+
+SIGTERM triggers a graceful drain: new submissions are refused (503),
+everything already accepted finishes, a clean-shutdown marker is
+journaled, then the process exits.
 
 The bound address is printed on stdout (and written to ``--port-file``
 when given) so callers that asked for an ephemeral port can discover it.
+
+Fault injection (testing only): set ``REPRO_FAULTS`` to a plan like
+``journal.write:raise:ENOSPC:3`` before launching — see
+:mod:`repro.testing.faults`.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
+from types import FrameType
 
 from repro.api.config import EngineConfig
 from repro.service.server import SciductionService
+from repro.testing import faults
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,9 +67,25 @@ def main(argv: list[str] | None = None) -> int:
         help="warm solver sessions kept per pool (default: engine default)",
     )
     parser.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        help="journal + certificate-store directory (enables crash safety)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission bound on queued jobs (429 past it; default unbounded)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
     arguments = parser.parse_args(argv)
+
+    # Arm deterministic fault injection when the environment asks for it
+    # (a no-op outside the fault-injection test suites).
+    faults.install_from_env()
 
     config_kwargs: dict = {"workers": arguments.workers}
     if arguments.pool_size is not None:
@@ -60,7 +95,30 @@ def main(argv: list[str] | None = None) -> int:
         host=arguments.host,
         port=arguments.port,
         quiet=arguments.quiet,
+        data_dir=arguments.data_dir,
+        max_pending=arguments.max_pending,
     )
+    if service.replay is not None and service.replay.records:
+        replay = service.replay
+        print(
+            "journal replay: "
+            f"{len(replay.finished)} finished restored, "
+            f"{len(replay.unfinished)} unfinished re-enqueued, "
+            f"{replay.truncated_bytes} torn bytes truncated, "
+            f"clean_shutdown={replay.clean_shutdown}",
+            flush=True,
+        )
+
+    def _on_sigterm(signum: int, frame: FrameType | None) -> None:
+        # shutdown() joins the runner and HTTP threads, so it must not
+        # run on the main thread while serve_forever() holds it — a
+        # helper thread drains while serve_forever unblocks below.
+        threading.Thread(
+            target=service.shutdown, name="sciduction-drain"
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
     print(f"sciduction service listening on {service.url}", flush=True)
     if arguments.port_file is not None:
         arguments.port_file.write_text(f"{service.port}\n")

@@ -9,6 +9,26 @@ schedule: with ``workers > 1`` the work-stealing scheduler fans a burst
 of submissions out over the worker fleet exactly as a library
 ``run_batch`` would.
 
+Durability (both optional, wired in by
+:class:`~repro.service.server.SciductionService` when a data directory
+is configured):
+
+* every lifecycle transition is journaled to a write-ahead
+  :class:`~repro.service.journal.JobJournal` *before* it is
+  acknowledged — acceptance is journaled before the 202 reply, so a
+  ``kill -9`` can never lose an accepted job; :meth:`restore` replays a
+  recovered journal into the queue on boot;
+* completed results are persisted to a content-hashed
+  :class:`~repro.service.certstore.CertStore`; a submission whose
+  canonical wire form hashes to a stored certificate is answered from
+  disk without ever reaching the engine.
+
+Admission control: ``max_pending`` bounds the queue depth — a submission
+past the bound is rejected with :class:`QueueFullError` carrying a
+``Retry-After`` estimate derived from the observed per-kind latency
+histograms, and :meth:`begin_drain` (SIGTERM) flips the queue into
+reject-new/finish-in-flight mode.
+
 Cancellation composes the two layers: a job still in the service queue
 is cancelled locally; a job already drained into the engine is forwarded
 to :meth:`SciductionEngine.cancel`, which can still cancel anything the
@@ -19,13 +39,25 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 
 from dataclasses import dataclass, field
 
-from repro.analysis.annotations import guarded_by
+from repro.analysis.annotations import guarded_by, holds
 from repro.api.engine import Job, JobState, SciductionEngine
 from repro.api.results import result_to_dict
+from repro.core.exceptions import ReproError
 from repro.core.procedure import SciductionResult
+from repro.service.certstore import CertStore, submission_fingerprint
+from repro.service.journal import (
+    EVENT_ACCEPTED,
+    EVENT_FINISHED,
+    EVENT_SHUTDOWN,
+    EVENT_STARTED,
+    JobJournal,
+    JournalError,
+    JournalReplay,
+)
 from repro.service.stats import DEPTH_BOUNDS, LATENCY_BOUNDS, Histogram
 
 #: Engine job states surfaced verbatim; PENDING is reported as "queued".
@@ -41,6 +73,28 @@ _STATE_NAMES = {
 
 #: States in which a job has a result to serve.
 _TERMINAL = {"completed", "failed", "timed-out", "budget-exhausted", "cancelled"}
+
+#: Fallback Retry-After (seconds) before any latency data exists.
+_DEFAULT_RETRY_AFTER = 5
+
+#: Long-poll wakeup slice: waiters re-check doneness at least this often
+#: even without a notification (engine jobs finish inside a batch, which
+#: only notifies at harvest time).
+_WAIT_SLICE = 0.05
+
+
+class QueueFullError(ReproError):
+    """The pending queue is at ``max_pending``; retry after a backoff."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"queue is full ({depth} jobs pending); retry in ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ReproError):
+    """The service cannot accept jobs (draining, or the journal broke)."""
 
 
 def _cancelled_wire() -> dict:
@@ -60,6 +114,9 @@ class ServiceJob:
     max_conflicts: int | None = None
     timeout: float | None = None
     label: str | None = None
+    client: str | None = None
+    #: Cert-store key of the canonical submission (None with no store).
+    fingerprint: str | None = field(default=None, repr=False)
     #: Local state ("queued"/"cancelled" before the drain, the final
     #: state after :meth:`_finalize`); while the job lives in the engine,
     #: the engine job is authoritative.
@@ -68,6 +125,11 @@ class ServiceJob:
     _local_error: str | None = field(default=None, repr=False)
     _local_elapsed: float = field(default=0.0, repr=False)
     _engine_job: Job | None = field(default=None, repr=False)
+    #: Guards against double journaling/accounting of the terminal
+    #: transition (a cancel can finalize before the batch harvest does).
+    _finish_recorded: bool = field(default=False, repr=False)
+    #: Whether the result was answered from the certificate store.
+    from_certificate: bool = field(default=False, repr=False)
 
     @property
     def state(self) -> str:
@@ -119,7 +181,12 @@ class ServiceJob:
         self._engine_job = None
 
 
-@guarded_by("_lock", "_jobs", "_pending", "_stopped", aliases=("_wakeup",))
+@guarded_by(
+    "_lock",
+    "_jobs", "_pending", "_stopped", "_draining", "_rejected", "_clients",
+    "_ids",
+    aliases=("_wakeup", "_done"),
+)
 class JobQueue:
     """Registry + FIFO of service jobs, drained by the runner thread.
 
@@ -129,17 +196,38 @@ class JobQueue:
             the oldest finished records are evicted past the bound, so a
             service that runs forever holds bounded memory.  Open jobs
             are never evicted.
+        journal: write-ahead journal for lifecycle durability (optional).
+        certstore: content-hashed result store (optional).
+        max_pending: admission bound on queued-not-yet-drained jobs;
+            ``None`` keeps the queue unbounded (the pre-PR-7 behavior).
     """
 
-    def __init__(self, engine: SciductionEngine, max_history: int = 10_000) -> None:
+    def __init__(
+        self,
+        engine: SciductionEngine,
+        max_history: int = 10_000,
+        journal: JobJournal | None = None,
+        certstore: CertStore | None = None,
+        max_pending: int | None = None,
+    ) -> None:
         self.engine = engine
         self.max_history = max_history
+        self.journal = journal
+        self.certstore = certstore
+        self.max_pending = max_pending
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
+        #: Notified whenever any job reaches a terminal state (harvest,
+        #: cancellation, cert-store hit); long-polls wait on it.
+        self._done = threading.Condition(self._lock)
         self._jobs: dict[int, ServiceJob] = {}
         self._pending: list[ServiceJob] = []
         self._ids = itertools.count(1)
         self._stopped = False
+        self._draining = False
+        self._rejected = 0
+        #: Per-client counters: client → {"submitted"/"completed"/"rejected"}.
+        self._clients: dict[str, dict[str, int]] = {}
         #: Queue depth observed at each submission (how far behind the
         #: runner is when work arrives), and per-problem-kind job
         #: latencies harvested from finished batches.  Both are only
@@ -148,22 +236,203 @@ class JobQueue:
         self._latency_histograms: dict[str, Histogram] = {}
         self._runner = _Runner(self)
 
+    # -- durability plumbing -----------------------------------------------
+
+    def _journal_soft(self, payload: dict) -> None:
+        """Append a record, degrading instead of raising.
+
+        Used on the paths that must make progress even with a broken
+        journal (harvest, cancellation): the journal marks itself broken
+        on the first failure, ``/healthz`` degrades to 503, and new
+        submissions are refused — but jobs already accepted still run to
+        completion and serve their results from memory.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(payload)
+        except JournalError:
+            pass
+
+    @holds("_lock")
+    def _record_finish(self, job: ServiceJob) -> None:
+        """Journal + persist + account one terminal transition (locked).
+
+        Idempotent per job: the first caller (batch harvest or an
+        in-engine cancellation) wins.
+        """
+        if job._finish_recorded:
+            return
+        job._finish_recorded = True
+        state = job.state
+        self._journal_soft(
+            {
+                "event": EVENT_FINISHED,
+                "job": job.job_id,
+                "state": state,
+                "result": job.result,
+                "error": job.error,
+                "elapsed": job.elapsed,
+            }
+        )
+        if (
+            self.certstore is not None
+            and job.fingerprint is not None
+            and state == "completed"
+            and not job.from_certificate
+            and job.result is not None
+        ):
+            self.certstore.put(
+                job.fingerprint,
+                {
+                    "fingerprint": job.fingerprint,
+                    "request": {
+                        "problem": job.problem,
+                        "max_conflicts": job.max_conflicts,
+                        "timeout": job.timeout,
+                        "label": job.label,
+                    },
+                    "state": state,
+                    "result": job.result,
+                    "elapsed": job.elapsed,
+                },
+            )
+        if job.client is not None:
+            self._client_counters(job.client)["completed"] += 1
+        self._done.notify_all()
+
+    @holds("_lock")
+    def _client_counters(self, client: str) -> dict[str, int]:
+        counters = self._clients.get(client)
+        if counters is None:
+            counters = self._clients[client] = {
+                "submitted": 0,
+                "completed": 0,
+                "rejected": 0,
+            }
+        return counters
+
+    def restore(self, replay: JournalReplay) -> None:
+        """Rebuild queue state from a journal replay (call before start).
+
+        Finished jobs come back exactly as journaled — same ids, same
+        wire-form results.  Accepted-but-unfinished jobs are re-enqueued
+        for the runner in id order; after a *clean* shutdown there are
+        none and the replay is a no-op beyond restoring history.
+        """
+        with self._wakeup:
+            self._ids = itertools.count(replay.next_job_id)
+            for replayed in replay.finished:
+                job = self._job_from_request(replayed.job_id, replayed.request)
+                job._local_state = (
+                    replayed.state if replayed.state in _TERMINAL else "failed"
+                )
+                job._local_result = replayed.result
+                job._local_error = replayed.error
+                job._local_elapsed = replayed.elapsed
+                job._finish_recorded = True
+                self._jobs[job.job_id] = job
+            for replayed in replay.unfinished:
+                job = self._job_from_request(replayed.job_id, replayed.request)
+                self._jobs[job.job_id] = job
+                self._pending.append(job)
+            if self._pending:
+                self._wakeup.notify_all()
+
+    def _job_from_request(self, job_id: int, request: dict) -> ServiceJob:
+        return ServiceJob(
+            job_id=job_id,
+            problem=request.get("problem", {}),
+            max_conflicts=request.get("max_conflicts"),
+            timeout=request.get("timeout"),
+            label=request.get("label"),
+            client=request.get("client"),
+            fingerprint=(
+                submission_fingerprint(request)
+                if self.certstore is not None
+                else None
+            ),
+        )
+
     # -- HTTP-side API -----------------------------------------------------
 
     def submit(self, request: dict) -> ServiceJob:
         """Enqueue a validated job request (see
-        :func:`repro.service.wire.parse_job_request`)."""
+        :func:`repro.service.wire.parse_job_request`).
+
+        Raises:
+            ServiceUnavailableError: shutting down, draining, or the
+                journal can no longer make acceptance durable (503).
+            QueueFullError: the pending queue is at ``max_pending``
+                (429, with a Retry-After estimate).
+        """
         with self._wakeup:
-            if self._stopped:
-                raise RuntimeError("service is shutting down")
+            if self._stopped or self._draining:
+                raise ServiceUnavailableError("service is shutting down")
+            if self.journal is not None and not self.journal.writable():
+                raise ServiceUnavailableError(
+                    "job journal is unwritable; refusing new work"
+                )
+            client = request.get("client")
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                self._rejected += 1
+                if client is not None:
+                    self._client_counters(client)["rejected"] += 1
+                raise QueueFullError(
+                    len(self._pending), self._retry_after_estimate()
+                )
             job = ServiceJob(
                 job_id=next(self._ids),
                 problem=request["problem"],
                 max_conflicts=request["max_conflicts"],
                 timeout=request["timeout"],
                 label=request["label"],
+                client=client,
             )
+            cert: dict | None = None
+            if self.certstore is not None:
+                job.fingerprint = submission_fingerprint(request)
+                cert = self.certstore.get(job.fingerprint)
+            # Durability barrier: acceptance reaches the disk before the
+            # job is registered (and before the HTTP 202 goes out).  A
+            # failed append raises — the client gets a 503, and no
+            # un-journaled job can exist.
+            if self.journal is not None:
+                try:
+                    self.journal.append(
+                        {
+                            "event": EVENT_ACCEPTED,
+                            "job": job.job_id,
+                            "request": {
+                                "problem": job.problem,
+                                "max_conflicts": job.max_conflicts,
+                                "timeout": job.timeout,
+                                "label": job.label,
+                                "client": job.client,
+                            },
+                        }
+                    )
+                except JournalError as error:
+                    raise ServiceUnavailableError(
+                        f"cannot make acceptance durable: {error}"
+                    ) from error
             self._jobs[job.job_id] = job
+            if client is not None:
+                self._client_counters(client)["submitted"] += 1
+            if cert is not None:
+                # Served from the certificate store: terminal on arrival,
+                # the engine never sees it.  The journal still records a
+                # finish so a restart replays it as history, not work.
+                job.from_certificate = True
+                job._local_state = str(cert.get("state", "completed"))
+                result = cert.get("result")
+                job._local_result = result if isinstance(result, dict) else None
+                job._local_elapsed = 0.0
+                self._record_finish(job)
+                return job
             self._pending.append(job)
             self._depth_histogram.observe(len(self._pending))
             self._wakeup.notify_all()
@@ -173,31 +442,70 @@ class JobQueue:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def wait_for_done(
+        self, job_id: int, timeout: float
+    ) -> ServiceJob | None:
+        """Long-poll: block until the job is terminal or ``timeout`` passes.
+
+        Returns the job either way (the caller inspects ``done``); None
+        for an unknown id.  Waiters are notified on harvest,
+        cancellation and cert-store hits, and additionally re-check at a
+        small slice so completions inside a still-running batch are
+        observed promptly.
+        """
+        deadline = time.monotonic() + timeout  # analysis: allow[WC01] long-poll deadline anchor; bounds one HTTP request, never a solver input
+        with self._done:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            while not job.done:
+                remaining = deadline - time.monotonic()  # analysis: allow[WC01] long-poll deadline probe; bounds one HTTP request, never a solver input
+                if remaining <= 0:
+                    break
+                self._done.wait(min(remaining, _WAIT_SLICE))
+            return job
+
     def jobs(self) -> list[ServiceJob]:
         with self._lock:
             return [self._jobs[job_id] for job_id in sorted(self._jobs)]
 
-    def cancel(self, job_id: int) -> bool | None:
-        """Cancel a queued job.
+    def cancel(self, job_id: int) -> str | None:
+        """Cancel a job, reporting what actually happened.
 
-        Returns True when the cancellation took, False when the job is
-        already running or finished, None for an unknown id.
+        Returns ``"cancelled"`` when the cancellation took *now*,
+        ``"running"`` when the job is already executing,
+        ``"finished:<state>"`` when the job was already terminal (a
+        structured 409 — nothing is journaled, the recorded outcome
+        stands), or None for an unknown id.
         """
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 return None
+            state = job.state
+            if state in _TERMINAL:
+                return f"finished:{state}"
             if job._engine_job is not None:
-                return self.engine.cancel(job._engine_job)
-            if job._local_state != "queued":
-                return False
+                if self.engine.cancel(job._engine_job):
+                    # The engine marked it cancelled synchronously; fold
+                    # the outcome now so the journal and long-pollers see
+                    # it without waiting for the batch harvest.
+                    job._finalize()
+                    self._record_finish(job)
+                    return "cancelled"
+                if job._engine_job is not None and job._engine_job.done:
+                    return f"finished:{job.state}"
+                return "running"
+            if state != "queued":  # pragma: no cover — defensive
+                return state
             job._local_state = "cancelled"
             job._local_result = _cancelled_wire()
             try:
                 self._pending.remove(job)
             except ValueError:  # pragma: no cover — drained concurrently
                 pass
-            return True
+            self._record_finish(job)
+            return "cancelled"
 
     def counts(self) -> dict:
         """Per-state job counts (for ``/stats``)."""
@@ -221,18 +529,73 @@ class JobQueue:
                 },
             }
 
+    def admission(self) -> dict:
+        """Admission-control state (for ``/stats``)."""
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "pending": len(self._pending),
+                "rejected": self._rejected,
+                "draining": self._draining,
+                "retry_after_estimate": self._retry_after_estimate(),
+            }
+
+    def clients(self) -> dict:
+        """Per-client accounting snapshot (for ``/stats``)."""
+        with self._lock:
+            return {
+                client: dict(counters)
+                for client, counters in sorted(self._clients.items())
+            }
+
+    def _retry_after_estimate(self) -> int:
+        """Seconds a rejected client should wait, from observed latency.
+
+        Mean harvested job latency times the current backlog, clamped to
+        [1, 120]; before any job finished, a small fixed default.  Callers
+        hold ``_lock``.
+        """
+        total_count = 0
+        total_sum = 0.0
+        for kind in sorted(self._latency_histograms):
+            histogram = self._latency_histograms[kind]
+            total_count += histogram.count
+            total_sum += histogram.total
+        if total_count == 0:
+            return _DEFAULT_RETRY_AFTER
+        mean = total_sum / total_count
+        estimate = mean * max(1, len(self._pending))
+        return max(1, min(120, int(estimate) + 1))
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         self._runner.start()
 
+    def begin_drain(self) -> None:
+        """Stop accepting new jobs; everything queued still runs."""
+        with self._wakeup:
+            self._draining = True
+            self._wakeup.notify_all()
+
     def stop(self, timeout: float | None = 10.0) -> None:
-        """Stop the runner thread (the in-flight batch is finished first)."""
+        """Stop the runner thread (pending jobs are finished first).
+
+        The runner loop keeps draining until the pending queue is empty,
+        so a stop is a graceful drain of everything already accepted.
+        Once the runner is down with nothing left, a clean-shutdown
+        marker is journaled — a replay of this journal re-enqueues
+        nothing.
+        """
         with self._wakeup:
             self._stopped = True
             self._wakeup.notify_all()
         if self._runner.is_alive():
             self._runner.join(timeout=timeout)
+        with self._lock:
+            all_done = not self._pending and not self._runner.is_alive()
+        if all_done:
+            self._journal_soft({"event": EVENT_SHUTDOWN})
 
     # -- runner side -------------------------------------------------------
 
@@ -253,14 +616,18 @@ class JobQueue:
                     timeout=job.timeout,
                     label=job.label,
                 )
+                self._journal_soft(
+                    {"event": EVENT_STARTED, "job": job.job_id}
+                )
             return drained
 
     def _harvest(self, drained: list[ServiceJob]) -> None:
         """Fold a finished batch back and bound retained memory
         (runner thread only): finished jobs keep a local copy of their
-        wire-form outcome, the engine forgets its handles, and the
-        oldest finished service records past ``max_history`` are
-        evicted."""
+        wire-form outcome, the engine forgets its handles, terminal
+        transitions are journaled and completed results persisted to the
+        cert store, and the oldest finished service records past
+        ``max_history`` are evicted."""
         with self._lock:
             for job in drained:
                 job._finalize()
@@ -271,6 +638,7 @@ class JobQueue:
                         LATENCY_BOUNDS
                     )
                 histogram.observe(job.elapsed)
+                self._record_finish(job)
             self.engine.prune()
             if len(self._jobs) > self.max_history:
                 for job_id in sorted(self._jobs):

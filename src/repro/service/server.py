@@ -5,6 +5,15 @@ regular expressions, bodies are ``json`` both ways, concurrency is one
 handler thread per connection (the handlers only touch the thread-safe
 :class:`~repro.service.queue.JobQueue`; the engine itself is driven by
 the queue's single runner thread).
+
+Crash safety (PR 7): pass ``data_dir`` and the service opens a
+write-ahead :class:`~repro.service.journal.JobJournal` plus a
+content-hashed :class:`~repro.service.certstore.CertStore` under it,
+replaying any existing journal *before* serving — accepted jobs survive
+``kill -9``.  ``max_pending`` adds admission control (429 with
+``Retry-After``), ``GET /jobs/<id>?wait=N`` long-polls, and
+``/healthz`` degrades to 503 when the journal can no longer accept
+writes.
 """
 
 from __future__ import annotations
@@ -13,12 +22,21 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.api.config import EngineConfig
 from repro.api.engine import SciductionEngine
 from repro.api.problems import problem_types
-from repro.service.queue import JobQueue, ServiceJob
+from repro.service.certstore import CertStore
+from repro.service.journal import JobJournal, JournalReplay, recover
+from repro.service.queue import (
+    JobQueue,
+    QueueFullError,
+    ServiceJob,
+    ServiceUnavailableError,
+)
 from repro.service.wire import (
     WireError,
     error_wire,
@@ -33,6 +51,11 @@ _RESULT_PATH = re.compile(r"^/jobs/(\d+)/result$")
 #: Request bodies above this size are rejected (the wire forms the
 #: service accepts are small; this bounds memory per connection).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Upper bound on one ``?wait=`` long-poll, seconds.  Clients wanting
+#: longer just re-issue the request — bounding one hold keeps handler
+#: threads from pinning forever on abandoned connections.
+MAX_WAIT_SECONDS = 60.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -82,14 +105,24 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _reply(self, status: int, payload: dict | list) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict | list,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         if not self._body_consumed:
             self._drain_body()
             self._body_consumed = True
-        body = json.dumps(payload).encode("utf-8")
+        # Canonical key order: a result served from the engine, the
+        # certificate store and a journal replay must be byte-identical
+        # on the wire, and the stores round-trip through sorted JSON.
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -124,32 +157,63 @@ class _Handler(BaseHTTPRequestHandler):
             self._fail(404, f"unknown job id {job_id}")
         return job
 
+    @staticmethod
+    def _split_query(path: str) -> tuple[str, dict[str, list[str]]]:
+        route, _, query = path.partition("?")
+        return route, parse_qs(query) if query else {}
+
+    @staticmethod
+    def _wait_seconds(query: dict[str, list[str]]) -> float:
+        """Parse ``?wait=`` into a clamped number of seconds (0 = no wait)."""
+        values = query.get("wait")
+        if not values:
+            return 0.0
+        try:
+            wait = float(values[-1])
+        except ValueError:
+            raise WireError(f"'wait' must be a number, got {values[-1]!r}") from None
+        if wait < 0:
+            raise WireError(f"'wait' must be non-negative, got {wait}")
+        return min(wait, MAX_WAIT_SECONDS)
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         try:
-            if self.path == "/healthz":
-                self._reply(200, {"status": "ok"})
+            route, query = self._split_query(self.path)
+            if route == "/healthz":
+                status, payload = self.service.health()
+                self._reply(status, payload)
                 return
-            if self.path == "/stats":
+            if route == "/stats":
                 self._reply(200, self.service.stats())
                 return
-            if self.path == "/problems":
+            if route == "/problems":
                 self._reply(200, {"kinds": sorted(problem_types())})
                 return
-            if self.path == "/jobs":
+            if route == "/jobs":
                 self._reply(
                     200,
                     {"jobs": [job_summary_wire(job) for job in self.service.queue.jobs()]},
                 )
                 return
-            match = _JOB_PATH.match(self.path)
+            match = _JOB_PATH.match(route)
             if match:
+                wait = self._wait_seconds(query)
+                if wait > 0:
+                    job = self.service.queue.wait_for_done(
+                        int(match.group(1)), wait
+                    )
+                    if job is None:
+                        self._fail(404, f"unknown job id {match.group(1)}")
+                    else:
+                        self._reply(200, job_record_wire(job))
+                    return
                 job = self._job_or_404(match.group(1))
                 if job is not None:
                     self._reply(200, job_record_wire(job))
                 return
-            match = _RESULT_PATH.match(self.path)
+            match = _RESULT_PATH.match(route)
             if match:
                 job = self._job_or_404(match.group(1))
                 if job is None:
@@ -161,6 +225,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, result)
                 return
             self._fail(404, f"unknown path {self.path}")
+        except WireError as error:
+            self._fail(error.status, str(error))
         except Exception as error:  # noqa: BLE001 — a handler must answer
             self._fail(500, f"internal error: {error}")
 
@@ -177,8 +243,17 @@ class _Handler(BaseHTTPRequestHandler):
                     "job_id": job.job_id,
                     "state": job.state,
                     "location": f"/jobs/{job.job_id}",
+                    "from_certificate": job.from_certificate,
                 },
             )
+        except QueueFullError as error:
+            self._reply(
+                429,
+                error_wire(str(error), 429, retry_after=error.retry_after),
+                headers={"Retry-After": str(error.retry_after)},
+            )
+        except ServiceUnavailableError as error:
+            self._fail(503, str(error))
         except WireError as error:
             self._fail(error.status, str(error))
         except Exception as error:  # noqa: BLE001
@@ -190,14 +265,36 @@ class _Handler(BaseHTTPRequestHandler):
             if not match:
                 self._fail(404, f"unknown path {self.path}")
                 return
-            cancelled = self.service.queue.cancel(int(match.group(1)))
-            if cancelled is None:
+            outcome = self.service.queue.cancel(int(match.group(1)))
+            if outcome is None:
                 self._fail(404, f"unknown job id {match.group(1)}")
                 return
-            if not cancelled:
-                self._fail(409, "job is already running or finished")
+            if outcome == "cancelled":
+                self._reply(200, {"cancelled": True})
                 return
-            self._reply(200, {"cancelled": True})
+            if outcome == "running":
+                self._reply(
+                    409,
+                    error_wire(
+                        "job is already running and cannot be cancelled",
+                        409,
+                        state=outcome,
+                        cancelled=False,
+                    ),
+                )
+                return
+            # Terminal state: cancellation is meaningless, nothing is
+            # journaled, and the client learns what actually happened.
+            state = outcome.partition(":")[2]
+            self._reply(
+                409,
+                error_wire(
+                    f"job already finished as {state!r}",
+                    409,
+                    state=state,
+                    cancelled=False,
+                ),
+            )
         except Exception as error:  # noqa: BLE001
             self._fail(500, f"internal error: {error}")
 
@@ -213,6 +310,15 @@ class SciductionService:
         port: bind port; 0 asks the OS for an ephemeral one (read it
             back from :attr:`port`).
         quiet: silence per-request access logs.
+        data_dir: enable durability — the job journal lives at
+            ``<data_dir>/journal.wal`` and the certificate store under
+            ``<data_dir>/certs``.  Any existing journal is replayed
+            before the server binds, restoring finished results and
+            re-enqueueing accepted-but-unfinished jobs (the replay
+            summary is exposed as :attr:`replay`).  ``None`` (default)
+            keeps the pre-PR-7 in-memory behavior.
+        max_pending: admission bound forwarded to the queue (429 past it).
+        journal_sync_every: fsync cadence forwarded to the journal.
     """
 
     def __init__(
@@ -221,14 +327,38 @@ class SciductionService:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = False,
+        data_dir: Path | str | None = None,
+        max_pending: int | None = None,
+        journal_sync_every: int = 1,
     ) -> None:
         self.engine = SciductionEngine(config)
-        self.queue = JobQueue(self.engine)
+        self.journal: JobJournal | None = None
+        self.certstore: CertStore | None = None
+        self.replay: JournalReplay | None = None
+        if data_dir is not None:
+            root = Path(data_dir)
+            journal_path = root / "journal.wal"
+            # Replay first: recover() truncates any torn tail in place,
+            # so the append handle opens onto a clean record boundary.
+            self.replay = recover(journal_path)
+            self.journal = JobJournal(journal_path, sync_every=journal_sync_every)
+            self.certstore = CertStore(root / "certs")
+        self.queue = JobQueue(
+            self.engine,
+            journal=self.journal,
+            certstore=self.certstore,
+            max_pending=max_pending,
+        )
+        if self.replay is not None:
+            self.queue.restore(self.replay)
         self.quiet = quiet
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._server_thread: threading.Thread | None = None
+        self._serving = False
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
 
     @property
     def host(self) -> str:
@@ -245,7 +375,8 @@ class SciductionService:
 
     def stats(self) -> dict:
         """The ``/stats`` payload: queue counts, depth/latency histograms,
-        and engine-wide counters.
+        engine-wide counters, and (PR 7) certificate-store counters,
+        per-client accounting and admission-control state.
 
         ``queue`` stays the flat per-state count mapping (clients key on
         it); the histograms ride along as separate top-level keys:
@@ -256,9 +387,50 @@ class SciductionService:
             "queue": self.queue.counts(),
             "engine": self.engine.statistics(),
             "config": self.engine.config.to_dict(),
+            "admission": self.queue.admission(),
+            "clients": self.queue.clients(),
         }
+        if self.certstore is not None:
+            payload["certstore"] = self.certstore.statistics()
         payload.update(self.queue.histograms())
         return payload
+
+    def health(self) -> tuple[int, dict]:
+        """The ``/healthz`` status code and payload.
+
+        Healthy is 200.  A journal that can no longer accept writes
+        means new work cannot be made durable — that is a 503, so load
+        balancers stop routing submissions here.  A degraded cert store
+        stays 200 (it is an optimization, not a promise) but is
+        reported.
+        """
+        payload: dict = {"status": "ok"}
+        status = 200
+        if self.journal is not None:
+            journal_health = {
+                "enabled": True,
+                "writable": self.journal.writable(),
+                "lag_records": self.journal.lag(),
+            }
+            reason = self.journal.broken_reason()
+            if reason is not None:
+                journal_health["reason"] = reason
+            payload["journal"] = journal_health
+            if not self.journal.writable():
+                status = 503
+                payload["status"] = "degraded"
+        else:
+            payload["journal"] = {"enabled": False}
+        if self.certstore is not None:
+            payload["certstore"] = {
+                "enabled": True,
+                "available": self.certstore.available(),
+            }
+            if not self.certstore.available():
+                payload["status"] = "degraded"
+        else:
+            payload["certstore"] = {"enabled": False}
+        return status, payload
 
     def start(self) -> None:
         """Start the runner thread and serve HTTP in the background."""
@@ -266,6 +438,7 @@ class SciductionService:
         # single-threaded — forking under live handler threads is unsafe.
         self.engine.prestart_workers()
         self.queue.start()
+        self._serving = True
         self._server_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="sciduction-http",
@@ -277,14 +450,32 @@ class SciductionService:
         """Start the runner thread and serve HTTP on the calling thread."""
         self.engine.prestart_workers()
         self.queue.start()
+        self._serving = True
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop accepting requests, finish the in-flight batch, release workers."""
-        self._httpd.shutdown()
+        """Graceful drain: refuse new jobs, finish everything accepted,
+        journal a clean-shutdown marker, release workers.  Idempotent —
+        a SIGTERM racing an atexit call runs the sequence once."""
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            self._shutdown_done = True
+        # 1. Stop admitting (503 on POST) while the HTTP server is still
+        #    answering status polls for jobs about to finish.
+        self.queue.begin_drain()
+        # 2. Stop the listener.  httpd.shutdown() handshakes with
+        #    serve_forever and would block forever on a service that was
+        #    never started (e.g. constructed only to inspect a replay).
+        if self._serving:
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._server_thread is not None:
             self._server_thread.join(timeout=10.0)
             self._server_thread = None
-        self.queue.stop()
+        # 3. Drain the queue: the runner keeps batching until nothing is
+        #    pending, then the clean-shutdown marker is journaled.
+        self.queue.stop(timeout=60.0)
         self.engine.close()
+        if self.journal is not None:
+            self.journal.close()

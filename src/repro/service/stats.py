@@ -58,6 +58,11 @@ class Histogram:
     def count(self) -> int:
         return self._count
 
+    @property
+    def total(self) -> float:
+        """Sum of all observations (feeds the Retry-After estimate)."""
+        return self._sum
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot: count, sum, max and non-empty buckets.
 

@@ -47,7 +47,8 @@ def parse_job_request(payload: Any) -> dict:
         {"problem": {"kind": "deobfuscation", ...},   # required
          "max_conflicts": 10000,                      # optional
          "timeout": 30.0,                             # optional seconds
-         "label": "nightly"}                          # optional
+         "label": "nightly",                          # optional
+         "client": "ci-shard-3"}                      # optional accounting tag
 
     Returns the normalized submission (the problem is round-tripped
     through the registry, so unknown kinds and unknown fields fail here,
@@ -58,7 +59,9 @@ def parse_job_request(payload: Any) -> dict:
     """
     if not isinstance(payload, dict):
         raise WireError("request body must be a JSON object")
-    unknown = set(payload) - {"problem", "max_conflicts", "timeout", "label"}
+    unknown = set(payload) - {
+        "problem", "max_conflicts", "timeout", "label", "client",
+    }
     if unknown:
         raise WireError(f"unknown request fields: {sorted(unknown)}")
     problem_wire = payload.get("problem")
@@ -71,11 +74,17 @@ def parse_job_request(payload: Any) -> dict:
     label = payload.get("label")
     if label is not None and not isinstance(label, str):
         raise WireError(f"'label' must be a string, got {type(label).__name__}")
+    client = payload.get("client")
+    if client is not None and not isinstance(client, str):
+        raise WireError(
+            f"'client' must be a string, got {type(client).__name__}"
+        )
     return {
         "problem": problem.to_dict(),
         "max_conflicts": _optional_number(payload, "max_conflicts", int),
         "timeout": _optional_number(payload, "timeout", float),
         "label": label,
+        "client": client,
     }
 
 
@@ -89,8 +98,10 @@ def job_record_wire(job: "ServiceJob") -> dict:
         "max_conflicts": job.max_conflicts,
         "timeout": job.timeout,
         "label": job.label,
+        "client": job.client,
         "error": job.error,
         "elapsed": job.elapsed,
+        "from_certificate": job.from_certificate,
     }
 
 
@@ -104,6 +115,8 @@ def job_summary_wire(job: "ServiceJob") -> dict:
     }
 
 
-def error_wire(message: str, status: int) -> dict:
-    """A structured error body."""
-    return {"error": message, "status": status}
+def error_wire(message: str, status: int, **extra: Any) -> dict:
+    """A structured error body (``extra`` adds fields like ``retry_after``)."""
+    body = {"error": message, "status": status}
+    body.update(extra)
+    return body

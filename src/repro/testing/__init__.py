@@ -1,0 +1,30 @@
+"""Test-only instrumentation for the sciduction engine and service.
+
+Nothing in this package runs in a production configuration: the fault
+harness (:mod:`repro.testing.faults`) is a table of *disarmed* injection
+points until a test (or the ``REPRO_FAULTS`` environment variable) arms
+them, and every hook in the engine/service code is a single dictionary
+probe when disarmed.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultError,
+    fault_point,
+    hits,
+    injected,
+    install,
+    install_from_env,
+    reset,
+)
+
+__all__ = [
+    "Fault",
+    "FaultError",
+    "fault_point",
+    "hits",
+    "injected",
+    "install",
+    "install_from_env",
+    "reset",
+]

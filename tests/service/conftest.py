@@ -14,17 +14,31 @@ import pytest
 
 import repro.api.engine as engine_module
 import repro.api.memo as memo_module
+import repro.service.certstore as certstore_module
+import repro.service.journal as journal_module
 import repro.service.queue as queue_module
 from repro.analysis import lockcheck
+from repro.testing import faults
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _lockcheck_instrumentation():
     # Module-scoped (and autouse, so it is set up first): the suites
     # build one service per module, and its queue/engine locks must be
-    # created while instrumentation is active to be observable.
+    # created while instrumentation is active to be observable.  The
+    # journal and cert-store locks nest under the queue lock, so they
+    # are part of the checked order.
     with lockcheck.instrument(
-        engine_module, memo_module, queue_module
+        engine_module, memo_module, queue_module,
+        journal_module, certstore_module,
     ) as registry:
         yield
     assert not registry.violations, "\n".join(registry.violations)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    # A test that arms fault injection and fails mid-way must not leak
+    # the plan into the next test.
+    yield
+    faults.reset()

@@ -1,0 +1,98 @@
+"""Certificate store: fingerprinting, round trips, degradation.
+
+The store's contract: identical canonical submissions hash identically
+(and only those), a stored record comes back exactly as stored, a
+corrupt record is a miss rather than an error, and a failing disk
+degrades the store observably without failing any job.
+"""
+
+from __future__ import annotations
+
+from repro.service.certstore import CertStore, submission_fingerprint
+from repro.testing import faults
+
+REQUEST = {
+    "problem": {"kind": "deobfuscation", "task": "multiply45", "width": 4},
+    "max_conflicts": 1000,
+    "timeout": 30.0,
+    "label": "nightly",
+}
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert submission_fingerprint(REQUEST) == submission_fingerprint(
+            dict(REQUEST)
+        )
+        assert len(submission_fingerprint(REQUEST)) == 64
+
+    def test_covers_result_shaping_fields(self):
+        base = submission_fingerprint(REQUEST)
+        for key, value in [
+            ("max_conflicts", 999),
+            ("timeout", 31.0),
+            ("label", "other"),
+        ]:
+            assert submission_fingerprint({**REQUEST, key: value}) != base
+        changed_problem = {**REQUEST, "problem": {**REQUEST["problem"], "width": 5}}
+        assert submission_fingerprint(changed_problem) != base
+
+    def test_ignores_accounting_fields(self):
+        # The client tag shapes billing, not the result.
+        assert submission_fingerprint(
+            {**REQUEST, "client": "ci"}
+        ) == submission_fingerprint(REQUEST)
+
+
+class TestCertStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = CertStore(tmp_path / "certs")
+        fingerprint = submission_fingerprint(REQUEST)
+        assert store.get(fingerprint) is None  # miss
+        record = {
+            "fingerprint": fingerprint,
+            "request": REQUEST,
+            "state": "completed",
+            "result": {"success": True, "details": {"verdict": True}},
+            "elapsed": 0.5,
+        }
+        assert store.put(fingerprint, record)
+        assert store.get(fingerprint) == record
+        statistics = store.statistics()
+        assert statistics["hits"] == 1
+        assert statistics["misses"] == 1
+        assert statistics["writes"] == 1
+        assert statistics["available"] is True
+
+    def test_fanout_layout(self, tmp_path):
+        store = CertStore(tmp_path / "certs")
+        fingerprint = submission_fingerprint(REQUEST)
+        store.put(fingerprint, {"result": {}})
+        expected = tmp_path / "certs" / fingerprint[:2] / f"{fingerprint}.json"
+        assert expected.is_file()
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = CertStore(tmp_path / "certs")
+        fingerprint = submission_fingerprint(REQUEST)
+        store.put(fingerprint, {"result": {"success": True}})
+        path = tmp_path / "certs" / fingerprint[:2] / f"{fingerprint}.json"
+        path.write_bytes(b"{not json")
+        assert store.get(fingerprint) is None
+        # A record without a result field is equally unusable.
+        path.write_bytes(b'{"state": "completed"}')
+        assert store.get(fingerprint) is None
+        assert store.statistics()["read_errors"] == 2
+
+    def test_write_fault_degrades_then_recovers(self, tmp_path):
+        store = CertStore(tmp_path / "certs")
+        fingerprint = submission_fingerprint(REQUEST)
+        with faults.injected(
+            {"certstore.write": faults.Fault("raise", "ENOSPC")}
+        ):
+            assert not store.put(fingerprint, {"result": {}})
+        assert not store.available()
+        assert store.statistics()["write_errors"] == 1
+        assert store.get(fingerprint) is None  # nothing half-written
+        # Disk came back: the next successful write restores the store.
+        assert store.put(fingerprint, {"result": {}})
+        assert store.available()

@@ -66,7 +66,11 @@ def submit_and_wait(service, body: dict, timeout: float = 120.0) -> tuple[int, d
 
 class TestHttpSurface:
     def test_healthz_and_problem_kinds(self, service):
-        assert call(service, "GET", "/healthz") == (200, {"status": "ok"})
+        status, health = call(service, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        # Durability is off for this in-memory service instance.
+        assert health["journal"] == {"enabled": False}
+        assert health["certstore"] == {"enabled": False}
         status, kinds = call(service, "GET", "/problems")
         assert status == 200
         assert {"deobfuscation", "timing-analysis", "switching-logic"} <= set(
@@ -237,3 +241,114 @@ class TestHttpSurface:
         assert per_kind["count"] >= 1
         assert per_kind["sum"] >= 0.0
         assert sum(per_kind["buckets"].values()) == per_kind["count"]
+
+
+class TestLongPollAndAdmission:
+    def test_wait_long_polls_until_terminal(self, service):
+        status, submitted = call(service, "POST", "/jobs", {"problem": dict(DEOB)})
+        assert status == 202
+        # One request, no client-side polling loop: the reply arrives
+        # only once the job is terminal.
+        status, record = call(
+            service, "GET", f"/jobs/{submitted['job_id']}?wait=60"
+        )
+        assert status == 200
+        assert record["done"] is True
+        assert record["state"] == "completed"
+
+    def test_wait_times_out_with_open_record(self, service):
+        status, submitted = call(
+            service,
+            "POST",
+            "/jobs",
+            {"problem": {"kind": "deobfuscation", "task": "multiply45", "width": 8, "seed": 2}},
+        )
+        assert status == 202
+        status, record = call(
+            service, "GET", f"/jobs/{submitted['job_id']}?wait=0.05"
+        )
+        # The wait elapsed: a 200 either way, done reflects reality.
+        assert status == 200
+        assert record["job_id"] == submitted["job_id"]
+        submit_and_wait(service, {"problem": dict(DEOB)})  # drain the queue
+
+    def test_wait_validation(self, service):
+        job_id, _ = submit_and_wait(service, {"problem": dict(DEOB)})
+        status, error = call(service, "GET", f"/jobs/{job_id}?wait=abc")
+        assert status == 400 and "wait" in error["error"]
+        status, error = call(service, "GET", f"/jobs/{job_id}?wait=-1")
+        assert status == 400
+        status, _ = call(service, "GET", "/jobs/999999?wait=1")
+        assert status == 404
+
+    def test_delete_terminal_job_is_structured_409(self, service):
+        job_id, record = submit_and_wait(service, {"problem": dict(DEOB)})
+        assert record["state"] == "completed"
+        status, error = call(service, "DELETE", f"/jobs/{job_id}")
+        assert status == 409
+        assert error["cancelled"] is False
+        assert error["state"] == "completed"
+        assert error["status"] == 409
+        assert "completed" in error["error"]
+
+    def test_client_accounting_in_stats(self, service):
+        submit_and_wait(
+            service, {"problem": dict(DEOB), "client": "ci-shard-1"}
+        )
+        status, stats = call(service, "GET", "/stats")
+        assert status == 200
+        counters = stats["clients"]["ci-shard-1"]
+        assert counters["submitted"] >= 1
+        assert counters["completed"] >= 1
+        assert counters["rejected"] == 0
+        # Admission state rides along even for an unbounded queue.
+        assert stats["admission"]["max_pending"] is None
+        assert stats["admission"]["draining"] is False
+
+    def test_queue_full_answers_429_with_retry_after(self):
+        from repro.service import SciductionService as Service
+
+        bounded = Service(EngineConfig(workers=1), port=0, quiet=True, max_pending=0)
+        bounded.start()
+        try:
+            status, error = call(
+                bounded, "POST", "/jobs", {"problem": dict(DEOB), "client": "burst"}
+            )
+            assert status == 429
+            assert error["retry_after"] >= 1
+            assert "full" in error["error"]
+            request = urllib.request.Request(
+                bounded.url + "/jobs",
+                method="POST",
+                data=json.dumps({"problem": dict(DEOB)}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=30)
+            assert caught.value.code == 429
+            assert int(caught.value.headers["Retry-After"]) >= 1
+            status, stats = call(bounded, "GET", "/stats")
+            assert stats["admission"]["rejected"] >= 2
+            assert stats["admission"]["max_pending"] == 0
+            assert stats["clients"]["burst"]["rejected"] == 1
+        finally:
+            bounded.shutdown()
+
+    def test_draining_service_refuses_new_work(self):
+        from repro.service import SciductionService as Service
+
+        draining = Service(EngineConfig(workers=1), port=0, quiet=True)
+        draining.start()
+        try:
+            job_id, record = submit_and_wait(draining, {"problem": dict(DEOB)})
+            draining.queue.begin_drain()
+            status, error = call(
+                draining, "POST", "/jobs", {"problem": dict(DEOB)}
+            )
+            assert status == 503
+            assert "shutting down" in error["error"]
+            # Existing records stay readable during the drain.
+            status, record = call(draining, "GET", f"/jobs/{job_id}")
+            assert status == 200 and record["done"]
+        finally:
+            draining.shutdown()

@@ -1,0 +1,213 @@
+"""Write-ahead journal: record format, replay, torn tails, degradation.
+
+The journal's contract is the service's crash-safety story: every
+acknowledged lifecycle transition is on disk before the acknowledgment,
+a replay rebuilds exactly the acknowledged state, and a torn or corrupt
+tail — the expected residue of ``kill -9`` — is truncated, never fatal
+and never silently re-interpreted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.journal import (
+    EVENT_ACCEPTED,
+    EVENT_FINISHED,
+    EVENT_SHUTDOWN,
+    EVENT_STARTED,
+    JobJournal,
+    JournalError,
+    decode_record,
+    encode_record,
+    recover,
+)
+from repro.testing import faults
+
+REQUEST = {
+    "problem": {"kind": "deobfuscation", "width": 4},
+    "max_conflicts": None,
+    "timeout": None,
+    "label": "wal",
+    "client": None,
+}
+
+
+def accepted(job_id: int) -> dict:
+    return {"event": EVENT_ACCEPTED, "job": job_id, "request": dict(REQUEST)}
+
+
+def finished(job_id: int, state: str = "completed") -> dict:
+    return {
+        "event": EVENT_FINISHED,
+        "job": job_id,
+        "state": state,
+        "result": {"success": True, "details": {"job": job_id}},
+        "error": None,
+        "elapsed": 0.25,
+    }
+
+
+class TestRecordFormat:
+    def test_round_trip(self):
+        payload = finished(7)
+        line = encode_record(payload)
+        assert line.endswith(b"\n")
+        assert decode_record(line) == payload
+
+    def test_torn_record_is_rejected(self):
+        line = encode_record(accepted(1))
+        assert decode_record(line[:-1]) is None  # no trailing newline
+        assert decode_record(line[: len(line) // 2]) is None
+
+    def test_bad_magic_and_checksum_are_rejected(self):
+        line = encode_record(accepted(1))
+        assert decode_record(b"X9" + line[2:]) is None
+        corrupted = line.replace(b'"job":1', b'"job":2')
+        assert decode_record(corrupted) is None  # payload no longer matches crc
+        assert decode_record(b"W1 zzzzzzzz {}\n") is None
+
+    def test_non_object_payload_is_rejected(self):
+        import json
+        import zlib
+
+        raw = json.dumps([1, 2]).encode()
+        line = f"W1 {zlib.crc32(raw):08x} ".encode() + raw + b"\n"
+        assert decode_record(line) is None
+
+
+class TestRecover:
+    def test_missing_and_empty_files(self, tmp_path):
+        replay = recover(tmp_path / "absent.wal")
+        assert replay.records == 0 and not replay.finished
+        empty = tmp_path / "empty.wal"
+        empty.write_bytes(b"")
+        replay = recover(empty)
+        assert replay.records == 0 and replay.next_job_id == 1
+
+    def test_replays_finished_and_unfinished(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        journal = JobJournal(path)
+        journal.append(accepted(1))
+        journal.append({"event": EVENT_STARTED, "job": 1})
+        journal.append(finished(1))
+        journal.append(accepted(2))
+        journal.append({"event": EVENT_STARTED, "job": 2})
+        journal.append(accepted(3))
+        journal.close()
+
+        replay = recover(path)
+        assert [job.job_id for job in replay.finished] == [1]
+        assert replay.finished[0].state == "completed"
+        assert replay.finished[0].result == {"success": True, "details": {"job": 1}}
+        assert replay.finished[0].elapsed == 0.25
+        # Started-but-unfinished and accepted-but-never-started both
+        # come back as work to redo, in id order.
+        assert [job.job_id for job in replay.unfinished] == [2, 3]
+        assert replay.unfinished[0].request == REQUEST
+        assert replay.next_job_id == 4
+        assert not replay.clean_shutdown
+
+    def test_clean_shutdown_marker(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        journal = JobJournal(path)
+        journal.append(accepted(1))
+        journal.append(finished(1))
+        journal.append({"event": EVENT_SHUTDOWN})
+        journal.close()
+        assert recover(path).clean_shutdown
+
+        # Records after the marker mean the shutdown was not the end.
+        journal = JobJournal(path)
+        journal.append(accepted(2))
+        journal.close()
+        replay = recover(path)
+        assert not replay.clean_shutdown
+        assert [job.job_id for job in replay.unfinished] == [2]
+
+    def test_torn_tail_is_truncated_in_place(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        journal = JobJournal(path)
+        journal.append(accepted(1))
+        journal.append(finished(1))
+        journal.close()
+        good_size = path.stat().st_size
+        # A kill -9 mid-write leaves a half record with no newline.
+        with open(path, "ab") as handle:
+            handle.write(encode_record(accepted(2))[:10])
+
+        replay = recover(path)
+        assert replay.records == 2
+        assert replay.truncated_bytes == 10
+        assert path.stat().st_size == good_size
+        assert [job.job_id for job in replay.finished] == [1]
+        assert not replay.unfinished
+
+        # The truncated file is a clean append target: write, recover again.
+        journal = JobJournal(path)
+        journal.append(accepted(3))
+        journal.close()
+        replay = recover(path)
+        assert replay.truncated_bytes == 0
+        assert [job.job_id for job in replay.unfinished] == [3]
+
+    def test_corrupt_middle_record_discards_the_rest(self, tmp_path):
+        """Replay trusts the journal only up to the first bad record —
+        a record after a corrupt one could itself be garbage that
+        happens to parse, so everything from the corruption on is cut."""
+        path = tmp_path / "journal.wal"
+        good_tail = encode_record(finished(1))
+        path.write_bytes(
+            encode_record(accepted(1)) + b"garbage line\n" + good_tail
+        )
+        replay = recover(path)
+        assert replay.records == 1
+        assert [job.job_id for job in replay.unfinished] == [1]
+        assert replay.truncated_bytes == len(b"garbage line\n") + len(good_tail)
+
+    def test_finish_for_truncated_acceptance_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        path.write_bytes(encode_record(finished(9)))
+        replay = recover(path)
+        assert not replay.finished and not replay.unfinished
+        # Job ids restart safely above anything mentioned... the orphan
+        # finish never registered a job, so numbering restarts at 1.
+        assert replay.next_job_id == 1
+
+
+class TestJobJournal:
+    def test_sync_every_batches_fsyncs(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.wal", sync_every=3)
+        journal.append(accepted(1))
+        journal.append(accepted(2))
+        assert journal.lag() == 2
+        journal.append(accepted(3))  # third append crosses the cadence
+        assert journal.lag() == 0
+        journal.append(accepted(4))
+        journal.sync()
+        assert journal.lag() == 0
+        assert journal.appended() == 4
+        journal.close()
+
+    def test_sync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            JobJournal(tmp_path / "journal.wal", sync_every=0)
+
+    def test_write_fault_breaks_the_journal_stickily(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.wal")
+        journal.append(accepted(1))
+        with faults.injected(
+            {"journal.write": faults.Fault("raise", "ENOSPC")}
+        ):
+            with pytest.raises(JournalError, match="ENOSPC"):
+                journal.append(accepted(2))
+        assert not journal.writable()
+        assert "ENOSPC" in (journal.broken_reason() or "")
+        # Broken is sticky even after the fault clears: the handle state
+        # is unknown, so the service must restart to recover.
+        with pytest.raises(JournalError, match="broken"):
+            journal.append(accepted(3))
+        journal.close()
+        # Only the pre-fault record survives on disk.
+        replay = recover(tmp_path / "journal.wal")
+        assert [job.job_id for job in replay.unfinished] == [1]

@@ -1,0 +1,197 @@
+"""Crash/restart recovery of the real service process.
+
+The headline robustness test: ``python -m repro.service`` is started as
+a real subprocess with a journal directory, killed with ``SIGKILL``
+mid-batch, and restarted on the same directory — every accepted job must
+reach a terminal state, with results canonically identical to an
+uninterrupted run on a fresh directory.  A second test sends ``SIGTERM``
+and asserts the graceful-drain contract: in-flight jobs finish, the
+journal ends on a clean-shutdown marker, and a replay re-enqueues
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service.journal import recover
+
+#: Distinct problem shapes (different widths / kinds), so neither
+#: session reuse nor memo warmth differs between an interrupted run
+#: (which may re-run only a suffix of the batch) and a clean one.
+PROBLEMS = [
+    {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0},
+    {"kind": "deobfuscation", "task": "multiply45", "width": 5, "seed": 0},
+    {
+        "kind": "timing-analysis",
+        "program": "bounded_linear_search",
+        "program_args": {"length": 3, "word_width": 16},
+        "bound": 250,
+    },
+]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def spawn_service(data_dir: Path, port_file: Path) -> subprocess.Popen:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--data-dir", str(data_dir),
+            "--quiet",
+        ],
+        env=environment,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return process
+        if process.poll() is not None:
+            raise AssertionError(
+                f"service died on startup:\n{process.stdout.read().decode()}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("service never wrote its port file")
+
+
+def service_url(port_file: Path) -> str:
+    return f"http://127.0.0.1:{port_file.read_text().strip()}"
+
+
+def request(url: str, method: str = "GET", body: dict | None = None) -> dict:
+    req = urllib.request.Request(
+        url,
+        method=method,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def submit_all(url: str) -> list[int]:
+    return [
+        request(f"{url}/jobs", "POST", {"problem": problem})["job_id"]
+        for problem in PROBLEMS
+    ]
+
+
+def wait_all(url: str, job_ids: list[int], timeout: float = 240.0) -> None:
+    deadline = time.monotonic() + timeout
+    for job_id in job_ids:
+        while True:
+            record = request(f"{url}/jobs/{job_id}?wait=30")
+            if record["done"]:
+                break
+            if time.monotonic() > deadline:
+                raise AssertionError(f"job {job_id} never finished")
+
+
+def canonical_result(result: dict) -> dict:
+    """Strip the volatile fields: wall-clock elapsed, and the engine-side
+    job id (a restarted engine renumbers the re-run suffix of the batch)."""
+    normalized = json.loads(json.dumps(result))
+    normalized.pop("elapsed", None)
+    engine = normalized.get("details", {}).get("engine", {})
+    engine.pop("job_id", None)
+    return normalized
+
+
+def collect_results(url: str, job_ids: list[int]) -> list[dict]:
+    return [
+        canonical_result(request(f"{url}/jobs/{job_id}/result"))
+        for job_id in job_ids
+    ]
+
+
+def terminate(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=30)
+
+
+@pytest.mark.slow
+class TestKillAndRestart:
+    def test_sigkill_mid_batch_loses_no_accepted_job(self, tmp_path):
+        crash_dir = tmp_path / "crash"
+        port_file = tmp_path / "port-a"
+        process = spawn_service(crash_dir, port_file)
+        try:
+            url = service_url(port_file)
+            job_ids = submit_all(url)
+            # All three 202s are journaled; now the process dies hard,
+            # mid-batch, with no chance to flush anything further.
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            terminate(process)
+
+        # Restart on the same journal directory: every accepted job must
+        # come back (finished from the journal or re-enqueued) and reach
+        # a terminal state.
+        port_file2 = tmp_path / "port-b"
+        restarted = spawn_service(crash_dir, port_file2)
+        try:
+            url = service_url(port_file2)
+            listed = request(f"{url}/jobs")["jobs"]
+            assert {job["job_id"] for job in listed} >= set(job_ids)
+            wait_all(url, job_ids)
+            recovered = collect_results(url, job_ids)
+            for job_id in job_ids:
+                record = request(f"{url}/jobs/{job_id}")
+                assert record["state"] == "completed"
+        finally:
+            terminate(restarted)
+
+        # Reference: the same submissions, uninterrupted, on a fresh dir.
+        clean_dir = tmp_path / "clean"
+        port_file3 = tmp_path / "port-c"
+        reference = spawn_service(clean_dir, port_file3)
+        try:
+            url = service_url(port_file3)
+            reference_ids = submit_all(url)
+            wait_all(url, reference_ids)
+            expected = collect_results(url, reference_ids)
+        finally:
+            terminate(reference)
+
+        assert recovered == expected
+
+    def test_sigterm_drains_and_marks_clean_shutdown(self, tmp_path):
+        data_dir = tmp_path / "drain"
+        port_file = tmp_path / "port"
+        process = spawn_service(data_dir, port_file)
+        try:
+            url = service_url(port_file)
+            job_ids = submit_all(url)
+            process.send_signal(signal.SIGTERM)
+            # The drain finishes every accepted job before exiting.
+            process.wait(timeout=240)
+            assert process.returncode == 0
+        finally:
+            terminate(process)
+
+        replay = recover(data_dir / "journal.wal")
+        assert replay.clean_shutdown
+        assert not replay.unfinished
+        assert sorted(job.job_id for job in replay.finished) == sorted(job_ids)
+        assert all(job.state == "completed" for job in replay.finished)
+        assert replay.truncated_bytes == 0
