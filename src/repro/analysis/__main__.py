@@ -26,7 +26,7 @@ from pathlib import Path
 from repro.analysis.lint import Finding, iter_rules, run_lint
 
 #: Packages the typed-core gate checks (see mypy.ini for strictness).
-MYPY_PACKAGES = ("repro.api", "repro.service", "repro.analysis")
+MYPY_PACKAGES = ("repro.api", "repro.service", "repro.analysis", "repro.cluster")
 
 
 def _package_root() -> Path:

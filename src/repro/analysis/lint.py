@@ -54,7 +54,14 @@ from typing import Iterable, Iterator
 #: (``ogis``/``gametime``/``hybrid``/``platform``) legitimately consume
 #: randomness and measured time; the solver core, engine, and service
 #: must not.
-DETERMINISTIC_PREFIXES = ("smt/", "core/", "api/", "service/", "analysis/")
+DETERMINISTIC_PREFIXES = (
+    "smt/",
+    "core/",
+    "api/",
+    "service/",
+    "analysis/",
+    "cluster/",
+)
 
 #: ``module.attr`` clock reads flagged by WC01 (plus bare-name imports).
 CLOCK_CALLS = {

@@ -196,23 +196,10 @@ def _run_job_in_worker(payload: dict) -> dict:
     # REPRO_FAULTS) kill this worker with no cleanup — the supervised
     # crash-retry path in the parent is exactly what gets exercised.
     fault_point("worker.crash")
-    job = Job(
-        job_id=payload["job_id"],
-        problem=problem_from_dict(payload["problem"]),
-        max_conflicts=payload["max_conflicts"],
-        timeout=payload["timeout"],
-        label=payload["label"],
-    )
-    engine._execute(job)
-    assert job.result is not None
-    return {
-        "state": job.state.value,
-        "error": job.error,
-        "elapsed": job.elapsed,
-        "result": result_to_dict(job.result),
-        "worker_id": _WORKER_ID,
-        "pool_statistics": asdict(engine.pool.statistics),
-    }
+    response = engine.run_wire(payload)
+    response["worker_id"] = _WORKER_ID
+    response["pool_statistics"] = asdict(engine.pool.statistics)
+    return response
 
 
 def _worker_ready() -> bool:
@@ -513,6 +500,38 @@ class SciductionEngine:
         self._execute(job)
         assert job.result is not None
         return job.result
+
+    def run_wire(self, payload: dict) -> dict:
+        """Execute one wire-form job payload; return its wire-form outcome.
+
+        The payload is the exact dictionary the parallel transport ships
+        to worker processes (``job_id``, wire-form ``problem``,
+        ``max_conflicts``, ``timeout``, ``label``); the response carries
+        the terminal state, error, elapsed seconds and the result's wire
+        dictionary.  This is the single remote-execution surface: worker
+        processes (:func:`_run_job_in_worker`) and cluster node agents
+        (:mod:`repro.cluster.node`) both run jobs through it, so every
+        execution topology produces byte-identical result wire forms.
+
+        The job handle is transient — it is *not* registered with this
+        engine's job list (the submitting side owns the authoritative
+        handle under its own job id).
+        """
+        job = Job(
+            job_id=payload["job_id"],
+            problem=problem_from_dict(payload["problem"]),
+            max_conflicts=payload["max_conflicts"],
+            timeout=payload["timeout"],
+            label=payload["label"],
+        )
+        self._execute(job)
+        assert job.result is not None
+        return {
+            "state": job.state.value,
+            "error": job.error,
+            "elapsed": job.elapsed,
+            "result": result_to_dict(job.result),
+        }
 
     def run_batch(
         self, problems: list[ProblemSpec | dict] | None = None

@@ -1,0 +1,692 @@
+"""The cluster coordinator: ``python -m repro.cluster.coordinator``.
+
+:class:`ClusterEngine` subclasses :class:`~repro.api.engine.SciductionEngine`
+and replaces *how batches execute* while keeping every other contract —
+submission, cancellation, pruning, the job-handle surface the service
+queue drives — unchanged.  The PR-5 HTTP front end, journal, certificate
+store and admission control are reused verbatim: the coordinator process
+is simply ``SciductionService(engine=ClusterEngine(...))``.
+
+Sharding preserves byte-parity by construction:
+
+* every job's shape (``ProblemSpec.shape_key()``) is owned by exactly
+  one live node, chosen by deterministic rendezvous hashing
+  (:mod:`repro.cluster.hashring`) over the sorted live-node names;
+* a node receives its jobs in submission order, and its engine runs
+  them sequentially on shape-routed pooled sessions — exactly the
+  per-shape history the sequential engine produces, so verdicts,
+  artifacts and certificates are byte-identical to a single-node run
+  (per-job *statistics* may differ between topologies, as they already
+  may between worker counts);
+* on node death (connection drop, which covers ``kill -9``, network
+  partitions and crashes alike) the dead node's unfinished jobs are
+  re-sharded onto the survivors *in submission order* and re-sent; the
+  scoped-lease guarantee (verdicts are independent of which session a
+  job lands on) keeps the re-run byte-identical too.
+
+Durability: assignments (``assigned``) and failover (``resharded``)
+are journaled through the PR-7 WAL.  Replay folds them as history —
+they are neither acceptances nor finishes, so a restarted coordinator
+re-enqueues exactly the accepted-but-unfinished jobs, with the WAL
+recording where each attempt had been placed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+from types import FrameType
+from typing import Any
+
+from repro.analysis.annotations import guarded_by
+from repro.api.config import EngineConfig
+from repro.api.engine import Job, JobState, SciductionEngine
+from repro.api.results import result_from_dict
+from repro.cluster.auth import TokenSet, ensure_bind_allowed
+from repro.cluster.hashring import rendezvous_owner
+from repro.cluster.memoclient import RemoteMemoStore
+from repro.cluster.node import PROTOCOL_VERSION, parse_endpoint
+from repro.cluster.protocol import FramedSocket, ProtocolError
+from repro.core.procedure import SciductionResult
+from repro.service.journal import JobJournal, JournalError
+from repro.service.server import SciductionService
+from repro.testing import faults
+from repro.testing.faults import fault_point
+
+#: Journal events written by the coordinator (folded as history by
+#: replay: they are neither acceptances nor finishes).
+EVENT_ASSIGNED = "assigned"
+EVENT_RESHARDED = "resharded"
+
+#: How long the dispatch loop sleeps waiting for results/registrations
+#: before re-scanning (a backstop — every event also notifies).
+_DISPATCH_WAIT_SLICE = 0.25
+
+
+class _NodeLink:
+    """One registered node's connection, as the coordinator sees it."""
+
+    def __init__(self, name: str, link: FramedSocket, generation: int) -> None:
+        self.name = name
+        self.link = link
+        #: Re-registrations bump the generation; a stale link's death
+        #: must not kill its successor.
+        self.generation = generation
+
+    def send_job(self, payload: dict[str, Any]) -> None:
+        # Fault site: an armed `raise` here severs the coordinator→node
+        # path mid-dispatch — the observable behavior of a network
+        # partition — and drives the reshard path deterministically.
+        fault_point("net.partition")
+        self.link.send({"op": "job", "payload": payload})
+
+
+@guarded_by(
+    "_cluster_lock",
+    "_links", "_node_stats", "_events", "_reshard_log", "_generations",
+    aliases=("_cluster_wakeup",),
+)
+class ClusterEngine(SciductionEngine):
+    """An engine whose batches execute on registered remote nodes.
+
+    Args:
+        config: engine configuration; ``workers`` is ignored here (the
+            nodes own the solving), but the config still ships to
+            ``/stats`` and governs problem validation.
+        host: cluster listener bind address.
+        port: cluster listener port (0 = ephemeral, see
+            :attr:`cluster_port`).
+        tokens: auth tokens nodes must present at registration.
+        node_wait: seconds a batch waits for at least one live node (and
+            for a replacement when every node died mid-batch) before
+            failing the affected jobs with a structured result.
+        memod: optional memo-service endpoint, queried for ``/stats``.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tokens: TokenSet | None = None,
+        node_wait: float = 30.0,
+        memod: tuple[str, int] | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.tokens = tokens or TokenSet()
+        ensure_bind_allowed(host, self.tokens, "coordinator")
+        self.node_wait = node_wait
+        #: Set by the hosting service once its journal exists; the
+        #: coordinator appends assignment/reshard records through it.
+        self.journal: JobJournal | None = None
+        self._memod_stats: RemoteMemoStore | None = None
+        if memod is not None:
+            self._memod_stats = RemoteMemoStore(
+                memod[0],
+                memod[1],
+                client_id="coordinator",
+                token=self.tokens.first_token(),
+            )
+        self._cluster_lock = threading.Lock()
+        self._cluster_wakeup = threading.Condition(self._cluster_lock)
+        #: Live links by node name.
+        self._links: dict[str, _NodeLink] = {}
+        #: Per-node observability (survives death/re-registration).
+        self._node_stats: dict[str, dict[str, Any]] = {}
+        #: Events for the dispatch loop: ("result", node, job_id, payload)
+        #: and ("dead", node); registrations just notify.
+        self._events: list[tuple[Any, ...]] = []
+        #: Reshard history for ``/stats``.
+        self._reshard_log: list[dict[str, Any]] = []
+        self._generations = 0
+        self._cluster_closed = False
+        self._listener = socket.create_server((host, port))
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- listener side -----------------------------------------------------
+
+    @property
+    def cluster_host(self) -> str:
+        return str(self._listener.getsockname()[0])
+
+    @property
+    def cluster_port(self) -> int:
+        return int(self._listener.getsockname()[1])
+
+    def _accept_loop(self) -> None:
+        while not self._cluster_closed:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._register_connection,
+                args=(FramedSocket(connection),),
+                name="cluster-register",
+                daemon=True,
+            ).start()
+
+    def _register_connection(self, link: FramedSocket) -> None:
+        """Validate one inbound connection's register frame."""
+        try:
+            frame = link.recv()
+        except (OSError, ProtocolError):
+            link.close()
+            return
+        if frame is None or frame.get("op") != "register":
+            link.close()
+            return
+        name = frame.get("node")
+        if not isinstance(name, str) or not name:
+            self._reject(link, "registration needs a non-empty node name", 400)
+            return
+        if frame.get("protocol") != PROTOCOL_VERSION:
+            self._reject(
+                link,
+                f"protocol {frame.get('protocol')!r} is not {PROTOCOL_VERSION}",
+                400,
+            )
+            return
+        if self.tokens.required():
+            if self.tokens.identify(frame.get("token")) is None:
+                self._reject(link, "authentication failed", 401)
+                return
+        with self._cluster_wakeup:
+            previous = self._links.get(name)
+            self._generations += 1
+            generation = self._generations
+            node = _NodeLink(name, link, generation)
+            self._links[name] = node
+            stats = self._node_stats.setdefault(
+                name,
+                {
+                    "registrations": 0,
+                    "heartbeats": 0,
+                    "jobs_completed": 0,
+                    "shapes": {},
+                    "last_heartbeat": None,
+                },
+            )
+            stats["registrations"] += 1
+            stats["alive"] = True
+            stats["last_heartbeat"] = time.monotonic()  # analysis: allow[WC01] heartbeat-age observability stamp; never a scheduling input
+            self._cluster_wakeup.notify_all()
+        if previous is not None:
+            previous.link.close()
+        try:
+            link.send({"ok": True, "coordinator": "sciduction"})
+        except (OSError, ProtocolError):
+            self._node_lost(node)
+            return
+        threading.Thread(
+            target=self._reader_loop,
+            args=(node,),
+            name=f"cluster-read-{name}",
+            daemon=True,
+        ).start()
+
+    @staticmethod
+    def _reject(link: FramedSocket, message: str, status: int) -> None:
+        try:
+            link.send({"ok": False, "error": message, "status": status})
+        except (OSError, ProtocolError):
+            pass
+        link.close()
+
+    def _reader_loop(self, node: _NodeLink) -> None:
+        """Pump one node's frames into the event queue until it dies."""
+        while True:
+            try:
+                frame = node.link.recv()
+            except (OSError, ProtocolError):
+                break
+            if frame is None:
+                break
+            op = frame.get("op")
+            if op == "result":
+                with self._cluster_wakeup:
+                    self._events.append(
+                        ("result", node.name, frame.get("job_id"), frame.get("payload"))
+                    )
+                    self._cluster_wakeup.notify_all()
+            elif op == "heartbeat":
+                with self._cluster_wakeup:
+                    stats = self._node_stats.get(node.name)
+                    if stats is not None:
+                        stats["heartbeats"] += 1
+                        stats["last_heartbeat"] = time.monotonic()  # analysis: allow[WC01] heartbeat-age observability stamp; never a scheduling input
+            # "drained" and unknown ops: nothing to fold.
+        self._node_lost(node)
+
+    def _node_lost(self, node: _NodeLink) -> None:
+        """Fold one link's death (idempotent; stale generations no-op)."""
+        node.link.close()
+        with self._cluster_wakeup:
+            current = self._links.get(node.name)
+            if current is not None and current.generation == node.generation:
+                del self._links[node.name]
+                stats = self._node_stats.get(node.name)
+                if stats is not None:
+                    stats["alive"] = False
+                self._events.append(("dead", node.name))
+                self._cluster_wakeup.notify_all()
+
+    # -- engine overrides --------------------------------------------------
+
+    def prestart_workers(self) -> None:
+        """No worker fleet to fork — the nodes are separate processes."""
+
+    def run_wire(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Refuse local execution: a coordinator never solves in-process."""
+        raise NotImplementedError("the coordinator does not execute jobs")
+
+    def run_batch(
+        self, problems: "list[Any] | None" = None
+    ) -> list[SciductionResult]:
+        """Scatter every pending job to the live nodes; gather results.
+
+        Returns results in submission order, like the base engine.  All
+        failure modes are folded into structured per-job results — a
+        batch never raises, even with zero registered nodes.
+        """
+        for problem in problems or []:
+            self.submit(problem)
+        with self._state_lock:
+            batch = [job for job in self._jobs if job.state is JobState.PENDING]
+        if batch:
+            self._dispatch_batch(batch)
+        results = []
+        for job in batch:
+            assert job.result is not None
+            results.append(job.result)
+        return results
+
+    def _dispatch_batch(self, batch: list[Job]) -> None:
+        # Jobs not yet accepted by a live node, in submission order.
+        pending: list[Job] = []
+        # job_id → (job, owning node name) while a node holds the job.
+        in_flight: dict[int, tuple[Job, str]] = {}
+        open_jobs: dict[int, Job] = {}
+        for job in batch:
+            with self._state_lock:
+                if job.state is not JobState.PENDING:
+                    continue  # cancelled while queued; result already set
+                job.state = JobState.RUNNING
+            pending.append(job)
+            open_jobs[job.job_id] = job
+        nodeless_deadline: float | None = None
+        while open_jobs:
+            with self._cluster_wakeup:
+                events = self._events[:]
+                self._events.clear()
+                live = sorted(self._links)
+            dead_nodes: list[str] = []
+            for event in events:
+                if event[0] == "result":
+                    _, node_name, job_id, payload = event
+                    entry = in_flight.pop(int(job_id), None) if job_id is not None else None
+                    if entry is None or not isinstance(payload, dict):
+                        continue
+                    job, _owner = entry
+                    self._complete_remote(job, payload, node_name)
+                    open_jobs.pop(job.job_id, None)
+                elif event[0] == "dead":
+                    dead_nodes.append(event[1])
+            for node_name in dead_nodes:
+                orphaned = sorted(
+                    job_id
+                    for job_id, (_job, owner) in in_flight.items()
+                    if owner == node_name
+                )
+                if not orphaned:
+                    continue
+                for job_id in orphaned:
+                    job, _owner = in_flight.pop(job_id)
+                    pending.append(job)
+                pending.sort(key=lambda job: job.job_id)
+                self._record_reshard(node_name, orphaned)
+            if pending and live:
+                pending = self._dispatch_pending(pending, live, in_flight)
+                nodeless_deadline = None
+            elif pending and not live:
+                # Every node is gone (or none ever registered): bounded
+                # wait for a (re-)registration, then fail what remains.
+                now = time.monotonic()  # analysis: allow[WC01] node-wait deadline anchor; bounds failover waiting, never a solver input
+                if nodeless_deadline is None:
+                    nodeless_deadline = now + self.node_wait
+                elif now >= nodeless_deadline:
+                    for job_id in sorted(open_jobs):
+                        if job_id in in_flight:
+                            continue
+                        self._fail_unplaceable(open_jobs.pop(job_id))
+                    pending = []
+                    continue
+            if not open_jobs:
+                break
+            with self._cluster_wakeup:
+                if not self._events:
+                    self._cluster_wakeup.wait(_DISPATCH_WAIT_SLICE)
+
+    def _dispatch_pending(
+        self,
+        pending: list[Job],
+        live: list[str],
+        in_flight: dict[int, tuple[Job, str]],
+    ) -> list[Job]:
+        """Send every pending job to its rendezvous owner.
+
+        Returns the jobs that could not be sent (their target died under
+        us — they stay pending and reshard on the next scan).
+        """
+        unsent: list[Job] = []
+        links: dict[str, _NodeLink] = {}
+        with self._cluster_lock:
+            for name in live:
+                node = self._links.get(name)
+                if node is not None:
+                    links[name] = node
+        for job in pending:
+            shape = job.problem.shape_key()
+            owner = rendezvous_owner(shape, live)
+            node = links.get(owner)
+            if node is None:
+                unsent.append(job)
+                continue
+            self._journal_soft(
+                {
+                    "event": EVENT_ASSIGNED,
+                    "job": job.job_id,
+                    "node": owner,
+                    "shape": shape,
+                }
+            )
+            with self._cluster_lock:
+                stats = self._node_stats.get(owner)
+                if stats is not None:
+                    stats["shapes"][shape] = True
+            try:
+                node.send_job(
+                    {
+                        "job_id": job.job_id,
+                        "problem": job.problem.to_dict(),
+                        "max_conflicts": job.max_conflicts,
+                        "timeout": job.timeout,
+                        "label": job.label,
+                    }
+                )
+            except (OSError, ProtocolError):
+                # The link died mid-dispatch (or a net.partition fault
+                # fired): fold the death; the job reshards next scan.
+                self._node_lost(node)
+                unsent.append(job)
+                continue
+            in_flight[job.job_id] = (job, owner)
+        return unsent
+
+    def _complete_remote(
+        self, job: Job, payload: dict[str, Any], node_name: str
+    ) -> None:
+        """Fold one node's wire-form outcome into the job handle."""
+        try:
+            job.state = JobState(payload["state"])
+            job.error = payload["error"]
+            job.elapsed = payload["elapsed"]
+            result_wire = payload["result"]
+            # Attribute the execution in the same place the engine stamps
+            # its own metadata (details.engine) — observability only, and
+            # stripped by parity comparisons exactly like job_id.
+            engine_details = result_wire.get("details", {}).get("engine")
+            if isinstance(engine_details, dict):
+                engine_details["node"] = node_name
+            job._result_wire = result_wire
+            job.result = result_from_dict(result_wire)
+        except (KeyError, ValueError, TypeError) as error:
+            job.state = JobState.FAILED
+            job.error = f"malformed result from node {node_name!r}: {error}"
+            job.result = SciductionResult(
+                success=False,
+                details={"outcome": "failed", "error": job.error},
+            )
+        with self._cluster_lock:
+            stats = self._node_stats.get(node_name)
+            if stats is not None:
+                stats["jobs_completed"] += 1
+
+    def _record_reshard(self, node_name: str, job_ids: list[int]) -> None:
+        self._journal_soft(
+            {"event": EVENT_RESHARDED, "node": node_name, "jobs": job_ids}
+        )
+        with self._cluster_lock:
+            self._reshard_log.append({"node": node_name, "jobs": job_ids})
+
+    def _fail_unplaceable(self, job: Job) -> None:
+        job.state = JobState.FAILED
+        job.error = (
+            f"no cluster nodes available within {self.node_wait}s; "
+            "the job was never placed"
+        )
+        job.result = SciductionResult(
+            success=False,
+            details={"outcome": "failed", "error": job.error},
+        )
+        self._stamp_engine_details(job)
+
+    def _journal_soft(self, payload: dict[str, Any]) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(payload)
+        except JournalError:
+            pass  # the queue's journal health surfaces the breakage
+
+    # -- reporting ---------------------------------------------------------
+
+    def cluster_statistics(self) -> dict[str, Any]:
+        """The ``/stats`` cluster section: topology, failover, memod."""
+        with self._cluster_lock:
+            now = time.monotonic()  # analysis: allow[WC01] heartbeat-age observability read; never a scheduling input
+            nodes = {}
+            for name in sorted(self._node_stats):
+                stats = self._node_stats[name]
+                last = stats.get("last_heartbeat")
+                nodes[name] = {
+                    "alive": bool(stats.get("alive")),
+                    "registrations": stats["registrations"],
+                    "heartbeats": stats["heartbeats"],
+                    "heartbeat_age": (
+                        None if last is None else round(now - last, 3)
+                    ),
+                    "jobs_completed": stats["jobs_completed"],
+                    "shapes": sorted(stats["shapes"]),
+                }
+            record: dict[str, Any] = {
+                "nodes": nodes,
+                "live_nodes": sorted(self._links),
+                "reshards": len(self._reshard_log),
+                "resharding_events": list(self._reshard_log),
+                "auth_required": self.tokens.required(),
+            }
+        record["memod"] = self._memod_statistics()
+        return record
+
+    def _memod_statistics(self) -> dict[str, Any]:
+        if self._memod_stats is None:
+            return {"configured": False}
+        try:
+            stats = self._memod_stats.statistics()
+        except (OSError, ProtocolError):
+            return {"configured": True, "available": False}
+        stats["configured"] = True
+        stats["available"] = True
+        return stats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain_nodes(self) -> None:
+        """Ask every live node to finish its queue and exit (best effort)."""
+        with self._cluster_lock:
+            links = [self._links[name] for name in sorted(self._links)]
+        for node in links:
+            try:
+                node.link.send({"op": "drain"})
+            except (OSError, ProtocolError):
+                pass
+
+    def close(self) -> None:
+        """Drain nodes, stop the listener, release links (idempotent)."""
+        if not self._cluster_closed:
+            self._cluster_closed = True
+            self.drain_nodes()
+            # shutdown() before close(): a thread blocked in accept()
+            # holds a kernel reference that keeps a merely-closed
+            # listener serving; shutting it down unblocks immediately.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._listener.close()
+            self._accept_thread.join(timeout=5.0)
+            with self._cluster_lock:
+                links = [self._links[name] for name in sorted(self._links)]
+                self._links.clear()
+            for node in links:
+                node.link.close()
+            if self._memod_stats is not None:
+                self._memod_stats.close()
+        super().close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.coordinator",
+        description="Serve sciduction jobs over HTTP, sharded across nodes.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="HTTP bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--cluster-host",
+        default="127.0.0.1",
+        help="cluster (node protocol) bind address",
+    )
+    parser.add_argument(
+        "--cluster-port",
+        type=int,
+        default=0,
+        help="cluster (node protocol) bind port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound HTTP port here once listening",
+    )
+    parser.add_argument(
+        "--cluster-port-file",
+        type=Path,
+        default=None,
+        help="write the bound cluster port here once listening",
+    )
+    parser.add_argument(
+        "--memod", default=None, help="memo-service endpoint, host:port"
+    )
+    parser.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        help="journal + certificate-store directory (enables crash safety)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission bound on queued jobs (429 past it)",
+    )
+    parser.add_argument(
+        "--node-wait",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a live node before failing unplaceable jobs",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="accepted token spec (falls back to REPRO_AUTH_TOKEN)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    arguments = parser.parse_args(argv)
+    faults.install_from_env()
+    tokens = TokenSet.from_env(arguments.auth_token)
+    ensure_bind_allowed(arguments.host, tokens, "coordinator HTTP front end")
+    engine = ClusterEngine(
+        EngineConfig(),
+        host=arguments.cluster_host,
+        port=arguments.cluster_port,
+        tokens=tokens,
+        node_wait=arguments.node_wait,
+        memod=(
+            parse_endpoint(arguments.memod)
+            if arguments.memod is not None
+            else None
+        ),
+    )
+    service = SciductionService(
+        engine.config,
+        host=arguments.host,
+        port=arguments.port,
+        quiet=arguments.quiet,
+        data_dir=arguments.data_dir,
+        max_pending=arguments.max_pending,
+        engine=engine,
+        auth=tokens,
+    )
+    engine.journal = service.journal
+    if service.replay is not None and service.replay.records:
+        replay = service.replay
+        print(
+            "journal replay: "
+            f"{len(replay.finished)} finished restored, "
+            f"{len(replay.unfinished)} unfinished re-enqueued, "
+            f"{replay.truncated_bytes} torn bytes truncated, "
+            f"clean_shutdown={replay.clean_shutdown}",
+            flush=True,
+        )
+
+    def _on_sigterm(signum: int, frame: FrameType | None) -> None:
+        threading.Thread(
+            target=service.shutdown, name="coordinator-drain"
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    print(
+        f"sciduction coordinator listening on {service.url} "
+        f"(cluster {engine.cluster_host}:{engine.cluster_port})",
+        flush=True,
+    )
+    if arguments.port_file is not None:
+        arguments.port_file.write_text(f"{service.port}\n")
+    if arguments.cluster_port_file is not None:
+        arguments.cluster_port_file.write_text(f"{engine.cluster_port}\n")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

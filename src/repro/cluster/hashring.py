@@ -1,0 +1,58 @@
+"""Deterministic rendezvous (highest-random-weight) shape placement.
+
+The byte-parity guarantee rests on every shape's jobs running on *one*
+engine, in submission order, from a freshly sealed base scope.  Across a
+cluster that means shape → node ownership must be:
+
+* **deterministic** — any coordinator replica (and any test) computes
+  the same owner from the same node set, with no state to persist;
+* **minimally disruptive** — when a node dies, only the shapes it owned
+  move (each to its own runner-up), so surviving nodes keep their warm
+  sessions and memo entries.
+
+Rendezvous hashing gives both: every ``(shape, node)`` pair is scored by
+a keyed SHA-256 digest and a shape is owned by its highest-scoring live
+node.  Removing a node only promotes that node's shapes to their
+second-ranked choice; adding a node only claims the shapes it now ranks
+first on.  No ring state, no virtual-node tables — the function *is* the
+assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.core.exceptions import ReproError
+
+
+def _score(shape: str, node: str) -> int:
+    """The rendezvous weight of placing ``shape`` on ``node``.
+
+    The NUL separator keeps ``("ab", "c")`` and ``("a", "bc")`` from
+    colliding; SHA-256 keeps the weights stable across processes and
+    Python hash randomization.
+    """
+    digest = hashlib.sha256(
+        shape.encode("utf-8") + b"\x00" + node.encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+def rendezvous_rank(shape: str, nodes: Sequence[str]) -> list[str]:
+    """Every candidate node, best owner first.
+
+    The full rank is what failover consumes: when the owner dies, the
+    shape moves to ``rank[1]``, then ``rank[2]``, and so on — each
+    *shape* independently, which is what makes the movement minimal.
+    Duplicate node names collapse to one candidate.
+    """
+    if not nodes:
+        raise ReproError("rendezvous rank of an empty node set")
+    unique = sorted(dict.fromkeys(nodes))
+    return sorted(unique, key=lambda node: (-_score(shape, node), node))
+
+
+def rendezvous_owner(shape: str, nodes: Sequence[str]) -> str:
+    """The owning node for ``shape`` among ``nodes``."""
+    return rendezvous_rank(shape, nodes)[0]

@@ -35,6 +35,7 @@ from pathlib import Path
 from types import FrameType
 
 from repro.api.config import EngineConfig
+from repro.cluster.auth import TokenSet, ensure_bind_allowed
 from repro.service.server import SciductionService
 from repro.testing import faults
 
@@ -79,6 +80,15 @@ def main(argv: list[str] | None = None) -> int:
         help="admission bound on queued jobs (429 past it; default unbounded)",
     )
     parser.add_argument(
+        "--auth-token",
+        default=None,
+        help=(
+            "bearer token(s) required on every route except /healthz; "
+            "comma-separated 'secret' or 'identity:secret' entries "
+            "(falls back to REPRO_AUTH_TOKEN)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
     arguments = parser.parse_args(argv)
@@ -86,6 +96,9 @@ def main(argv: list[str] | None = None) -> int:
     # Arm deterministic fault injection when the environment asks for it
     # (a no-op outside the fault-injection test suites).
     faults.install_from_env()
+
+    tokens = TokenSet.from_env(arguments.auth_token)
+    ensure_bind_allowed(arguments.host, tokens, "service")
 
     config_kwargs: dict = {"workers": arguments.workers}
     if arguments.pool_size is not None:
@@ -97,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         quiet=arguments.quiet,
         data_dir=arguments.data_dir,
         max_pending=arguments.max_pending,
+        auth=tokens,
     )
     if service.replay is not None and service.replay.records:
         replay = service.replay

@@ -23,8 +23,11 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 from urllib.parse import parse_qs
+
+if TYPE_CHECKING:  # type-only: the cluster layer imports this module
+    from repro.cluster.auth import TokenSet
 
 from repro.api.config import EngineConfig
 from repro.api.engine import SciductionEngine
@@ -151,6 +154,30 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.service.quiet:
             super().log_message(format, *args)
 
+    def _authenticate(self, route: str) -> tuple[bool, str | None]:
+        """Bearer-token gate: ``(allowed, authenticated identity)``.
+
+        With no token set configured every caller is allowed and
+        anonymous.  With one configured, every route except ``/healthz``
+        (load balancers probe it unauthenticated) requires
+        ``Authorization: Bearer <token>``; a missing or wrong token is
+        answered here with a structured 401 + ``WWW-Authenticate``.
+        """
+        tokens = self.service.auth
+        if tokens is None or not tokens.required() or route == "/healthz":
+            return True, None
+        header = self.headers.get("Authorization", "")
+        presented = header[7:] if header.startswith("Bearer ") else None
+        identity = tokens.identify(presented)
+        if identity is None:
+            self._reply(
+                401,
+                error_wire("authentication required", 401),
+                headers={"WWW-Authenticate": 'Bearer realm="sciduction"'},
+            )
+            return False, None
+        return True, identity
+
     def _job_or_404(self, job_id: str) -> "ServiceJob | None":
         job = self.service.queue.get(int(job_id))
         if job is None:
@@ -181,6 +208,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         try:
             route, query = self._split_query(self.path)
+            allowed, _identity = self._authenticate(route)
+            if not allowed:
+                return
             if route == "/healthz":
                 status, payload = self.service.health()
                 self._reply(status, payload)
@@ -232,10 +262,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         try:
+            allowed, identity = self._authenticate(self.path)
+            if not allowed:
+                return
             if self.path != "/jobs":
                 self._fail(404, f"unknown path {self.path}")
                 return
             request = parse_job_request(self._read_json())
+            if identity is not None:
+                # Per-client accounting keys on who *authenticated*, not
+                # on whatever tag the request body claims.
+                request["client"] = identity
             job = self.service.queue.submit(request)
             self._reply(
                 202,
@@ -261,6 +298,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802
         try:
+            allowed, _identity = self._authenticate(self.path)
+            if not allowed:
+                return
             match = _JOB_PATH.match(self.path)
             if not match:
                 self._fail(404, f"unknown path {self.path}")
@@ -319,6 +359,14 @@ class SciductionService:
             keeps the pre-PR-7 in-memory behavior.
         max_pending: admission bound forwarded to the queue (429 past it).
         journal_sync_every: fsync cadence forwarded to the journal.
+        engine: inject a pre-built engine (the cluster coordinator hands
+            in a :class:`~repro.cluster.coordinator.ClusterEngine`);
+            ``config`` is ignored when given — the engine's own config
+            governs.
+        auth: bearer-token set (see :mod:`repro.cluster.auth`); when it
+            requires auth, every route except ``/healthz`` answers 401
+            to callers without a valid token, and per-client accounting
+            keys on the authenticated identity.
     """
 
     def __init__(
@@ -330,8 +378,11 @@ class SciductionService:
         data_dir: Path | str | None = None,
         max_pending: int | None = None,
         journal_sync_every: int = 1,
+        engine: SciductionEngine | None = None,
+        auth: "TokenSet | None" = None,
     ) -> None:
-        self.engine = SciductionEngine(config)
+        self.engine = engine if engine is not None else SciductionEngine(config)
+        self.auth = auth
         self.journal: JobJournal | None = None
         self.certstore: CertStore | None = None
         self.replay: JournalReplay | None = None
@@ -389,9 +440,18 @@ class SciductionService:
             "config": self.engine.config.to_dict(),
             "admission": self.queue.admission(),
             "clients": self.queue.clients(),
+            "auth": {
+                "required": bool(self.auth is not None and self.auth.required())
+            },
         }
         if self.certstore is not None:
             payload["certstore"] = self.certstore.statistics()
+        # A cluster engine contributes topology, failover history and
+        # memo-service counters (duck-typed so this module stays free of
+        # a runtime dependency on the cluster layer).
+        cluster_statistics = getattr(self.engine, "cluster_statistics", None)
+        if callable(cluster_statistics):
+            payload["cluster"] = cluster_statistics()
         payload.update(self.queue.histograms())
         return payload
 

@@ -1,0 +1,40 @@
+"""Cluster-suite fixtures: lock instrumentation over the cluster layer.
+
+The coordinator nests its cluster lock against the engine's state lock
+(never holding both — that discipline is the design), the memo service
+guards its shared store, and the memo client guards its degraded-mode
+counters.  Running the in-process suites under the lock-order detector
+turns any regression into a test failure instead of a distributed
+deadlock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api.engine as engine_module
+import repro.api.memo as memo_module
+import repro.cluster.coordinator as coordinator_module
+import repro.cluster.memoclient as memoclient_module
+import repro.cluster.memod as memod_module
+import repro.service.queue as queue_module
+from repro.analysis import lockcheck
+from repro.testing import faults
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _lockcheck_instrumentation():
+    with lockcheck.instrument(
+        engine_module, memo_module, queue_module,
+        coordinator_module, memoclient_module, memod_module,
+    ) as registry:
+        yield
+    assert not registry.violations, "\n".join(registry.violations)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    # A test that arms fault injection and fails mid-way must not leak
+    # the plan into the next test.
+    yield
+    faults.reset()

@@ -1,0 +1,170 @@
+"""Token auth: parsing, constant-time identify, bind guard, HTTP 401s."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.cluster.auth import (
+    DEFAULT_IDENTITY,
+    AuthConfigError,
+    TokenSet,
+    ensure_bind_allowed,
+    is_loopback,
+)
+from repro.service.server import SciductionService
+
+
+class TestTokenSetParsing:
+    def test_empty_spec_means_no_auth(self):
+        tokens = TokenSet.from_spec(None)
+        assert not tokens.required()
+        assert tokens.first_token() is None
+
+    def test_bare_secret_maps_to_default_identity(self):
+        tokens = TokenSet.from_spec("sekret")
+        assert tokens.required()
+        assert tokens.identify("sekret") == DEFAULT_IDENTITY
+
+    def test_identity_secret_form(self):
+        tokens = TokenSet.from_spec("ci:sekret")
+        # The presented token is the full entry text.
+        assert tokens.identify("ci:sekret") == "ci"
+        assert tokens.identify("sekret") is None
+
+    def test_multiple_entries(self):
+        tokens = TokenSet.from_spec("ci:alpha,dev:beta,gamma")
+        assert tokens.identify("ci:alpha") == "ci"
+        assert tokens.identify("dev:beta") == "dev"
+        assert tokens.identify("gamma") == DEFAULT_IDENTITY
+        assert tokens.identify("delta") is None
+
+    def test_wrong_token_rejected(self):
+        tokens = TokenSet.from_spec("sekret")
+        assert tokens.identify("sekre") is None
+        assert tokens.identify("sekret2") is None
+        assert tokens.identify("") is None
+        assert tokens.identify(None) is None
+
+    def test_malformed_entries_raise(self):
+        with pytest.raises(AuthConfigError):
+            TokenSet.from_spec(":secretless")
+        with pytest.raises(AuthConfigError):
+            TokenSet.from_spec("identityless:")
+
+    def test_first_token_is_presentation_form(self):
+        assert TokenSet.from_spec("ci:sekret").first_token() == "ci:sekret"
+        assert TokenSet.from_spec("bare").first_token() == "bare"
+
+
+class TestBindGuard:
+    def test_loopback_hosts(self):
+        assert is_loopback("127.0.0.1")
+        assert is_loopback("::1")
+        assert is_loopback("localhost")
+        assert not is_loopback("0.0.0.0")
+        assert not is_loopback("192.168.1.10")
+        assert not is_loopback("")
+        assert not is_loopback("example.com")
+
+    def test_loopback_bind_without_tokens_allowed(self):
+        ensure_bind_allowed("127.0.0.1", TokenSet(), "test")
+
+    def test_public_bind_without_tokens_refused(self):
+        with pytest.raises(AuthConfigError, match="refusing"):
+            ensure_bind_allowed("0.0.0.0", TokenSet(), "test")
+
+    def test_public_bind_with_tokens_allowed(self):
+        ensure_bind_allowed("0.0.0.0", TokenSet.from_spec("sekret"), "test")
+
+
+@pytest.fixture(scope="module")
+def service():
+    instance = SciductionService(
+        EngineConfig(),
+        port=0,
+        quiet=True,
+        auth=TokenSet.from_spec("ci:sekret,ops:other"),
+    )
+    instance.start()
+    yield instance
+    instance.shutdown()
+
+
+def http(service, method, path, body=None, token=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"{service.url}{path}", data=data, method=method
+    )
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+PROBLEM = {"kind": "deobfuscation", "task": "multiply45", "width": 4, "seed": 0}
+
+
+class TestHttpAuth:
+    def test_anonymous_request_gets_401(self, service):
+        status, body = http(service, "GET", "/stats")
+        assert status == 401
+        assert body["error"]
+
+    def test_wrong_token_gets_401(self, service):
+        status, _ = http(service, "GET", "/stats", token="nope")
+        assert status == 401
+
+    def test_healthz_is_exempt(self, service):
+        status, body = http(service, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_valid_token_passes(self, service):
+        status, body = http(service, "GET", "/stats", token="ci:sekret")
+        assert status == 200
+        assert body["auth"] == {"required": True}
+
+    def test_post_requires_auth(self, service):
+        status, _ = http(service, "POST", "/jobs", {"problem": PROBLEM})
+        assert status == 401
+
+    def test_identity_overrides_claimed_client(self, service):
+        # The body claims to be someone else; accounting must key on the
+        # authenticated identity.
+        status, body = http(
+            service,
+            "POST",
+            "/jobs",
+            {"problem": PROBLEM, "client": "impostor", "label": "auth-t1"},
+            token="ci:sekret",
+        )
+        assert status in (200, 201, 202)
+        job_id = body["job_id"]
+        status, record = http(
+            service, "GET", f"/jobs/{job_id}?wait=60", token="ci:sekret"
+        )
+        assert status == 200 and record["done"]
+        status, stats = http(service, "GET", "/stats", token="ops:other")
+        assert status == 200
+        assert "ci" in stats["clients"]
+        assert "impostor" not in stats["clients"]
+
+
+class TestUnauthenticatedService:
+    def test_no_tokens_means_open_loopback_service(self):
+        instance = SciductionService(EngineConfig(), port=0, quiet=True)
+        instance.start()
+        try:
+            status, body = http(instance, "GET", "/stats")
+            assert status == 200
+            assert body["auth"] == {"required": False}
+        finally:
+            instance.shutdown()

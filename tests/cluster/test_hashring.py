@@ -1,0 +1,77 @@
+"""Rendezvous hashing: determinism, balance, and minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hashring import rendezvous_owner, rendezvous_rank
+from repro.core.exceptions import ReproError
+
+NODES = ["alpha", "beta", "gamma", "delta"]
+SHAPES = [f"deobfuscation/w{w}" for w in range(2, 34)] + [
+    f"timing-analysis/p{i}/w16" for i in range(32)
+]
+
+
+class TestDeterminism:
+    def test_owner_is_stable(self):
+        first = {shape: rendezvous_owner(shape, NODES) for shape in SHAPES}
+        second = {shape: rendezvous_owner(shape, NODES) for shape in SHAPES}
+        assert first == second
+
+    def test_owner_ignores_node_order(self):
+        reversed_nodes = list(reversed(NODES))
+        for shape in SHAPES:
+            assert rendezvous_owner(shape, NODES) == rendezvous_owner(
+                shape, reversed_nodes
+            )
+
+    def test_duplicate_nodes_collapse(self):
+        for shape in SHAPES:
+            assert rendezvous_owner(shape, NODES + NODES) == rendezvous_owner(
+                shape, NODES
+            )
+
+    def test_rank_is_a_permutation(self):
+        for shape in SHAPES:
+            rank = rendezvous_rank(shape, NODES)
+            assert sorted(rank) == sorted(NODES)
+
+    def test_single_node_owns_everything(self):
+        for shape in SHAPES:
+            assert rendezvous_owner(shape, ["solo"]) == "solo"
+
+    def test_empty_node_set_raises(self):
+        with pytest.raises(ReproError):
+            rendezvous_owner("any-shape", [])
+
+
+class TestDistribution:
+    def test_every_node_owns_some_shapes(self):
+        owners = {rendezvous_owner(shape, NODES) for shape in SHAPES}
+        assert owners == set(NODES)
+
+
+class TestMinimalMovement:
+    def test_removal_moves_only_dead_nodes_shapes(self):
+        before = {shape: rendezvous_owner(shape, NODES) for shape in SHAPES}
+        survivors = [node for node in NODES if node != "beta"]
+        after = {shape: rendezvous_owner(shape, survivors) for shape in SHAPES}
+        for shape in SHAPES:
+            if before[shape] != "beta":
+                assert after[shape] == before[shape], shape
+
+    def test_orphans_land_on_their_runner_up(self):
+        survivors = [node for node in NODES if node != "beta"]
+        for shape in SHAPES:
+            rank = rendezvous_rank(shape, NODES)
+            if rank[0] == "beta":
+                assert rendezvous_owner(shape, survivors) == rank[1], shape
+
+    def test_addition_only_steals_for_the_new_node(self):
+        before = {shape: rendezvous_owner(shape, NODES) for shape in SHAPES}
+        grown = NODES + ["epsilon"]
+        after = {shape: rendezvous_owner(shape, grown) for shape in SHAPES}
+        for shape in SHAPES:
+            if after[shape] != "epsilon":
+                assert after[shape] == before[shape], shape

@@ -1,0 +1,243 @@
+"""Memo service + client: RPC, auth, degraded mode, counter-based re-arm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.auth import TokenSet
+from repro.cluster.memoclient import (
+    REARM_AFTER_CALLS,
+    ClusterMemoClient,
+    RemoteMemoStore,
+)
+from repro.cluster.memod import MemoService
+from repro.cluster.protocol import ProtocolError
+from repro.testing import faults
+
+
+@pytest.fixture
+def memod():
+    service = MemoService()
+    service.start()
+    yield service
+    service.close()
+
+
+def store_for(service: MemoService, client_id: str, token: str | None = None):
+    return RemoteMemoStore(
+        "127.0.0.1", service.port, client_id=client_id, token=token
+    )
+
+
+class TestRemoteMemoStore:
+    def test_miss_publish_hit(self, memod):
+        store = store_for(memod, "n1")
+        try:
+            assert store.lookup("k1") is None
+            store.publish("k1", "unsat", None)
+            assert store.lookup("k1") == ("unsat", None)
+            store.publish("k2", "sat", [True, False, True])
+            assert store.lookup("k2") == ("sat", [True, False, True])
+        finally:
+            store.close()
+
+    def test_cross_client_hits_are_counted(self, memod):
+        publisher = store_for(memod, "n1")
+        requester = store_for(memod, "n2")
+        try:
+            publisher.publish("shared", "unsat", None)
+            assert requester.lookup("shared") == ("unsat", None)
+            stats = requester.statistics()
+            assert stats["cross_worker_hits"] == 1
+            assert stats["publishes"] == 1
+            assert stats["service"]["connections"] == 2
+        finally:
+            publisher.close()
+            requester.close()
+
+    def test_ping(self, memod):
+        store = store_for(memod, "n1")
+        try:
+            assert store.ping() is True
+        finally:
+            store.close()
+
+    def test_ping_false_when_down(self, memod):
+        store = store_for(memod, "n1")
+        memod.close()
+        try:
+            assert store.ping() is False
+        finally:
+            store.close()
+
+    def test_reconnects_after_teardown(self, memod):
+        store = store_for(memod, "n1")
+        try:
+            store.publish("k", "unsat", None)
+            # Simulate a dropped connection: the next call re-dials.
+            store._teardown()
+            assert store.lookup("k") == ("unsat", None)
+        finally:
+            store.close()
+
+
+class TestMemodAuth:
+    @pytest.fixture
+    def authed(self):
+        service = MemoService(tokens=TokenSet.from_spec("ci:sekret"))
+        service.start()
+        yield service
+        service.close()
+
+    def test_good_token(self, authed):
+        store = store_for(authed, "n1", token="ci:sekret")
+        try:
+            store.publish("k", "unsat", None)
+            assert store.lookup("k") == ("unsat", None)
+        finally:
+            store.close()
+
+    def test_bad_token_rejected(self, authed):
+        store = store_for(authed, "n1", token="wrong")
+        try:
+            with pytest.raises(ProtocolError, match="hello failed"):
+                store.lookup("k")
+        finally:
+            store.close()
+        assert authed.statistics()["service"]["auth_failures"] >= 1
+
+    def test_missing_token_rejected(self, authed):
+        store = store_for(authed, "n1", token=None)
+        try:
+            with pytest.raises(ProtocolError):
+                store.lookup("k")
+        finally:
+            store.close()
+
+
+class TestClusterMemoClient:
+    def test_read_through_cache(self, memod):
+        publisher = store_for(memod, "n1")
+        client = ClusterMemoClient(store_for(memod, "n2"))
+        try:
+            publisher.publish("k", "unsat", None)
+            assert client.lookup("k") == ("unsat", None)  # remote hit
+            assert client.lookup("k") == ("unsat", None)  # local hit
+            stats = client.statistics()
+            assert stats["remote_hits"] == 1
+            assert stats["local_hits"] == 1
+            assert not stats["degraded"]
+        finally:
+            publisher.close()
+            client.close()
+
+    def test_publish_goes_both_ways(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        other = store_for(memod, "n2")
+        try:
+            client.publish("k", "sat", [True])
+            assert other.lookup("k") == ("sat", [True])  # reached the service
+            assert client.lookup("k") == ("sat", [True])  # and the local cache
+            assert client.statistics()["local_hits"] == 1
+        finally:
+            client.close()
+            other.close()
+
+    def test_degrades_silently_when_service_dies(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        try:
+            client.publish("k", "unsat", None)
+            memod.close()
+            client.remote._teardown()
+            # The failed call degrades the client; no exception escapes.
+            assert client.lookup("other") is None
+            assert client.degraded()
+            # Degraded lookups still answer from the local cache.
+            assert client.lookup("k") == ("unsat", None)
+            stats = client.statistics()
+            assert stats["degradations"] == 1
+            assert stats["local_hits"] == 1
+        finally:
+            client.close()
+
+    def test_degraded_calls_skip_the_network(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        try:
+            memod.close()
+            client.remote._teardown()
+            client.lookup("x")  # trips the degradation
+            for index in range(10):
+                assert client.lookup(f"miss-{index}") is None
+            stats = client.statistics()
+            assert stats["degraded_calls"] == 10
+            assert stats["rearms"] == 0
+        finally:
+            client.close()
+
+    def test_rearm_after_cooldown_with_restarted_service(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        publisher = store_for(memod, "n2")
+        try:
+            publisher.publish("warm", "unsat", None)
+            port = memod.port
+            memod.close()
+            client.remote._teardown()
+            client.lookup("trip")  # degrade
+            assert client.degraded()
+            # Service comes back on the same port.
+            revived = MemoService(port=port)
+            revived.start()
+            try:
+                publisher2 = store_for(revived, "n3")
+                publisher2.publish("warm", "unsat", None)
+                # Burn through the cooldown: these calls are local-only.
+                for index in range(REARM_AFTER_CALLS - 1):
+                    client.lookup(f"cooldown-{index}")
+                assert client.degraded()
+                # The next call is the re-arm probe and reaches the store.
+                assert client.lookup("warm") == ("unsat", None)
+                assert not client.degraded()
+                stats = client.statistics()
+                assert stats["rearms"] == 1
+                assert stats["remote_hits"] == 1
+                publisher2.close()
+            finally:
+                revived.close()
+        finally:
+            publisher.close()
+            client.close()
+
+    def test_failed_rearm_restarts_cooldown(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        try:
+            memod.close()
+            client.remote._teardown()
+            client.lookup("trip")
+            for index in range(REARM_AFTER_CALLS - 1):
+                client.lookup(f"cooldown-{index}")
+            # Probe fires against a still-dead service: degrade again.
+            assert client.lookup("probe") is None
+            assert client.degraded()
+            stats = client.statistics()
+            assert stats["rearms"] == 1
+            assert stats["degradations"] == 2
+        finally:
+            client.close()
+
+
+class TestMemodFaultPoint:
+    def test_memod_down_fault_drops_connections(self, memod):
+        client = ClusterMemoClient(store_for(memod, "n1"))
+        try:
+            client.publish("k", "unsat", None)
+            with faults.injected({"memod.down": faults.Fault("raise", "EIO")}):
+                # Force a fresh dial: the armed service drops every new
+                # connection before the hello completes, and the client
+                # degrades instead of raising into the caller.
+                client.remote._teardown()
+                assert client.lookup("anything") is None
+                assert client.degraded()
+            # Still answering locally while degraded.
+            assert client.lookup("k") == ("unsat", None)
+        finally:
+            client.close()

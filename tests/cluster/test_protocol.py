@@ -1,0 +1,117 @@
+"""Frame codec: round-trips, torn frames, and corruption rejection."""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    TornFrameError,
+    encode_frame,
+    read_frame,
+)
+
+
+def roundtrip(payload: dict) -> dict:
+    return read_frame(io.BytesIO(encode_frame(payload)))
+
+
+class TestRoundTrip:
+    def test_simple_payload(self):
+        payload = {"op": "job", "job_id": 7, "nested": {"a": [1, 2, 3]}}
+        assert roundtrip(payload) == payload
+
+    def test_empty_object(self):
+        assert roundtrip({}) == {}
+
+    def test_unicode_and_null(self):
+        payload = {"text": "solver ✓", "missing": None}
+        assert roundtrip(payload) == payload
+
+    def test_deterministic_encoding(self):
+        # Key order must not leak into the bytes: equal payloads encode
+        # identically regardless of insertion order.
+        a = encode_frame({"x": 1, "y": 2})
+        b = encode_frame({"y": 2, "x": 1})
+        assert a == b
+
+    def test_multiple_frames_in_sequence(self):
+        stream = io.BytesIO(
+            encode_frame({"seq": 1}) + encode_frame({"seq": 2}) + encode_frame({"seq": 3})
+        )
+        assert [read_frame(stream)["seq"] for _ in range(3)] == [1, 2, 3]
+        assert read_frame(stream) is None  # clean EOF at a boundary
+
+
+class TestCleanEof:
+    def test_empty_stream_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+
+class TestTornFrames:
+    """EOF strictly inside a frame is torn, never silently dropped."""
+
+    @pytest.mark.parametrize("keep", [1, 3])
+    def test_torn_magic(self, keep):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(TornFrameError):
+            read_frame(io.BytesIO(frame[:keep]))
+
+    def test_torn_header(self):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(TornFrameError):
+            read_frame(io.BytesIO(frame[: len(MAGIC) + 3]))
+
+    def test_torn_body(self):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(TornFrameError):
+            read_frame(io.BytesIO(frame[:-1]))
+
+    def test_second_frame_torn_after_clean_first(self):
+        first = encode_frame({"seq": 1})
+        second = encode_frame({"seq": 2})
+        stream = io.BytesIO(first + second[:-4])
+        assert read_frame(stream) == {"seq": 1}
+        with pytest.raises(TornFrameError):
+            read_frame(stream)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame({"op": "x"}))
+        frame[0] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_flipped_body_byte_fails_crc(self):
+        frame = bytearray(encode_frame({"op": "x"}))
+        frame[-1] ^= 0x01
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_oversized_length_rejected_before_read(self):
+        header = MAGIC + struct.pack(">II", MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(io.BytesIO(header))
+
+    def test_non_object_body_rejected(self):
+        body = b"[1, 2, 3]"
+        frame = MAGIC + struct.pack(">II", len(body), zlib.crc32(body)) + body
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(frame))
+
+    def test_non_json_body_rejected(self):
+        body = b"\x00\x01\x02"
+        frame = MAGIC + struct.pack(">II", len(body), zlib.crc32(body)) + body
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(frame))
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
