@@ -10,6 +10,14 @@ state.  This package enforces them mechanically:
 * :mod:`repro.analysis.lint` — stdlib-``ast`` checkers run over the
   source tree (``python -m repro.analysis``); every rule encodes a
   failure class that has actually bitten a previous PR.
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` — a
+  per-function control-flow graph builder and a worklist fixpoint
+  solver; the substrate for the flow-sensitive rules.
+* :mod:`repro.analysis.flowrules` — the flow-sensitive rule families
+  (LOCK02 lock-state dataflow, BLK01 blocking-I/O-under-lock, RES01
+  exception-path resource tracking).
+* :mod:`repro.analysis.proto` — PROTO01, cluster wire-vocabulary
+  conformance against :data:`repro.cluster.protocol.PROTOCOL_OPS`.
 * :mod:`repro.analysis.lockcheck` — an opt-in instrumented lock layer
   that records the per-thread acquisition graph at runtime, fails on
   cycles (potential deadlock) and on ``@holds``-annotated methods called
@@ -23,7 +31,10 @@ strictness, see ``mypy.ini``) and blocks on any finding.
 """
 
 from repro.analysis.annotations import guarded_by, holds
-from repro.analysis.lint import Finding, run_lint
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.common import Finding
+from repro.analysis.dataflow import FixpointDiverged, Solution, solve
+from repro.analysis.lint import run_lint
 from repro.analysis.lockcheck import (
     LockDisciplineViolation,
     LockOrderViolation,
@@ -31,11 +42,16 @@ from repro.analysis.lockcheck import (
 )
 
 __all__ = [
+    "CFG",
     "Finding",
+    "FixpointDiverged",
     "LockDisciplineViolation",
     "LockOrderViolation",
+    "Solution",
+    "build_cfg",
     "guarded_by",
     "holds",
     "instrument",
     "run_lint",
+    "solve",
 ]

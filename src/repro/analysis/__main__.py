@@ -12,6 +12,11 @@ Options:
     ``--no-mypy``     skip the mypy layer even if mypy is installed
     ``--summary PATH``  also write a markdown findings table (defaults
                       to ``$GITHUB_STEP_SUMMARY`` when set)
+    ``--format {text,json,sarif}``  stdout rendering; ``json`` and
+                      ``sarif`` print one machine-readable document and
+                      move the human status line to stderr
+    ``--sarif PATH``  additionally write a SARIF 2.1.0 log (what the CI
+                      job uploads as an artifact), whatever ``--format``
 """
 
 from __future__ import annotations
@@ -23,10 +28,21 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.analysis.lint import Finding, iter_rules, run_lint
+from repro.analysis.common import Finding
+from repro.analysis.lint import iter_rules, run_lint
+from repro.analysis.report import findings_to_json, findings_to_sarif
 
 #: Packages the typed-core gate checks (see mypy.ini for strictness).
-MYPY_PACKAGES = ("repro.api", "repro.service", "repro.analysis", "repro.cluster")
+MYPY_PACKAGES = (
+    "repro.api",
+    "repro.service",
+    "repro.analysis",
+    "repro.cluster",
+    "repro.testing",
+)
+
+#: Single modules promoted into the strict set (``-m``, not ``-p``).
+MYPY_MODULES = ("repro.smt.wire",)
 
 
 def _package_root() -> Path:
@@ -79,6 +95,8 @@ def _run_mypy() -> tuple[bool, str]:
     ]
     for package in MYPY_PACKAGES:
         command += ["-p", package]
+    for module in MYPY_MODULES:
+        command += ["-m", module]
     completed = subprocess.run(
         command,
         capture_output=True,
@@ -87,7 +105,8 @@ def _run_mypy() -> tuple[bool, str]:
     )
     output = (completed.stdout + completed.stderr).strip()
     if completed.returncode == 0:
-        return True, f"clean ({', '.join(MYPY_PACKAGES)})"
+        targets = ", ".join(MYPY_PACKAGES + MYPY_MODULES)
+        return True, f"clean ({targets})"
     sys.stderr.write(output + "\n")
     tail = output.splitlines()[-1] if output else "mypy failed"
     return False, f"FAILED — {tail}"
@@ -105,24 +124,45 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=os.environ.get("GITHUB_STEP_SUMMARY") or None,
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="render",
+    )
+    parser.add_argument("--sarif", type=Path, default=None)
     options = parser.parse_args(argv)
 
     findings = run_lint(options.root)
-    for finding in findings:
-        print(finding.render())
 
     if options.no_mypy:
         mypy_ok, mypy_status = True, "skipped (--no-mypy)"
     else:
         mypy_ok, mypy_status = _run_mypy()
 
+    if options.render == "json":
+        sys.stdout.write(findings_to_json(findings, mypy_status))
+    elif options.render == "sarif":
+        sys.stdout.write(findings_to_sarif(findings, iter_rules()))
+    else:
+        for finding in findings:
+            print(finding.render())
+
+    if options.sarif is not None:
+        options.sarif.write_text(
+            findings_to_sarif(findings, iter_rules()), encoding="utf-8"
+        )
+
     if options.summary is not None:
         with open(options.summary, "a", encoding="utf-8") as handle:
             handle.write(_render_summary(findings, mypy_status))
 
-    print(
+    status = (
         f"repro.analysis: {len(findings)} lint finding(s); mypy: {mypy_status}"
     )
+    # Keep stdout a single parseable document for machine formats.
+    stream = sys.stderr if options.render != "text" else sys.stdout
+    print(status, file=stream)
     return 1 if (findings or not mypy_ok) else 0
 
 

@@ -10,11 +10,12 @@ passed the tests.  Two small declarations close the gap:
 
 * ``@guarded_by(lock, *fields, aliases=())`` on a class states that the
   listed attributes must only be mutated while ``self.<lock>`` is held.
-  The static checker (:mod:`repro.analysis.lint`, rule ``LOCK01``)
-  verifies every method lexically: a mutation of a guarded field must
-  sit inside ``with self.<lock>:`` (or an alias such as a
-  ``Condition`` wrapping the same lock), or the whole method must be
-  decorated ``@holds``.
+  The static checker (:mod:`repro.analysis.flowrules`, rule ``LOCK02``)
+  verifies every method by dataflow: a mutation of a guarded field must
+  have the lock in the must-held set on *every* path reaching it —
+  acquired via ``with self.<lock>:`` (or an alias such as a
+  ``Condition`` wrapping the same lock), an explicit ``acquire()``, or
+  a ``@holds`` declaration on the method.
 * ``@holds(lock)`` on a method states the *caller* provides the lock.
   Statically it exempts the method from the lexical check; dynamically,
   while :func:`repro.analysis.lockcheck.instrument` is active, entering
@@ -71,8 +72,9 @@ def guarded_by(
 def holds(lock: str) -> Callable[[_FuncT], _FuncT]:
     """Method decorator declaring that the caller holds ``self.<lock>``.
 
-    The static ``LOCK01`` rule exempts the method body from the lexical
-    with-block check; at runtime, while lock instrumentation is active,
+    The static ``LOCK02`` rule seeds the method's entry lock-state with
+    the declared lock, so guarded mutations inside check out without a
+    ``with`` block; at runtime, while lock instrumentation is active,
     the declaration is *verified* on entry — calling the method without
     the lock raises instead of silently racing.
     """

@@ -1,0 +1,268 @@
+"""Intra-procedural control-flow graphs over the stdlib AST.
+
+One :class:`CFG` per function body.  Nodes are statements plus a few
+synthetic points; edges are ``(target, is_exception)`` pairs so a
+dataflow analysis can propagate *different* states along the normal and
+the exceptional out-edge of the same statement (see
+:mod:`repro.analysis.dataflow`).
+
+Shape of the graph:
+
+* ``entry`` / ``exit`` / ``raise`` — one each per function.  ``exit``
+  collects every normal completion (falling off the end, ``return``);
+  ``raise`` collects every exception that escapes the function.
+* every simple statement becomes one ``stmt`` node carrying the
+  statement as its payload, with a normal edge to its successor and an
+  exception edge to the innermost active handler target (an except
+  dispatch, a ``with`` cleanup, a ``finally`` copy, or ``raise``).
+* ``if``/``while``/``for`` headers become ``stmt`` nodes whose payload
+  is just the test/iterator *expression* — body statements get their
+  own nodes, so a checker scanning a payload never sees a nested body.
+* ``with`` produces a ``with_enter`` node (context expressions; its
+  exception edge models ``__enter__`` raising *before* acquisition), a
+  normal ``with_exit`` on the fall-through path, and a second
+  ``with_exit`` cleanup node that exceptional edges from the body route
+  through — so an analysis sees the lock released on both paths.
+  ``break``/``continue``/``return`` out of a ``with`` are routed
+  through synthetic ``with_exit`` nodes for every level they unwind.
+* ``try`` builds a ``catch`` dispatch node feeding each handler's
+  ``handler`` node (payload: the handler's type expression).  When any
+  handler exists, exceptions from the body are assumed caught — a
+  deliberate approximation, documented in ``docs/ANALYSIS.md``, that
+  keeps the close-and-reraise idiom clean under RES01.  ``finally`` is
+  duplicated: one copy on the normal path, one on the exceptional path
+  (so a release in ``finally`` is seen by both).
+
+Known approximations (all conservative for the rules built on top):
+``return``/``break`` inside ``try/finally`` skip the ``finally`` copy;
+``match`` statements are treated as opaque single statements.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Node kinds; checkers dispatch on these.
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+KIND_RAISE = "raise"
+KIND_STMT = "stmt"
+KIND_WITH_ENTER = "with_enter"
+KIND_WITH_EXIT = "with_exit"
+KIND_CATCH = "catch"
+KIND_HANDLER = "handler"
+KIND_FINALLY = "finally"
+
+
+@dataclass
+class CFGNode:
+    """One control-flow point; ``payload`` is the AST to scan, if any."""
+
+    index: int
+    kind: str
+    payload: ast.AST | None = None
+    line: int = 0
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph (entry/exit/raise are fixed)."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    #: Per-node successor list: ``(target index, is_exception_edge)``.
+    edges: list[list[tuple[int, bool]]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+
+@dataclass
+class _LoopFrame:
+    continue_target: int
+    with_depth: int
+    breaks: list[int] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._with_stack: list[ast.With | ast.AsyncWith] = []
+        self._loops: list[_LoopFrame] = []
+
+    # -- graph primitives --------------------------------------------------
+
+    def _node(self, kind: str, payload: ast.AST | None = None) -> int:
+        index = len(self.cfg.nodes)
+        line = getattr(payload, "lineno", 0) if payload is not None else 0
+        self.cfg.nodes.append(CFGNode(index, kind, payload, line))
+        self.cfg.edges.append([])
+        return index
+
+    def _edge(self, source: int, target: int, exceptional: bool = False) -> None:
+        self.cfg.edges[source].append((target, exceptional))
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry = self._node(KIND_ENTRY)
+        self.cfg.entry = entry
+        self.cfg.exit = self._node(KIND_EXIT)
+        self.cfg.raise_exit = self._node(KIND_RAISE)
+        outs = self._body(body, [entry], self.cfg.raise_exit)
+        for out in outs:
+            self._edge(out, self.cfg.exit)
+        return self.cfg
+
+    def _body(
+        self, statements: list[ast.stmt], preds: list[int], exc: int
+    ) -> list[int]:
+        for statement in statements:
+            preds = self._stmt(statement, preds, exc)
+        return preds
+
+    def _unwind(self, preds: list[int], to_depth: int) -> list[int]:
+        """Route ``preds`` through ``with_exit`` nodes down to ``to_depth``."""
+        for context in reversed(self._with_stack[to_depth:]):
+            node = self._node(KIND_WITH_EXIT, context)
+            for pred in preds:
+                self._edge(pred, node)
+            preds = [node]
+        return preds
+
+    def _stmt(self, statement: ast.stmt, preds: list[int], exc: int) -> list[int]:
+        if isinstance(statement, ast.If):
+            return self._if(statement, preds, exc)
+        if isinstance(statement, ast.While):
+            return self._loop(statement.test, statement.body, statement.orelse, preds, exc)
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            return self._loop(statement.iter, statement.body, statement.orelse, preds, exc)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            return self._with(statement, preds, exc)
+        if isinstance(statement, ast.Try):
+            return self._try(statement, preds, exc)
+        if isinstance(statement, ast.Return):
+            node = self._simple(statement, preds, exc)
+            outs = self._unwind([node], 0)
+            for out in outs:
+                self._edge(out, self.cfg.exit)
+            return []
+        if isinstance(statement, ast.Raise):
+            node = self._node(KIND_STMT, statement)
+            for pred in preds:
+                self._edge(pred, node)
+            self._edge(node, exc, exceptional=True)
+            return []
+        if isinstance(statement, ast.Break):
+            frame = self._loops[-1]
+            node = self._node(KIND_STMT, statement)
+            for pred in preds:
+                self._edge(pred, node)
+            frame.breaks.extend(self._unwind([node], frame.with_depth))
+            return []
+        if isinstance(statement, ast.Continue):
+            frame = self._loops[-1]
+            node = self._node(KIND_STMT, statement)
+            for pred in preds:
+                self._edge(pred, node)
+            for out in self._unwind([node], frame.with_depth):
+                self._edge(out, frame.continue_target)
+            return []
+        return [self._simple(statement, preds, exc)]
+
+    def _simple(self, payload: ast.AST, preds: list[int], exc: int) -> int:
+        node = self._node(KIND_STMT, payload)
+        for pred in preds:
+            self._edge(pred, node)
+        self._edge(node, exc, exceptional=True)
+        return node
+
+    def _if(self, statement: ast.If, preds: list[int], exc: int) -> list[int]:
+        test = self._simple(statement.test, preds, exc)
+        then_outs = self._body(statement.body, [test], exc)
+        if statement.orelse:
+            else_outs = self._body(statement.orelse, [test], exc)
+        else:
+            else_outs = [test]
+        return then_outs + else_outs
+
+    def _loop(
+        self,
+        header: ast.expr,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        preds: list[int],
+        exc: int,
+    ) -> list[int]:
+        head = self._simple(header, preds, exc)
+        self._loops.append(_LoopFrame(head, len(self._with_stack)))
+        body_outs = self._body(body, [head], exc)
+        for out in body_outs:
+            self._edge(out, head)
+        frame = self._loops.pop()
+        if orelse:
+            after = self._body(orelse, [head], exc)
+        else:
+            after = [head]
+        return after + frame.breaks
+
+    def _with(
+        self, statement: ast.With | ast.AsyncWith, preds: list[int], exc: int
+    ) -> list[int]:
+        enter = self._node(KIND_WITH_ENTER, statement)
+        for pred in preds:
+            self._edge(pred, enter)
+        # __enter__ raising: the context was never acquired.
+        self._edge(enter, exc, exceptional=True)
+        cleanup = self._node(KIND_WITH_EXIT, statement)
+        # The cleanup's *normal* out-state (context released) continues
+        # the exception's propagation toward the enclosing target.
+        self._edge(cleanup, exc)
+        self._with_stack.append(statement)
+        body_outs = self._body(statement.body, [enter], cleanup)
+        self._with_stack.pop()
+        exit_node = self._node(KIND_WITH_EXIT, statement)
+        for out in body_outs:
+            self._edge(out, exit_node)
+        return [exit_node]
+
+    def _try(self, statement: ast.Try, preds: list[int], exc: int) -> list[int]:
+        if statement.finalbody:
+            # Exceptional copy of finally: entered from anything raising
+            # past the handlers, exits into the enclosing target.
+            finally_exc = self._node(KIND_FINALLY, statement)
+            finally_exc_outs = self._body(statement.finalbody, [finally_exc], exc)
+            for out in finally_exc_outs:
+                self._edge(out, exc)
+            escape = finally_exc
+        else:
+            escape = exc
+        if statement.handlers:
+            catch = self._node(KIND_CATCH)
+            body_outs = self._body(statement.body, preds, catch)
+            if statement.orelse:
+                body_outs = self._body(statement.orelse, body_outs, escape)
+            handler_outs: list[int] = []
+            for handler in statement.handlers:
+                entry = self._node(KIND_HANDLER, handler.type)
+                self._edge(catch, entry)
+                handler_outs.extend(self._body(handler.body, [entry], escape))
+            all_outs = body_outs + handler_outs
+        else:
+            body_outs = self._body(statement.body, preds, escape)
+            if statement.orelse:
+                body_outs = self._body(statement.orelse, body_outs, escape)
+            all_outs = body_outs
+        if statement.finalbody:
+            finally_normal = self._node(KIND_FINALLY, statement)
+            for out in all_outs:
+                self._edge(out, finally_normal)
+            return self._body(statement.finalbody, [finally_normal], exc)
+        return all_outs
+
+
+def build_cfg(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> CFG:
+    """Build the CFG for one function's body."""
+    return _Builder().build(function.body)

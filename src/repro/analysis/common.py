@@ -1,0 +1,158 @@
+"""Shared lint vocabulary: findings, AST helpers, guard declarations.
+
+Split out of :mod:`repro.analysis.lint` so the flow-sensitive checkers
+(:mod:`repro.analysis.flowrules`, :mod:`repro.analysis.proto`) can share
+the same primitives without a circular import — ``lint`` orchestrates
+them, they must not import ``lint`` back.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+#: Method names whose call on a guarded attribute mutates it (LOCK02).
+MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "popitem",
+    "setdefault", "update", "add", "discard", "appendleft", "popleft",
+    "extendleft", "rotate", "move_to_end", "sort", "reverse",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rule}  {self.path}:{self.line}  {self.message}"
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """The attribute name for a ``self.X`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _innermost_self_attribute(node: ast.AST) -> str | None:
+    """``self.X`` at the base of an attribute/subscript chain, else None.
+
+    ``self._statistics.lookups`` and ``self._entries[key]`` both resolve
+    to their base attribute — mutating a member *of* guarded state is a
+    mutation of the guarded state.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        found = _self_attribute(node)
+        if found is not None:
+            return found
+        node = node.value
+    return None
+
+
+def _decorator_name(node: ast.AST) -> str | None:
+    """Base name of a decorator expression (``holds(...)`` → ``holds``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _string_args(call: ast.Call) -> list[str]:
+    return [
+        arg.value
+        for arg in call.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    ]
+
+
+@dataclass
+class GuardDeclaration:
+    """A parsed ``@guarded_by(lock, *fields, aliases=…)`` declaration."""
+
+    lock: str
+    fields: set[str]
+    aliases: set[str]
+
+
+def parse_guarded_by(node: ast.ClassDef) -> GuardDeclaration | None:
+    """The class's ``@guarded_by`` declaration, if syntactically present."""
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and _decorator_name(decorator) == "guarded_by"
+        ):
+            names = _string_args(decorator)
+            if len(names) < 2:
+                return None
+            aliases: set[str] = set()
+            for keyword in decorator.keywords:
+                if keyword.arg == "aliases" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    aliases = {
+                        element.value
+                        for element in keyword.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    }
+            return GuardDeclaration(names[0], set(names[1:]), aliases)
+    return None
+
+
+def holds_lock(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """The lock named by a ``@holds(...)`` decorator, if present."""
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and _decorator_name(decorator) == "holds"
+        ):
+            names = _string_args(decorator)
+            if names:
+                return names[0]
+    return None
+
+
+def walk_shallow(node: ast.AST) -> list[ast.AST]:
+    """Every descendant of ``node`` without entering nested scopes.
+
+    A nested function, lambda or class body runs at a different time (or
+    never); flow-sensitive facts about the enclosing statement do not
+    apply inside it, so checkers scan statement payloads with this
+    instead of :func:`ast.walk`.  The scope-introducing node itself is
+    yielded (so a payload that *is* a ``FunctionDef`` contributes its
+    own name/decorators and nothing else).
+    """
+    found: list[ast.AST] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        found.append(current)
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Only decorators and defaults evaluate where the def stands.
+            stack.extend(current.decorator_list)
+            stack.extend(current.args.defaults)
+            stack.extend(d for d in current.args.kw_defaults if d is not None)
+            continue
+        if isinstance(current, ast.Lambda):
+            stack.extend(current.args.defaults)
+            stack.extend(d for d in current.args.kw_defaults if d is not None)
+            continue
+        if isinstance(current, ast.ClassDef):
+            stack.extend(current.decorator_list)
+            stack.extend(current.bases)
+            stack.extend(keyword.value for keyword in current.keywords)
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return found

@@ -1,0 +1,81 @@
+"""A small worklist fixpoint driver over :mod:`repro.analysis.cfg`.
+
+An analysis supplies three things:
+
+* ``initial()`` — the state at the function entry;
+* ``join(a, b)`` — merge of two predecessor contributions
+  (intersection for a *must* analysis, union for a *may* analysis);
+* ``transfer(node, state)`` — the effect of one CFG node, returning
+  ``(normal_out, exceptional_out)`` so e.g. a ``with_enter`` can model
+  "acquired on the normal edge, not acquired if ``__enter__`` raised".
+
+States must be immutable and comparable (``frozenset`` in practice);
+:func:`solve` iterates edge propagation to a fixpoint and returns the
+*in*-state of every node (``None`` for unreachable nodes).  With
+monotone transfers over a finite lattice this terminates; a generous
+iteration cap turns a non-monotone checker bug into a loud failure
+instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Protocol, TypeVar
+
+from repro.analysis.cfg import CFG, CFGNode
+
+S = TypeVar("S")
+
+
+class FlowAnalysis(Protocol[S]):
+    """What :func:`solve` needs from a concrete analysis."""
+
+    def initial(self) -> S: ...
+
+    def join(self, left: S, right: S) -> S: ...
+
+    def transfer(self, node: CFGNode, state: S) -> tuple[S, S]: ...
+
+
+class FixpointDiverged(RuntimeError):
+    """The solver exceeded its iteration budget (non-monotone transfer)."""
+
+
+class Solution(Generic[S]):
+    """Per-node in-states of a solved analysis."""
+
+    def __init__(self, states: list[S | None]) -> None:
+        self._states = states
+
+    def at(self, index: int) -> S | None:
+        return self._states[index]
+
+
+def solve(cfg: CFG, analysis: FlowAnalysis[S]) -> Solution[S]:
+    """Run ``analysis`` to a fixpoint; returns every node's in-state."""
+    states: list[S | None] = [None] * len(cfg.nodes)
+    states[cfg.entry] = analysis.initial()
+    worklist: list[int] = [cfg.entry]
+    budget = 64 * (len(cfg.nodes) + 1) * (len(cfg.nodes) + 1)
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise FixpointDiverged(
+                f"dataflow fixpoint did not converge over {len(cfg.nodes)} nodes"
+            )
+        index = worklist.pop()
+        state = states[index]
+        if state is None:
+            continue
+        normal_out, exceptional_out = analysis.transfer(cfg.nodes[index], state)
+        for target, exceptional in cfg.edges[index]:
+            contribution = exceptional_out if exceptional else normal_out
+            existing = states[target]
+            merged = (
+                contribution
+                if existing is None
+                else analysis.join(existing, contribution)
+            )
+            if merged != existing:
+                states[target] = merged
+                worklist.append(target)
+    return Solution(states)

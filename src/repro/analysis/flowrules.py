@@ -1,0 +1,733 @@
+"""Flow-sensitive rules over the CFG: LOCK02, BLK01, RES01.
+
+``LOCK02`` — lock-state dataflow.  For ``@guarded_by`` classes, every
+    mutation of a guarded field must happen with the declared lock in
+    the *must-held* set (intersection over all paths) — a branch that
+    can reach the mutation unlocked is a finding even if another branch
+    locks.  Locks taken by explicit ``.acquire()`` that can reach an
+    exception exit without ``.release()`` are flagged separately.
+
+``BLK01`` — blocking calls under a lock.  Socket I/O, ``os.fsync``,
+    ``subprocess.*``, ``time.sleep`` and untimed ``Condition.wait``
+    while *any* inventory lock may be held (union over paths) is a
+    latency/deadlock hazard in the service and cluster layers.
+
+``RES01`` — resource leaks on exception edges.  Local names bound to a
+    closeable constructor (``FramedSocket``, ``socket.*``, ``open``)
+    must be closed, returned, stored, or handed off on every path —
+    including the exception edges of every statement between creation
+    and the ownership transfer.
+
+All three run on the same CFG (:mod:`repro.analysis.cfg`) with the same
+driver (:mod:`repro.analysis.dataflow`); what differs is the lattice
+and the join direction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import (
+    CFG,
+    KIND_EXIT,
+    KIND_RAISE,
+    KIND_STMT,
+    KIND_WITH_ENTER,
+    KIND_WITH_EXIT,
+    CFGNode,
+    build_cfg,
+)
+from repro.analysis.common import (
+    MUTATING_METHODS,
+    Finding,
+    GuardDeclaration,
+    _innermost_self_attribute,
+    _self_attribute,
+    holds_lock,
+    parse_guarded_by,
+    walk_shallow,
+)
+from repro.analysis.dataflow import Solution, solve
+
+#: Socket-ish method names that block on the network (BLK01).
+BLOCKING_SOCKET_METHODS = frozenset(
+    {
+        "recv", "recv_into", "recvfrom", "recvfrom_into",
+        "send", "sendall", "sendto", "accept", "connect",
+    }
+)
+
+#: ``subprocess`` entry points that block on a child process (BLK01).
+BLOCKING_SUBPROCESS = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen"}
+)
+
+#: ``module.function`` calls that block, keyed by module name (BLK01).
+_BLOCKING_MODULE_CALLS = {
+    ("os", "fsync"): "os.fsync()",
+    ("time", "sleep"): "time.sleep()",
+}
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+# ---------------------------------------------------------------------------
+# Lock inventory
+# ---------------------------------------------------------------------------
+
+
+class LockInventory:
+    """The ``self.X`` locks a class owns, with condition aliases."""
+
+    def __init__(self, locks: set[str], aliases: dict[str, str]) -> None:
+        self.locks = locks
+        self.aliases = aliases
+
+    def canonical(self, attribute: str | None) -> str | None:
+        """The underlying lock for an attribute, or None if not a lock."""
+        if attribute is None:
+            return None
+        if attribute in self.aliases:
+            return self.aliases[attribute]
+        if attribute in self.locks:
+            return attribute
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.locks)
+
+
+def collect_lock_inventory(
+    node: ast.ClassDef, declaration: GuardDeclaration | None
+) -> LockInventory:
+    """Locks assigned anywhere in the class plus the declared guard."""
+    locks: set[str] = set()
+    aliases: dict[str, str] = {}
+    for statement in ast.walk(node):
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            value, targets = statement.value, statement.targets
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            value, targets = statement.value, [statement.target]
+        if not isinstance(value, ast.Call):
+            continue
+        constructor: str | None = None
+        func = value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        ):
+            constructor = func.attr
+        elif isinstance(func, ast.Name):
+            constructor = func.id
+        if constructor not in ("Lock", "RLock", "Condition"):
+            continue
+        for target in targets:
+            attribute = _self_attribute(target)
+            if attribute is None:
+                continue
+            if constructor == "Condition" and value.args:
+                underlying = _self_attribute(value.args[0])
+                if underlying is not None:
+                    aliases[attribute] = underlying
+                    locks.add(underlying)
+                    continue
+            locks.add(attribute)
+    if declaration is not None:
+        locks.add(declaration.lock)
+        for alias in declaration.aliases:
+            aliases.setdefault(alias, declaration.lock)
+    return LockInventory(locks, aliases)
+
+
+# ---------------------------------------------------------------------------
+# Lock-state dataflow (shared by LOCK02 and BLK01)
+# ---------------------------------------------------------------------------
+
+
+def _lock_method_call(node: ast.AST) -> tuple[str, str] | None:
+    """``(attribute, "acquire"|"release")`` for ``self.X.acquire()`` calls."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    if node.func.attr not in ("acquire", "release"):
+        return None
+    attribute = _self_attribute(node.func.value)
+    if attribute is None:
+        return None
+    return attribute, node.func.attr
+
+
+class _LockStateAnalysis:
+    """Held-lock sets; ``must=True`` intersects, ``must=False`` unions."""
+
+    def __init__(
+        self,
+        inventory: LockInventory,
+        entry: frozenset[str],
+        must: bool,
+    ) -> None:
+        self._inventory = inventory
+        self._entry = entry
+        self._must = must
+
+    def initial(self) -> frozenset[str]:
+        return self._entry
+
+    def join(self, left: frozenset[str], right: frozenset[str]) -> frozenset[str]:
+        return left & right if self._must else left | right
+
+    def _with_locks(self, payload: ast.AST | None) -> set[str]:
+        acquired: set[str] = set()
+        if isinstance(payload, (ast.With, ast.AsyncWith)):
+            for item in payload.items:
+                canonical = self._inventory.canonical(
+                    _self_attribute(item.context_expr)
+                )
+                if canonical is not None:
+                    acquired.add(canonical)
+        return acquired
+
+    def transfer(
+        self, node: CFGNode, state: frozenset[str]
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        if node.kind == KIND_WITH_ENTER:
+            return state | self._with_locks(node.payload), state
+        if node.kind == KIND_WITH_EXIT:
+            released = state - self._with_locks(node.payload)
+            return released, released
+        if node.kind == KIND_STMT and node.payload is not None:
+            out = state
+            for sub in walk_shallow(node.payload):
+                call = _lock_method_call(sub)
+                if call is None:
+                    continue
+                canonical = self._inventory.canonical(call[0])
+                if canonical is None:
+                    continue
+                if call[1] == "acquire":
+                    out = out | {canonical}
+                else:
+                    out = out - {canonical}
+            # Exception during the statement: an acquire may not have
+            # happened yet; a completed release has.  Conservatively use
+            # the pre-state for acquires, the post-state for releases.
+            exceptional = state if len(out) > len(state) else out
+            return out, exceptional
+        return state, state
+
+
+class _AcquireSiteAnalysis:
+    """May-analysis of explicit ``.acquire()`` sites: ``(lock, line)``."""
+
+    def __init__(self, inventory: LockInventory) -> None:
+        self._inventory = inventory
+
+    def initial(self) -> frozenset[tuple[str, int]]:
+        return frozenset()
+
+    def join(
+        self,
+        left: frozenset[tuple[str, int]],
+        right: frozenset[tuple[str, int]],
+    ) -> frozenset[tuple[str, int]]:
+        return left | right
+
+    def transfer(
+        self, node: CFGNode, state: frozenset[tuple[str, int]]
+    ) -> tuple[frozenset[tuple[str, int]], frozenset[tuple[str, int]]]:
+        if node.kind != KIND_STMT or node.payload is None:
+            return state, state
+        out = state
+        for sub in walk_shallow(node.payload):
+            call = _lock_method_call(sub)
+            if call is None:
+                continue
+            canonical = self._inventory.canonical(call[0])
+            if canonical is None:
+                continue
+            if call[1] == "acquire":
+                out = out | {(canonical, getattr(sub, "lineno", node.line))}
+            else:
+                out = frozenset(
+                    entry for entry in out if entry[0] != canonical
+                )
+        # An exception inside the statement: treat acquires as not taken
+        # (pre-state) so the acquire line itself doesn't self-report.
+        return out, state if len(out) > len(state) else out
+
+
+# ---------------------------------------------------------------------------
+# LOCK02 — guarded mutations on every path, releases on exception edges
+# ---------------------------------------------------------------------------
+
+
+def _guarded_mutations(
+    payload: ast.AST, fields: set[str]
+) -> list[tuple[ast.AST, str]]:
+    """(node, field) pairs where the payload mutates a guarded field."""
+    mutations: list[tuple[ast.AST, str]] = []
+    for sub in walk_shallow(payload):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = sub.targets
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        elif isinstance(sub, ast.Delete):
+            targets = sub.targets
+        for target in targets:
+            field = _innermost_self_attribute(target)
+            if field in fields:
+                mutations.append((sub, field))  # type: ignore[arg-type]
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in MUTATING_METHODS
+        ):
+            field = _innermost_self_attribute(sub.func.value)
+            if field in fields:
+                mutations.append((sub, field))  # type: ignore[arg-type]
+    return mutations
+
+
+def _check_lock02_function(
+    function: _FunctionNode,
+    cfg: CFG,
+    inventory: LockInventory,
+    declaration: GuardDeclaration | None,
+    entry_locks: frozenset[str],
+    check_mutations: bool,
+    method_label: str,
+    path: str,
+    findings: list[Finding],
+) -> None:
+    if check_mutations and declaration is not None:
+        must = solve(cfg, _LockStateAnalysis(inventory, entry_locks, must=True))
+        required = inventory.canonical(declaration.lock) or declaration.lock
+        for node in cfg.nodes:
+            if node.kind != KIND_STMT or node.payload is None:
+                continue
+            state = must.at(node.index)
+            if state is None or required in state:
+                continue
+            for site, field in _guarded_mutations(
+                node.payload, declaration.fields
+            ):
+                findings.append(
+                    Finding(
+                        "LOCK02",
+                        path,
+                        getattr(site, "lineno", node.line),
+                        f"mutation of guarded field {field!r} in "
+                        f"{method_label!r} is reachable without holding "
+                        f"self.{declaration.lock} — lock every path or "
+                        f"declare @holds({declaration.lock!r})",
+                    )
+                )
+    leaks: Solution[frozenset[tuple[str, int]]] = solve(
+        cfg, _AcquireSiteAnalysis(inventory)
+    )
+    at_raise = leaks.at(cfg.raise_exit)
+    if at_raise:
+        for lock, line in sorted(at_raise):
+            findings.append(
+                Finding(
+                    "LOCK02",
+                    path,
+                    line,
+                    f"self.{lock}.acquire() in {method_label!r} may not be "
+                    "released on an exception path — use `with` or "
+                    "try/finally",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# BLK01 — blocking calls while a lock is held
+# ---------------------------------------------------------------------------
+
+
+def collect_blocking_imports(tree: ast.Module) -> dict[str, str]:
+    """Bare names bound to blocking functions by ``from … import …``."""
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        for alias in node.names:
+            description = _BLOCKING_MODULE_CALLS.get(
+                (node.module or "", alias.name)
+            )
+            if description is not None:
+                names[alias.asname or alias.name] = description
+            if node.module == "subprocess" and alias.name in BLOCKING_SUBPROCESS:
+                names[alias.asname or alias.name] = f"subprocess.{alias.name}()"
+    return names
+
+
+def _blocking_calls(
+    payload: ast.AST, bare_names: dict[str, str]
+) -> list[tuple[int, str]]:
+    """(line, description) for each blocking call in a node payload."""
+    calls: list[tuple[int, str]] = []
+    for sub in walk_shallow(payload):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        line = getattr(sub, "lineno", 0)
+        if isinstance(func, ast.Name):
+            description = bare_names.get(func.id)
+            if description is not None:
+                calls.append((line, description))
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        base = func.value.id if isinstance(func.value, ast.Name) else None
+        if base is not None:
+            module_call = _BLOCKING_MODULE_CALLS.get((base, func.attr))
+            if module_call is not None:
+                calls.append((line, module_call))
+                continue
+            if base == "subprocess" and func.attr in BLOCKING_SUBPROCESS:
+                calls.append((line, f"subprocess.{func.attr}()"))
+                continue
+        if func.attr in BLOCKING_SOCKET_METHODS:
+            calls.append((line, f".{func.attr}()"))
+            continue
+        if func.attr == "wait":
+            has_timeout = bool(sub.args) or any(
+                keyword.arg == "timeout"
+                and not (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                )
+                for keyword in sub.keywords
+            )
+            if not has_timeout:
+                calls.append((line, ".wait() without a timeout"))
+    return calls
+
+
+def _payload_expressions(node: CFGNode) -> ast.AST | None:
+    """The AST to scan for calls at a node (with headers included)."""
+    if node.kind == KIND_WITH_ENTER and isinstance(
+        node.payload, (ast.With, ast.AsyncWith)
+    ):
+        return node.payload
+    if node.kind == KIND_STMT:
+        return node.payload
+    return None
+
+
+def _check_blk01_function(
+    function: _FunctionNode,
+    cfg: CFG,
+    inventory: LockInventory,
+    entry_locks: frozenset[str],
+    bare_names: dict[str, str],
+    method_label: str,
+    path: str,
+    findings: list[Finding],
+) -> None:
+    may = solve(cfg, _LockStateAnalysis(inventory, entry_locks, must=False))
+    for node in cfg.nodes:
+        payload = _payload_expressions(node)
+        if payload is None:
+            continue
+        state = may.at(node.index)
+        if not state:
+            continue
+        held = ", ".join(f"self.{lock}" for lock in sorted(state))
+        scan: ast.AST = payload
+        if node.kind == KIND_WITH_ENTER and isinstance(
+            payload, (ast.With, ast.AsyncWith)
+        ):
+            # Only the context expressions run at this point.
+            module = ast.Module(
+                body=[
+                    ast.Expr(value=item.context_expr)
+                    for item in payload.items
+                ],
+                type_ignores=[],
+            )
+            scan = module
+        for line, description in _blocking_calls(scan, bare_names):
+            findings.append(
+                Finding(
+                    "BLK01",
+                    path,
+                    line or node.line,
+                    f"blocking call {description} in {method_label!r} while "
+                    f"holding {held} — move the I/O outside the lock or "
+                    "justify with an allow entry",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# RES01 — closeable resources escaping without close() on some path
+# ---------------------------------------------------------------------------
+
+
+def _resource_constructor(value: ast.expr) -> str | None:
+    """A human label if ``value`` constructs a closeable resource."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open(...)"
+        if func.id == "FramedSocket":
+            return "FramedSocket(...)"
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "FramedSocket" and func.attr == "connect":
+            return "FramedSocket.connect(...)"
+        if func.value.id == "socket" and func.attr in (
+            "socket", "create_connection", "create_server",
+        ):
+            return f"socket.{func.attr}(...)"
+    return None
+
+
+_Resource = tuple[str, int, str]  # (name, creation line, label)
+
+
+def _escaping_names(expression: ast.AST) -> set[str]:
+    """Names used in positions that transfer or consume ownership.
+
+    A bare name as the *receiver* of an attribute access (``link.recv()``,
+    ``link.close()``) is a use, not a transfer; anything else — call
+    argument, return value, container element, attribute store — hands
+    the object to code that now owns closing it.
+    """
+    names: set[str] = set()
+    stack: list[ast.AST] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            continue  # receiver position
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+class _ResourceAnalysis:
+    """May-analysis of open resources bound to simple local names."""
+
+    def initial(self) -> frozenset[_Resource]:
+        return frozenset()
+
+    def join(
+        self, left: frozenset[_Resource], right: frozenset[_Resource]
+    ) -> frozenset[_Resource]:
+        return left | right
+
+    def _transfer_stmt(
+        self, payload: ast.AST, state: frozenset[_Resource]
+    ) -> tuple[frozenset[_Resource], frozenset[_Resource]]:
+        closed: set[str] = set()
+        escaped: set[str] = set()
+        created: list[_Resource] = []
+        rebound: set[str] = set()
+        for sub in walk_shallow(payload):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("close", "shutdown")
+                and isinstance(sub.func.value, ast.Name)
+            ):
+                if sub.func.attr == "close":
+                    closed.add(sub.func.value.id)
+        if isinstance(payload, (ast.Assign, ast.AnnAssign)):
+            value = payload.value
+            targets = (
+                payload.targets
+                if isinstance(payload, ast.Assign)
+                else [payload.target]
+            )
+            if value is not None:
+                label = _resource_constructor(value)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        rebound.add(target.id)
+                        if label is not None:
+                            created.append(
+                                (target.id, getattr(payload, "lineno", 0), label)
+                            )
+                    elif (
+                        isinstance(target, ast.Tuple)
+                        and target.elts
+                        and isinstance(target.elts[0], ast.Name)
+                        and isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Attribute)
+                        and value.func.attr == "accept"
+                    ):
+                        # conn, addr = listener.accept()
+                        rebound.add(target.elts[0].id)
+                        created.append(
+                            (
+                                target.elts[0].id,
+                                getattr(payload, "lineno", 0),
+                                ".accept()",
+                            )
+                        )
+                    else:
+                        escaped |= _escaping_names(target)
+                escaped |= _escaping_names(value)
+        elif isinstance(payload, ast.Delete):
+            for target in payload.targets:
+                if isinstance(target, ast.Name):
+                    closed.add(target.id)
+        elif isinstance(payload, (ast.With, ast.AsyncWith)):
+            for item in payload.items:
+                escaped |= _escaping_names(item.context_expr)
+        else:
+            escaped |= _escaping_names(payload)
+        survivors = frozenset(
+            resource
+            for resource in state
+            if resource[0] not in closed
+            and resource[0] not in escaped
+            and resource[0] not in rebound
+        )
+        normal = survivors | frozenset(created)
+        # On the exception edge the creation may not have completed (or
+        # the binding not happened), so new resources are not added.
+        return normal, survivors
+
+    def transfer(
+        self, node: CFGNode, state: frozenset[_Resource]
+    ) -> tuple[frozenset[_Resource], frozenset[_Resource]]:
+        if node.payload is None:
+            return state, state
+        if node.kind not in (KIND_STMT, KIND_WITH_ENTER):
+            return state, state
+        return self._transfer_stmt(node.payload, state)
+
+
+def _check_res01_function(
+    function: _FunctionNode,
+    cfg: CFG,
+    method_label: str,
+    path: str,
+    findings: list[Finding],
+) -> None:
+    solution = solve(cfg, _ResourceAnalysis())
+    reported: dict[tuple[str, int], str] = {}
+    at_raise = solution.at(cfg.raise_exit)
+    if at_raise:
+        for name, line, label in sorted(at_raise):
+            reported[(name, line)] = (
+                f"{label} bound to {name!r} in {method_label!r} may escape "
+                "on an exception path without close() — close it in an "
+                "except/finally before the exception leaves"
+            )
+    at_exit = solution.at(cfg.exit)
+    if at_exit:
+        for name, line, label in sorted(at_exit):
+            reported.setdefault(
+                (name, line),
+                f"{label} bound to {name!r} in {method_label!r} reaches the "
+                "end of the function without close(), return, or handoff",
+            )
+    for (name, line), message in sorted(reported.items()):
+        findings.append(Finding("RES01", path, line, message))
+
+
+# ---------------------------------------------------------------------------
+# Per-module driver
+# ---------------------------------------------------------------------------
+
+
+def _functions_with_nested(
+    body: list[ast.stmt],
+) -> list[tuple[_FunctionNode, bool]]:
+    """(function, is_nested) for each def, recursing into nested defs."""
+    found: list[tuple[_FunctionNode, bool]] = []
+
+    def descend(function: _FunctionNode) -> None:
+        for sub in ast.walk(function):
+            if sub is not function and isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                found.append((sub, True))
+
+    for statement in body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append((statement, False))
+            descend(statement)
+    return found
+
+
+def check_flow_rules(
+    tree: ast.Module,
+    path: str,
+    io_sensitive: bool,
+) -> list[Finding]:
+    """Run LOCK02 everywhere and BLK01/RES01 where ``io_sensitive``."""
+    findings: list[Finding] = []
+    bare_blocking = collect_blocking_imports(tree) if io_sensitive else {}
+
+    def run_checks(
+        function: _FunctionNode,
+        nested: bool,
+        inventory: LockInventory,
+        declaration: GuardDeclaration | None,
+        label: str,
+    ) -> None:
+        cfg = build_cfg(function)
+        entry_locks: frozenset[str] = frozenset()
+        if not nested:
+            # @holds(lock) asserts the lock at runtime (see annotations);
+            # the dataflow trusts it by seeding the entry state.  A
+            # nested closure runs at an unknown later time, so it starts
+            # over with nothing held — the LOCK01 semantics, kept.
+            held = holds_lock(function)
+            if held is not None:
+                entry_locks = frozenset({inventory.canonical(held) or held})
+        if function.name not in ("__init__", "__new__", "__post_init__"):
+            _check_lock02_function(
+                function,
+                cfg,
+                inventory,
+                declaration,
+                entry_locks,
+                check_mutations=declaration is not None,
+                method_label=label,
+                path=path,
+                findings=findings,
+            )
+        if io_sensitive:
+            _check_blk01_function(
+                function,
+                cfg,
+                inventory,
+                entry_locks,
+                bare_blocking,
+                label,
+                path,
+                findings,
+            )
+            _check_res01_function(function, cfg, label, path, findings)
+
+    empty = LockInventory(set(), {})
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            declaration = parse_guarded_by(node)
+            inventory = collect_lock_inventory(node, declaration)
+            for function, nested in _functions_with_nested(node.body):
+                run_checks(
+                    function,
+                    nested,
+                    inventory,
+                    declaration,
+                    f"{node.name}.{function.name}",
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            run_checks(node, False, empty, None, node.name)
+            for function, _ in _functions_with_nested([node])[1:]:
+                run_checks(function, True, empty, None, function.name)
+    return findings

@@ -9,8 +9,9 @@ not bisected out of a byte-parity failure:
     order (or ``vars()``/``globals()``/``os.environ`` order).  Iterating
     a set directly — in a ``for`` loop, a comprehension, ``list()`` /
     ``tuple()`` / ``enumerate()`` / ``iter()``, or ``str.join`` — is
-    flagged in deterministic modules; wrap the expression in
-    ``sorted(...)`` instead.
+    flagged in deterministic modules, including sets reaching the site
+    through module-level constants, class-level constants, and
+    set-annotated parameters; wrap the expression in ``sorted(...)``.
 
 ``WC01`` — clock reads in deterministic modules.  Wall-clock *and*
     monotonic reads both perturb solver-path determinism unless the
@@ -23,11 +24,16 @@ not bisected out of a byte-parity failure:
     ``from_dict``) must hold only JSON-shaped fields: no callables,
     locks, futures, solver handles or sets.
 
-``LOCK01`` — lock discipline.  For classes declared
-    ``@guarded_by(lock, *fields)``, every mutation of a guarded field
-    must sit lexically inside ``with self.<lock>:`` (or a declared
-    alias), or in ``__init__``, or in a method decorated
-    ``@holds(lock)``.
+``LOCK02`` / ``BLK01`` / ``RES01`` — flow-sensitive rules over a
+    per-function CFG (see :mod:`repro.analysis.flowrules`): guarded
+    fields provably locked on *every* path reaching a mutation, no
+    blocking I/O while a lock is held in the service/cluster layers,
+    and no closeable resource escaping on an exception edge.
+
+``PROTO01`` — cluster wire-vocabulary conformance (see
+    :mod:`repro.analysis.proto`): every ``{"op": …}`` frame and every
+    op dispatch checked against the registry declared in
+    :mod:`repro.cluster.protocol`, plus cross-module coverage.
 
 ``AL00``/``AL01`` — allowlist hygiene.  An
     ``# analysis: allow[RULE] reason`` comment must carry a non-empty
@@ -45,9 +51,20 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.common import (
+    Finding,
+    _decorator_name,
+    _self_attribute,
+)
+from repro.analysis.flowrules import check_flow_rules
+from repro.analysis.proto import (
+    OpSpecLike,
+    check_op_coverage,
+    check_protocol_usage,
+)
 
 #: Module path prefixes (relative to the scan root, ``/``-separated)
 #: subject to the determinism rules ND01/WC01.  The application layers
@@ -62,6 +79,22 @@ DETERMINISTIC_PREFIXES = (
     "analysis/",
     "cluster/",
 )
+
+#: Prefixes where the blocking-I/O and resource rules apply (BLK01 /
+#: RES01): the layers that own sockets, files and long-held locks.
+IO_SENSITIVE_PREFIXES = (
+    "service/",
+    "cluster/",
+)
+
+#: Cluster modules whose wire usage PROTO01 checks, by relative path.
+PROTO_MODULES = {
+    "cluster/protocol.py": "protocol",
+    "cluster/coordinator.py": "coordinator",
+    "cluster/node.py": "node",
+    "cluster/memod.py": "memod",
+    "cluster/memoclient.py": "memoclient",
+}
 
 #: ``module.attr`` clock reads flagged by WC01 (plus bare-name imports).
 CLOCK_CALLS = {
@@ -81,77 +114,7 @@ WIRE_SAFE_NAMES = {
     "Mapping", "Sequence",
 }
 
-#: Method names whose call on a guarded attribute mutates it (LOCK01).
-MUTATING_METHODS = {
-    "append", "extend", "insert", "remove", "pop", "clear", "popitem",
-    "setdefault", "update", "add", "discard", "appendleft", "popleft",
-    "extendleft", "rotate", "move_to_end", "sort", "reverse",
-}
-
 _ALLOW_RE = re.compile(r"#\s*analysis:\s*allow\[([A-Z]+\d+)\]\s*(.*?)\s*$")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint finding, pointing at a source line."""
-
-    rule: str
-    path: str
-    line: int
-    message: str
-
-    def render(self) -> str:
-        return f"{self.rule}  {self.path}:{self.line}  {self.message}"
-
-
-# ---------------------------------------------------------------------------
-# Shared AST helpers
-# ---------------------------------------------------------------------------
-
-
-def _self_attribute(node: ast.AST) -> str | None:
-    """The attribute name for a ``self.X`` expression, else None."""
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def _innermost_self_attribute(node: ast.AST) -> str | None:
-    """``self.X`` at the base of an attribute/subscript chain, else None.
-
-    ``self._statistics.lookups`` and ``self._entries[key]`` both resolve
-    to their base attribute — mutating a member *of* guarded state is a
-    mutation of the guarded state.
-    """
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        found = _self_attribute(node)
-        if found is not None:
-            return found
-        node = node.value
-    return None
-
-
-def _decorator_name(node: ast.AST) -> str | None:
-    """Base name of a decorator expression (``holds(...)`` → ``holds``)."""
-    if isinstance(node, ast.Call):
-        node = node.func
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-def _string_args(call: ast.Call) -> list[str]:
-    return [
-        arg.value
-        for arg in call.args
-        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
-    ]
 
 
 # ---------------------------------------------------------------------------
@@ -224,16 +187,45 @@ def _is_set_expr(
     return False
 
 
+def _module_level_sets(tree: ast.Module) -> dict[str, bool]:
+    """Module-level names statically known to hold sets, in textual order."""
+    known: dict[str, bool] = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            is_set = _is_set_expr(statement.value, known, set())
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    known[target.id] = is_set
+        elif isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            known[statement.target.id] = _annotation_is_set(
+                statement.annotation
+            ) or (
+                statement.value is not None
+                and _is_set_expr(statement.value, known, set())
+            )
+    return known
+
+
 class _NondeterminismChecker(ast.NodeVisitor):
     """Flags iteration whose order depends on set/hash ordering."""
 
-    def __init__(self, path: str, findings: list[Finding]) -> None:
+    def __init__(
+        self, path: str, findings: list[Finding], tree: ast.Module
+    ) -> None:
         self.path = path
         self.findings = findings
-        #: Function-local names currently known to hold sets.
+        #: Module-level names known to hold sets — visible in functions
+        #: unless shadowed by a local binding or a parameter.
+        self.module_sets: dict[str, bool] = _module_level_sets(tree)
+        #: Names in the current scope currently known to hold sets.
         self.local_sets: dict[str, bool] = {}
         #: ``self.X`` attributes of the enclosing class known to be sets.
         self.class_set_attrs: set[str] = set()
+        #: Generator expressions feeding directly into ``set(...)`` /
+        #: ``frozenset(...)`` — unordered-to-unordered, so order-free.
+        self._order_free: set[ast.AST] = set()
 
     def _flag(self, node: ast.AST, context: str) -> None:
         self.findings.append(
@@ -255,15 +247,49 @@ class _NondeterminismChecker(ast.NodeVisitor):
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         tracker = _SetTracker()
         outer = self.class_set_attrs
+        class_sets = set()
         for statement in node.body:
             tracker.visit(statement)
-        self.class_set_attrs = tracker.set_attrs
+            # Class-level set constants (KINDS = frozenset(...)) are
+            # reached as self.KINDS from methods.
+            if isinstance(statement, ast.Assign):
+                if _is_set_expr(statement.value, self.module_sets, set()):
+                    class_sets.update(
+                        target.id
+                        for target in statement.targets
+                        if isinstance(target, ast.Name)
+                    )
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                if _annotation_is_set(statement.annotation) or (
+                    statement.value is not None
+                    and _is_set_expr(statement.value, self.module_sets, set())
+                ):
+                    class_sets.add(statement.target.id)
+        self.class_set_attrs = tracker.set_attrs | class_sets
         self.generic_visit(node)
         self.class_set_attrs = outer
 
-    def _visit_function(self, node: ast.AST) -> None:
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
         outer = self.local_sets
-        self.local_sets = {}
+        # A function sees module-level set constants; its parameters
+        # shadow them (and set-annotated parameters are sets).
+        scope = dict(self.module_sets)
+        arguments = node.args
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+            *([arguments.vararg] if arguments.vararg else []),
+            *([arguments.kwarg] if arguments.kwarg else []),
+        ):
+            scope[arg.arg] = arg.annotation is not None and _annotation_is_set(
+                arg.annotation
+            )
+        self.local_sets = scope
         self.generic_visit(node)
         self.local_sets = outer
 
@@ -295,9 +321,10 @@ class _NondeterminismChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_comprehension(self, node: ast.AST) -> None:
-        for generator in getattr(node, "generators", []):
-            if self._is_set(generator.iter):
-                self._flag(generator.iter, "comprehension")
+        if node not in self._order_free:
+            for generator in getattr(node, "generators", []):
+                if self._is_set(generator.iter):
+                    self._flag(generator.iter, "comprehension")
         self.generic_visit(node)
 
     visit_ListComp = _check_comprehension
@@ -311,6 +338,15 @@ class _NondeterminismChecker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("set", "frozenset")
+            and node.args
+            and isinstance(node.args[0], ast.GeneratorExp)
+        ):
+            # Materializing an unordered collection from an unordered
+            # source — mirror of the SetComp exemption.
+            self._order_free.add(node.args[0])
         if (
             isinstance(func, ast.Name)
             and func.id in ("list", "tuple", "enumerate", "iter")
@@ -472,168 +508,6 @@ class _WireChecker(ast.NodeVisitor):
 
 
 # ---------------------------------------------------------------------------
-# LOCK01 — guarded-state mutation outside the declared lock
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _GuardDeclaration:
-    lock: str
-    fields: set[str]
-    aliases: set[str]
-
-
-def _parse_guarded_by(node: ast.ClassDef) -> _GuardDeclaration | None:
-    for decorator in node.decorator_list:
-        if (
-            isinstance(decorator, ast.Call)
-            and _decorator_name(decorator) == "guarded_by"
-        ):
-            names = _string_args(decorator)
-            if len(names) < 2:
-                return None
-            aliases: set[str] = set()
-            for keyword in decorator.keywords:
-                if keyword.arg == "aliases" and isinstance(
-                    keyword.value, (ast.Tuple, ast.List)
-                ):
-                    aliases = {
-                        element.value
-                        for element in keyword.value.elts
-                        if isinstance(element, ast.Constant)
-                        and isinstance(element.value, str)
-                    }
-            return _GuardDeclaration(names[0], set(names[1:]), aliases)
-    return None
-
-
-def _holds_lock(node: ast.FunctionDef) -> str | None:
-    for decorator in node.decorator_list:
-        if (
-            isinstance(decorator, ast.Call)
-            and _decorator_name(decorator) == "holds"
-        ):
-            names = _string_args(decorator)
-            if names:
-                return names[0]
-    return None
-
-
-class _GuardedMethodChecker(ast.NodeVisitor):
-    """Walks one method body tracking lexical ``with self.<lock>`` depth."""
-
-    def __init__(
-        self,
-        path: str,
-        findings: list[Finding],
-        declaration: _GuardDeclaration,
-        method: str,
-    ) -> None:
-        self.path = path
-        self.findings = findings
-        self.declaration = declaration
-        self.method = method
-        self.locked_depth = 0
-
-    def _flag(self, node: ast.AST, field: str) -> None:
-        self.findings.append(
-            Finding(
-                "LOCK01",
-                self.path,
-                getattr(node, "lineno", 0),
-                f"mutation of guarded field {field!r} in {self.method!r} "
-                f"outside `with self.{self.declaration.lock}:` — hold the "
-                f"lock or declare @holds({self.declaration.lock!r})",
-            )
-        )
-
-    def _check_target(self, target: ast.AST, node: ast.AST) -> None:
-        field = _innermost_self_attribute(target)
-        if (
-            field in self.declaration.fields
-            and self.locked_depth == 0
-        ):
-            self._flag(node, field)  # type: ignore[arg-type]
-
-    def visit_With(self, node: ast.With) -> None:
-        acquires = any(
-            _self_attribute(item.context_expr)
-            in ({self.declaration.lock} | self.declaration.aliases)
-            for item in node.items
-        )
-        for item in node.items:
-            self.visit(item.context_expr)
-        if acquires:
-            self.locked_depth += 1
-        for statement in node.body:
-            self.visit(statement)
-        if acquires:
-            self.locked_depth -= 1
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_target(target, node)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        self._check_target(node.target, node)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_target(node.target, node)
-        self.generic_visit(node)
-
-    def visit_Delete(self, node: ast.Delete) -> None:
-        for target in node.targets:
-            self._check_target(target, node)
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
-            field = _innermost_self_attribute(func.value)
-            if field in self.declaration.fields and self.locked_depth == 0:
-                self._flag(node, field)  # type: ignore[arg-type]
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        # A nested function (closure) may run long after the enclosing
-        # with-block exited, so its body starts over as unlocked.
-        outer = self.locked_depth
-        self.locked_depth = 0
-        self.generic_visit(node)
-        self.locked_depth = outer
-
-    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
-
-
-class _LockDisciplineChecker(ast.NodeVisitor):
-    """Applies :class:`_GuardedMethodChecker` to ``@guarded_by`` classes."""
-
-    def __init__(self, path: str, findings: list[Finding]) -> None:
-        self.path = path
-        self.findings = findings
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        declaration = _parse_guarded_by(node)
-        if declaration is not None:
-            for statement in node.body:
-                if not isinstance(statement, ast.FunctionDef):
-                    continue
-                if statement.name in ("__init__", "__new__", "__post_init__"):
-                    continue
-                if _holds_lock(statement) == declaration.lock:
-                    continue
-                checker = _GuardedMethodChecker(
-                    self.path, self.findings, declaration,
-                    f"{node.name}.{statement.name}",
-                )
-                for body_statement in statement.body:
-                    checker.visit(body_statement)
-        self.generic_visit(node)
-
-
-# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -674,11 +548,24 @@ def _parse_allows(source: str, path: str) -> tuple[dict[int, str], list[Finding]
     return allows, findings
 
 
-def lint_source(source: str, path: str, deterministic: bool = True) -> list[Finding]:
+def lint_source(
+    source: str,
+    path: str,
+    deterministic: bool = True,
+    io_sensitive: bool = True,
+    proto_module: str | None = None,
+    proto_registry: Mapping[str, OpSpecLike] | None = None,
+    proto_constants: Mapping[str, str] | None = None,
+    handled_ops: dict[str, set[str]] | None = None,
+) -> list[Finding]:
     """Lint one module's source text; ``path`` is used for reporting.
 
-    ``deterministic`` controls whether the ND01/WC01 rules apply (the
-    directory-driven default comes from :func:`run_lint`).
+    ``deterministic`` gates ND01/WC01 and ``io_sensitive`` gates
+    BLK01/RES01 (the directory-driven defaults come from
+    :func:`run_lint`).  When ``proto_module`` names a cluster module and
+    a registry is supplied, PROTO01 construction/dispatch checks run;
+    the ops the module dispatches on are recorded into ``handled_ops``
+    for the cross-module coverage pass.
     """
     try:
         tree = ast.parse(source)
@@ -686,10 +573,17 @@ def lint_source(source: str, path: str, deterministic: bool = True) -> list[Find
         return [Finding("SYN", path, error.lineno or 0, f"syntax error: {error.msg}")]
     raw: list[Finding] = []
     if deterministic:
-        _NondeterminismChecker(path, raw).visit(tree)
+        _NondeterminismChecker(path, raw, tree).visit(tree)
         _ClockChecker(path, raw).visit(tree)
     _WireChecker(path, raw).visit(tree)
-    _LockDisciplineChecker(path, raw).visit(tree)
+    raw.extend(check_flow_rules(tree, path, io_sensitive))
+    if proto_module is not None and proto_registry is not None:
+        proto_findings, handled = check_protocol_usage(
+            tree, path, proto_module, proto_registry, proto_constants or {}
+        )
+        raw.extend(proto_findings)
+        if handled_ops is not None:
+            handled_ops.setdefault(proto_module, set()).update(handled)
     allows, findings = _parse_allows(source, path)
     used: set[int] = set()
     for finding in raw:
@@ -711,6 +605,17 @@ def lint_source(source: str, path: str, deterministic: bool = True) -> list[Find
     return findings
 
 
+def _protocol_registry() -> tuple[
+    Mapping[str, OpSpecLike] | None, Mapping[str, str] | None
+]:
+    """The declared cluster vocabulary, if importable."""
+    try:
+        from repro.cluster import protocol as cluster_protocol
+    except Exception:  # pragma: no cover — broken tree mid-refactor
+        return None, None
+    return cluster_protocol.OPS_BY_NAME, cluster_protocol.OP_CONSTANTS
+
+
 def run_lint(root: Path | None = None) -> list[Finding]:
     """Lint every module under ``root`` (default: the installed package).
 
@@ -718,13 +623,29 @@ def run_lint(root: Path | None = None) -> list[Finding]:
     """
     if root is None:
         root = Path(__file__).resolve().parent.parent
+    registry, constants = _protocol_registry()
     findings: list[Finding] = []
+    handled_ops: dict[str, set[str]] = {}
+    module_paths: dict[str, str] = {}
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
-        deterministic = relative.startswith(DETERMINISTIC_PREFIXES)
+        proto_module = PROTO_MODULES.get(relative) if registry else None
+        if proto_module is not None:
+            module_paths[proto_module] = relative
         findings.extend(
-            lint_source(path.read_text(encoding="utf-8"), relative, deterministic)
+            lint_source(
+                path.read_text(encoding="utf-8"),
+                relative,
+                deterministic=relative.startswith(DETERMINISTIC_PREFIXES),
+                io_sensitive=relative.startswith(IO_SENSITIVE_PREFIXES),
+                proto_module=proto_module,
+                proto_registry=registry,
+                proto_constants=constants,
+                handled_ops=handled_ops,
+            )
         )
+    if registry is not None and handled_ops:
+        findings.extend(check_op_coverage(handled_ops, module_paths, registry))
     findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
     return findings
 
@@ -735,7 +656,10 @@ def iter_rules() -> Iterable[tuple[str, str]]:
         ("ND01", "nondeterministic iteration over unordered collections"),
         ("WC01", "clock read outside sanctioned budget/deadline sites"),
         ("WIRE01", "non-JSON field in a wire-crossing dataclass"),
-        ("LOCK01", "guarded-state mutation outside the declared lock"),
+        ("LOCK02", "guarded mutation reachable without the declared lock"),
+        ("BLK01", "blocking I/O while holding a lock"),
+        ("RES01", "closeable resource escaping without close()"),
+        ("PROTO01", "cluster frame/dispatch outside the declared registry"),
         ("AL00", "allowlist entry without a reason"),
         ("AL01", "stale allowlist entry"),
     )

@@ -1,0 +1,260 @@
+"""PROTO01 — cluster wire-vocabulary conformance.
+
+The cluster speaks JSON frames tagged with an ``"op"`` key; the
+vocabulary is *declared once* in :mod:`repro.cluster.protocol`
+(:class:`~repro.cluster.protocol.OpSpec`) and this checker holds every
+use to it:
+
+* every dict literal containing an ``"op"`` key in a cluster module is
+  a frame-construction site: the op must resolve to a declared name
+  (string literal or ``OP_*`` constant), every required field of that
+  op must be present in the literal, and the module must be a declared
+  *sender* of the op;
+* every dispatch comparison against an op expression (a
+  ``….get("op")`` call, or a local name assigned from one) must
+  compare against declared ops only;
+* per module, the set of ops it dispatches on must equal the set of
+  ops the registry declares it a *receiver* of — an unhandled declared
+  op and a handler for an undeclared op both fail (the coverage check
+  runs over all modules at once; see :func:`check_op_coverage`).
+
+The checker is deliberately decoupled from the registry's home: it
+takes any mapping of name → spec-like objects plus a constant-name
+table, so fixture tests can feed it toy vocabularies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Mapping, Protocol
+
+from repro.analysis.common import Finding
+
+
+class OpSpecLike(Protocol):
+    """Structural view of :class:`repro.cluster.protocol.OpSpec`."""
+
+    name: str
+    required: tuple[str, ...]
+    senders: tuple[str, ...]
+    receivers: tuple[str, ...]
+
+
+def _resolve_op(
+    value: ast.expr, constants: Mapping[str, str]
+) -> tuple[str | None, bool]:
+    """(op name, resolvable) for an op-valued expression.
+
+    ``resolvable`` is False when the expression is something the checker
+    cannot statically evaluate (a variable, a call) — those are reported
+    as non-literal ops at construction sites and skipped at dispatch
+    sites (comparing an op against e.g. None is legitimate).
+    """
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value, True
+    if isinstance(value, ast.Name) and value.id in constants:
+        return constants[value.id], True
+    if isinstance(value, ast.Attribute) and value.attr in constants:
+        return constants[value.attr], True
+    return None, False
+
+
+def _is_op_get(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``….get("op")`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and len(node.args) >= 1
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "op"
+    )
+
+
+def _comparator_values(node: ast.expr) -> Iterable[ast.expr]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return list(node.elts)
+    return [node]
+
+
+class _ProtocolChecker(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        registry: Mapping[str, OpSpecLike],
+        constants: Mapping[str, str],
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.registry = registry
+        self.constants = constants
+        self.findings: list[Finding] = []
+        self.handled: set[str] = set()
+        #: Local names assigned from an ``….get("op")`` expression.
+        self._op_names: set[str] = set()
+
+    # -- frame-construction sites -----------------------------------------
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        keys: list[str] = []
+        has_splat = False
+        op_value: ast.expr | None = None
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                has_splat = True
+                continue
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+                if key.value == "op":
+                    op_value = value
+        if op_value is not None:
+            self._check_frame(node, op_value, keys, has_splat)
+        self.generic_visit(node)
+
+    def _check_frame(
+        self,
+        node: ast.Dict,
+        op_value: ast.expr,
+        keys: list[str],
+        has_splat: bool,
+    ) -> None:
+        op, resolvable = _resolve_op(op_value, self.constants)
+        if not resolvable:
+            self.findings.append(
+                Finding(
+                    "PROTO01",
+                    self.path,
+                    node.lineno,
+                    "frame op must be a string literal or a declared OP_* "
+                    "constant so the vocabulary stays statically checkable",
+                )
+            )
+            return
+        spec = self.registry.get(op or "")
+        if spec is None:
+            self.findings.append(
+                Finding(
+                    "PROTO01",
+                    self.path,
+                    node.lineno,
+                    f"frame op {op!r} is not declared in the protocol "
+                    "registry (repro.cluster.protocol.PROTOCOL_OPS)",
+                )
+            )
+            return
+        missing = sorted(set(spec.required) - set(keys))
+        if missing and not has_splat:
+            self.findings.append(
+                Finding(
+                    "PROTO01",
+                    self.path,
+                    node.lineno,
+                    f"frame op {op!r} is missing required field(s) "
+                    f"{missing} declared by the protocol registry",
+                )
+            )
+        if self.module not in spec.senders:
+            self.findings.append(
+                Finding(
+                    "PROTO01",
+                    self.path,
+                    node.lineno,
+                    f"module {self.module!r} constructs op {op!r} frames "
+                    f"but the registry declares senders {list(spec.senders)}",
+                )
+            )
+
+    # -- dispatch sites ----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_op_get(node.value):
+                    self._op_names.add(target.id)
+                else:
+                    self._op_names.discard(target.id)
+        self.generic_visit(node)
+
+    def _is_op_expr(self, node: ast.expr) -> bool:
+        if _is_op_get(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in self._op_names
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        sides = [node.left, *node.comparators]
+        op_sides = [side for side in sides if self._is_op_expr(side)]
+        if op_sides:
+            for side in sides:
+                if self._is_op_expr(side):
+                    continue
+                for value in _comparator_values(side):
+                    resolved, resolvable = _resolve_op(value, self.constants)
+                    if not resolvable:
+                        continue  # e.g. `op is None`
+                    if resolved not in self.registry:
+                        self.findings.append(
+                            Finding(
+                                "PROTO01",
+                                self.path,
+                                node.lineno,
+                                f"dispatch on op {resolved!r} which is not "
+                                "declared in the protocol registry",
+                            )
+                        )
+                        continue
+                    self.handled.add(resolved or "")
+        self.generic_visit(node)
+
+
+def check_protocol_usage(
+    tree: ast.Module,
+    path: str,
+    module: str,
+    registry: Mapping[str, OpSpecLike],
+    constants: Mapping[str, str],
+) -> tuple[list[Finding], set[str]]:
+    """Per-module PROTO01 checks; returns (findings, handled op names)."""
+    checker = _ProtocolChecker(path, module, registry, constants)
+    checker.visit(tree)
+    return checker.findings, checker.handled
+
+
+def check_op_coverage(
+    handled_by_module: Mapping[str, set[str]],
+    module_paths: Mapping[str, str],
+    registry: Mapping[str, OpSpecLike],
+) -> list[Finding]:
+    """Cross-module exhaustiveness: receivers handle exactly their ops."""
+    findings: list[Finding] = []
+    for module in sorted(handled_by_module):
+        declared = {
+            name
+            for name, spec in registry.items()
+            if module in spec.receivers
+        }
+        handled = handled_by_module[module]
+        path = module_paths.get(module, module)
+        for name in sorted(declared - handled):
+            findings.append(
+                Finding(
+                    "PROTO01",
+                    path,
+                    1,
+                    f"module {module!r} is a declared receiver of op "
+                    f"{name!r} but never dispatches on it — handle it or "
+                    "amend the registry",
+                )
+            )
+        for name in sorted(handled - declared):
+            findings.append(
+                Finding(
+                    "PROTO01",
+                    path,
+                    1,
+                    f"module {module!r} dispatches on op {name!r} but the "
+                    f"registry does not declare it a receiver — handle the "
+                    "op in the declared module or amend the registry",
+                )
+            )
+    return findings

@@ -1,0 +1,83 @@
+"""Machine-readable renderings of lint findings (JSON and SARIF 2.1.0).
+
+The text rendering in :meth:`repro.analysis.common.Finding.render` is
+for humans at a terminal; CI wants structure.  ``--format=json`` emits a
+stable single-object document for scripting, and ``--format=sarif`` (or
+``--sarif PATH``) emits a minimal SARIF 2.1.0 log — the interchange
+format code-scanning UIs ingest — with one reporting rule per lint rule
+and one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.common import Finding
+
+#: Published SARIF 2.1.0 schema location (for the ``$schema`` key).
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def findings_to_json(
+    findings: list[Finding], mypy_status: str | None = None
+) -> str:
+    """One JSON object: ``{"findings": [...], "count": N, ...}``."""
+    document: dict[str, object] = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "count": len(findings),
+    }
+    if mypy_status is not None:
+        document["mypy"] = mypy_status
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def findings_to_sarif(
+    findings: list[Finding],
+    rules: Iterable[tuple[str, str]],
+    path_prefix: str = "src/repro/",
+) -> str:
+    """A SARIF 2.1.0 log; ``path_prefix`` maps lint paths to repo paths."""
+    driver = {
+        "name": "repro.analysis",
+        "informationUri": "docs/ANALYSIS.md",
+        "rules": [
+            {
+                "id": rule,
+                "shortDescription": {"text": description},
+            }
+            for rule, description in rules
+        ],
+    }
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": path_prefix + finding.path,
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -429,7 +429,7 @@ class SciductionEngine:
         )
         # Serialized against prune()'s list swap: an unlocked append can
         # land on the list prune() is about to replace and silently lose
-        # the handle (LOCK01).
+        # the handle (LOCK02).
         with self._state_lock:
             self._jobs.append(job)
         return job
@@ -625,7 +625,7 @@ class SciductionEngine:
                 job._result_wire = value["result"]
                 job.result = result_from_dict(value["result"])
                 # statistics() reads this dict from HTTP handler threads
-                # while the dispatch loop completes jobs (LOCK01).
+                # while the dispatch loop completes jobs (LOCK02).
                 with self._state_lock:
                     self._worker_pool_statistics[value["worker_id"]] = value[
                         "pool_statistics"

@@ -51,7 +51,17 @@ from repro.cluster.auth import TokenSet, ensure_bind_allowed
 from repro.cluster.hashring import rendezvous_owner
 from repro.cluster.memoclient import RemoteMemoStore
 from repro.cluster.node import PROTOCOL_VERSION, parse_endpoint
-from repro.cluster.protocol import FramedSocket, ProtocolError
+from repro.cluster.protocol import (
+    OP_DRAIN,
+    OP_DRAINED,
+    OP_HEARTBEAT,
+    OP_JOB,
+    OP_PONG,
+    OP_REGISTER,
+    OP_RESULT,
+    FramedSocket,
+    ProtocolError,
+)
 from repro.core.procedure import SciductionResult
 from repro.service.journal import JobJournal, JournalError
 from repro.service.server import SciductionService
@@ -83,7 +93,7 @@ class _NodeLink:
         # path mid-dispatch — the observable behavior of a network
         # partition — and drives the reshard path deterministically.
         fault_point("net.partition")
-        self.link.send({"op": "job", "payload": payload})
+        self.link.send({"op": OP_JOB, "payload": payload})
 
 
 @guarded_by(
@@ -181,7 +191,7 @@ class ClusterEngine(SciductionEngine):
         except (OSError, ProtocolError):
             link.close()
             return
-        if frame is None or frame.get("op") != "register":
+        if frame is None or frame.get("op") != OP_REGISTER:
             link.close()
             return
         name = frame.get("node")
@@ -251,19 +261,25 @@ class ClusterEngine(SciductionEngine):
             if frame is None:
                 break
             op = frame.get("op")
-            if op == "result":
+            if op == OP_RESULT:
                 with self._cluster_wakeup:
                     self._events.append(
                         ("result", node.name, frame.get("job_id"), frame.get("payload"))
                     )
                     self._cluster_wakeup.notify_all()
-            elif op == "heartbeat":
+            elif op == OP_HEARTBEAT:
                 with self._cluster_wakeup:
                     stats = self._node_stats.get(node.name)
                     if stats is not None:
                         stats["heartbeats"] += 1
                         stats["last_heartbeat"] = time.monotonic()  # analysis: allow[WC01] heartbeat-age observability stamp; never a scheduling input
-            # "drained" and unknown ops: nothing to fold.
+            elif op in (OP_DRAINED, OP_PONG):
+                # Acknowledged drains and ping replies carry no state to
+                # fold; the drain path watches the connection close and
+                # pong consumers read the reply inline.
+                pass
+            # Unknown ops are ignored: a newer node may speak additions
+            # this coordinator does not know.
         self._node_lost(node)
 
     def _node_lost(self, node: _NodeLink) -> None:
@@ -536,7 +552,7 @@ class ClusterEngine(SciductionEngine):
             links = [self._links[name] for name in sorted(self._links)]
         for node in links:
             try:
-                node.link.send({"op": "drain"})
+                node.link.send({"op": OP_DRAIN})
             except (OSError, ProtocolError):
                 pass
 

@@ -32,7 +32,15 @@ from typing import Any
 
 from repro.analysis.annotations import guarded_by
 from repro.api.memo import SharedCheckMemo
-from repro.cluster.protocol import FramedSocket, ProtocolError
+from repro.cluster.protocol import (
+    OP_HELLO,
+    OP_LOOKUP,
+    OP_PING,
+    OP_PUBLISH,
+    OP_STATS,
+    FramedSocket,
+    ProtocolError,
+)
 
 #: Remote calls skipped after a transport failure before re-arming.
 #: Counter-based (one skip per shared-memo consultation), so a node
@@ -70,17 +78,25 @@ class RemoteMemoStore:
 
     def _connected(self) -> FramedSocket:
         if self._link is None:
-            link = FramedSocket.connect(self.host, self.port, self.timeout)
-            hello: dict[str, Any] = {"op": "hello", "client": self.client_id}
+            hello: dict[str, Any] = {"op": OP_HELLO, "client": self.client_id}
             if self.token is not None:
                 hello["token"] = self.token
-            link.send(hello)
-            response = link.recv()
-            if response is None or not response.get("ok"):
+            link = FramedSocket.connect(self.host, self.port, self.timeout)
+            try:
+                link.send(hello)
+                response = link.recv()
+                if response is None or not response.get("ok"):
+                    message = "connection closed during hello" \
+                        if response is None \
+                        else str(response.get("error", "hello rejected"))
+                    raise ProtocolError(
+                        f"memo service hello failed: {message}"
+                    )
+            except Exception:
+                # The handshake died before this link was published to
+                # self._link — nobody else can close it (RES01).
                 link.close()
-                message = "connection closed during hello" if response is None \
-                    else str(response.get("error", "hello rejected"))
-                raise ProtocolError(f"memo service hello failed: {message}")
+                raise
             self._link = link
         return self._link
 
@@ -88,8 +104,8 @@ class RemoteMemoStore:
         with self._lock:
             try:
                 link = self._connected()
-                link.send(request)
-                response = link.recv()
+                link.send(request)  # analysis: allow[BLK01] single-outstanding-request RPC: the lock pairs this send with its reply by design
+                response = link.recv()  # analysis: allow[BLK01] single-outstanding-request RPC: the lock pairs the reply with its send by design
             except (OSError, ProtocolError):
                 self._teardown()
                 raise
@@ -109,7 +125,7 @@ class RemoteMemoStore:
 
     def lookup(self, key: str) -> tuple[str, list[bool] | None] | None:
         response = self._call(
-            {"op": "lookup", "key": key, "client": self.client_id}
+            {"op": OP_LOOKUP, "key": key, "client": self.client_id}
         )
         found = response.get("found")
         if found is None:
@@ -122,7 +138,7 @@ class RemoteMemoStore:
     ) -> None:
         self._call(
             {
-                "op": "publish",
+                "op": OP_PUBLISH,
                 "key": key,
                 "verdict": verdict,
                 "bits": model_bits,
@@ -131,13 +147,13 @@ class RemoteMemoStore:
         )
 
     def statistics(self) -> dict[str, Any]:
-        response = self._call({"op": "stats"})
+        response = self._call({"op": OP_STATS})
         record = response.get("statistics")
         return record if isinstance(record, dict) else {}
 
     def ping(self) -> bool:
         try:
-            self._call({"op": "ping"})
+            self._call({"op": OP_PING})
             return True
         except (OSError, ProtocolError):
             return False

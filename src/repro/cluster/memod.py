@@ -39,7 +39,15 @@ from typing import Any
 from repro.analysis.annotations import guarded_by
 from repro.api.memo import SharedCheckMemo
 from repro.cluster.auth import TokenSet, ensure_bind_allowed
-from repro.cluster.protocol import FramedSocket, ProtocolError
+from repro.cluster.protocol import (
+    OP_HELLO,
+    OP_LOOKUP,
+    OP_PING,
+    OP_PUBLISH,
+    OP_STATS,
+    FramedSocket,
+    ProtocolError,
+)
 from repro.testing import faults
 from repro.testing.faults import fault_point
 
@@ -101,14 +109,21 @@ class MemoService:
                 connection, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            with self._lock:
-                self._connections += 1
-            threading.Thread(
-                target=self._serve_connection,
-                args=(FramedSocket(connection),),
-                name="memod-conn",
-                daemon=True,
-            ).start()
+            try:
+                with self._lock:
+                    self._connections += 1
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(FramedSocket(connection),),
+                    name="memod-conn",
+                    daemon=True,
+                ).start()
+            except Exception:
+                # Thread creation fails under thread exhaustion; the
+                # accepted socket must not outlive the failed handoff
+                # (RES01).
+                connection.close()
+                raise
 
     def _serve_connection(self, link: FramedSocket) -> None:
         authenticated = not self.tokens.required()
@@ -135,7 +150,7 @@ class MemoService:
         with self._lock:
             self._requests += 1
         op = request.get("op")
-        if op == "hello":
+        if op == OP_HELLO:
             if self.tokens.required():
                 identity = self.tokens.identify(request.get("token"))
                 if identity is None:
@@ -147,9 +162,9 @@ class MemoService:
             with self._lock:
                 self._auth_failures += 1
             return _error("authenticate with a hello frame first", 401), False
-        if op == "ping":
+        if op == OP_PING:
             return {"ok": True}, True
-        if op == "lookup":
+        if op == OP_LOOKUP:
             key = request.get("key")
             client = str(request.get("client", "anonymous"))
             if not isinstance(key, str):
@@ -159,7 +174,7 @@ class MemoService:
                 "ok": True,
                 "found": None if found is None else [found[0], found[1]],
             }, True
-        if op == "publish":
+        if op == OP_PUBLISH:
             key = request.get("key")
             verdict = request.get("verdict")
             bits = request.get("bits")
@@ -170,7 +185,7 @@ class MemoService:
                 return _error("'bits' must be a list of booleans or null"), True
             self.store.publish(key, verdict, bits, client)
             return {"ok": True}, True
-        if op == "stats":
+        if op == OP_STATS:
             return {"ok": True, "statistics": self.statistics()}, True
         return _error(f"unknown op {op!r}"), True
 

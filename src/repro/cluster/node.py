@@ -38,7 +38,18 @@ from repro.api.config import EngineConfig
 from repro.api.engine import SciductionEngine
 from repro.cluster.auth import TokenSet, ensure_bind_allowed
 from repro.cluster.memoclient import ClusterMemoClient, RemoteMemoStore
-from repro.cluster.protocol import FramedSocket, ProtocolError
+from repro.cluster.protocol import (
+    OP_DRAIN,
+    OP_DRAINED,
+    OP_HEARTBEAT,
+    OP_JOB,
+    OP_PING,
+    OP_PONG,
+    OP_REGISTER,
+    OP_RESULT,
+    FramedSocket,
+    ProtocolError,
+)
 from repro.core.exceptions import ReproError
 from repro.testing import faults
 from repro.testing.faults import fault_point
@@ -143,7 +154,7 @@ class NodeAgent:
 
     def _register(self, link: FramedSocket) -> bool:
         registration: dict[str, Any] = {
-            "op": "register",
+            "op": OP_REGISTER,
             "node": self.name,
             "protocol": PROTOCOL_VERSION,
         }
@@ -193,15 +204,15 @@ class NodeAgent:
                 if frame is None:
                     break
                 op = frame.get("op")
-                if op in ("job", "drain"):
+                if op in (OP_JOB, OP_DRAIN):
                     # The drain frame rides the inbox as itself (not a
                     # bare sentinel): an EOF racing in behind it must not
                     # be able to mask the drain request.
                     inbox.put(frame)
-                elif op == "ping":
+                elif op == OP_PING:
                     try:
                         link.send(
-                            {"op": "pong", "seq": frame.get("seq"), "node": self.name}
+                            {"op": OP_PONG, "seq": frame.get("seq"), "node": self.name}
                         )
                     except (OSError, ProtocolError):
                         break
@@ -223,11 +234,11 @@ class NodeAgent:
             frame = inbox.get()
             if frame is None:
                 return  # link torn down without a drain; nothing to answer
-            if frame.get("op") == "drain":
+            if frame.get("op") == OP_DRAIN:
                 # Graceful drain: everything accepted has been executed.
                 self._drained = True
                 try:
-                    link.send({"op": "drained", "node": self.name})
+                    link.send({"op": OP_DRAINED, "node": self.name})
                 except (OSError, ProtocolError):
                     pass
                 link.close()
@@ -245,7 +256,7 @@ class NodeAgent:
             try:
                 link.send(
                     {
-                        "op": "result",
+                        "op": OP_RESULT,
                         "job_id": payload.get("job_id"),
                         "payload": response,
                     }
@@ -256,7 +267,7 @@ class NodeAgent:
     def _heartbeat_loop(self, link: FramedSocket, done: threading.Event) -> None:
         while not done.wait(self.heartbeat_interval):
             try:
-                link.send({"op": "heartbeat", "node": self.name})
+                link.send({"op": OP_HEARTBEAT, "node": self.name})
             except (OSError, ProtocolError):
                 return
 

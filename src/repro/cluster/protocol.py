@@ -29,6 +29,7 @@ import socket
 import struct
 import threading
 import zlib
+from dataclasses import dataclass
 from typing import IO, Any
 
 from repro.core.exceptions import ReproError
@@ -43,6 +44,89 @@ _HEADER = struct.Struct(">II")
 #: Frames above this size are rejected on both sides (job payloads and
 #: results are small; this bounds memory per connection).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+#: The cluster op vocabulary — one constant per frame kind.  Every
+#: frame-construction and dispatch site in the cluster modules uses
+#: these names; the PROTO01 lint holds both to :data:`PROTOCOL_OPS`.
+OP_REGISTER = "register"
+OP_JOB = "job"
+OP_RESULT = "result"
+OP_HEARTBEAT = "heartbeat"
+OP_DRAIN = "drain"
+OP_DRAINED = "drained"
+OP_PING = "ping"
+OP_PONG = "pong"
+OP_HELLO = "hello"
+OP_LOOKUP = "lookup"
+OP_PUBLISH = "publish"
+OP_STATS = "stats"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One declared frame kind of the cluster wire vocabulary.
+
+    ``senders``/``receivers`` name cluster modules (``coordinator``,
+    ``node``, ``memod``, ``memoclient``); the PROTO01 lint checks every
+    construction site against ``senders``+``required`` and proves each
+    receiver dispatches on exactly its declared ops.  ``optional``
+    documents fields a peer may include but no receiver requires.
+
+    Reply frames carrying no ``"op"`` key (the coordinator's
+    registration ack, memod's ``{"ok": …}`` responses) are outside the
+    vocabulary on purpose: they answer exactly one request on the same
+    connection and are never dispatched on.
+    """
+
+    name: str
+    required: tuple[str, ...]
+    senders: tuple[str, ...]
+    receivers: tuple[str, ...]
+    optional: tuple[str, ...] = ()
+
+
+#: The declared vocabulary — the single source of truth for PROTO01.
+PROTOCOL_OPS: tuple[OpSpec, ...] = (
+    OpSpec(OP_REGISTER, ("node", "protocol"), ("node",), ("coordinator",),
+           optional=("token",)),
+    OpSpec(OP_JOB, ("payload",), ("coordinator",), ("node",)),
+    OpSpec(OP_RESULT, ("job_id", "payload"), ("node",), ("coordinator",)),
+    OpSpec(OP_HEARTBEAT, ("node",), ("node",), ("coordinator",)),
+    OpSpec(OP_DRAIN, (), ("coordinator",), ("node",)),
+    OpSpec(OP_DRAINED, ("node",), ("node",), ("coordinator",)),
+    OpSpec(OP_PING, (), ("memoclient", "coordinator"), ("memod", "node"),
+           optional=("seq",)),
+    OpSpec(OP_PONG, ("node",), ("node",), ("coordinator",),
+           optional=("seq",)),
+    OpSpec(OP_HELLO, ("client",), ("memoclient",), ("memod",),
+           optional=("token",)),
+    OpSpec(OP_LOOKUP, ("key",), ("memoclient",), ("memod",),
+           optional=("client",)),
+    OpSpec(OP_PUBLISH, ("key", "verdict", "bits"), ("memoclient",),
+           ("memod",), optional=("client",)),
+    OpSpec(OP_STATS, (), ("memoclient",), ("memod",)),
+)
+
+#: Registry by op name (what the checker and the tests consume).
+OPS_BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in PROTOCOL_OPS}
+
+#: Constant-name → op-name table so the lint can resolve ``OP_*``
+#: references at dispatch and construction sites.
+OP_CONSTANTS: dict[str, str] = {
+    "OP_REGISTER": OP_REGISTER,
+    "OP_JOB": OP_JOB,
+    "OP_RESULT": OP_RESULT,
+    "OP_HEARTBEAT": OP_HEARTBEAT,
+    "OP_DRAIN": OP_DRAIN,
+    "OP_DRAINED": OP_DRAINED,
+    "OP_PING": OP_PING,
+    "OP_PONG": OP_PONG,
+    "OP_HELLO": OP_HELLO,
+    "OP_LOOKUP": OP_LOOKUP,
+    "OP_PUBLISH": OP_PUBLISH,
+    "OP_STATS": OP_STATS,
+}
 
 
 class ProtocolError(ReproError):
@@ -153,14 +237,20 @@ class FramedSocket:
         writes or dies).
         """
         sock = socket.create_connection((host, port), timeout=timeout)
-        sock.settimeout(None)
-        return cls(sock)
+        try:
+            sock.settimeout(None)
+            return cls(sock)
+        except OSError:
+            # settimeout or the makefile() in __init__ failing would
+            # otherwise leak the freshly dialed socket (RES01).
+            sock.close()
+            raise
 
     def send(self, payload: dict[str, Any]) -> None:
         """Send one frame (atomic with respect to concurrent senders)."""
         frame = encode_frame(payload)
         with self._send_lock:
-            self._socket.sendall(frame)
+            self._socket.sendall(frame)  # analysis: allow[BLK01] the send lock exists to serialize exactly this write; nothing else ever waits on it
 
     def recv(self) -> dict[str, Any] | None:
         """Receive one frame; None on a clean close (see :func:`read_frame`)."""

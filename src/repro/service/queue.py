@@ -606,7 +606,7 @@ class JobQueue:
         """
         with self._wakeup:
             while not self._pending and not self._stopped:
-                self._wakeup.wait()
+                self._wakeup.wait()  # analysis: allow[BLK01] parked runner: wait() releases the lock while blocked; submit()/stop() notify_all
             drained = self._pending[:]
             self._pending.clear()
             for job in drained:

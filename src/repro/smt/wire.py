@@ -15,7 +15,7 @@ import hashlib
 from repro.smt.terms import Term
 
 
-def term_digest(term: Term, cache: dict) -> str:
+def term_digest(term: Term, cache: dict[Term, str]) -> str:
     """Structural digest of a hash-consed term (process-independent).
 
     The digest is computed bottom-up over the term DAG with ``cache``
@@ -27,7 +27,7 @@ def term_digest(term: Term, cache: dict) -> str:
     digest = cache.get(term)
     if digest is not None:
         return digest
-    stack = [term]
+    stack: list[Term] = [term]
     while stack:
         current = stack[-1]
         if current in cache:
@@ -83,10 +83,10 @@ def _term_atoms(term: Term) -> list[str]:
 
 
 def check_wire_key(
-    assertions: tuple,
-    extras: tuple,
+    assertions: tuple[Term, ...],
+    extras: tuple[Term, ...],
     frontier: int,
-    cache: dict,
+    cache: dict[Term, str],
 ) -> str:
     """The shared-memo key for one ``check``: wire form of
     ``(assertions, extras, frontier)``.

@@ -287,7 +287,7 @@ class TestResultSerialization:
 
 
 class TestSharedStateLockDiscipline:
-    """Regression tests for races the LOCK01 lint rule surfaced.
+    """Regression tests for races the lock-discipline lint (now LOCK02) surfaced.
 
     ``submit`` used to append to ``_jobs`` without ``_state_lock`` while
     ``prune`` (called from the service's runner thread) swapped the list

@@ -5,7 +5,9 @@ The coordinator nests its cluster lock against the engine's state lock
 guards its shared store, and the memo client guards its degraded-mode
 counters.  Running the in-process suites under the lock-order detector
 turns any regression into a test failure instead of a distributed
-deadlock.
+deadlock.  The node agent (job/heartbeat state) and the framed socket
+(send serialization) are instrumented too, so every cluster lock is
+under the detector.
 """
 
 from __future__ import annotations
@@ -17,6 +19,8 @@ import repro.api.memo as memo_module
 import repro.cluster.coordinator as coordinator_module
 import repro.cluster.memoclient as memoclient_module
 import repro.cluster.memod as memod_module
+import repro.cluster.node as node_module
+import repro.cluster.protocol as protocol_module
 import repro.service.queue as queue_module
 from repro.analysis import lockcheck
 from repro.testing import faults
@@ -27,6 +31,7 @@ def _lockcheck_instrumentation():
     with lockcheck.instrument(
         engine_module, memo_module, queue_module,
         coordinator_module, memoclient_module, memod_module,
+        node_module, protocol_module,
     ) as registry:
         yield
     assert not registry.violations, "\n".join(registry.violations)

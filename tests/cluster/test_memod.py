@@ -241,3 +241,51 @@ class TestMemodFaultPoint:
             assert client.lookup("k") == ("unsat", None)
         finally:
             client.close()
+
+
+class TestHandshakeFailureCleanup:
+    """A hello that dies must close the freshly dialed link (RES01)."""
+
+    def _store_with_fake_link(self, monkeypatch, link):
+        monkeypatch.setattr(
+            "repro.cluster.memoclient.FramedSocket.connect",
+            staticmethod(lambda *args, **kwargs: link),
+        )
+        return RemoteMemoStore("127.0.0.1", 1, client_id="n1")
+
+    def test_transport_failure_during_hello_closes_link(self, monkeypatch):
+        class _DeadLink:
+            closed = False
+
+            def send(self, payload):
+                raise OSError("connection reset")
+
+            def close(self):
+                self.closed = True
+
+        link = _DeadLink()
+        store = self._store_with_fake_link(monkeypatch, link)
+        with pytest.raises(OSError):
+            store.lookup("k")
+        assert link.closed
+        assert store._link is None  # the next call re-dials
+
+    def test_rejected_hello_closes_link(self, monkeypatch):
+        class _RefusingLink:
+            closed = False
+
+            def send(self, payload):
+                pass
+
+            def recv(self):
+                return {"ok": False, "error": "bad token"}
+
+            def close(self):
+                self.closed = True
+
+        link = _RefusingLink()
+        store = self._store_with_fake_link(monkeypatch, link)
+        with pytest.raises(ProtocolError, match="bad token"):
+            store.lookup("k")
+        assert link.closed
+        assert store._link is None

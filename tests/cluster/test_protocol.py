@@ -11,6 +11,7 @@ import pytest
 from repro.cluster.protocol import (
     MAGIC,
     MAX_FRAME_BYTES,
+    FramedSocket,
     ProtocolError,
     TornFrameError,
     encode_frame,
@@ -115,3 +116,26 @@ class TestCorruption:
     def test_oversized_payload_refused_on_encode(self):
         with pytest.raises(ProtocolError):
             encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+
+class TestConnectFailureCleanup:
+    """A dial whose post-connect setup fails must not leak the socket."""
+
+    def test_failed_setup_closes_the_socket(self, monkeypatch):
+        class _FakeSocket:
+            closed = False
+
+            def settimeout(self, value):
+                raise OSError("fd gone")
+
+            def close(self):
+                self.closed = True
+
+        sock = _FakeSocket()
+        monkeypatch.setattr(
+            "repro.cluster.protocol.socket.create_connection",
+            lambda *args, **kwargs: sock,
+        )
+        with pytest.raises(OSError):
+            FramedSocket.connect("127.0.0.1", 1)
+        assert sock.closed

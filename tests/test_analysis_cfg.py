@@ -1,0 +1,197 @@
+"""Structural tests for the CFG builder and the fixpoint solver."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import (
+    KIND_FINALLY,
+    KIND_HANDLER,
+    KIND_STMT,
+    KIND_WITH_ENTER,
+    KIND_WITH_EXIT,
+    build_cfg,
+)
+from repro.analysis.dataflow import FixpointDiverged, solve
+
+
+def _cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    function = tree.body[0]
+    assert isinstance(function, ast.FunctionDef)
+    return build_cfg(function)
+
+
+class _Reach:
+    """Trivial analysis: a node's in-state is non-None iff reachable."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, node, state):
+        return state, state
+
+
+def _reachable(cfg):
+    solution = solve(cfg, _Reach())
+    return {n.index for n in cfg.nodes if solution.at(n.index) is not None}
+
+
+def test_straight_line_reaches_both_exits():
+    cfg = _cfg("def f(x):\n    y = x + 1\n    return y\n")
+    reachable = _reachable(cfg)
+    assert cfg.exit in reachable  # the return
+    assert cfg.raise_exit in reachable  # x + 1 can raise
+
+
+def test_if_branches_rejoin():
+    cfg = _cfg("""
+    def f(x):
+        if x:
+            a = 1
+        else:
+            a = 2
+        return a
+    """)
+    # The test-header node has two normal successors (the branch bodies).
+    headers = [
+        n for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Name)
+        and n.payload.id == "x"
+    ]
+    assert len(headers) == 1
+    normal_successors = [
+        t for t, exceptional in cfg.edges[headers[0].index] if not exceptional
+    ]
+    assert len(normal_successors) == 2
+
+
+def test_while_loop_has_back_edge():
+    cfg = _cfg("""
+    def f(n):
+        while n:
+            n = n - 1
+    """)
+    header = next(
+        n.index for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Name)
+    )
+    body = next(
+        n.index for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Assign)
+    )
+    assert (header, False) in [
+        (t, e) for t, e in cfg.edges[body]
+    ] or any(t == header for t, _ in cfg.edges[body])
+
+
+def test_code_after_return_is_unreachable():
+    cfg = _cfg("""
+    def f():
+        return 1
+        x = 2
+    """)
+    dead = next(
+        n.index for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Assign)
+    )
+    assert dead not in _reachable(cfg)
+    assert cfg.exit in _reachable(cfg)
+
+
+def test_with_produces_enter_and_both_exits():
+    cfg = _cfg("""
+    def f(lock):
+        with lock:
+            x = 1
+    """)
+    kinds = [n.kind for n in cfg.nodes]
+    assert kinds.count(KIND_WITH_ENTER) == 1
+    # One cleanup exit on the exception route, one on the normal route.
+    assert kinds.count(KIND_WITH_EXIT) == 2
+
+
+def test_return_unwinds_through_with_exit():
+    cfg = _cfg("""
+    def f(lock):
+        with lock:
+            return 1
+    """)
+    return_node = next(
+        n for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Return)
+    )
+    successors = [t for t, _ in cfg.edges[return_node.index]]
+    assert all(
+        cfg.nodes[t].kind == KIND_WITH_EXIT for t in successors
+    ), "return inside with must route through the context release"
+
+
+def test_try_finally_is_duplicated():
+    cfg = _cfg("""
+    def f():
+        try:
+            x = 1
+        finally:
+            y = 2
+    """)
+    kinds = [n.kind for n in cfg.nodes]
+    assert kinds.count(KIND_FINALLY) == 2  # normal + exceptional copies
+    finally_stmts = [
+        n for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Assign)
+        and n.payload.targets[0].id == "y"
+    ]
+    assert len(finally_stmts) == 2
+
+
+def test_handlers_capture_body_exceptions():
+    cfg = _cfg("""
+    def f():
+        try:
+            x = risky()
+        except OSError:
+            x = None
+        return x
+    """)
+    kinds = [n.kind for n in cfg.nodes]
+    assert kinds.count(KIND_HANDLER) == 1
+    # With a handler present the body's exception edge goes to the catch
+    # dispatch, never straight to raise_exit.
+    body_stmt = next(
+        n for n in cfg.nodes
+        if n.kind == KIND_STMT and isinstance(n.payload, ast.Assign)
+        and isinstance(n.payload.value, ast.Call)
+    )
+    exceptional = [t for t, e in cfg.edges[body_stmt.index] if e]
+    assert cfg.raise_exit not in exceptional
+
+
+def test_fixpoint_budget_raises_on_divergence():
+    # The loop feeds the ever-growing state back into its own header; a
+    # monotone analysis over an infinite-height lattice never converges,
+    # and the budget must turn that into an error, not a hang.
+    cfg = _cfg("""
+    def f(x):
+        while x:
+            x = step(x)
+    """)
+
+    class _Diverging:
+        def initial(self):
+            return 0
+
+        def join(self, left, right):
+            return max(left, right)
+
+        def transfer(self, node, state):
+            return state + 1, state + 1  # grows forever
+
+    with pytest.raises(FixpointDiverged):
+        solve(cfg, _Diverging())

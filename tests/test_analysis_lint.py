@@ -8,9 +8,14 @@ from pathlib import Path
 from repro.analysis.lint import lint_source, run_lint
 
 
-def _rules(source: str, deterministic: bool = True) -> list[str]:
+def _rules(
+    source: str, deterministic: bool = True, io_sensitive: bool = True
+) -> list[str]:
     findings = lint_source(
-        textwrap.dedent(source), "probe.py", deterministic=deterministic
+        textwrap.dedent(source),
+        "probe.py",
+        deterministic=deterministic,
+        io_sensitive=io_sensitive,
     )
     return [finding.rule for finding in findings]
 
@@ -66,6 +71,48 @@ def test_nd01_set_operations_propagate():
 def test_nd01_only_in_deterministic_modules():
     source = "for item in {1, 2}:\n    pass\n"
     assert _rules(source, deterministic=False) == []
+
+
+def test_nd01_flags_set_comprehension_values():
+    assert _rules("items = list({x for x in data})\n") == ["ND01"]
+    assert _rules("for x in {y for y in data}:\n    pass\n") == ["ND01"]
+
+
+def test_nd01_unordered_to_unordered_is_order_free():
+    # Rebuilding a set from a set never materializes an order.
+    assert _rules("out = frozenset(x for x in {1, 2} if x)\n") == []
+    assert _rules("out = {x for x in frozenset(data)}\n") == []
+
+
+def test_nd01_sees_module_level_set_constants():
+    source = """
+    KINDS = frozenset({"a", "b"})
+
+    def names():
+        return [kind for kind in KINDS]
+    """
+    assert _rules(source) == ["ND01"]
+
+
+def test_nd01_parameters_shadow_module_constants():
+    source = """
+    KINDS = frozenset({"a", "b"})
+
+    def names(KINDS):
+        return [kind for kind in KINDS]
+    """
+    assert _rules(source) == []
+
+
+def test_nd01_sees_class_level_set_constants():
+    source = """
+    class Tracker:
+        KINDS = {"a", "b"}
+
+        def names(self):
+            return [kind for kind in self.KINDS]
+    """
+    assert _rules(source) == ["ND01"]
 
 
 # -- WC01 -------------------------------------------------------------------
@@ -164,7 +211,7 @@ def test_wire01_ignores_unmarked_classes():
     assert _rules(source) == []
 
 
-# -- LOCK01 -----------------------------------------------------------------
+# -- LOCK02 -----------------------------------------------------------------
 
 
 _GUARDED_TEMPLATE = """
@@ -187,11 +234,11 @@ class Queue:
 """
 
 
-def test_lock01_accepts_locked_alias_and_holds_mutations():
+def test_lock02_accepts_locked_alias_and_holds_mutations():
     assert _rules(_GUARDED_TEMPLATE) == []
 
 
-def test_lock01_flags_unlocked_mutations():
+def test_lock02_flags_unlocked_mutations():
     source = _GUARDED_TEMPLATE + """
     def racy_append(self, job):
         self._jobs.append(job)
@@ -202,10 +249,10 @@ def test_lock01_flags_unlocked_mutations():
     def racy_subscript(self, job):
         self._jobs[0] = job
 """
-    assert _rules(source) == ["LOCK01", "LOCK01", "LOCK01"]
+    assert _rules(source) == ["LOCK02", "LOCK02", "LOCK02"]
 
 
-def test_lock01_nested_closures_start_unlocked():
+def test_lock02_nested_closures_start_unlocked():
     source = _GUARDED_TEMPLATE + """
     def register(self):
         with self._lock:
@@ -214,15 +261,171 @@ def test_lock01_nested_closures_start_unlocked():
             return callback
 """
     # The closure may run long after the with-block exited.
-    assert _rules(source) == ["LOCK01"]
+    assert _rules(source) == ["LOCK02"]
 
 
-def test_lock01_ignores_unguarded_fields():
+def test_lock02_ignores_unguarded_fields():
     source = _GUARDED_TEMPLATE + """
     def touch_other(self):
         self._other = []
 """
     assert _rules(source) == []
+
+
+def test_lock02_flags_mutation_unlocked_on_one_path():
+    # Flow-sensitivity: the mutation is locked on the fast path only —
+    # the lexical LOCK01 could not see this at all.
+    source = _GUARDED_TEMPLATE + """
+    def branchy(self, job, fast):
+        if fast:
+            with self._lock:
+                marker = 1
+        self._jobs.append(job)
+"""
+    assert _rules(source) == ["LOCK02"]
+
+
+def test_lock02_accepts_mutation_locked_on_every_path():
+    source = _GUARDED_TEMPLATE + """
+    def both(self, job, fast):
+        if fast:
+            with self._lock:
+                self._jobs.append(job)
+        else:
+            with self._wakeup:
+                self._jobs.append(job)
+"""
+    assert _rules(source) == []
+
+
+def test_lock02_flags_acquire_leaking_on_exception_path():
+    # append() can raise between acquire and release.
+    source = _GUARDED_TEMPLATE + """
+    def manual(self, job):
+        self._lock.acquire()
+        self._jobs.append(job)
+        self._lock.release()
+"""
+    assert _rules(source) == ["LOCK02"]
+
+
+def test_lock02_accepts_acquire_with_try_finally():
+    source = _GUARDED_TEMPLATE + """
+    def careful(self, job):
+        self._lock.acquire()
+        try:
+            self._jobs.append(job)
+        finally:
+            self._lock.release()
+"""
+    assert _rules(source) == []
+
+
+# -- BLK01 ------------------------------------------------------------------
+
+
+def test_blk01_flags_socket_send_under_lock():
+    source = _GUARDED_TEMPLATE + """
+    def push(self, sock, data):
+        with self._lock:
+            sock.sendall(data)
+"""
+    assert _rules(source) == ["BLK01"]
+
+
+def test_blk01_flags_sleep_and_untimed_wait_under_lock():
+    source = _GUARDED_TEMPLATE + """
+    def nap(self):
+        with self._lock:
+            time.sleep(0.1)
+
+    def park(self):
+        with self._wakeup:
+            self._wakeup.wait()
+"""
+    assert _rules(source) == ["BLK01", "BLK01"]
+
+
+def test_blk01_accepts_timed_wait_and_io_outside_lock():
+    source = _GUARDED_TEMPLATE + """
+    def park_timed(self):
+        with self._wakeup:
+            self._wakeup.wait(0.5)
+
+    def push(self, sock, data):
+        with self._lock:
+            marker = 1
+        sock.sendall(data)
+"""
+    assert _rules(source) == []
+
+
+def test_blk01_only_in_io_sensitive_modules():
+    source = _GUARDED_TEMPLATE + """
+    def push(self, sock, data):
+        with self._lock:
+            sock.sendall(data)
+"""
+    assert _rules(source, io_sensitive=False) == []
+
+
+# -- RES01 ------------------------------------------------------------------
+
+
+def test_res01_flags_exception_path_leak():
+    # send() can raise before the return hands the link off.
+    source = """
+    def fetch(host, port, payload):
+        link = FramedSocket.connect(host, port, 5.0)
+        link.send(payload)
+        return link
+    """
+    assert _rules(source) == ["RES01"]
+
+
+def test_res01_accepts_close_and_reraise():
+    source = """
+    def fetch(host, port, payload):
+        link = FramedSocket.connect(host, port, 5.0)
+        try:
+            link.send(payload)
+        except OSError:
+            link.close()
+            raise
+        return link
+    """
+    assert _rules(source) == []
+
+
+def test_res01_flags_resource_falling_off_the_end():
+    source = """
+    def probe(path):
+        handle = open(path)
+        first = handle.readline()
+    """
+    assert _rules(source) == ["RES01"]
+
+
+def test_res01_accepts_with_statement_and_handoff():
+    source = """
+    def probe(path):
+        with open(path) as handle:
+            return handle.readline()
+
+    def serve(listener, pool):
+        connection, _ = listener.accept()
+        pool.submit(connection)
+    """
+    assert _rules(source) == []
+
+
+def test_res01_only_in_io_sensitive_modules():
+    source = """
+    def probe(path):
+        handle = open(path)
+        first = handle.readline()
+    """
+    assert _rules(source, io_sensitive=False) == []
 
 
 # -- the repo gate ----------------------------------------------------------

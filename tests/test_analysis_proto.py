@@ -1,0 +1,142 @@
+"""PROTO01: frame construction, dispatch, and cross-module coverage.
+
+Runs the checker against a toy two-op vocabulary so the tests stay
+decoupled from the real cluster registry; the repo gate
+(``test_repo_is_lint_clean``) is what holds the shipping modules to
+:data:`repro.cluster.protocol.PROTOCOL_OPS`.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.proto import check_op_coverage, check_protocol_usage
+from repro.cluster.protocol import OpSpec
+
+TOY_REGISTRY = {
+    "job": OpSpec("job", ("payload",), ("boss",), ("worker",)),
+    "done": OpSpec("done", ("job_id",), ("worker",), ("boss",)),
+}
+TOY_CONSTANTS = {"OP_JOB": "job", "OP_DONE": "done"}
+
+
+def _check(source: str, module: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return check_protocol_usage(
+        tree, "probe.py", module, TOY_REGISTRY, TOY_CONSTANTS
+    )
+
+
+# -- frame-construction sites -----------------------------------------------
+
+
+def test_declared_frame_with_constant_op_is_clean():
+    findings, _ = _check('frame = {"op": OP_JOB, "payload": work}\n', "boss")
+    assert findings == []
+
+
+def test_unknown_op_fails():
+    findings, _ = _check('frame = {"op": "bogus"}\n', "boss")
+    assert [f.rule for f in findings] == ["PROTO01"]
+    assert "not declared" in findings[0].message
+
+
+def test_missing_required_field_fails():
+    findings, _ = _check('frame = {"op": "job"}\n', "boss")
+    assert len(findings) == 1
+    assert "missing required field(s) ['payload']" in findings[0].message
+
+
+def test_splat_tolerates_missing_fields():
+    findings, _ = _check('frame = {"op": "job", **extra}\n', "boss")
+    assert findings == []
+
+
+def test_undeclared_sender_fails():
+    findings, _ = _check(
+        'frame = {"op": OP_JOB, "payload": work}\n', "worker"
+    )
+    assert len(findings) == 1
+    assert "declares senders" in findings[0].message
+
+
+def test_non_literal_op_fails():
+    findings, _ = _check('frame = {"op": pick_an_op()}\n', "boss")
+    assert len(findings) == 1
+    assert "statically checkable" in findings[0].message
+
+
+# -- dispatch sites ---------------------------------------------------------
+
+
+def test_dispatch_on_declared_ops_is_recorded():
+    source = """
+    op = frame.get("op")
+    if op == OP_JOB:
+        pass
+    elif op in ("done",):
+        pass
+    """
+    findings, handled = _check(source, "worker")
+    assert findings == []
+    assert handled == {"job", "done"}
+
+
+def test_dispatch_on_undeclared_op_fails():
+    source = """
+    if frame.get("op") == "bogus":
+        pass
+    """
+    findings, handled = _check(source, "worker")
+    assert [f.rule for f in findings] == ["PROTO01"]
+    assert handled == set()
+
+
+def test_dispatch_against_unresolvable_comparator_is_skipped():
+    source = """
+    op = frame.get("op")
+    if op is None:
+        pass
+    if op == fallback:
+        pass
+    """
+    findings, handled = _check(source, "worker")
+    assert findings == []
+    assert handled == set()
+
+
+def test_reassigned_name_stops_being_an_op():
+    source = """
+    op = frame.get("op")
+    op = other_thing
+    if op == "bogus":
+        pass
+    """
+    findings, _ = _check(source, "worker")
+    assert findings == []
+
+
+# -- cross-module coverage --------------------------------------------------
+
+
+def test_coverage_clean_when_receivers_handle_their_ops():
+    handled = {"worker": {"job"}, "boss": {"done"}}
+    assert check_op_coverage(handled, {}, TOY_REGISTRY) == []
+
+
+def test_unhandled_declared_op_fails():
+    handled = {"worker": set(), "boss": {"done"}}
+    findings = check_op_coverage(
+        handled, {"worker": "cluster/worker.py"}, TOY_REGISTRY
+    )
+    assert len(findings) == 1
+    assert findings[0].path == "cluster/worker.py"
+    assert "never dispatches" in findings[0].message
+
+
+def test_dispatch_outside_declared_receivers_fails():
+    handled = {"worker": {"job", "done"}, "boss": {"done"}}
+    findings = check_op_coverage(handled, {}, TOY_REGISTRY)
+    assert len(findings) == 1
+    assert "does not declare it a receiver" in findings[0].message
