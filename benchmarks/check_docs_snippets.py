@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Docs-as-tests: extract and execute the ``python`` snippets in docs/.
+
+Documentation code that nobody runs rots silently — imports drift, API
+names move, configs gain required fields.  This checker keeps the docs
+honest the same way ``examples-smoke`` keeps ``examples/`` honest:
+
+* every fenced code block in ``docs/*.md`` whose info string starts
+  with ``python`` is executed in a **fresh subprocess** with
+  ``PYTHONPATH=src`` from the repository root;
+* a block whose info string also contains ``no-run`` (e.g.
+  ```` ```python no-run ````) is an illustrative fragment — shown,
+  counted, and skipped;
+* any other fence language (``console``, plain ```` ``` ````) is
+  ignored: shell transcripts and wire-format listings are not Python.
+
+Each snippet runs in isolation, so docs never depend on each other's
+state, and a snippet that leaks resources cannot poison the next one.
+Failures print the snippet's location (file + starting line) and its
+stderr, and the checker exits non-zero — the ``docs-snippets`` CI job
+fails with it.
+
+Usage::
+
+    python benchmarks/check_docs_snippets.py            # all of docs/
+    python benchmarks/check_docs_snippets.py docs/ARCHITECTURE.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Opening fence: three-plus backticks, an info string we capture.
+_FENCE_OPEN = re.compile(r"^(?P<ticks>```+)(?P<info>[^`]*)$")
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One fenced code block lifted from a markdown file."""
+
+    path: Path
+    line: int  # 1-based line of the opening fence
+    info: str  # the fence info string, stripped
+    source: str
+
+    @property
+    def label(self) -> str:
+        try:
+            shown = self.path.relative_to(_ROOT)
+        except ValueError:  # e.g. a tmp-dir file under test
+            shown = self.path
+        return f"{shown}:{self.line}"
+
+    @property
+    def runnable(self) -> bool:
+        words = self.info.split()
+        return bool(words) and words[0] == "python" and "no-run" not in words
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """All fenced code blocks in ``path``, language-tagged or not."""
+    snippets: list[Snippet] = []
+    fence: str | None = None
+    info = ""
+    start = 0
+    body: list[str] = []
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        if fence is None:
+            match = _FENCE_OPEN.match(raw.strip())
+            if match is not None:
+                fence = match.group("ticks")
+                info = match.group("info").strip()
+                start = number
+                body = []
+        elif raw.strip() == fence:
+            snippets.append(
+                Snippet(path=path, line=start, info=info, source="\n".join(body))
+            )
+            fence = None
+        else:
+            body.append(raw)
+    if fence is not None:
+        raise ValueError(f"{path}: unterminated code fence opened at line {start}")
+    return snippets
+
+
+def run_snippet(snippet: Snippet, timeout: float) -> tuple[bool, str]:
+    """Execute one snippet in a fresh interpreter; (ok, tail-of-output)."""
+    environment = dict(os.environ)
+    src = str(_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    try:
+        process = subprocess.run(
+            [sys.executable, "-c", snippet.source],
+            capture_output=True,
+            text=True,
+            cwd=str(_ROOT),
+            env=environment,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return False, f"timed out after {timeout:.0f}s"
+    if process.returncode != 0:
+        return False, (process.stderr or process.stdout)[-2000:]
+    return True, process.stdout[-500:]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: every docs/*.md)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-snippet wall-clock limit in seconds",
+    )
+    arguments = parser.parse_args(argv)
+    files = arguments.files or sorted((_ROOT / "docs").glob("*.md"))
+    executed = skipped = ignored = 0
+    failures: list[str] = []
+    for path in files:
+        for snippet in extract_snippets(path):
+            words = snippet.info.split()
+            if not words or words[0] != "python":
+                ignored += 1
+                continue
+            if not snippet.runnable:
+                skipped += 1
+                print(f"  skip {snippet.label} (marked no-run)")
+                continue
+            ok, output = run_snippet(snippet, arguments.timeout)
+            executed += 1
+            if ok:
+                print(f"  ok   {snippet.label}")
+            else:
+                failures.append(snippet.label)
+                print(f"  FAIL {snippet.label}\n{output}")
+    print(
+        f"docs snippets: {executed} executed, {skipped} skipped (no-run), "
+        f"{ignored} non-python fences ignored, {len(failures)} failed"
+    )
+    if not executed and not failures:
+        # A docs overhaul that leaves zero runnable snippets should be
+        # loud, not silently green.
+        print("warning: no runnable python snippets found", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

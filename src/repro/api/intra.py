@@ -1,0 +1,133 @@
+"""Intra-job thread lanes: fan one job's independent SMT queries out.
+
+Every other parallel layer in the engine works *across* jobs (worker
+processes, work stealing, the shared check memo); this module is the
+substrate for parallelism *inside* one job — GameTime's parallel
+feasibility sweeps (:meth:`repro.cfg.ssa.PathConstraintBuilder.sweep`)
+and speculative OGIS (:class:`repro.ogis.synthesizer.OgisSynthesizer`).
+
+The contract every user of this module must honor is the engine-wide
+byte-parity guarantee: a job's committed results, certificates and
+per-job statistics deltas may not depend on the lane count.  The two
+features achieve that structurally —
+
+* sweeps fan only *verdict* checks (semantic, hence lane-invariant)
+  across replica sessions and re-extract witnesses on the job's primary
+  session in path order, so the primary session's query sequence is a
+  pure function of which paths are feasible;
+* speculation runs the primary session's exact sequential query trace
+  unchanged and only ever *compares* the speculative lane's outcome
+  against the committed one.
+
+Lanes are plain threads.  The solver sessions they drive are disjoint
+(one replica lease per lane, acquired and released on the coordinating
+thread), so the only shared mutable state is the global term intern
+table — :func:`run_lanes` flips its sticky lock on
+(:func:`repro.smt.terms.enable_intern_locking`) before the first
+multi-lane fan-out.  On a GIL-bound interpreter the lanes interleave
+rather than truly overlap; the point of the machinery is the
+architecture and its parity contract, which a free-threaded build or a
+native solver core can then exploit (see ``docs/PARALLELISM.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.smt.terms import enable_intern_locking
+
+T = TypeVar("T")
+
+
+def resolve_lanes(requested: int, pool_size: int) -> int:
+    """The number of replica lanes a job may actually use.
+
+    ``requested`` is ``EngineConfig.intra_job_workers``.  Lanes are
+    capped at ``pool_size - 1`` so a job's replicas leave at least one
+    pooled session slot for cross-job work (non-starvation), but never
+    below one lane — the replica structure itself is load-bearing for
+    statistics parity, so even ``intra_job_workers=1`` runs its verdict
+    checks on one replica session.
+    """
+    return max(1, min(requested, pool_size - 1))
+
+
+def partition(count: int, lanes: int) -> list[list[int]]:
+    """Round-robin partition of item indices ``0..count-1`` over lanes.
+
+    Deterministic by construction (lane ``k`` gets indices ``k``,
+    ``k + lanes``, ...); empty buckets are dropped so callers never
+    spawn an idle lane.
+    """
+    buckets = [list(range(lane, count, lanes)) for lane in range(lanes)]
+    return [bucket for bucket in buckets if bucket]
+
+
+def run_lanes(workers: Sequence[Callable[[], None]]) -> None:
+    """Run lane workers to completion, one thread per extra lane.
+
+    The first worker runs on the calling thread; workers beyond it get
+    their own threads.  All lanes are joined before returning — even
+    when a lane fails — so callers can release the lanes' replica
+    leases immediately afterwards.  When several lanes raise, the
+    lowest lane index wins: the surfaced error never depends on thread
+    timing.
+    """
+    if not workers:
+        return
+    if len(workers) == 1:
+        workers[0]()
+        return
+    enable_intern_locking()
+    errors: list[BaseException | None] = [None] * len(workers)
+
+    def lane(index: int) -> None:
+        try:
+            workers[index]()
+        except BaseException as error:  # noqa: BLE001 — re-raised deterministically below
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=lane, args=(index,), name=f"intra-lane-{index}")
+        for index in range(1, len(workers))
+    ]
+    for thread in threads:
+        thread.start()
+    lane(0)
+    for thread in threads:
+        thread.join()
+    for error in errors:
+        if error is not None:
+            raise error
+
+
+class SpeculativeTask(Generic[T]):
+    """One speculative computation running on its own thread.
+
+    The task starts immediately; :meth:`outcome` joins the thread and
+    returns ``(result, error)`` — exactly one of the two is set.  A
+    speculative failure is an *outcome*, not an exception: the caller
+    committed to a sequential trace that never needed the speculation,
+    so the error's only legitimate effect is to disable further
+    speculation (and be counted).
+    """
+
+    def __init__(self, work: Callable[[], T], name: str = "speculative-task") -> None:
+        enable_intern_locking()
+        self._work = work
+        self._result: T | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, name=name)
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self._result = self._work()
+        except BaseException as error:  # noqa: BLE001 — surfaced via outcome()
+            self._error = error
+
+    def outcome(self) -> tuple[T | None, BaseException | None]:
+        """Join the task and return ``(result, error)``."""
+        self._thread.join()
+        return self._result, self._error

@@ -347,6 +347,15 @@ class TimingAnalysisProblem(ProblemSpec):
         trials: measurement budget (default: 3 × basis paths).
         seed: RNG seed for the measurement schedule.
         start_state: environment start state for measurements.
+        distribution: additionally predict and measure *every* feasible
+            path (the paper's Figure 6 distribution) and stamp the
+            report into the result details.  This is the "single big
+            job" shape: its per-path feasibility queries run through
+            :meth:`~repro.cfg.ssa.PathConstraintBuilder.sweep`, so
+            ``EngineConfig.intra_job_workers`` fans them across replica
+            sessions while the result stays byte-identical to the
+            sequential run.
+        max_paths: enumeration cap for the distribution sweep.
     """
 
     kind: ClassVar[str] = "timing-analysis"
@@ -358,6 +367,8 @@ class TimingAnalysisProblem(ProblemSpec):
     trials: int | None = None
     seed: int = 0
     start_state: str = "cold"
+    distribution: bool = False
+    max_paths: int = 4096
 
     def shape_key(self) -> str:
         width = self.program_args.get("word_width", "default")
@@ -389,7 +400,11 @@ class TimingAnalysisProblem(ProblemSpec):
         )
 
     def run_kwargs(self) -> dict:
-        return {"bound": self.bound}
+        return {
+            "bound": self.bound,
+            "distribution": self.distribution,
+            "max_paths": self.max_paths,
+        }
 
 
 def timing_program_names() -> list[str]:

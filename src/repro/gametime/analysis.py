@@ -361,8 +361,12 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
                 f"{total} paths exceed the enumeration cap of {max_paths}"
             )
         report = DistributionReport()
-        for path in enumerate_paths(self.cfg):
-            feasible = self.constraint_builder.feasibility(path)
+        # The per-path feasibility queries are independent, so the sweep
+        # fans their verdict checks across `intra_job_workers` replica
+        # sessions; witnesses come back in path order off the primary
+        # session, so the report is lane-count-invariant.
+        paths = list(enumerate_paths(self.cfg))
+        for path, feasible in zip(paths, self.constraint_builder.sweep(paths)):
             if feasible is None:
                 continue
             prediction = PathPrediction(
@@ -385,13 +389,49 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
             "D": "SMT (QF_BV) solving for basis-path feasibility / test generation",
         }
 
-    def _run(self, bound: int | None = None, **_: object) -> SciductionResult[WeightPerturbationModel]:
+    def _run(
+        self,
+        bound: int | None = None,
+        distribution: bool = False,
+        max_paths: int = 4096,
+        **_: object,
+    ) -> SciductionResult[WeightPerturbationModel]:
         model = self.prepare()
         estimate = self.estimate_wcet()
         verdict = None
         if bound is not None:
             verdict = estimate.measured_cycles <= bound
         assert self.basis_result is not None
+        details = {
+            "wcet_predicted": estimate.predicted_cycles,
+            "wcet_measured": estimate.measured_cycles,
+            "wcet_test_case": estimate.test_case,
+            "num_basis_paths": len(self.basis_result.basis),
+            "num_paths": self.cfg.count_paths(),
+        }
+        if distribution:
+            # The sweep-backed all-paths prediction (paper Fig. 6), in
+            # deterministic path-enumeration order; this is the "single
+            # big job" exercised by the intra-job parallelism benchmark.
+            report = self.predict_distribution(measure=True, max_paths=max_paths)
+            details["distribution"] = {
+                "paths": [
+                    {
+                        "edges": list(prediction.path.edges),
+                        "predicted": prediction.predicted,
+                        "measured": prediction.measured,
+                        "test_case": prediction.test_case,
+                    }
+                    for prediction in report.predictions
+                ],
+                "histogram": [list(row) for row in report.histogram()],
+            }
+        details["smt_variables_generated"] = (
+            self.constraint_builder.smt_statistics.variables_generated
+        )
+        details["smt_clauses_generated"] = (
+            self.constraint_builder.smt_statistics.clauses_generated
+        )
         return SciductionResult(
             success=True,
             artifact=model,
@@ -399,17 +439,5 @@ class GameTime(SciductionProcedure[WeightPerturbationModel]):
             iterations=1,
             oracle_queries=self.timing_oracle.query_count,
             deductive_queries=self.constraint_builder.queries,
-            details={
-                "wcet_predicted": estimate.predicted_cycles,
-                "wcet_measured": estimate.measured_cycles,
-                "wcet_test_case": estimate.test_case,
-                "num_basis_paths": len(self.basis_result.basis),
-                "num_paths": self.cfg.count_paths(),
-                "smt_variables_generated": (
-                    self.constraint_builder.smt_statistics.variables_generated
-                ),
-                "smt_clauses_generated": (
-                    self.constraint_builder.smt_statistics.clauses_generated
-                ),
-            },
+            details=details,
         )

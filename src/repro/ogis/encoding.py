@@ -175,6 +175,7 @@ class SynthesisEncoder:
         self._retired_sat_statistics = SatStatistics()
         self._smt_base = SmtStatistics()
         self._sat_base = SatStatistics()
+        self._speculative_tags = 0
 
     # -- variable factories ------------------------------------------------
 
@@ -424,6 +425,16 @@ class SynthesisEncoder:
             encoded.append(examples[number])
         return solver, locations
 
+    def prepare(self, examples: Sequence[IOExample] = ()) -> None:
+        """Force the persistent solver (and its base scope) to exist now.
+
+        Speculative OGIS builds its replica encoder lazily but must open
+        the replica's skeleton base scope on the *coordinating* thread —
+        intern-scope bookkeeping is a global LIFO — before any query runs
+        on the speculative thread.  Idempotent.
+        """
+        self._synced_solver(list(examples))
+
     def smt_statistics(self) -> SmtStatistics:
         """SMT work counters over the encoder's lifetime (across resets).
 
@@ -480,6 +491,43 @@ class SynthesisEncoder:
             )
         self.statistics.sat_results += 1
         return self._program_from_model(solver, locations)
+
+    def speculative_synthesis(
+        self, examples: Sequence[IOExample], extra: IOExample
+    ) -> LoopFreeProgram | None:
+        """Synthesis against ``examples`` plus one *uncommitted* example.
+
+        This is the speculative-OGIS query: the extra example is encoded
+        inside a push/pop scope with a tag never reused for committed
+        examples, so the persistent solver's committed example set is
+        untouched whether or not the speculation pans out.  Returns the
+        candidate, or ``None`` when the extended example set is
+        unrealizable (the committed loop will discover that itself if the
+        speculated example is confirmed).
+
+        Raises:
+            BudgetExceededError: when the query is undecided.
+        """
+        self.statistics.synthesis_queries += 1
+        solver, locations = self._synced_solver(examples)
+        tag = f"spec{self._speculative_tags}"
+        self._speculative_tags += 1
+        solver.push()
+        try:
+            solver.add(*self.example_constraints(locations, extra, tag=tag))
+            verdict = solver.check()
+            if verdict is SmtResult.UNKNOWN:
+                raise BudgetExceededError(
+                    "speculative synthesis undecided: solver budget or "
+                    "deadline exhausted"
+                )
+            if verdict is not SmtResult.SAT:
+                self.statistics.unsat_results += 1
+                return None
+            self.statistics.sat_results += 1
+            return self._program_from_model(solver, locations)
+        finally:
+            solver.pop()
 
     def _symbolic_execution(
         self, program: LoopFreeProgram, input_terms: Sequence[BitVecTerm]

@@ -332,7 +332,9 @@ class TestSharedStateLockDiscipline:
         try:
             engine.run_batch([DEOB, TIMING])
             stats = engine.statistics()
-            assert set(stats) == {"pool", "scheduler", "workers", "shared_memo"}
+            assert set(stats) == {
+                "pool", "scheduler", "workers", "shared_memo", "intra_job",
+            }
             json.dumps(stats)  # must stay JSON-ready
         finally:
             engine.close()

@@ -1,0 +1,252 @@
+"""Intra-job parallelism: sweeps, speculation, replica leases, parity.
+
+The contract under test is ISSUE 10's tentpole: everything result-visible
+— results, certificates, per-job statistics deltas — must be
+byte-identical for every ``intra_job_workers`` setting and with
+``speculative_ogis`` on or off, including when the speculative lane
+crashes mid-flight (the ``ogis.speculate`` fault drill).  Intra-job
+*activity* is visible only in engine-level telemetry
+(``statistics()["intra_job"]``), which these tests also pin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, SciductionEngine
+from repro.api.intra import partition, resolve_lanes, run_lanes
+from repro.api.pool import SolverPool
+from repro.api.problems import DeobfuscationProblem, TimingAnalysisProblem
+from repro.api.results import result_wire_canonical
+from repro.cfg.builder import build_cfg
+from repro.cfg.paths import enumerate_paths
+from repro.cfg.programs import conditional_cascade, saturating_add
+from repro.cfg.ssa import PathConstraintBuilder
+from repro.core.exceptions import ReproError
+from repro.testing import faults
+
+#: Seeded differential corpus: small single-big-job timing sweeps plus
+#: OGIS deobfuscation tasks that actually iterate (so speculation runs).
+TIMING_CORPUS = [
+    TimingAnalysisProblem(program="conditional_cascade", distribution=True),
+    TimingAnalysisProblem(program="saturating_add", distribution=True, seed=3),
+]
+DEOB_CORPUS = [
+    DeobfuscationProblem(task="multiply45", width=8, seed=seed) for seed in (0, 1)
+] + [DeobfuscationProblem(task="interchange", width=8, seed=7)]
+
+
+def run_corpus(config: EngineConfig, problems) -> tuple[list[dict], dict]:
+    """Run ``problems`` on a fresh engine; canonical wires + statistics."""
+    engine = SciductionEngine(config)
+    try:
+        engine.run_batch([problem for problem in problems])
+        wires = [result_wire_canonical(job.result_wire()) for job in engine.jobs]
+        return wires, engine.statistics()
+    finally:
+        engine.close()
+
+
+class TestLaneHelpers:
+    def test_resolve_lanes_caps_below_pool_size(self):
+        assert resolve_lanes(1, 4) == 1
+        assert resolve_lanes(2, 4) == 2
+        assert resolve_lanes(16, 4) == 3  # pool_size - 1: never starve
+        assert resolve_lanes(2, 1) == 1  # but never below one lane
+
+    def test_partition_is_round_robin_and_drops_empty_lanes(self):
+        assert partition(5, 2) == [[0, 2, 4], [1, 3]]
+        assert partition(2, 4) == [[0], [1]]
+        assert partition(0, 3) == []
+
+    def test_run_lanes_raises_lowest_lane_error(self):
+        def ok() -> None:
+            pass
+
+        def boom(tag: str):
+            def worker() -> None:
+                raise ReproError(tag)
+
+            return worker
+
+        with pytest.raises(ReproError, match="lane-one"):
+            run_lanes([ok, boom("lane-one"), boom("lane-two")])
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("lanes", [2])
+    def test_distribution_wires_are_lane_invariant(self, lanes):
+        baseline, base_stats = run_corpus(
+            EngineConfig(intra_job_workers=1), TIMING_CORPUS
+        )
+        swept, sweep_stats = run_corpus(
+            EngineConfig(intra_job_workers=lanes), TIMING_CORPUS
+        )
+        assert swept == baseline
+        # Both runs fan verdicts through replica sessions (that is what
+        # keeps the per-job statistics lane-invariant), so activity shows
+        # up at every lane count.
+        for stats in (base_stats, sweep_stats):
+            intra = stats["intra_job"]
+            assert intra["sweep_tasks"] > 0
+            assert 0 <= intra["sweep_feasible"] <= intra["sweep_tasks"]
+            assert intra["replica_leases"] > 0
+
+    def test_sweep_matches_sequential_feasibility_standalone(self):
+        # Without a pool-backed factory the sweep degrades to the plain
+        # loop — same witnesses, same order.
+        for program in (conditional_cascade(), saturating_add()):
+            cfg = build_cfg(program)
+            sequential = PathConstraintBuilder(cfg)
+            swept = PathConstraintBuilder(cfg)
+            paths = list(enumerate_paths(cfg))
+            expected = [sequential.feasibility(path) for path in paths]
+            actual = swept.sweep(paths)
+            assert [
+                None if entry is None else entry.test_case for entry in actual
+            ] == [None if entry is None else entry.test_case for entry in expected]
+
+    def test_sweep_counters_ride_the_lease(self):
+        engine = SciductionEngine(EngineConfig(intra_job_workers=2))
+        try:
+            engine.run(TIMING_CORPUS[0])
+            intra = engine.statistics()["intra_job"]
+            assert intra["sweep_tasks"] > 0
+            assert intra["replicated_scope_seals"] > 0
+        finally:
+            engine.close()
+
+
+class TestSpeculationParity:
+    def test_deobfuscation_wires_match_with_speculation(self):
+        baseline, _ = run_corpus(
+            EngineConfig(speculative_ogis=False), DEOB_CORPUS
+        )
+        speculative, stats = run_corpus(
+            EngineConfig(speculative_ogis=True), DEOB_CORPUS
+        )
+        assert speculative == baseline
+        intra = stats["intra_job"]
+        # The lane actually ran: every OGIS iteration before convergence
+        # scores exactly one win or loss.
+        assert intra["speculation_wins"] + intra["speculation_losses"] > 0
+        assert intra["replica_leases"] > 0
+
+    def test_crash_mid_speculation_is_invisible_in_results(self):
+        baseline, _ = run_corpus(
+            EngineConfig(speculative_ogis=False), DEOB_CORPUS
+        )
+        with faults.injected(
+            {"ogis.speculate": faults.Fault("raise", "EIO")}
+        ):
+            drilled, stats = run_corpus(
+                EngineConfig(speculative_ogis=True), DEOB_CORPUS
+            )
+        assert drilled == baseline
+        intra = stats["intra_job"]
+        # Each job's first speculative round died at the fault point and
+        # disabled the lane for the rest of that job: losses only.
+        assert intra["speculation_losses"] > 0
+        assert intra["speculation_wins"] == 0
+
+    @pytest.mark.sequential_only
+    def test_lane_failure_disables_speculation_for_the_job(self):
+        from repro.ogis import OgisSynthesizer, multiply45_library, multiply45_obfuscated, ProgramIOOracle
+
+        pool = SolverPool(EngineConfig(speculative_ogis=True))
+        lease = pool.acquire(shape="deobfuscation/w8")
+        try:
+            oracle = ProgramIOOracle(
+                lambda values: multiply45_obfuscated(values, 8), 1, 1, 8
+            )
+            synthesizer = OgisSynthesizer(
+                multiply45_library(),
+                oracle,
+                width=8,
+                config=EngineConfig(speculative_ogis=True),
+                solver_factory=lease,
+            )
+            with faults.injected(
+                {"ogis.speculate": faults.Fault("raise", "EIO", "1")}
+            ):
+                synthesizer.synthesize()
+            assert synthesizer._spec_disabled
+            assert synthesizer.speculation_losses >= 1
+            assert synthesizer.speculation_wins == 0
+            assert lease.intra_counters.get("speculation_losses", 0) >= 1
+        finally:
+            pool.release(lease)
+            pool.close()
+
+
+class TestReplicaLeases:
+    @pytest.mark.sequential_only
+    def test_replica_lease_flags_and_lifo_release(self):
+        config = EngineConfig()
+        pool = SolverPool(config)
+        primary = pool.acquire(shape="s")
+        replica = primary.replica()
+        assert replica.is_replica
+        assert not primary.is_replica
+        assert pool.statistics.replica_leases == 1
+        # LIFO: the replica nests inside the primary and must go first.
+        primary.release_replica(replica)
+        pool.release(primary)
+        assert replica.released and primary.released
+        pool.close()
+
+    @pytest.mark.sequential_only
+    def test_replica_detaches_and_reattaches_shared_memo(self):
+        config = EngineConfig()
+
+        class _Backend:
+            def lookup(self, key):
+                return None
+
+            def publish(self, key, verdict):
+                pass
+
+        backend = _Backend()
+        pool = SolverPool(config, memo_backend=backend)
+        primary = pool.acquire(shape="s")
+        assert primary.solver._memo_backend is backend
+        replica = primary.replica()
+        assert replica.solver._memo_backend is None
+        primary.release_replica(replica)
+        # Back on the idle list, the session serves ordinary leases again.
+        assert replica.solver._memo_backend is backend
+        pool.release(primary)
+        pool.close()
+
+    @pytest.mark.sequential_only
+    def test_replica_seal_counts_replicated_scope_seals(self):
+        pool = SolverPool(EngineConfig())
+        primary = pool.acquire(shape="cfg-shape")
+        replica = primary.replica()
+        _, ready = replica.base_session("cfg/fingerprint")
+        assert not ready
+        replica.seal_base()
+        assert pool.statistics.replicated_scope_seals == 1
+        primary.release_replica(replica)
+        pool.release(primary)
+        pool.close()
+
+    def test_counters_fold_into_engine_statistics(self):
+        engine = SciductionEngine(
+            EngineConfig(intra_job_workers=2, speculative_ogis=True)
+        )
+        try:
+            engine.run_batch([TIMING_CORPUS[0], DEOB_CORPUS[0]])
+            intra = engine.statistics()["intra_job"]
+            assert set(intra) == {
+                "sweep_tasks",
+                "sweep_feasible",
+                "speculation_wins",
+                "speculation_losses",
+                "replica_leases",
+                "replicated_scope_seals",
+            }
+            assert intra["sweep_tasks"] > 0
+            assert intra["speculation_wins"] + intra["speculation_losses"] > 0
+        finally:
+            engine.close()

@@ -1,0 +1,79 @@
+"""The docs are executable: extraction units + the real snippet run.
+
+``benchmarks/check_docs_snippets.py`` is the CI gate that keeps the
+fenced ``python`` blocks in ``docs/*.md`` working.  The fast tests here
+pin its extraction/skip semantics on synthetic markdown; the slow test
+executes every real runnable snippet exactly as the ``docs-snippets``
+CI job does.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+from check_docs_snippets import extract_snippets, main, run_snippet  # noqa: E402
+
+
+def write(tmp_path: Path, text: str) -> Path:
+    path = tmp_path / "doc.md"
+    path.write_text(text)
+    return path
+
+
+class TestExtraction:
+    def test_runnable_skip_and_ignored_fences(self, tmp_path):
+        path = write(
+            tmp_path,
+            "# t\n\n"
+            "```python\nprint('a')\n```\n\n"
+            "```python no-run\nthis is illustrative\n```\n\n"
+            "```console\n$ echo hi\n```\n\n"
+            "```\nplain block\n```\n",
+        )
+        snippets = extract_snippets(path)
+        assert [s.info for s in snippets] == [
+            "python", "python no-run", "console", "",
+        ]
+        assert [s.runnable for s in snippets] == [True, False, False, False]
+        assert snippets[0].source == "print('a')"
+        # The opening-fence line number points into the real file.
+        assert snippets[0].line == 3
+
+    def test_python_prefix_must_be_a_whole_word(self, tmp_path):
+        # ``python3`` or ``pythonish`` info strings are not runnable
+        # python fences; only the exact first word ``python`` is.
+        path = write(tmp_path, "```python3\nx = 1\n```\n")
+        (snippet,) = extract_snippets(path)
+        assert not snippet.runnable
+
+    def test_unterminated_fence_is_an_error(self, tmp_path):
+        path = write(tmp_path, "```python\nprint('a')\n")
+        with pytest.raises(ValueError, match="unterminated"):
+            extract_snippets(path)
+
+    def test_run_snippet_reports_failure_output(self, tmp_path):
+        path = write(tmp_path, "```python\nraise SystemExit('boom')\n```\n")
+        (snippet,) = extract_snippets(path)
+        ok, output = run_snippet(snippet, timeout=60.0)
+        assert not ok
+        assert "boom" in output
+
+    def test_main_fails_on_broken_snippet(self, tmp_path, capsys):
+        path = write(
+            tmp_path,
+            "```python\nimport nonexistent_module_xyz\n```\n",
+        )
+        assert main([str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_all_real_docs_snippets_execute():
+    """The actual gate: every runnable snippet in docs/ runs clean."""
+    assert main([]) == 0
